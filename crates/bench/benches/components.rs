@@ -1,0 +1,50 @@
+//! Criterion bench for pipeline components: similarity construction,
+//! sampling, splitting, and the verifier — the ablation view of where the
+//! simulated work goes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use congest::SimConfig;
+use d2core::det::splitting::SplitMode;
+use d2core::Params;
+
+fn bench_components(c: &mut Criterion) {
+    let g = graphs::gen::random_regular(200, 12, 5);
+    let cfg = SimConfig::seeded(5);
+    let mut group = c.benchmark_group("components");
+    group.sample_size(10);
+
+    group.bench_function("similarity-exact", |b| {
+        let proto = d2core::rand::similarity::ExactSimilarity::new(cfg.bandwidth_bits(g.n()));
+        b.iter(|| congest::run(&g, &proto, &cfg).expect("run"));
+    });
+    group.bench_function("similarity-sampled", |b| {
+        let dc = g.max_degree() * g.max_degree();
+        let proto = d2core::rand::similarity::SampledSimilarity::new(
+            0.5,
+            dc.min(g.n() - 1),
+            cfg.bandwidth_bits(g.n()),
+        );
+        b.iter(|| congest::run(&g, &proto, &cfg).expect("run"));
+    });
+    group.bench_function("derand-split", |b| {
+        b.iter(|| {
+            let mut driver = d2core::Driver::new(&g, cfg.clone());
+            d2core::det::splitting::recursive_split(
+                &mut driver,
+                &Params::practical(),
+                1.0,
+                SplitMode::Deterministic,
+                Some(1),
+            )
+            .expect("split")
+        });
+    });
+    group.bench_function("verifier", |b| {
+        let (colors, _) = graphs::square::greedy_square_coloring(&g);
+        b.iter(|| graphs::verify::is_valid_d2_coloring(&g, &colors));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for experiment E3: Theorem 1.2 end-to-end runs across
+//! the ∆ sweep (rounds scale as ∆²; wall time follows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use benchkit::Algo;
+use congest::SimConfig;
+use d2core::Params;
+
+fn bench_det_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("det_small");
+    group.sample_size(10);
+    for d in [4usize, 8, 16] {
+        let g = graphs::gen::random_regular(200, d, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &g, |b, g| {
+            b.iter(|| {
+                Algo::DetSmall
+                    .run(g, &Params::practical(), &SimConfig::seeded(2))
+                    .expect("run")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_det_small);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for experiment E1: Theorem 1.1 end-to-end runs.
+//! Measures simulator wall-clock; the *model* quantity (rounds) is printed
+//! by the harness binary. Sizes are kept small so `cargo bench` stays
+//! quick.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use benchkit::Algo;
+use congest::SimConfig;
+use d2core::Params;
+
+fn bench_rand_improved(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rand_improved");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let g = graphs::gen::random_regular(n, 8, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                Algo::RandImproved
+                    .run(g, &Params::practical(), &SimConfig::seeded(1))
+                    .expect("run")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rand_improved);
+criterion_main!(benches);

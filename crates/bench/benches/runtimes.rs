@@ -1,0 +1,26 @@
+//! Criterion bench for experiment E12: sequential vs channel-based
+//! parallel runtime on the same protocol (identical results, different
+//! wall-clock).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use congest::SimConfig;
+
+fn bench_runtimes(c: &mut Criterion) {
+    let g = graphs::gen::random_regular(1000, 10, 4);
+    let proto = d2core::rand::trials::RandomTrials::new(101, 20);
+    let cfg = SimConfig::seeded(4);
+    let mut group = c.benchmark_group("runtimes");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| congest::run(&g, &proto, &cfg).expect("seq"));
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_function(format!("parallel-{threads}"), |b| {
+            b.iter(|| congest::run_parallel(&g, &proto, &cfg, threads).expect("par"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtimes);
+criterion_main!(benches);

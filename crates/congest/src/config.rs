@@ -1,0 +1,122 @@
+//! Simulation configuration.
+
+/// How `O(log n)`-bit identifiers are assigned to node indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdAssignment {
+    /// `ident = index`. Simplest; adequate for most experiments.
+    Sequential,
+    /// `ident` is a pseudorandom permutation of `0..n` derived from the run
+    /// seed. Removes any accidental correlation between topology generation
+    /// order and identifier order (Linial-style algorithms are sensitive to
+    /// adversarial ID placement).
+    Permuted,
+}
+
+/// Configuration for a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Root seed; all node RNG streams derive from it.
+    pub seed: u64,
+    /// Extra salt mixed into node RNG streams but **not** into identifier
+    /// assignment. Multi-phase drivers bump this per phase so that phases
+    /// draw fresh randomness while the network's identifiers stay fixed.
+    pub rng_salt: u64,
+    /// Bandwidth budget per message: `bandwidth_factor · ⌈log₂ n⌉` bits,
+    /// but never below `min_bandwidth_bits`. The CONGEST model allows
+    /// `O(log n)`; the factor pins the constant.
+    pub bandwidth_factor: u64,
+    /// Floor for the per-message budget (keeps tiny test graphs usable).
+    pub min_bandwidth_bits: u64,
+    /// If `true`, a bandwidth violation aborts the run with
+    /// [`SimError::Bandwidth`](crate::SimError); otherwise violations are
+    /// only counted in [`Metrics`](crate::Metrics).
+    pub strict_bandwidth: bool,
+    /// Hard cutoff to catch livelocks; exceeding it is an error.
+    pub max_rounds: u64,
+    /// Identifier assignment policy.
+    pub ids: IdAssignment,
+}
+
+impl SimConfig {
+    /// A config with the given seed and library defaults otherwise.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        SimConfig { seed, ..SimConfig::default() }
+    }
+
+    /// The per-message budget in bits for a network of `n` nodes.
+    #[must_use]
+    pub fn bandwidth_bits(&self, n: usize) -> u64 {
+        (self.bandwidth_factor * graphs::id_bits(n)).max(self.min_bandwidth_bits)
+    }
+
+    /// Returns `self` with strict bandwidth enforcement enabled.
+    #[must_use]
+    pub fn strict(mut self) -> Self {
+        self.strict_bandwidth = true;
+        self
+    }
+
+    /// Returns `self` with the round cutoff replaced.
+    #[must_use]
+    pub fn with_max_rounds(mut self, r: u64) -> Self {
+        self.max_rounds = r;
+        self
+    }
+
+    /// Returns `self` with the RNG salt replaced (fresh per-phase streams).
+    #[must_use]
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.rng_salt = salt;
+        self
+    }
+
+    /// The effective seed for node RNG streams.
+    #[must_use]
+    pub(crate) fn rng_seed(&self) -> u64 {
+        self.seed
+            .wrapping_add(self.rng_salt.wrapping_mul(0x2545_F491_4F6C_DD1D))
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xD15C0,
+            rng_salt: 0,
+            // Generous constant: single messages in the paper's protocols
+            // carry up to two identifiers, a color, and a tag.
+            bandwidth_factor: 8,
+            min_bandwidth_bits: 64,
+            strict_bandwidth: false,
+            max_rounds: 5_000_000,
+            ids: IdAssignment::Permuted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_budget_scales_with_n() {
+        let c = SimConfig { bandwidth_factor: 4, min_bandwidth_bits: 0, ..SimConfig::default() };
+        assert_eq!(c.bandwidth_bits(1024), 40);
+        assert_eq!(c.bandwidth_bits(1 << 20), 80);
+    }
+
+    #[test]
+    fn bandwidth_floor_applies() {
+        let c = SimConfig::default();
+        assert_eq!(c.bandwidth_bits(4), 64);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = SimConfig::seeded(7).strict().with_max_rounds(10);
+        assert_eq!(c.seed, 7);
+        assert!(c.strict_bandwidth);
+        assert_eq!(c.max_rounds, 10);
+    }
+}

@@ -1,0 +1,79 @@
+//! A synchronous CONGEST-model network simulator.
+//!
+//! The CONGEST model [Peleg 2000] is a synchronous message-passing model:
+//! the input graph *is* the communication network, every node has a unique
+//! `O(log n)`-bit identifier, and in each round every node may send one
+//! message of at most `O(log n)` bits across each incident edge.
+//!
+//! This crate enforces the model mechanically:
+//!
+//! * **one message per directed edge per round** — the [`Outbox`] rejects a
+//!   second send on the same port;
+//! * **bandwidth accounting in bits** — every [`Message`] reports its size,
+//!   and the engine records the maximum and counts violations of the
+//!   `O(log n)` budget (or aborts, in strict mode);
+//! * **locality** — a node program ([`Protocol`]) sees only its own state,
+//!   its [`NodeCtx`] (ID, neighbor IDs by port, `n`, `∆`), its private RNG
+//!   stream, and the current inbox.
+//!
+//! Two interchangeable runtimes execute protocols: a deterministic
+//! [`SequentialRuntime`] and a [`ParallelRuntime`] that shards nodes over
+//! worker threads and moves cross-shard messages through `crossbeam`
+//! channels. Both produce bit-identical results for the same seed, which is
+//! asserted by tests (experiment E12).
+//!
+//! # Example
+//!
+//! ```
+//! use congest::{Protocol, NodeCtx, NodeRng, Inbox, Outbox, Status, SimConfig, run};
+//!
+//! /// Every node learns the minimum identifier among its neighbors.
+//! struct MinNeighbor;
+//!
+//! #[derive(Debug, Clone)]
+//! struct St { min_seen: u64 }
+//!
+//! impl Protocol for MinNeighbor {
+//!     type State = St;
+//!     type Msg = u64;
+//!     fn init(&self, ctx: &NodeCtx, _rng: &mut NodeRng) -> St {
+//!         St { min_seen: ctx.ident }
+//!     }
+//!     fn round(&self, st: &mut St, ctx: &NodeCtx, _rng: &mut NodeRng,
+//!              inbox: &Inbox<u64>, out: &mut Outbox<u64>) -> Status {
+//!         if ctx.round == 0 {
+//!             out.broadcast(ctx.ident);
+//!             return Status::Running;
+//!         }
+//!         for &(_, id) in inbox.iter() {
+//!             st.min_seen = st.min_seen.min(id);
+//!         }
+//!         Status::Done
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), congest::SimError> {
+//! let g = graphs::gen::cycle(5);
+//! let result = run(&g, &MinNeighbor, &SimConfig::default())?;
+//! assert_eq!(result.metrics.rounds, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod message;
+mod metrics;
+mod node;
+mod outbox;
+mod protocol;
+pub mod runtime;
+
+pub use config::{IdAssignment, SimConfig};
+pub use message::{BitCost, Message};
+pub use metrics::Metrics;
+pub use node::{NodeCtx, NodeRng, Port};
+pub use outbox::{Inbox, Outbox};
+pub use protocol::{Protocol, Status};
+pub use runtime::{
+    assigned_idents, run, run_parallel, ParallelRuntime, RunResult, SequentialRuntime, SimError,
+};

@@ -1,0 +1,92 @@
+//! Message trait and bit-cost helpers.
+
+/// A CONGEST message. Implementations must report their encoded size in
+/// bits so the engine can enforce the `O(log n)` bandwidth budget.
+///
+/// The size should reflect a reasonable wire encoding of the *semantic*
+/// content (IDs cost `⌈log₂ n⌉` bits, colors `⌈log₂ palette⌉` bits, a tag
+/// discriminating `k` variants costs `⌈log₂ k⌉` bits), not Rust's in-memory
+/// layout.
+pub trait Message: Clone + Send + std::fmt::Debug + 'static {
+    /// Encoded size in bits.
+    fn bits(&self) -> u64;
+}
+
+/// Raw integers are occasionally convenient as messages (identifiers in
+/// toy protocols and tests); they are charged their value's binary length.
+impl Message for u64 {
+    fn bits(&self) -> u64 {
+        BitCost::uint(*self)
+    }
+}
+
+impl Message for u32 {
+    fn bits(&self) -> u64 {
+        BitCost::uint(u64::from(*self))
+    }
+}
+
+impl Message for () {
+    fn bits(&self) -> u64 {
+        1
+    }
+}
+
+/// Helpers for computing semantic wire sizes of message fields.
+#[derive(Debug, Clone, Copy)]
+pub struct BitCost;
+
+impl BitCost {
+    /// Bits to write an identifier drawn from a space of `n` values.
+    #[must_use]
+    pub fn id(n: usize) -> u64 {
+        graphs::id_bits(n)
+    }
+
+    /// Bits to write a color from a palette of `k` colors.
+    #[must_use]
+    pub fn color(k: u64) -> u64 {
+        graphs::ceil_log2(k.max(2))
+    }
+
+    /// Bits to write the value `x` itself (binary length, at least 1).
+    #[must_use]
+    pub fn uint(x: u64) -> u64 {
+        (64 - x.leading_zeros() as u64).max(1)
+    }
+
+    /// Bits for a variant tag distinguishing `k` message kinds.
+    #[must_use]
+    pub fn tag(k: u64) -> u64 {
+        graphs::ceil_log2(k.max(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_cost_is_binary_length() {
+        assert_eq!(BitCost::uint(0), 1);
+        assert_eq!(BitCost::uint(1), 1);
+        assert_eq!(BitCost::uint(2), 2);
+        assert_eq!(BitCost::uint(255), 8);
+        assert_eq!(BitCost::uint(256), 9);
+    }
+
+    #[test]
+    fn id_and_color_costs() {
+        assert_eq!(BitCost::id(1024), 10);
+        assert_eq!(BitCost::color(100), 7);
+        assert_eq!(BitCost::color(1), 1, "a 1-color palette still costs a bit");
+        assert_eq!(BitCost::tag(6), 3);
+    }
+
+    #[test]
+    fn primitive_messages_report_bits() {
+        assert_eq!(Message::bits(&7u64), 3);
+        assert_eq!(Message::bits(&7u32), 3);
+        assert_eq!(Message::bits(&()), 1);
+    }
+}

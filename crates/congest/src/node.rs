@@ -1,0 +1,88 @@
+//! Per-node context: what a CONGEST node is allowed to know.
+
+use rand_chacha::ChaCha8Rng;
+
+/// Port number: index into a node's incident-edge list. CONGEST nodes
+/// address messages by port, not by global name.
+pub type Port = u32;
+
+/// The private random stream of one node. Seeded from the run seed and the
+/// node index, so executions are reproducible and runtime-independent.
+pub type NodeRng = ChaCha8Rng;
+
+/// Everything a node knows a priori, plus the current round number.
+///
+/// This is the *knowledge model* of the simulation: standard KT₁-style
+/// initial knowledge (own ID, neighbor IDs by port) plus the global
+/// parameters `n` and `∆` that the paper's algorithms assume
+/// ("We assume ∆ is known to the nodes", §2.6).
+#[derive(Debug, Clone)]
+pub struct NodeCtx {
+    /// Simulator index in `0..n`. Used to index per-node inputs/outputs in
+    /// drivers; protocols must break symmetry with [`NodeCtx::ident`], never
+    /// with `index` (identifiers are the model-sanctioned names).
+    pub index: u32,
+    /// The node's unique `O(log n)`-bit identifier.
+    pub ident: u64,
+    /// Number of nodes in the network.
+    pub n: usize,
+    /// Maximum degree `∆` of the network.
+    pub max_degree: usize,
+    /// Identifier of the neighbor on each port (`degree` entries).
+    pub neighbor_idents: Vec<u64>,
+    /// Current round number (0-based), maintained by the engine.
+    pub round: u64,
+}
+
+impl NodeCtx {
+    /// Degree of this node.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.neighbor_idents.len()
+    }
+
+    /// `∆²`, the palette bound parameter of the paper (max degree of `G²`).
+    #[must_use]
+    pub fn delta_sq(&self) -> usize {
+        self.max_degree * self.max_degree
+    }
+
+    /// Port of the neighbor with identifier `ident`, if any. `O(degree)`.
+    #[must_use]
+    pub fn port_of_ident(&self, ident: u64) -> Option<Port> {
+        self.neighbor_idents
+            .iter()
+            .position(|&x| x == ident)
+            .map(|p| p as Port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> NodeCtx {
+        NodeCtx {
+            index: 3,
+            ident: 42,
+            n: 10,
+            max_degree: 4,
+            neighbor_idents: vec![7, 9, 11],
+            round: 0,
+        }
+    }
+
+    #[test]
+    fn degree_and_delta_sq() {
+        let c = ctx();
+        assert_eq!(c.degree(), 3);
+        assert_eq!(c.delta_sq(), 16);
+    }
+
+    #[test]
+    fn port_lookup() {
+        let c = ctx();
+        assert_eq!(c.port_of_ident(9), Some(1));
+        assert_eq!(c.port_of_ident(8), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! The node-program trait.
+
+use crate::{Inbox, Message, NodeCtx, NodeRng, Outbox};
+
+/// Vote returned by a node each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The node still has work (or is relaying for others).
+    Running,
+    /// The node votes to terminate. The run ends in the first round where
+    /// *every* node votes `Done`; messages staged in that final round are
+    /// discarded. A node may keep voting `Done` and later resume activity
+    /// if woken by a message — only unanimous votes stop the clock.
+    Done,
+}
+
+/// A CONGEST node program, instantiated identically at every node.
+///
+/// The same `Protocol` value is shared (read-only) by all nodes; per-node
+/// mutable data lives in `State`. Everything a node may consult is in its
+/// arguments — the compiler enforces locality.
+pub trait Protocol: Sync {
+    /// Per-node mutable state.
+    type State: Send;
+    /// Message type exchanged by this protocol.
+    type Msg: Message;
+
+    /// Builds node-local state before round 0. May read per-node *input*
+    /// from the protocol value (indexed by `ctx.index`) — this is how phased
+    /// drivers hand the previous phase's local results to the next phase.
+    fn init(&self, ctx: &NodeCtx, rng: &mut NodeRng) -> Self::State;
+
+    /// Executes one synchronous round: consume `inbox` (messages sent in the
+    /// previous round), update state, stage outgoing messages in `out`.
+    fn round(
+        &self,
+        state: &mut Self::State,
+        ctx: &NodeCtx,
+        rng: &mut NodeRng,
+        inbox: &Inbox<Self::Msg>,
+        out: &mut Outbox<Self::Msg>,
+    ) -> Status;
+}

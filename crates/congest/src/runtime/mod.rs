@@ -1,0 +1,215 @@
+//! Execution engines for [`Protocol`]s.
+
+mod parallel;
+mod sequential;
+
+pub use parallel::ParallelRuntime;
+pub use sequential::SequentialRuntime;
+
+use crate::{IdAssignment, Metrics, NodeCtx, NodeRng, Port, Protocol, SimConfig};
+use graphs::Graph;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Result of a completed run: final per-node states plus metrics.
+#[derive(Debug)]
+pub struct RunResult<S> {
+    /// Final protocol state of each node, indexed by node index.
+    pub states: Vec<S>,
+    /// Aggregated measurements.
+    pub metrics: Metrics,
+}
+
+/// Errors aborting a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The protocol did not terminate within `max_rounds`.
+    RoundLimitExceeded {
+        /// The configured limit that was hit.
+        limit: u64,
+    },
+    /// A message exceeded the bandwidth budget while `strict_bandwidth` was
+    /// set.
+    Bandwidth {
+        /// Round in which the violation occurred.
+        round: u64,
+        /// Size of the offending message.
+        bits: u64,
+        /// The budget it exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "protocol did not terminate within {limit} rounds")
+            }
+            SimError::Bandwidth { round, bits, limit } => {
+                write!(f, "message of {bits} bits exceeded the {limit}-bit budget in round {round}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Runs `protocol` on `graph` with the deterministic sequential runtime.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on round-limit exhaustion, or on bandwidth
+/// violations in strict mode.
+pub fn run<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    config: &SimConfig,
+) -> Result<RunResult<P::State>, SimError> {
+    SequentialRuntime.execute(graph, protocol, config)
+}
+
+/// Runs `protocol` with the channel-based parallel runtime on
+/// `threads` worker threads (0 = number of available CPUs).
+///
+/// # Errors
+///
+/// Returns [`SimError`] on round-limit exhaustion, or on bandwidth
+/// violations in strict mode.
+pub fn run_parallel<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    config: &SimConfig,
+    threads: usize,
+) -> Result<RunResult<P::State>, SimError> {
+    ParallelRuntime::new(threads).execute(graph, protocol, config)
+}
+
+/// The identifier assignment a run with `config` would use — what each
+/// node sees as `ctx.ident`. Public so that phase drivers can precompute
+/// schedules that depend only on information the nodes already possess
+/// locally (e.g. ident-ordered turn-taking inside decomposition clusters).
+#[must_use]
+pub fn assigned_idents(graph: &Graph, config: &SimConfig) -> Vec<u64> {
+    build_contexts(graph, config).into_iter().map(|c| c.ident).collect()
+}
+
+/// Derives the private RNG stream of node `index` for run seed `seed`.
+pub(crate) fn node_rng(seed: u64, index: u32) -> NodeRng {
+    // SplitMix64 mixing decorrelates adjacent node indices.
+    let mut z = seed ^ (u64::from(index).wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ChaCha8Rng::seed_from_u64(z)
+}
+
+/// Assigns identifiers and builds each node's [`NodeCtx`].
+pub(crate) fn build_contexts(graph: &Graph, config: &SimConfig) -> Vec<NodeCtx> {
+    let n = graph.n();
+    let idents: Vec<u64> = match config.ids {
+        IdAssignment::Sequential => (0..n as u64).collect(),
+        IdAssignment::Permuted => {
+            let mut ids: Vec<u64> = (0..n as u64).collect();
+            let mut r = ChaCha8Rng::seed_from_u64(config.seed.wrapping_mul(0xA24B_AED4_963E_E407));
+            ids.shuffle(&mut r);
+            ids
+        }
+    };
+    let max_degree = graph.max_degree();
+    (0..n)
+        .map(|v| NodeCtx {
+            index: v as u32,
+            ident: idents[v],
+            n,
+            max_degree,
+            neighbor_idents: graph
+                .neighbors(v as u32)
+                .iter()
+                .map(|&u| idents[u as usize])
+                .collect(),
+            round: 0,
+        })
+        .collect()
+}
+
+/// For each node and port, the arrival port at the other endpoint:
+/// `rev[u][p]` is the port of `u` on `neighbors(u)[p]`.
+pub(crate) fn build_reverse_ports(graph: &Graph) -> Vec<Vec<Port>> {
+    (0..graph.n() as u32)
+        .map(|u| {
+            graph
+                .neighbors(u)
+                .iter()
+                .map(|&v| {
+                    graph
+                        .port_of(v, u)
+                        .expect("undirected graph: reverse edge exists") as Port
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen;
+
+    #[test]
+    fn contexts_have_unique_idents_and_correct_ports() {
+        let g = gen::cycle(6);
+        let cfg = SimConfig::default();
+        let ctxs = build_contexts(&g, &cfg);
+        let mut ids: Vec<u64> = ctxs.iter().map(|c| c.ident).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 6, "identifiers must be unique");
+        for (v, c) in ctxs.iter().enumerate() {
+            assert_eq!(c.degree(), 2);
+            for (p, &nid) in c.neighbor_idents.iter().enumerate() {
+                let u = g.neighbors(v as u32)[p];
+                assert_eq!(ctxs[u as usize].ident, nid);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_ids_are_indices() {
+        let g = gen::path(4);
+        let cfg = SimConfig { ids: IdAssignment::Sequential, ..SimConfig::default() };
+        let ctxs = build_contexts(&g, &cfg);
+        assert!(ctxs.iter().enumerate().all(|(i, c)| c.ident == i as u64));
+    }
+
+    #[test]
+    fn reverse_ports_roundtrip() {
+        let g = gen::gnp_capped(40, 0.2, 8, 1);
+        let rev = build_reverse_ports(&g);
+        for u in 0..g.n() as u32 {
+            for (p, &v) in g.neighbors(u).iter().enumerate() {
+                let back = rev[u as usize][p] as usize;
+                assert_eq!(g.neighbors(v)[back], u);
+            }
+        }
+    }
+
+    #[test]
+    fn node_rng_streams_differ() {
+        use rand::RngCore;
+        let a = node_rng(1, 0).next_u64();
+        let b = node_rng(1, 1).next_u64();
+        let a2 = node_rng(1, 0).next_u64();
+        assert_ne!(a, b);
+        assert_eq!(a, a2, "same (seed, index) must reproduce");
+    }
+
+    #[test]
+    fn sim_error_display() {
+        let e = SimError::RoundLimitExceeded { limit: 5 };
+        assert!(e.to_string().contains('5'));
+        let b = SimError::Bandwidth { round: 1, bits: 99, limit: 64 };
+        assert!(b.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Channel-based parallel runtime.
+//!
+//! Nodes are sharded over worker threads. Within a round, each worker steps
+//! its own nodes; messages crossing shard boundaries travel through
+//! `crossbeam` channels (one channel per destination shard). Two barriers
+//! per round keep the system synchronous — exactly the lockstep semantics
+//! of the CONGEST model, now with real inter-thread message passing.
+//!
+//! Determinism: per-node RNG streams depend only on `(seed, index)`, and
+//! inboxes are sorted by port before delivery, so the observable behavior
+//! is bit-identical to [`SequentialRuntime`](super::SequentialRuntime)
+//! regardless of thread interleaving (asserted by tests and experiment E12).
+
+use super::{build_contexts, build_reverse_ports, node_rng, RunResult, SimError};
+use crate::{Inbox, Message, Metrics, NodeCtx, Outbox, Port, Protocol, SimConfig, Status};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use graphs::Graph;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Multi-threaded engine with crossbeam-channel message transport.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelRuntime {
+    threads: usize,
+}
+
+impl Default for ParallelRuntime {
+    fn default() -> Self {
+        ParallelRuntime::new(0)
+    }
+}
+
+impl ParallelRuntime {
+    /// Creates a runtime with the given worker-thread count
+    /// (0 = available parallelism).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(4, usize::from)
+        } else {
+            threads
+        };
+        ParallelRuntime { threads }
+    }
+
+    /// Runs `protocol` to unanimous [`Status::Done`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimitExceeded`] if the protocol does not
+    /// terminate, or [`SimError::Bandwidth`] in strict mode.
+    pub fn execute<P: Protocol>(
+        &self,
+        graph: &Graph,
+        protocol: &P,
+        config: &SimConfig,
+    ) -> Result<RunResult<P::State>, SimError> {
+        let n = graph.n();
+        let budget = config.bandwidth_bits(n);
+        if n == 0 {
+            return Ok(RunResult {
+                states: Vec::new(),
+                metrics: Metrics { bandwidth_bits: budget, ..Metrics::default() },
+            });
+        }
+        let t = self.threads.min(n).max(1);
+        let chunk = n.div_ceil(t);
+        let shard_of = |v: usize| (v / chunk).min(t - 1);
+
+        let mut ctxs = build_contexts(graph, config);
+        let rev = build_reverse_ports(graph);
+
+        // One channel per destination shard; payload = (dest index, arrival port, msg).
+        let mut senders: Vec<Sender<(u32, Port, P::Msg)>> = Vec::with_capacity(t);
+        let mut receivers: Vec<Receiver<(u32, Port, P::Msg)>> = Vec::with_capacity(t);
+        for _ in 0..t {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+
+        let barrier = Barrier::new(t);
+        let done_counts = [AtomicU64::new(0), AtomicU64::new(0)];
+        let abort = AtomicBool::new(false);
+        let first_error: Mutex<Option<SimError>> = Mutex::new(None);
+        let global_metrics: Mutex<Metrics> =
+            Mutex::new(Metrics { bandwidth_bits: budget, ..Metrics::default() });
+        let out_states: Mutex<Vec<(usize, Vec<P::State>)>> = Mutex::new(Vec::new());
+
+        // Disjoint mutable context slices, one per shard.
+        let mut ctx_chunks: Vec<&mut [NodeCtx]> = ctxs.chunks_mut(chunk).collect();
+        while ctx_chunks.len() < t {
+            ctx_chunks.push(&mut []);
+        }
+
+        std::thread::scope(|scope| {
+            for (shard, ctx_slice) in ctx_chunks.into_iter().enumerate() {
+                let start = shard * chunk;
+                let senders = senders.clone();
+                let receiver = receivers[shard].clone();
+                let barrier = &barrier;
+                let done_counts = &done_counts;
+                let abort = &abort;
+                let first_error = &first_error;
+                let global_metrics = &global_metrics;
+                let out_states = &out_states;
+                let rev = &rev;
+                scope.spawn(move || {
+                    let local_n = ctx_slice.len();
+                    let mut rngs: Vec<_> = (0..local_n)
+                        .map(|i| node_rng(config.rng_seed(), (start + i) as u32))
+                        .collect();
+                    let mut states: Vec<P::State> = ctx_slice
+                        .iter()
+                        .zip(rngs.iter_mut())
+                        .map(|(c, r)| protocol.init(c, r))
+                        .collect();
+                    let mut cur: Vec<Inbox<P::Msg>> =
+                        (0..local_n).map(|_| Inbox::new()).collect();
+                    let mut next: Vec<Inbox<P::Msg>> =
+                        (0..local_n).map(|_| Inbox::new()).collect();
+                    let mut out: Outbox<P::Msg> = Outbox::new(0);
+                    let mut metrics = Metrics { bandwidth_bits: budget, ..Metrics::default() };
+
+                    let mut finished_ok = false;
+                    for round in 0..config.max_rounds {
+                        // ---- Phase A: step local nodes, route messages.
+                        let mut local_done = 0u64;
+                        for i in 0..local_n {
+                            let v = start + i;
+                            ctx_slice[i].round = round;
+                            out.reset(ctx_slice[i].degree());
+                            let status = protocol.round(
+                                &mut states[i],
+                                &ctx_slice[i],
+                                &mut rngs[i],
+                                &cur[i],
+                                &mut out,
+                            );
+                            if status == Status::Done {
+                                local_done += 1;
+                            }
+                            for (port, msg) in out.drain() {
+                                let bits = msg.bits();
+                                metrics.record_message(bits, budget);
+                                if config.strict_bandwidth && bits > budget {
+                                    let mut e = first_error.lock();
+                                    if e.is_none() {
+                                        *e = Some(SimError::Bandwidth {
+                                            round,
+                                            bits,
+                                            limit: budget,
+                                        });
+                                    }
+                                    abort.store(true, Ordering::SeqCst);
+                                }
+                                let dest =
+                                    graph.neighbors(v as u32)[port as usize] as usize;
+                                let arrival = rev[v][port as usize];
+                                let ds = shard_of(dest);
+                                if ds == shard {
+                                    next[dest - start].push(arrival, msg);
+                                } else {
+                                    senders[ds]
+                                        .send((dest as u32, arrival, msg))
+                                        .expect("receiver lives for the whole scope");
+                                }
+                            }
+                        }
+                        done_counts[(round % 2) as usize]
+                            .fetch_add(local_done, Ordering::SeqCst);
+                        barrier.wait();
+
+                        // ---- Phase B: deliver cross-shard messages, rotate inboxes.
+                        for (dest, port, msg) in receiver.try_iter() {
+                            next[dest as usize - start].push(port, msg);
+                        }
+                        for inbox in &mut cur {
+                            inbox.clear();
+                        }
+                        std::mem::swap(&mut cur, &mut next);
+                        for inbox in &mut cur {
+                            inbox.finalize();
+                        }
+                        metrics.rounds = round + 1;
+                        let all_done =
+                            done_counts[(round % 2) as usize].load(Ordering::SeqCst) == n as u64;
+                        let aborted = abort.load(Ordering::SeqCst);
+                        if shard == 0 {
+                            done_counts[((round + 1) % 2) as usize].store(0, Ordering::SeqCst);
+                        }
+                        barrier.wait();
+                        if aborted {
+                            break;
+                        }
+                        if all_done {
+                            finished_ok = true;
+                            break;
+                        }
+                    }
+                    if !finished_ok && !abort.load(Ordering::SeqCst) {
+                        let mut e = first_error.lock();
+                        if e.is_none() {
+                            *e = Some(SimError::RoundLimitExceeded { limit: config.max_rounds });
+                        }
+                    }
+                    // Only shard 0 reports the round count (identical everywhere).
+                    if shard != 0 {
+                        metrics.rounds = 0;
+                    }
+                    global_metrics.lock().absorb(&metrics);
+                    out_states.lock().push((start, states));
+                });
+            }
+        });
+
+        if let Some(err) = first_error.into_inner() {
+            return Err(err);
+        }
+        let mut shards = out_states.into_inner();
+        shards.sort_by_key(|&(s, _)| s);
+        let states: Vec<P::State> = shards.into_iter().flat_map(|(_, v)| v).collect();
+        let mut metrics = global_metrics.into_inner();
+        metrics.bandwidth_bits = budget;
+        Ok(RunResult { states, metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeRng;
+    use graphs::gen;
+    use rand::Rng;
+
+    /// Randomized gossip: each node repeatedly sends a random value to a
+    /// random neighbor and tracks the sum of everything it received.
+    /// Exercises RNG determinism and cross-shard delivery.
+    struct Gossip {
+        rounds: u64,
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct GossipState {
+        sum: u64,
+    }
+
+    impl Protocol for Gossip {
+        type State = GossipState;
+        type Msg = u64;
+        fn init(&self, _: &NodeCtx, _: &mut NodeRng) -> GossipState {
+            GossipState { sum: 0 }
+        }
+        fn round(
+            &self,
+            st: &mut GossipState,
+            ctx: &NodeCtx,
+            rng: &mut NodeRng,
+            inbox: &Inbox<u64>,
+            out: &mut Outbox<u64>,
+        ) -> Status {
+            for &(p, x) in inbox {
+                st.sum = st.sum.wrapping_add(x.wrapping_mul(u64::from(p) + 1));
+            }
+            if ctx.round < self.rounds && ctx.degree() > 0 {
+                let port = rng.gen_range(0..ctx.degree()) as Port;
+                out.send(port, rng.gen_range(0..1000));
+                Status::Running
+            } else if ctx.round < self.rounds {
+                Status::Running
+            } else {
+                Status::Done
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random_graph() {
+        let g = gen::gnp_capped(150, 0.08, 10, 77);
+        let cfg = SimConfig::seeded(123);
+        let p = Gossip { rounds: 25 };
+        let seq = super::super::run(&g, &p, &cfg).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let par = ParallelRuntime::new(threads).execute(&g, &p, &cfg).unwrap();
+            assert_eq!(
+                seq.states.iter().map(|s| s.sum).collect::<Vec<_>>(),
+                par.states.iter().map(|s| s.sum).collect::<Vec<_>>(),
+                "mismatch with {threads} threads"
+            );
+            assert_eq!(seq.metrics.rounds, par.metrics.rounds);
+            assert_eq!(seq.metrics.messages, par.metrics.messages);
+            assert_eq!(seq.metrics.total_bits, par.metrics.total_bits);
+        }
+    }
+
+    #[test]
+    fn parallel_round_limit() {
+        struct Forever;
+        impl Protocol for Forever {
+            type State = ();
+            type Msg = ();
+            fn init(&self, _: &NodeCtx, _: &mut NodeRng) {}
+            fn round(
+                &self,
+                _: &mut (),
+                _: &NodeCtx,
+                _: &mut NodeRng,
+                _: &Inbox<()>,
+                _: &mut Outbox<()>,
+            ) -> Status {
+                Status::Running
+            }
+        }
+        let g = gen::cycle(12);
+        let err = ParallelRuntime::new(3)
+            .execute(&g, &Forever, &SimConfig::default().with_max_rounds(5))
+            .unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 5 });
+    }
+
+    #[test]
+    fn parallel_empty_graph() {
+        let g = gen::empty(0);
+        let res = ParallelRuntime::new(4)
+            .execute(&g, &Gossip { rounds: 3 }, &SimConfig::default())
+            .unwrap();
+        assert!(res.states.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_nodes() {
+        let g = gen::path(3);
+        let p = Gossip { rounds: 5 };
+        let cfg = SimConfig::seeded(5);
+        let seq = super::super::run(&g, &p, &cfg).unwrap();
+        let par = ParallelRuntime::new(64).execute(&g, &p, &cfg).unwrap();
+        assert_eq!(
+            seq.states.iter().map(|s| s.sum).collect::<Vec<_>>(),
+            par.states.iter().map(|s| s.sum).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Deterministic single-threaded runtime.
+
+use super::{build_contexts, build_reverse_ports, node_rng, RunResult, SimError};
+use crate::{Inbox, Message, Metrics, Outbox, Protocol, SimConfig, Status};
+use graphs::Graph;
+
+/// Single-threaded engine: nodes are stepped in index order each round.
+///
+/// This is the reference implementation; the parallel runtime is validated
+/// against it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialRuntime;
+
+impl SequentialRuntime {
+    /// Runs `protocol` to unanimous [`Status::Done`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimitExceeded`] if the protocol does not
+    /// terminate, or [`SimError::Bandwidth`] in strict mode.
+    pub fn execute<P: Protocol>(
+        &self,
+        graph: &Graph,
+        protocol: &P,
+        config: &SimConfig,
+    ) -> Result<RunResult<P::State>, SimError> {
+        let n = graph.n();
+        let budget = config.bandwidth_bits(n);
+        let mut metrics = Metrics { bandwidth_bits: budget, ..Metrics::default() };
+        let mut ctxs = build_contexts(graph, config);
+        let rev = build_reverse_ports(graph);
+        let mut rngs: Vec<_> = (0..n as u32).map(|v| node_rng(config.rng_seed(), v)).collect();
+        let mut states: Vec<P::State> = ctxs
+            .iter()
+            .zip(rngs.iter_mut())
+            .map(|(c, r)| protocol.init(c, r))
+            .collect();
+
+        let mut cur: Vec<Inbox<P::Msg>> = (0..n).map(|_| Inbox::new()).collect();
+        let mut next: Vec<Inbox<P::Msg>> = (0..n).map(|_| Inbox::new()).collect();
+        let mut out: Outbox<P::Msg> = Outbox::new(0);
+
+        if n == 0 {
+            return Ok(RunResult { states, metrics });
+        }
+
+        for round in 0..config.max_rounds {
+            let mut all_done = true;
+            for v in 0..n {
+                ctxs[v].round = round;
+                out.reset(graph.degree(v as u32));
+                let status =
+                    protocol.round(&mut states[v], &ctxs[v], &mut rngs[v], &cur[v], &mut out);
+                all_done &= status == Status::Done;
+                for (port, msg) in out.drain() {
+                    let bits = msg.bits();
+                    metrics.record_message(bits, budget);
+                    if config.strict_bandwidth && bits > budget {
+                        return Err(SimError::Bandwidth { round, bits, limit: budget });
+                    }
+                    let dest = graph.neighbors(v as u32)[port as usize] as usize;
+                    next[dest].push(rev[v][port as usize], msg);
+                }
+            }
+            metrics.rounds = round + 1;
+            for inbox in &mut cur {
+                inbox.clear();
+            }
+            std::mem::swap(&mut cur, &mut next);
+            for inbox in &mut cur {
+                inbox.finalize();
+            }
+            if all_done {
+                return Ok(RunResult { states, metrics });
+            }
+        }
+        Err(SimError::RoundLimitExceeded { limit: config.max_rounds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeCtx, NodeRng};
+    use graphs::gen;
+
+    /// Flood the maximum identifier: classic O(diameter) protocol.
+    struct MaxFlood;
+
+    #[derive(Debug, Clone)]
+    struct FloodState {
+        best: u64,
+        changed: bool,
+    }
+
+    impl Protocol for MaxFlood {
+        type State = FloodState;
+        type Msg = u64;
+        fn init(&self, ctx: &NodeCtx, _rng: &mut NodeRng) -> FloodState {
+            FloodState { best: ctx.ident, changed: true }
+        }
+        fn round(
+            &self,
+            st: &mut FloodState,
+            _ctx: &NodeCtx,
+            _rng: &mut NodeRng,
+            inbox: &Inbox<u64>,
+            out: &mut Outbox<u64>,
+        ) -> Status {
+            for &(_, id) in inbox {
+                if id > st.best {
+                    st.best = id;
+                    st.changed = true;
+                }
+            }
+            if st.changed {
+                st.changed = false;
+                out.broadcast(st.best);
+                Status::Running
+            } else {
+                Status::Done
+            }
+        }
+    }
+
+    #[test]
+    fn flood_converges_to_global_max_on_path() {
+        let g = gen::path(16);
+        let res = SequentialRuntime
+            .execute(&g, &MaxFlood, &SimConfig::default())
+            .unwrap();
+        assert!(res.states.iter().all(|s| s.best == 15));
+        // The max must travel the diameter; rounds is Θ(n) on a path.
+        assert!(res.metrics.rounds >= 15, "rounds = {}", res.metrics.rounds);
+        assert!(res.metrics.is_congest_compliant());
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        /// A protocol that never terminates.
+        struct Forever;
+        impl Protocol for Forever {
+            type State = ();
+            type Msg = ();
+            fn init(&self, _: &NodeCtx, _: &mut NodeRng) {}
+            fn round(
+                &self,
+                _: &mut (),
+                _: &NodeCtx,
+                _: &mut NodeRng,
+                _: &Inbox<()>,
+                _: &mut Outbox<()>,
+            ) -> Status {
+                Status::Running
+            }
+        }
+        let g = gen::path(3);
+        let err = SequentialRuntime
+            .execute(&g, &Forever, &SimConfig::default().with_max_rounds(10))
+            .unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn strict_bandwidth_aborts() {
+        /// Sends one absurdly large message.
+        struct Fat;
+        #[derive(Debug, Clone)]
+        struct Huge;
+        impl Message for Huge {
+            fn bits(&self) -> u64 {
+                1 << 20
+            }
+        }
+        impl Protocol for Fat {
+            type State = ();
+            type Msg = Huge;
+            fn init(&self, _: &NodeCtx, _: &mut NodeRng) {}
+            fn round(
+                &self,
+                _: &mut (),
+                ctx: &NodeCtx,
+                _: &mut NodeRng,
+                _: &Inbox<Huge>,
+                out: &mut Outbox<Huge>,
+            ) -> Status {
+                if ctx.round == 0 {
+                    out.broadcast(Huge);
+                    Status::Running
+                } else {
+                    Status::Done
+                }
+            }
+        }
+        let g = gen::path(3);
+        let err = SequentialRuntime
+            .execute(&g, &Fat, &SimConfig::default().strict())
+            .unwrap_err();
+        match err {
+            SimError::Bandwidth { bits, .. } => assert_eq!(bits, 1 << 20),
+            other => panic!("expected bandwidth error, got {other:?}"),
+        }
+        // Non-strict mode records instead of aborting.
+        let res = SequentialRuntime
+            .execute(&g, &Fat, &SimConfig::default())
+            .unwrap();
+        assert_eq!(res.metrics.bandwidth_violations, 4); // 2 inner edges × 2 endpoints... path(3) has 2 edges = 4 directed
+        assert!(!res.metrics.is_congest_compliant());
+    }
+
+    #[test]
+    fn empty_graph_terminates_immediately() {
+        let g = gen::empty(0);
+        let res = SequentialRuntime
+            .execute(&g, &MaxFlood, &SimConfig::default())
+            .unwrap();
+        assert_eq!(res.metrics.rounds, 0);
+        assert!(res.states.is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_run_and_finish() {
+        let g = gen::empty(5);
+        let res = SequentialRuntime
+            .execute(&g, &MaxFlood, &SimConfig::default())
+            .unwrap();
+        // Every node keeps its own ident (no one to talk to).
+        let mut bests: Vec<u64> = res.states.iter().map(|s| s.best).collect();
+        bests.sort_unstable();
+        assert_eq!(bests, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn message_metrics_counted() {
+        let g = gen::cycle(4);
+        let res = SequentialRuntime
+            .execute(&g, &MaxFlood, &SimConfig::default())
+            .unwrap();
+        assert!(res.metrics.messages > 0);
+        assert!(res.metrics.total_bits >= res.metrics.messages);
+        assert!(res.metrics.max_message_bits <= 3); // idents 0..3 fit in ≤2 bits, +min 1
+    }
+}

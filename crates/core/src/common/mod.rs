@@ -1,0 +1,63 @@
+//! Shared protocol infrastructure: the trial handshake, the phase driver,
+//! and small helpers used by both the randomized and the deterministic
+//! algorithm families.
+
+pub mod driver;
+pub mod trial;
+
+/// Sentinel for "this node has no color yet".
+pub const UNCOLORED: u32 = u32::MAX;
+
+/// Smallest prime `> x` (Bertrand: always `< 2x` for `x ≥ 1`).
+/// Used by the polynomial constructions of Theorems B.1 and B.4, where all
+/// nodes derive the same prime from the globally known `∆`.
+#[must_use]
+pub fn next_prime(x: u64) -> u64 {
+    let mut c = x + 1;
+    loop {
+        if is_prime(c) {
+            return c;
+        }
+        c += 1;
+    }
+}
+
+fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    if x % 2 == 0 {
+        return x == 2;
+    }
+    let mut d = 3;
+    while d * d <= x {
+        if x % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_prime_basics() {
+        assert_eq!(next_prime(1), 2);
+        assert_eq!(next_prime(2), 3);
+        assert_eq!(next_prime(3), 5);
+        assert_eq!(next_prime(10), 11);
+        assert_eq!(next_prime(13), 17);
+        assert_eq!(next_prime(100), 101);
+    }
+
+    #[test]
+    fn bertrand_holds_in_test_range() {
+        for x in 1..2000u64 {
+            let p = next_prime(x);
+            assert!(p > x && p < 2 * x + 2, "prime after {x} was {p}");
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The distance-2 **color trial** handshake.
+//!
+//! "A node `v` trying a color means that it sends the color to all its
+//! immediate neighbors, who then report back if they or any of their
+//! neighbors were using (or proposing) that color. If all answers are
+//! negative, then `v` adopts the color." (§2.2)
+//!
+//! The handshake is the paper's central safety device: because every
+//! adoption is vetted by all immediate neighbors — each of which knows the
+//! colors and same-round proposals of *its* immediate neighbors — no two
+//! nodes at distance ≤ 2 can ever adopt the same color, regardless of how
+//! any randomized phase performs. Validity is enforced by construction;
+//! randomness only affects speed.
+//!
+//! One trial cycle spans three engine rounds:
+//!
+//! | sub-round | action |
+//! |-----------|--------|
+//! | 0 | trying nodes broadcast `Try(c)`; newly colored nodes broadcast `Announce(c)` |
+//! | 1 | every node folds announcements into its neighbor-color table, then answers each `Try` with a `Verdict` |
+//! | 2 | trying nodes tally verdicts and adopt on unanimous approval |
+//!
+//! Both the randomized algorithms (initial phase, `Reduce` step 6,
+//! `FinishColoring`) and the deterministic locally-iterative algorithm
+//! (Theorem B.4) are built on this core.
+
+use crate::common::UNCOLORED;
+use congest::{BitCost, Message, Port};
+
+/// Messages of the trial handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialMsg {
+    /// "I propose to take this color; object if you must."
+    Try(u32),
+    /// "I have permanently adopted this color."
+    Announce(u32),
+    /// Reply to a `Try`: `true` = no conflict visible from here.
+    Verdict(bool),
+}
+
+impl Message for TrialMsg {
+    fn bits(&self) -> u64 {
+        match self {
+            TrialMsg::Try(c) | TrialMsg::Announce(c) => {
+                BitCost::tag(3) + BitCost::uint(u64::from(*c))
+            }
+            TrialMsg::Verdict(_) => BitCost::tag(3) + 1,
+        }
+    }
+}
+
+/// Result of one trial cycle for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// The node was not trying this cycle.
+    Idle,
+    /// The trial conflicted somewhere in the 2-neighborhood.
+    Failed,
+    /// The node adopted this color.
+    Adopted(u32),
+}
+
+/// Per-node state of the trial machinery: the node's color, its table of
+/// immediate-neighbor colors, and in-flight trial bookkeeping.
+///
+/// **Part scoping**: when nodes are partitioned (Theorems 3.4/1.3 color the
+/// parts `V₁, …, V_p` with disjoint palettes in parallel), conflicts only
+/// matter *within* a part. A scoped core knows its own part and the part of
+/// each neighbor, and its verdicts ignore cross-part collisions. The
+/// unscoped constructors put everyone in part 0.
+#[derive(Debug, Clone)]
+pub struct TrialCore {
+    color: u32,
+    nbr_colors: Vec<u32>,
+    part: u32,
+    nbr_parts: Vec<u32>,
+    /// Distance-1 mode: verdicts only flag the *verdict-giver's own*
+    /// color/candidate, since its other neighbors are at distance 2 from
+    /// the proposer and do not conflict in an ordinary coloring.
+    distance_one: bool,
+    trying: Option<u32>,
+    pending_announce: Option<u32>,
+    cycle_tries: Vec<(Port, u32)>,
+}
+
+impl TrialCore {
+    /// Fresh core for a node of the given degree (everyone in part 0).
+    #[must_use]
+    pub fn new(degree: usize) -> Self {
+        TrialCore::scoped(0, vec![0; degree], UNCOLORED, vec![UNCOLORED; degree])
+    }
+
+    /// Resumes with colors carried over from a previous protocol phase
+    /// (everyone in part 0).
+    #[must_use]
+    pub fn resume(color: u32, nbr_colors: Vec<u32>) -> Self {
+        let d = nbr_colors.len();
+        TrialCore::scoped(0, vec![0; d], color, nbr_colors)
+    }
+
+    /// Fully general constructor with part assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbr_parts` and `nbr_colors` lengths differ.
+    #[must_use]
+    pub fn scoped(part: u32, nbr_parts: Vec<u32>, color: u32, nbr_colors: Vec<u32>) -> Self {
+        assert_eq!(nbr_parts.len(), nbr_colors.len());
+        TrialCore {
+            color,
+            nbr_colors,
+            part,
+            nbr_parts,
+            distance_one: false,
+            trying: None,
+            pending_announce: None,
+            cycle_tries: Vec::new(),
+        }
+    }
+
+    /// Switches the core to distance-1 conflict semantics (ordinary
+    /// coloring): a verdict-giver objects only with its own color or its
+    /// own simultaneous candidate.
+    #[must_use]
+    pub fn distance_one(mut self) -> Self {
+        self.distance_one = true;
+        self
+    }
+
+    /// This node's color (`UNCOLORED` while live).
+    #[must_use]
+    pub fn color(&self) -> u32 {
+        self.color
+    }
+
+    /// Whether the node is still uncolored.
+    #[must_use]
+    pub fn is_live(&self) -> bool {
+        self.color == UNCOLORED
+    }
+
+    /// The neighbor-color table (by port).
+    #[must_use]
+    pub fn nbr_colors(&self) -> &[u32] {
+        &self.nbr_colors
+    }
+
+    /// Consumes the core, returning `(color, neighbor colors)` for the next
+    /// phase.
+    #[must_use]
+    pub fn into_knowledge(self) -> (u32, Vec<u32>) {
+        (self.color, self.nbr_colors)
+    }
+
+    /// Whether an adoption announcement is still waiting to be broadcast.
+    /// Protocols must not terminate while this is set — neighbors' color
+    /// tables would go stale and later verdicts could miss conflicts.
+    #[must_use]
+    pub fn has_pending_announce(&self) -> bool {
+        self.pending_announce.is_some()
+    }
+
+    /// Sub-round 0: stage this cycle's outgoing messages.
+    ///
+    /// `try_color` is the color to try (`None` to sit out). Colored nodes
+    /// never try. The provided `send` closure is called once per port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a live node tries `UNCOLORED` (a protocol bug).
+    pub fn begin_cycle<F: FnMut(Port, TrialMsg)>(
+        &mut self,
+        degree: usize,
+        try_color: Option<u32>,
+        mut send: F,
+    ) {
+        self.cycle_tries.clear();
+        if let Some(c) = self.pending_announce.take() {
+            for p in 0..degree as Port {
+                send(p, TrialMsg::Announce(c));
+            }
+            self.trying = None;
+            return;
+        }
+        if self.color != UNCOLORED {
+            self.trying = None;
+            return;
+        }
+        match try_color {
+            Some(c) => {
+                assert_ne!(c, UNCOLORED, "cannot try the UNCOLORED sentinel");
+                self.trying = Some(c);
+                for p in 0..degree as Port {
+                    send(p, TrialMsg::Try(c));
+                }
+            }
+            None => self.trying = None,
+        }
+    }
+
+    /// Folds one announcement into the neighbor-color table. Protocols
+    /// whose announcements can arrive outside the verdict sub-round (e.g.
+    /// `Reduce`, whose 15-round phases only run the handshake in the last
+    /// three) call this directly on arrival.
+    pub fn note_announce(&mut self, port: Port, color: u32) {
+        self.nbr_colors[port as usize] = color;
+    }
+
+    /// Sub-round 1: fold in announcements and answer tries with verdicts.
+    ///
+    /// `received` is this round's slice of trial messages; `send` emits the
+    /// verdicts.
+    pub fn verdict_round<F: FnMut(Port, TrialMsg)>(
+        &mut self,
+        received: &[(Port, TrialMsg)],
+        mut send: F,
+    ) {
+        // Announcements first: verdicts must reflect the newest colors.
+        for &(p, ref m) in received {
+            match *m {
+                TrialMsg::Announce(c) => self.nbr_colors[p as usize] = c,
+                TrialMsg::Try(c) => self.cycle_tries.push((p, c)),
+                TrialMsg::Verdict(_) => {}
+            }
+        }
+        let tries = std::mem::take(&mut self.cycle_tries);
+        for &(p, c) in &tries {
+            // Conflicts count only within the proposer's part.
+            let v_part = self.nbr_parts[p as usize];
+            let mut conflict = self.part == v_part && c == self.color;
+            conflict |= self.part == v_part && self.trying == Some(c);
+            if !self.distance_one {
+                // Distance 2: the proposer also conflicts with my other
+                // neighbors' colors and same-round candidates.
+                conflict |= self
+                    .nbr_colors
+                    .iter()
+                    .zip(&self.nbr_parts)
+                    .any(|(&nc, &np)| np == v_part && nc == c);
+                conflict |= tries
+                    .iter()
+                    .any(|&(q, cq)| q != p && cq == c && self.nbr_parts[q as usize] == v_part);
+            }
+            send(p, TrialMsg::Verdict(!conflict));
+        }
+    }
+
+    /// Sub-round 2: tally verdicts; adopt on unanimous approval.
+    ///
+    /// A successful adoption stages an announcement for the next cycle's
+    /// sub-round 0.
+    pub fn resolve(&mut self, degree: usize, received: &[(Port, TrialMsg)]) -> TrialOutcome {
+        let Some(c) = self.trying.take() else {
+            return TrialOutcome::Idle;
+        };
+        let mut ok = 0usize;
+        let mut fail = false;
+        for &(_, ref m) in received {
+            if let TrialMsg::Verdict(v) = *m {
+                ok += 1;
+                fail |= !v;
+            }
+        }
+        debug_assert_eq!(ok, degree, "a trying node expects one verdict per neighbor");
+        if fail {
+            TrialOutcome::Failed
+        } else {
+            self.color = c;
+            self.pending_announce = Some(c);
+            TrialOutcome::Adopted(c)
+        }
+    }
+
+    /// Colors of the palette `[0, palette)` not used by this node or any
+    /// immediate neighbor (note: *not* the full d2 palette — that is
+    /// exactly what a node cannot know cheaply; see `LearnPalette`).
+    #[must_use]
+    pub fn locally_free_colors(&self, palette: u32) -> Vec<u32> {
+        let mut used = vec![false; palette as usize];
+        if self.color != UNCOLORED && self.color < palette {
+            used[self.color as usize] = true;
+        }
+        for &c in &self.nbr_colors {
+            if c != UNCOLORED && c < palette {
+                used[c as usize] = true;
+            }
+        }
+        (0..palette).filter(|&c| !used[c as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_and_adopt_without_conflict() {
+        let mut core = TrialCore::new(2);
+        let mut sent = Vec::new();
+        core.begin_cycle(2, Some(5), |p, m| sent.push((p, m)));
+        assert_eq!(sent.len(), 2);
+        assert!(matches!(sent[0].1, TrialMsg::Try(5)));
+        let verdicts = vec![(0, TrialMsg::Verdict(true)), (1, TrialMsg::Verdict(true))];
+        assert_eq!(core.resolve(2, &verdicts), TrialOutcome::Adopted(5));
+        assert_eq!(core.color(), 5);
+        // Next cycle announces.
+        let mut sent2 = Vec::new();
+        core.begin_cycle(2, None, |p, m| sent2.push((p, m)));
+        assert!(matches!(sent2[0].1, TrialMsg::Announce(5)));
+    }
+
+    #[test]
+    fn failed_verdict_blocks_adoption() {
+        let mut core = TrialCore::new(2);
+        core.begin_cycle(2, Some(5), |_, _| {});
+        let verdicts = vec![(0, TrialMsg::Verdict(true)), (1, TrialMsg::Verdict(false))];
+        assert_eq!(core.resolve(2, &verdicts), TrialOutcome::Failed);
+        assert!(core.is_live());
+    }
+
+    #[test]
+    fn verdict_detects_neighbor_color() {
+        let mut core = TrialCore::resume(UNCOLORED, vec![7, UNCOLORED]);
+        let mut out = Vec::new();
+        core.verdict_round(&[(1, TrialMsg::Try(7))], |p, m| out.push((p, m)));
+        assert_eq!(out, vec![(1, TrialMsg::Verdict(false))]);
+        let mut out2 = Vec::new();
+        core.verdict_round(&[(1, TrialMsg::Try(8))], |p, m| out2.push((p, m)));
+        assert_eq!(out2, vec![(1, TrialMsg::Verdict(true))]);
+    }
+
+    #[test]
+    fn verdict_detects_simultaneous_tries() {
+        let mut core = TrialCore::new(3);
+        let mut out = Vec::new();
+        core.verdict_round(
+            &[(0, TrialMsg::Try(4)), (2, TrialMsg::Try(4))],
+            |p, m| out.push((p, m)),
+        );
+        // Both proposers of color 4 must be rejected.
+        assert!(out.iter().all(|(_, m)| *m == TrialMsg::Verdict(false)));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn verdict_detects_own_simultaneous_try() {
+        let mut core = TrialCore::new(2);
+        core.begin_cycle(2, Some(9), |_, _| {});
+        let mut out = Vec::new();
+        core.verdict_round(&[(0, TrialMsg::Try(9))], |p, m| out.push((p, m)));
+        assert_eq!(out, vec![(0, TrialMsg::Verdict(false))]);
+    }
+
+    #[test]
+    fn announcement_updates_table_before_verdict() {
+        let mut core = TrialCore::new(2);
+        let mut out = Vec::new();
+        // Port 0 announces color 3 in the same round port 1 tries 3.
+        core.verdict_round(
+            &[(0, TrialMsg::Announce(3)), (1, TrialMsg::Try(3))],
+            |p, m| out.push((p, m)),
+        );
+        assert_eq!(out, vec![(1, TrialMsg::Verdict(false))]);
+        assert_eq!(core.nbr_colors()[0], 3);
+    }
+
+    #[test]
+    fn colored_node_never_tries() {
+        let mut core = TrialCore::resume(2, vec![UNCOLORED]);
+        let mut sent = Vec::new();
+        core.begin_cycle(1, Some(5), |p, m| sent.push((p, m)));
+        assert!(sent.is_empty());
+        assert_eq!(core.resolve(1, &[]), TrialOutcome::Idle);
+    }
+
+    #[test]
+    fn isolated_node_adopts_unopposed() {
+        let mut core = TrialCore::new(0);
+        core.begin_cycle(0, Some(1), |_, _| panic!("no ports"));
+        assert_eq!(core.resolve(0, &[]), TrialOutcome::Adopted(1));
+    }
+
+    #[test]
+    fn locally_free_colors_excludes_known() {
+        let core = TrialCore::resume(1, vec![0, 3, UNCOLORED]);
+        assert_eq!(core.locally_free_colors(5), vec![2, 4]);
+    }
+
+    #[test]
+    fn message_bits_are_small() {
+        assert!(TrialMsg::Try(1000).bits() <= 2 + 10 + 2);
+        assert_eq!(TrialMsg::Verdict(true).bits(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "UNCOLORED")]
+    fn trying_sentinel_panics() {
+        let mut core = TrialCore::new(1);
+        core.begin_cycle(1, Some(UNCOLORED), |_, _| {});
+    }
+
+    #[test]
+    fn cross_part_collisions_are_ignored() {
+        // w sits between two proposers in different parts, and w's other
+        // neighbor (part 1) already holds color 4.
+        let mut core = TrialCore::scoped(
+            1,
+            vec![0, 1, 1],
+            UNCOLORED,
+            vec![UNCOLORED, UNCOLORED, 4],
+        );
+        let mut out = Vec::new();
+        core.verdict_round(
+            &[(0, TrialMsg::Try(4)), (1, TrialMsg::Try(4))],
+            |p, m| out.push((p, m)),
+        );
+        // Proposer in part 0: no same-part conflict → ok.
+        // Proposer in part 1: collides with port 2's color 4 → rejected.
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&(0, TrialMsg::Verdict(true))));
+        assert!(out.contains(&(1, TrialMsg::Verdict(false))));
+    }
+
+    #[test]
+    fn same_part_simultaneous_tries_rejected_cross_part_allowed() {
+        let mut core = TrialCore::scoped(
+            9,
+            vec![2, 2, 3],
+            UNCOLORED,
+            vec![UNCOLORED; 3],
+        );
+        let mut out = Vec::new();
+        core.verdict_round(
+            &[(0, TrialMsg::Try(1)), (1, TrialMsg::Try(1)), (2, TrialMsg::Try(1))],
+            |p, m| out.push((p, m)),
+        );
+        assert!(out.contains(&(0, TrialMsg::Verdict(false))));
+        assert!(out.contains(&(1, TrialMsg::Verdict(false))));
+        assert!(out.contains(&(2, TrialMsg::Verdict(true))));
+    }
+}

@@ -1,0 +1,124 @@
+//! Deterministic d2-coloring algorithms (Section 3 and Appendix B).
+//!
+//! * [`linial`] — Linial's color reduction on `G²`, pipelined (Theorem B.1).
+//! * [`loc_iter`] — locally-iterative coloring via degree-≤1 polynomials
+//!   over `F_q` (Theorem B.4 / Lemma B.3).
+//! * [`reduce_colors`] — iterative color reduction to `∆_c + 1` colors
+//!   (Theorem B.2).
+//! * [`small`] — the composed `O(∆² + log* n)` pipeline (Theorem 1.2).
+//! * [`splitting`] — λ-local refinement splitting, randomized and
+//!   derandomized (Definition 3.1, Theorem 3.2), plus the recursive degree
+//!   splitting of Lemma 3.3.
+//! * [`g_coloring`] — deterministic `(1+ε)∆`-coloring of `G` (Theorem 3.4).
+//! * [`split_color`] — deterministic `(1+ε)∆²` d2-coloring (Theorem 1.3).
+//!
+//! All three pipeline stages are *scope-generic*: a [`Scope`] names which
+//! nodes are active, which part each belongs to, whether conflicts are
+//! distance-1 or distance-2, and the conflict-degree bound `∆_c`. Theorem
+//! 1.2 uses the trivial scope (everyone, one part, distance 2,
+//! `∆_c = ∆²`); Theorems 3.4/1.3 color many parts in parallel with
+//! disjoint palettes through the same code.
+
+pub mod g_coloring;
+pub mod linial;
+pub mod loc_iter;
+pub mod reduce_colors;
+pub mod small;
+pub mod split_color;
+pub mod splitting;
+
+mod gather;
+
+pub use gather::GatherCore;
+
+/// Sentinel part id for nodes that are inactive (relay-only) in a scope.
+pub const NO_PART: u32 = u32::MAX;
+
+/// Conflict distance of a scoped coloring problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dist {
+    /// Ordinary coloring: conflicts along edges of `G` (within a part).
+    One,
+    /// d2-coloring: conflicts between same-part nodes at distance ≤ 2.
+    Two,
+}
+
+/// A scoped coloring problem over the network.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// Part of each node (`NO_PART` = inactive; such nodes only relay).
+    pub part: Vec<u32>,
+    /// Conflict distance.
+    pub dist: Dist,
+    /// Upper bound on the number of same-part conflict neighbors of any
+    /// active node (`∆²` for the full d2 problem). Drives palette sizes
+    /// and the polynomial parameters of Linial / the locally-iterative
+    /// stage.
+    pub delta_c: usize,
+}
+
+impl Scope {
+    /// The trivial scope: every node active, one part, distance-2
+    /// conflicts, `∆_c = min(∆², n−1)` (both are valid global bounds on
+    /// the d2-degree; nodes know `n` and `∆`, so taking the min is free
+    /// and tightens the palette on small dense graphs).
+    #[must_use]
+    pub fn full_d2(g: &graphs::Graph) -> Self {
+        let d = g.max_degree();
+        let dc = (d * d).min(g.n().saturating_sub(1));
+        Scope { part: vec![0; g.n()], dist: Dist::Two, delta_c: dc }
+    }
+
+    /// The ordinary-coloring scope: one part, distance-1,
+    /// `∆_c = min(∆, n−1)`.
+    #[must_use]
+    pub fn full_d1(g: &graphs::Graph) -> Self {
+        let dc = g.max_degree().min(g.n().saturating_sub(1));
+        Scope { part: vec![0; g.n()], dist: Dist::One, delta_c: dc }
+    }
+
+    /// Whether node `v` participates.
+    #[must_use]
+    pub fn is_active(&self, v: usize) -> bool {
+        self.part[v] != NO_PART
+    }
+
+    /// Per-node neighbor-part tables (port-indexed), derivable because part
+    /// assignment protocols always end by announcing the part to immediate
+    /// neighbors; the driver precomputes the table they would hold.
+    #[must_use]
+    pub fn nbr_parts(&self, g: &graphs::Graph) -> Vec<Vec<u32>> {
+        (0..g.n() as u32)
+            .map(|v| g.neighbors(v).iter().map(|&u| self.part[u as usize]).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scopes() {
+        let g = graphs::gen::star(4);
+        let s2 = Scope::full_d2(&g);
+        // ∆² = 16 clamps to n − 1 = 4 on this tiny graph.
+        assert_eq!(s2.delta_c, 4);
+        assert_eq!(s2.dist, Dist::Two);
+        assert!(s2.is_active(0));
+        let s1 = Scope::full_d1(&g);
+        assert_eq!(s1.delta_c, 4);
+
+        let big = graphs::gen::gnp_capped(200, 0.05, 6, 1);
+        assert_eq!(Scope::full_d2(&big).delta_c, 36);
+    }
+
+    #[test]
+    fn nbr_parts_follow_ports() {
+        let g = graphs::gen::path(3);
+        let scope = Scope { part: vec![5, NO_PART, 7], dist: Dist::One, delta_c: 2 };
+        let np = scope.nbr_parts(&g);
+        assert_eq!(np[1], vec![5, 7]);
+        assert!(!scope.is_active(1));
+    }
+}

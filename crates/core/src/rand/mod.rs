@@ -1,0 +1,31 @@
+//! The randomized `∆²+1` d2-coloring algorithms (Section 2).
+//!
+//! Pipeline of [`driver::basic`] (Corollary 2.1, `O(log³ n)`) and
+//! [`driver::improved`] (Theorem 1.1, `O(log ∆ · log n)`):
+//!
+//! 1. **Step 0**: if `∆² < c₂ log n`, run the deterministic algorithm
+//!    (Theorem 1.2) and stop.
+//! 2. **Initial phase** ([`trials`]): `c₀ log n` cycles of "pick a uniform
+//!    random color from `[∆²]` and try it" — creates slack proportional to
+//!    sparsity (Prop. 2.5), making every surviving live node *solid*.
+//! 3. **Similarity graphs** ([`similarity`]): sample `S`, exchange `S`-sets,
+//!    threshold common-sample counts to form `H = H_{2/3}` and
+//!    `Ĥ = H_{5/6}` (§2.3, Theorem 2.2).
+//! 4. **Main phase** ([`reduce`]): `Reduce(2τ, τ)` for
+//!    `τ = c₁∆², c₁∆²/2, …, c₂ log n` — colored nodes help live nodes by
+//!    testing colors on their behalf ("with a little help from my
+//!    friends"), driving every node's leeway below `τ`.
+//! 5. **Final phase**: either `Reduce(c₂ log n, 1)` (basic) or
+//!    [`learn_palette`] + [`finish`] (improved).
+//!
+//! Validity never depends on chance: every adoption goes through the
+//! verified trial handshake. Randomness only affects how fast the leeway
+//! drops.
+
+pub mod driver;
+pub mod finish;
+pub mod learn_palette;
+pub mod reduce;
+pub mod sampling;
+pub mod similarity;
+pub mod trials;

@@ -1,0 +1,519 @@
+//! Similarity graphs `H = H_{2/3}` and `Ĥ = H_{5/6}` (§2.3, Theorem 2.2).
+//!
+//! Two d2-neighbors are `H_{1−1/k}`-adjacent when they share "almost all"
+//! d2-neighbors. The knowledge model matches the paper exactly: a node
+//! does **not** learn its own 2-hop `H`-neighbors by name; instead every
+//! node `w` learns, for each pair among `{w} ∪ N(w)`, whether that pair is
+//! `H`-adjacent (and `Ĥ`-adjacent) — enough for intermediate nodes to
+//! route `Reduce` queries along 2-paths.
+//!
+//! Two constructions:
+//!
+//! * [`ExactSimilarity`] — for `∆² = O(log n)`: nodes exchange full
+//!   d2-neighborhoods by pipelining and threshold exact common counts.
+//! * [`SampledSimilarity`] — each node joins a sample `S` with probability
+//!   `p = c₁₀ log n / ∆²`; `S`-memberships are flooded one hop, `S_v` sets
+//!   are exchanged, and `|S_u ∩ S_v|` is thresholded at
+//!   `(1 − 1/(2k)) · p∆²`. Theorem 2.2 (tested against exact counts):
+//!   w.h.p. `H`-adjacent pairs share `≥ (1−1/k)∆²` d2-neighbors and
+//!   non-adjacent pairs share `< (1 − 1/(4k))∆²`.
+
+use congest::{BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, Status};
+use rand::Rng;
+
+/// Pairwise similarity flags at one node: indices `0..degree` are ports,
+/// index `degree` is the node itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimilarityKnowledge {
+    /// `H = H_{2/3}` adjacency between the indexed pair.
+    pub h: Vec<Vec<bool>>,
+    /// `Ĥ = H_{5/6}` adjacency.
+    pub hhat: Vec<Vec<bool>>,
+}
+
+impl SimilarityKnowledge {
+    fn empty(degree: usize) -> Self {
+        SimilarityKnowledge {
+            h: vec![vec![false; degree + 1]; degree + 1],
+            hhat: vec![vec![false; degree + 1]; degree + 1],
+        }
+    }
+
+    /// Whether the neighbors on ports `a` and `b` are `H`-adjacent.
+    #[must_use]
+    pub fn h_between_ports(&self, a: Port, b: Port) -> bool {
+        self.h[a as usize][b as usize]
+    }
+
+    /// Whether this node and its port-`a` neighbor are `H`-adjacent.
+    #[must_use]
+    pub fn h_with_self(&self, a: Port) -> bool {
+        let me = self.h.len() - 1;
+        self.h[me][a as usize]
+    }
+
+    /// Whether the neighbors on ports `a` and `b` are `Ĥ`-adjacent.
+    #[must_use]
+    pub fn hhat_between_ports(&self, a: Port, b: Port) -> bool {
+        self.hhat[a as usize][b as usize]
+    }
+
+    /// Whether this node and its port-`a` neighbor are `Ĥ`-adjacent.
+    #[must_use]
+    pub fn hhat_with_self(&self, a: Port) -> bool {
+        let me = self.hhat.len() - 1;
+        self.hhat[me][a as usize]
+    }
+
+    /// Number of this node's immediate neighbors that are `H`-neighbors.
+    #[must_use]
+    pub fn h_degree_immediate(&self) -> usize {
+        let me = self.h.len() - 1;
+        (0..me).filter(|&a| self.h[me][a]).count()
+    }
+}
+
+/// Messages shared by both similarity constructions.
+#[derive(Debug, Clone)]
+pub enum SimMsg {
+    /// "I am in the sample `S`."
+    InS,
+    /// Batch of identifiers from the sender's current list.
+    Batch(Vec<u64>),
+    /// The sender's current list is fully transmitted.
+    End,
+}
+
+impl Message for SimMsg {
+    fn bits(&self) -> u64 {
+        let tag = BitCost::tag(3);
+        match self {
+            SimMsg::InS | SimMsg::End => tag,
+            SimMsg::Batch(ids) => {
+                tag + 8 + ids.iter().map(|&x| BitCost::uint(x).max(1)).sum::<u64>()
+            }
+        }
+    }
+}
+
+/// Internal per-node phases of the exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Sending the first list (neighbor IDs / `S ∩ N[u]`).
+    First,
+    /// Sending the second list (d2 set / `S_v`).
+    Second,
+    /// Everything exchanged; flags computed.
+    Finished,
+}
+
+/// Per-node state shared by both constructions.
+#[derive(Debug, Clone)]
+pub struct SimilarityState {
+    /// The computed pair flags (valid once finished).
+    pub knowledge: SimilarityKnowledge,
+    /// Whether this node joined the sample (sampled variant only).
+    pub in_sample: bool,
+    /// `|S_v|` (sampled) or `|N²(v)|` (exact) — the set whose pipelining
+    /// dominates the round count; reported by experiments.
+    pub set_size: usize,
+    stage: Stage,
+    send_queue: Vec<u64>,
+    sent_end: bool,
+    first_lists: Vec<Vec<u64>>,
+    first_done: Vec<bool>,
+    second_lists: Vec<Vec<u64>>,
+    second_done: Vec<bool>,
+    my_first: Vec<u64>,
+    my_second: Vec<u64>,
+}
+
+impl SimilarityState {
+    fn new(degree: usize) -> Self {
+        SimilarityState {
+            knowledge: SimilarityKnowledge::empty(degree),
+            in_sample: false,
+            set_size: 0,
+            stage: Stage::First,
+            send_queue: Vec::new(),
+            sent_end: false,
+            first_lists: vec![Vec::new(); degree],
+            first_done: vec![false; degree],
+            second_lists: vec![Vec::new(); degree],
+            second_done: vec![false; degree],
+            my_first: Vec::new(),
+            my_second: Vec::new(),
+        }
+    }
+
+    fn fold_inbox(&mut self, inbox: &Inbox<SimMsg>) {
+        for &(p, ref m) in inbox.iter() {
+            let p = p as usize;
+            match m {
+                SimMsg::InS => {}
+                SimMsg::Batch(ids) => {
+                    if self.first_done[p] {
+                        self.second_lists[p].extend_from_slice(ids);
+                    } else {
+                        self.first_lists[p].extend_from_slice(ids);
+                    }
+                }
+                SimMsg::End => {
+                    if self.first_done[p] {
+                        self.second_done[p] = true;
+                    } else {
+                        self.first_done[p] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pipeline `send_queue` in batches; emit `End` once drained.
+    fn pump<F: FnMut(Port, SimMsg)>(&mut self, degree: usize, per_batch: usize, send: &mut F) {
+        if self.sent_end {
+            return;
+        }
+        if self.send_queue.is_empty() {
+            for p in 0..degree as Port {
+                send(p, SimMsg::End);
+            }
+            self.sent_end = true;
+            return;
+        }
+        let take = per_batch.min(self.send_queue.len());
+        let batch: Vec<u64> = self.send_queue.drain(..take).collect();
+        for p in 0..degree as Port {
+            send(p, SimMsg::Batch(batch.clone()));
+        }
+    }
+
+    /// Thresholds pairwise intersections of the second-stage sets.
+    fn compute_flags(&mut self, degree: usize, h_thresh: f64, hhat_thresh: f64) {
+        let mut sets: Vec<&[u64]> = self.second_lists.iter().map(Vec::as_slice).collect();
+        sets.push(&self.my_second);
+        let mut h = std::mem::take(&mut self.knowledge.h);
+        let mut hh = std::mem::take(&mut self.knowledge.hhat);
+        for a in 0..=degree {
+            for b in (a + 1)..=degree {
+                let common = intersection_size(sets[a], sets[b]) as f64;
+                h[a][b] = common >= h_thresh;
+                h[b][a] = h[a][b];
+                hh[a][b] = common >= hhat_thresh;
+                hh[b][a] = hh[a][b];
+            }
+        }
+        self.knowledge.h = h;
+        self.knowledge.hhat = hh;
+    }
+}
+
+fn sorted_dedup(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn intersection_size(a: &[u64], b: &[u64]) -> usize {
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+fn id_batch_capacity(budget: u64, n: usize) -> usize {
+    ((budget.saturating_sub(16)) / graphs::id_bits(n).max(1)).max(1) as usize
+}
+
+/// Exact construction: exchange full d2-neighborhoods (used when
+/// `∆² = O(log n)`, as the paper prescribes, and as the ground truth in
+/// Theorem 2.2 tests).
+#[derive(Debug)]
+pub struct ExactSimilarity {
+    /// `H` threshold as a fraction of `∆²` (paper: 2/3).
+    pub h_frac: f64,
+    /// `Ĥ` threshold as a fraction of `∆²` (paper: 5/6).
+    pub hhat_frac: f64,
+    budget: u64,
+}
+
+impl ExactSimilarity {
+    /// Standard thresholds (2/3, 5/6) with the given bandwidth budget.
+    #[must_use]
+    pub fn new(budget: u64) -> Self {
+        ExactSimilarity { h_frac: 2.0 / 3.0, hhat_frac: 5.0 / 6.0, budget }
+    }
+}
+
+impl Protocol for ExactSimilarity {
+    type State = SimilarityState;
+    type Msg = SimMsg;
+
+    fn init(&self, ctx: &NodeCtx, _rng: &mut NodeRng) -> SimilarityState {
+        let mut st = SimilarityState::new(ctx.degree());
+        st.my_first =
+            sorted_dedup(ctx.neighbor_idents.iter().copied().chain([ctx.ident]).collect());
+        st.send_queue = st.my_first.clone();
+        st
+    }
+
+    fn round(
+        &self,
+        st: &mut SimilarityState,
+        ctx: &NodeCtx,
+        _rng: &mut NodeRng,
+        inbox: &Inbox<SimMsg>,
+        out: &mut Outbox<SimMsg>,
+    ) -> Status {
+        let degree = ctx.degree();
+        let per_batch = id_batch_capacity(self.budget, ctx.n);
+        st.fold_inbox(inbox);
+        match st.stage {
+            Stage::First => {
+                st.pump(degree, per_batch, &mut |p, m| out.send(p, m));
+                if st.sent_end && st.first_done.iter().all(|&d| d) {
+                    let mut d2: Vec<u64> = st.first_lists.iter().flatten().copied().collect();
+                    d2.extend(st.my_first.iter().copied());
+                    let mut d2 = sorted_dedup(d2);
+                    if let Ok(i) = d2.binary_search(&ctx.ident) {
+                        d2.remove(i);
+                    }
+                    st.set_size = d2.len();
+                    st.my_second = d2.clone();
+                    st.send_queue = d2;
+                    st.sent_end = false;
+                    st.stage = Stage::Second;
+                }
+                Status::Running
+            }
+            Stage::Second => {
+                st.pump(degree, per_batch, &mut |p, m| out.send(p, m));
+                if st.sent_end && st.second_done.iter().all(|&d| d) {
+                    for p in 0..degree {
+                        st.second_lists[p] =
+                            sorted_dedup(std::mem::take(&mut st.second_lists[p]));
+                    }
+                    // Normalize by the effective d2-degree bound: on small
+                    // dense graphs n−1 < ∆² and the paper's ∆²-relative
+                    // thresholds would mark nothing similar.
+                    let dsq = (ctx.delta_sq().min(ctx.n.saturating_sub(1)) as f64).max(1.0);
+                    st.compute_flags(degree, self.h_frac * dsq, self.hhat_frac * dsq);
+                    st.stage = Stage::Finished;
+                    return Status::Done;
+                }
+                Status::Running
+            }
+            Stage::Finished => Status::Done,
+        }
+    }
+}
+
+/// Sampled construction (`p = c₁₀ log n / ∆²`), §2.3.
+#[derive(Debug)]
+pub struct SampledSimilarity {
+    /// Sampling probability.
+    pub p: f64,
+    /// Expected sample hits per d2-neighborhood: `p · ∆²`.
+    pub expected_hits: f64,
+    budget: u64,
+}
+
+impl SampledSimilarity {
+    /// Builds with sampling probability `p` for a graph with the given
+    /// `∆²`.
+    #[must_use]
+    pub fn new(p: f64, delta_sq: usize, budget: u64) -> Self {
+        SampledSimilarity { p, expected_hits: p * delta_sq as f64, budget }
+    }
+}
+
+impl Protocol for SampledSimilarity {
+    type State = SimilarityState;
+    type Msg = SimMsg;
+
+    fn init(&self, ctx: &NodeCtx, rng: &mut NodeRng) -> SimilarityState {
+        let mut st = SimilarityState::new(ctx.degree());
+        st.in_sample = rng.gen_bool(self.p.clamp(0.0, 1.0));
+        st
+    }
+
+    fn round(
+        &self,
+        st: &mut SimilarityState,
+        ctx: &NodeCtx,
+        _rng: &mut NodeRng,
+        inbox: &Inbox<SimMsg>,
+        out: &mut Outbox<SimMsg>,
+    ) -> Status {
+        let degree = ctx.degree();
+        let per_batch = id_batch_capacity(self.budget, ctx.n);
+        if ctx.round == 0 {
+            if st.in_sample {
+                for p in 0..degree as Port {
+                    out.send(p, SimMsg::InS);
+                }
+            }
+            return Status::Running;
+        }
+        if ctx.round == 1 {
+            // First list: S ∩ N[v] — sampled neighbors heard just now,
+            // plus myself if sampled.
+            let mut list: Vec<u64> = inbox
+                .iter()
+                .filter(|(_, m)| matches!(m, SimMsg::InS))
+                .map(|&(p, _)| ctx.neighbor_idents[p as usize])
+                .collect();
+            if st.in_sample {
+                list.push(ctx.ident);
+            }
+            st.my_first = sorted_dedup(list);
+            st.send_queue = st.my_first.clone();
+        }
+        st.fold_inbox(inbox);
+        match st.stage {
+            Stage::First => {
+                st.pump(degree, per_batch, &mut |p, m| out.send(p, m));
+                if st.sent_end && st.first_done.iter().all(|&d| d) {
+                    let sv: Vec<u64> = st.first_lists.iter().flatten().copied().collect();
+                    let mut sv = sorted_dedup(sv);
+                    if let Ok(i) = sv.binary_search(&ctx.ident) {
+                        sv.remove(i);
+                    }
+                    st.set_size = sv.len();
+                    st.my_second = sv.clone();
+                    st.send_queue = sv;
+                    st.sent_end = false;
+                    st.stage = Stage::Second;
+                }
+                Status::Running
+            }
+            Stage::Second => {
+                st.pump(degree, per_batch, &mut |p, m| out.send(p, m));
+                if st.sent_end && st.second_done.iter().all(|&d| d) {
+                    for p in 0..degree {
+                        st.second_lists[p] =
+                            sorted_dedup(std::mem::take(&mut st.second_lists[p]));
+                    }
+                    let m = self.expected_hits;
+                    st.compute_flags(degree, 5.0 / 6.0 * m, 11.0 / 12.0 * m);
+                    st.stage = Stage::Finished;
+                    return Status::Done;
+                }
+                Status::Running
+            }
+            Stage::Finished => Status::Done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::SimConfig;
+    use graphs::gen;
+
+    fn exact_knowledge(g: &graphs::Graph, cfg: &SimConfig) -> Vec<SimilarityState> {
+        let proto = ExactSimilarity::new(cfg.bandwidth_bits(g.n()));
+        congest::run(g, &proto, cfg).unwrap().states
+    }
+
+    /// On a clique, everyone shares all d2-neighbors: H = Ĥ = G².
+    #[test]
+    fn clique_is_fully_similar() {
+        let g = gen::clique(8);
+        let states = exact_knowledge(&g, &SimConfig::seeded(1));
+        for st in &states {
+            for a in 0..7u32 {
+                assert!(st.knowledge.h_with_self(a));
+                assert!(st.knowledge.hhat_with_self(a));
+            }
+            assert_eq!(st.knowledge.h_degree_immediate(), 7);
+        }
+    }
+
+    /// Exact flags must match centralized common-d2-neighbor counts.
+    #[test]
+    fn exact_flags_match_centralized_counts() {
+        let g = gen::gnp_capped(40, 0.15, 5, 8);
+        let cfg = SimConfig::seeded(2);
+        let states = exact_knowledge(&g, &cfg);
+        let dsq = (g.max_degree() * g.max_degree()).min(g.n() - 1);
+        for w in 0..g.n() as u32 {
+            let st = &states[w as usize];
+            let nbrs = g.neighbors(w);
+            for (ai, &a) in nbrs.iter().enumerate() {
+                let common = g.common_d2_neighbors(w, a);
+                let expect_h = common as f64 >= 2.0 / 3.0 * dsq as f64;
+                assert_eq!(
+                    st.knowledge.h_with_self(ai as Port),
+                    expect_h,
+                    "pair ({w},{a}): common={common}"
+                );
+                for (bi, &b) in nbrs.iter().enumerate().skip(ai + 1) {
+                    let common = g.common_d2_neighbors(a, b);
+                    let expect = common as f64 >= 2.0 / 3.0 * dsq as f64;
+                    assert_eq!(
+                        st.knowledge.h_between_ports(ai as Port, bi as Port),
+                        expect,
+                        "pair ({a},{b}) at {w}: common={common}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Theorem 2.2: sampled flags agree with exact counts outside the
+    /// uncertainty band.
+    #[test]
+    fn sampled_flags_respect_theorem_2_2() {
+        let g = gen::clique_ring(3, 9);
+        let cfg = SimConfig::seeded(5);
+        let dsq = (g.max_degree() * g.max_degree()).min(g.n() - 1);
+        // p = 1 makes the sampled counts exact: the theorem's
+        // separation must then hold deterministically.
+        let proto = SampledSimilarity::new(1.0, dsq, cfg.bandwidth_bits(g.n()));
+        let res = congest::run(&g, &proto, &cfg).unwrap();
+        for w in 0..g.n() as u32 {
+            let st = &res.states[w as usize];
+            let nbrs = g.neighbors(w);
+            for (ai, &a) in nbrs.iter().enumerate() {
+                let common = g.common_d2_neighbors(w, a) as f64;
+                if common >= 0.95 * dsq as f64 {
+                    assert!(
+                        st.knowledge.h_with_self(ai as Port),
+                        "clearly-similar pair ({w},{a}) missing from H"
+                    );
+                }
+                if common < 0.55 * dsq as f64 {
+                    assert!(
+                        !st.knowledge.h_with_self(ai as Port),
+                        "clearly-dissimilar pair ({w},{a}) wrongly in H"
+                    );
+                }
+            }
+        }
+        assert!(res.metrics.is_congest_compliant());
+    }
+
+    /// Both constructions terminate on degenerate inputs.
+    #[test]
+    fn degenerate_graphs() {
+        for g in [gen::empty(4), gen::path(2)] {
+            let cfg = SimConfig::seeded(3);
+            let a = exact_knowledge(&g, &cfg);
+            assert_eq!(a.len(), g.n());
+            let proto = SampledSimilarity::new(0.5, 4, cfg.bandwidth_bits(g.n()));
+            let b = congest::run(&g, &proto, &cfg).unwrap();
+            assert_eq!(b.states.len(), g.n());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! k-wise independent hash families (Theorem A.6).
+//!
+//! A random polynomial of degree `< k` over a prime field `F_p` evaluated
+//! at distinct points yields k-wise independent values; taking one output
+//! bit gives k-wise independent *coins* that are close to fair (bias
+//! `≤ 1/p`). The seed is the coefficient vector — `k · ⌈log₂ p⌉` bits,
+//! matching the `k · max{a, c}` seed length of Theorem A.6.
+//!
+//! The derandomized splitting (Theorem 3.2) uses one such seed per cluster
+//! and fixes it via the method of conditional expectation.
+
+/// A seeded k-wise independent coin family over a prime field.
+#[derive(Debug, Clone)]
+pub struct KwiseCoins {
+    p: u64,
+    coeffs: Vec<u64>,
+}
+
+impl KwiseCoins {
+    /// Family with independence `k` over inputs `< input_space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize, input_space: u64, seed_words: &[u64]) -> Self {
+        assert!(k > 0, "independence must be positive");
+        // Prime larger than the input space so evaluation points are
+        // distinct field elements.
+        let p = next_prime_u64(input_space.max(2));
+        let coeffs = (0..k).map(|i| seed_words.get(i).copied().unwrap_or(0) % p).collect();
+        KwiseCoins { p, coeffs }
+    }
+
+    /// The field size.
+    #[must_use]
+    pub fn field(&self) -> u64 {
+        self.p
+    }
+
+    /// Number of seed words (= independence parameter `k`).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Full field evaluation at `x`.
+    #[must_use]
+    pub fn eval(&self, x: u64) -> u64 {
+        let mut acc: u128 = 0;
+        for &a in self.coeffs.iter().rev() {
+            acc = (acc * u128::from(x % self.p) + u128::from(a)) % u128::from(self.p);
+        }
+        acc as u64
+    }
+
+    /// The coin for input `x`: the low bit of the evaluation.
+    #[must_use]
+    pub fn coin(&self, x: u64) -> bool {
+        self.eval(x) & 1 == 1
+    }
+}
+
+fn next_prime_u64(x: u64) -> u64 {
+    let mut c = x + 1;
+    loop {
+        if is_prime(c) {
+            return c;
+        }
+        c += 1;
+    }
+}
+
+fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    if x % 2 == 0 {
+        return x == 2;
+    }
+    let mut d = 3;
+    while d * d <= x {
+        if x % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = KwiseCoins::new(8, 1000, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = KwiseCoins::new(8, 1000, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        for x in 0..100 {
+            assert_eq!(a.coin(x), b.coin(x));
+        }
+    }
+
+    #[test]
+    fn coins_are_near_fair_over_random_seeds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut ones = 0u64;
+        let trials = 4000u64;
+        for _ in 0..trials {
+            let seed: Vec<u64> = (0..6).map(|_| rng.gen()).collect();
+            let f = KwiseCoins::new(6, 512, &seed);
+            if f.coin(rng.gen_range(0..512)) {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / trials as f64;
+        assert!((0.45..=0.55).contains(&frac), "bias too large: {frac}");
+    }
+
+    #[test]
+    fn pairwise_independence_spot_check() {
+        // Empirically verify P[coin(x)=coin(y)=1] ≈ 1/4 for fixed x ≠ y.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let (x, y) = (3u64, 77u64);
+        let mut both = 0u64;
+        let trials = 4000u64;
+        for _ in 0..trials {
+            let seed: Vec<u64> = (0..4).map(|_| rng.gen()).collect();
+            let f = KwiseCoins::new(4, 512, &seed);
+            if f.coin(x) && f.coin(y) {
+                both += 1;
+            }
+        }
+        let frac = both as f64 / trials as f64;
+        assert!((0.20..=0.30).contains(&frac), "joint prob off: {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "independence")]
+    fn zero_k_rejected() {
+        let _ = KwiseCoins::new(0, 10, &[]);
+    }
+}

@@ -1,0 +1,506 @@
+//! Workload generators.
+//!
+//! Each generator is deterministic in its `seed` argument (ChaCha8 stream),
+//! so every experiment in EXPERIMENTS.md is reproducible bit-for-bit.
+//!
+//! The families mirror the paper's motivation: wireless interference graphs
+//! (unit-disk), task/resource bipartite graphs (strong hypergraph coloring),
+//! the dense `G²`-clique regime that drives `Reduce`, and the double-star
+//! instance from the distance-3 hardness discussion.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Erdős–Rényi `G(n, p)` with every degree capped at `max_deg`.
+///
+/// Edges are sampled in random order and accepted only while both endpoints
+/// are below the cap, so `∆ ≤ max_deg` always holds. This keeps `∆` an
+/// experiment parameter, which the paper's bounds are stated in.
+#[must_use]
+pub fn gnp_capped(n: usize, p: f64, max_deg: usize, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut deg = vec![0usize; n];
+    let mut b = GraphBuilder::new(n);
+    let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if r.gen_bool(p) {
+                candidates.push((u, v));
+            }
+        }
+    }
+    candidates.shuffle(&mut r);
+    for (u, v) in candidates {
+        if deg[u as usize] < max_deg && deg[v as usize] < max_deg {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+            b.add_edge(u, v);
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Plain Erdős–Rényi `G(n, p)` (no degree cap).
+#[must_use]
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if r.gen_bool(p) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Random near-`d`-regular graph via a permutation matching heuristic.
+///
+/// Produces a simple graph where almost every node has degree exactly `d`
+/// (a few nodes may fall short when matchings collide). Guarantees `∆ ≤ d`.
+///
+/// # Panics
+///
+/// Panics if `d >= n`.
+#[must_use]
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(d < n, "degree must be < n");
+    let mut r = rng(seed);
+    let mut deg = vec![0usize; n];
+    let mut b = GraphBuilder::new(n);
+    let mut present: std::collections::HashSet<(NodeId, NodeId)> = std::collections::HashSet::new();
+    // Repeated random perfect-matching-ish passes: pair up nodes that still
+    // need degree, skipping collisions. A handful of sweeps converges.
+    for _ in 0..(4 * d + 20) {
+        let mut open: Vec<NodeId> =
+            (0..n as NodeId).filter(|&v| deg[v as usize] < d).collect();
+        if open.len() < 2 {
+            break;
+        }
+        open.shuffle(&mut r);
+        for pair in open.chunks_exact(2) {
+            let (u, v) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            if u == v || present.contains(&(u, v)) {
+                continue;
+            }
+            if deg[u as usize] < d && deg[v as usize] < d {
+                present.insert((u, v));
+                deg[u as usize] += 1;
+                deg[v as usize] += 1;
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// 2-dimensional grid `rows × cols` (∆ = 4).
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c));
+            }
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1));
+            }
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// 2-dimensional torus (wrap-around grid, exactly 4-regular for dims ≥ 3).
+#[must_use]
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(idx(r, c), idx((r + 1) % rows, c));
+            b.add_edge(idx(r, c), idx(r, (c + 1) % cols));
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Complete graph `K_n`; its square is itself and every node needs a
+/// distinct color — a sanity anchor for palette bounds.
+#[must_use]
+pub fn clique(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// A star `K_{1,k}`: hub 0, leaves `1..=k`. Its square is a clique on
+/// `k + 1` nodes — the densest d2 instance at ∆ = k.
+#[must_use]
+pub fn star(k: usize) -> Graph {
+    let mut b = GraphBuilder::new(k + 1);
+    for v in 1..=k as NodeId {
+        b.add_edge(0, v);
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// The **double star** from the paper's hardness discussion (§1): an edge
+/// `{a, b}` with `k` leaves attached to each endpoint. Verifying a
+/// distance-3 coloring on this instance requires `Ω(∆)` rounds; distance-2
+/// coloring it is easy — the contrast the paper draws.
+///
+/// Node 0 is `a`, node 1 is `b`; leaves of `a` are `2..2+k`, leaves of `b`
+/// are `2+k..2+2k`.
+#[must_use]
+pub fn double_star(k: usize) -> Graph {
+    let mut b = GraphBuilder::new(2 + 2 * k);
+    b.add_edge(0, 1);
+    for i in 0..k as NodeId {
+        b.add_edge(0, 2 + i);
+        b.add_edge(1, 2 + k as NodeId + i);
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// A balanced binary tree on `n` nodes (heap indexing).
+#[must_use]
+pub fn binary_tree(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v as NodeId, ((v - 1) / 2) as NodeId);
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each with `legs` leaves.
+/// High ∆, tiny sparsity variation — exercises the similarity graphs.
+#[must_use]
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::new(n);
+    for s in 1..spine {
+        b.add_edge((s - 1) as NodeId, s as NodeId);
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.add_edge(s as NodeId, (spine + s * legs + l) as NodeId);
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Disjoint cliques of size `k` joined in a ring by single edges.
+/// `G²` restricted to each clique-plus-bridge is extremely dense: the
+/// "coloring with a little help from my friends" regime of Section 2.1.
+#[must_use]
+pub fn clique_ring(num_cliques: usize, k: usize) -> Graph {
+    let n = num_cliques * k;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..num_cliques {
+        let base = (c * k) as NodeId;
+        for i in 0..k as NodeId {
+            for j in (i + 1)..k as NodeId {
+                b.add_edge(base + i, base + j);
+            }
+        }
+        if num_cliques > 1 {
+            let next = ((c + 1) % num_cliques * k) as NodeId;
+            b.add_edge(base, next);
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Unit-disk graph: `n` points uniform in the unit square, edges between
+/// pairs at Euclidean distance ≤ `radius`. The wireless-interference
+/// workload from the paper's motivation (§1, frequency assignment).
+#[must_use]
+pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (r.gen::<f64>(), r.gen::<f64>())).collect();
+    unit_disk_from_points(&pts, radius)
+}
+
+/// Unit-disk graph over caller-provided points (e.g. a planned antenna
+/// layout). Exposed so examples can attach semantics to node positions.
+#[must_use]
+pub fn unit_disk_from_points(pts: &[(f64, f64)], radius: f64) -> Graph {
+    let n = pts.len();
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            if dx * dx + dy * dy <= r2 {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Bipartite task/resource graph: `tasks` task nodes each using
+/// `uses_per_task` uniformly random resources out of `resources`.
+///
+/// Distance-2 coloring the task side so that tasks sharing a resource get
+/// distinct colors is exactly the strong hypergraph coloring application
+/// from §1. Task nodes are `0..tasks`, resource nodes `tasks..tasks+resources`.
+#[must_use]
+pub fn task_resource(tasks: usize, resources: usize, uses_per_task: usize, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(tasks + resources);
+    for t in 0..tasks {
+        let mut chosen: Vec<usize> = (0..resources).collect();
+        chosen.shuffle(&mut r);
+        for &res in chosen.iter().take(uses_per_task.min(resources)) {
+            b.add_edge(t as NodeId, (tasks + res) as NodeId);
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Barabási–Albert-style preferential attachment with `m` edges per new
+/// node. Skewed degrees stress the varying-sparsity regime of `Reduce`.
+#[must_use]
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
+    let m = m.max(1).min(n.saturating_sub(1)).max(1);
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    // Endpoint pool: each node appears once per incident edge, so sampling
+    // uniformly from the pool is degree-proportional.
+    let mut pool: Vec<NodeId> = Vec::new();
+    for v in 1..(m + 1).min(n) {
+        b.add_edge(v as NodeId, 0);
+        pool.push(0);
+        pool.push(v as NodeId);
+    }
+    for v in (m + 1)..n {
+        let mut targets: Vec<NodeId> = Vec::new();
+        let mut guard = 0;
+        while targets.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = pool[r.gen_range(0..pool.len())];
+            if t != v as NodeId && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            b.add_edge(v as NodeId, t);
+            pool.push(v as NodeId);
+            pool.push(t);
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// The `d`-dimensional hypercube (`n = 2^d`, `∆ = d`): a classic CONGEST
+/// topology with logarithmic degree and diameter.
+///
+/// # Panics
+///
+/// Panics if `d ≥ 28` (guards against absurd allocations).
+#[must_use]
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d < 28, "hypercube dimension too large");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                b.add_edge(v as NodeId, u as NodeId);
+            }
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Complete bipartite graph `K_{a,b}` (left nodes `0..a`, right nodes
+/// `a..a+b`): the extreme task/resource instance — every pair of same-side
+/// nodes is at distance 2, so each side needs all-distinct colors.
+#[must_use]
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            builder.add_edge(u as NodeId, (a + v) as NodeId);
+        }
+    }
+    builder.build().expect("generator produces valid edges")
+}
+
+/// A path on `n` nodes.
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge((v - 1) as NodeId, v as NodeId);
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// A cycle on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        b.add_edge(v as NodeId, ((v + 1) % n) as NodeId);
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// The empty graph on `n` nodes (no edges) — boundary-condition workload.
+#[must_use]
+pub fn empty(n: usize) -> Graph {
+    GraphBuilder::new(n).build().expect("no edges, always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_capped_respects_cap_and_seed() {
+        let g1 = gnp_capped(100, 0.2, 7, 9);
+        let g2 = gnp_capped(100, 0.2, 7, 9);
+        let g3 = gnp_capped(100, 0.2, 7, 10);
+        assert!(g1.max_degree() <= 7);
+        assert_eq!(g1, g2, "same seed must reproduce");
+        assert_ne!(g1, g3, "different seeds should differ");
+    }
+
+    #[test]
+    fn random_regular_is_near_regular() {
+        let g = random_regular(60, 6, 3);
+        assert!(g.max_degree() <= 6);
+        let full = (0..60u32).filter(|&v| g.degree(v) == 6).count();
+        assert!(full >= 50, "most nodes should reach target degree, got {full}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be < n")]
+    fn random_regular_rejects_excessive_degree() {
+        let _ = random_regular(5, 5, 0);
+    }
+
+    #[test]
+    fn grid_and_torus_shapes() {
+        let g = grid(4, 5);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 4 * 4 + 3 * 5);
+        assert_eq!(g.max_degree(), 4);
+        let t = torus(4, 5);
+        assert_eq!(t.m(), 2 * 20);
+        assert!((0..20u32).all(|v| t.degree(v) == 4));
+    }
+
+    #[test]
+    fn clique_star_double_star() {
+        assert_eq!(clique(6).m(), 15);
+        let s = star(8);
+        assert_eq!(s.max_degree(), 8);
+        assert_eq!(s.d2_degree(1), 8); // a leaf sees hub + 7 other leaves
+        let d = double_star(5);
+        assert_eq!(d.n(), 12);
+        assert_eq!(d.degree(0), 6);
+        assert_eq!(d.degree(1), 6);
+        // Leaves of a and leaves of b are at distance 3: not d2-neighbors.
+        assert!(!d.are_d2_neighbors(2, 2 + 5));
+        assert!(d.are_d2_neighbors(2, 1));
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(5, 3);
+        assert_eq!(g.n(), 20);
+        // Interior spine nodes: 2 spine neighbors + 3 legs.
+        assert_eq!(g.degree(2), 5);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn clique_ring_is_dense_and_connected() {
+        let g = clique_ring(4, 5);
+        assert_eq!(g.n(), 20);
+        assert!(g.is_connected());
+        // Every in-clique pair is adjacent.
+        assert!(g.has_edge(0, 4));
+        assert!(g.has_edge(5, 9));
+    }
+
+    #[test]
+    fn unit_disk_radius_monotone() {
+        let small = unit_disk(80, 0.05, 5);
+        let large = unit_disk(80, 0.3, 5);
+        assert!(small.m() < large.m());
+    }
+
+    #[test]
+    fn task_resource_is_bipartite() {
+        let tasks = 30;
+        let g = task_resource(tasks, 10, 3, 1);
+        for (u, v) in g.edges() {
+            let tu = (u as usize) < tasks;
+            let tv = (v as usize) < tasks;
+            assert_ne!(tu, tv, "edge {u}-{v} not across the bipartition");
+        }
+        assert!((0..tasks as NodeId).all(|t| g.degree(t) == 3));
+    }
+
+    #[test]
+    fn preferential_attachment_connected_and_skewed() {
+        let g = preferential_attachment(200, 2, 7);
+        assert!(g.is_connected());
+        assert!(g.max_degree() > 6, "hub should emerge, ∆ = {}", g.max_degree());
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert!((0..16u32).all(|v| g.degree(v) == 4));
+        assert!(g.is_connected());
+        // Antipodal nodes are at distance 4, not 2.
+        assert!(!g.are_d2_neighbors(0, 15));
+        assert!(g.are_d2_neighbors(0, 3)); // differs in 2 bits
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(3, 5);
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.degree(0), 5);
+        assert_eq!(g.degree(3), 3);
+        // Same-side pairs are d2-neighbors; its square is a clique.
+        assert!(g.are_d2_neighbors(0, 1));
+        assert!(g.are_d2_neighbors(3, 7));
+        assert_eq!(g.d2_degree(0), 7);
+    }
+
+    #[test]
+    fn path_cycle_empty() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(empty(5).m(), 0);
+        assert_eq!(empty(5).max_degree(), 0);
+    }
+}

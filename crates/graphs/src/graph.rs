@@ -1,0 +1,396 @@
+//! Compact CSR (compressed sparse row) undirected graph.
+
+use std::fmt;
+
+/// Index of a node inside a [`Graph`] (`0..n`).
+///
+/// Distinct from the node's CONGEST *identifier*: indices are a simulator
+/// convenience, identifiers are the `O(log n)`-bit names the distributed
+/// algorithms are allowed to see. The simulator assigns identifiers
+/// separately (see the `congest` crate).
+pub type NodeId = u32;
+
+/// Errors from [`GraphBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    EndpointOutOfRange { u: NodeId, v: NodeId, n: usize },
+    /// A self-loop `{u, u}` was added; CONGEST networks are simple graphs.
+    SelfLoop { u: NodeId },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EndpointOutOfRange { u, v, n } => {
+                write!(f, "edge ({u}, {v}) has an endpoint outside 0..{n}")
+            }
+            GraphError::SelfLoop { u } => write!(f, "self-loop at node {u}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable simple undirected graph in CSR form.
+///
+/// Neighbor lists are sorted and duplicate-free; this is the canonical
+/// network topology handed to the CONGEST simulator.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    adj: Vec<NodeId>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .field("max_degree", &self.max_degree())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Builds a graph from an explicit edge list. Convenience wrapper around
+    /// [`GraphBuilder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an endpoint is out of range or an edge is a
+    /// self-loop.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Maximum degree `∆` of the graph (0 for the empty graph).
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as NodeId).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Sorted slice of neighbors of `v`.
+    #[must_use]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Whether `{u, v}` is an edge. `O(log degree)`.
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The port of `v` on `u`'s interface list, if adjacent.
+    ///
+    /// CONGEST nodes address messages by port; the simulator uses this to
+    /// translate between the two endpoints of an edge.
+    #[must_use]
+    pub fn port_of(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        self.neighbors(u).binary_search(&v).ok()
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n() as NodeId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Number of nodes at distance exactly 1 or 2 from `v` (its degree in
+    /// `G²`). Centralized helper used by the verifier and by experiments.
+    #[must_use]
+    pub fn d2_degree(&self, v: NodeId) -> usize {
+        self.d2_neighbors(v).len()
+    }
+
+    /// Sorted distance-≤2 neighborhood of `v`, excluding `v` itself.
+    ///
+    /// Centralized (oracle) computation: the distributed algorithms are not
+    /// permitted to call this — that is the whole difficulty of the paper.
+    #[must_use]
+    pub fn d2_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::with_capacity(self.degree(v) * 4);
+        for &u in self.neighbors(v) {
+            out.push(u);
+            out.extend_from_slice(self.neighbors(u));
+        }
+        out.sort_unstable();
+        out.dedup();
+        if let Ok(i) = out.binary_search(&v) {
+            out.remove(i);
+        }
+        out
+    }
+
+    /// Whether `u` and `v` are at distance ≤ 2 (and distinct).
+    #[must_use]
+    pub fn are_d2_neighbors(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        if self.has_edge(u, v) {
+            return true;
+        }
+        // Merge-intersect the sorted neighbor lists.
+        let (a, b) = (self.neighbors(u), self.neighbors(v));
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Number of common neighbors of `u` and `v` in `G` (i.e. the number of
+    /// 2-paths between them).
+    #[must_use]
+    pub fn common_neighbors(&self, u: NodeId, v: NodeId) -> usize {
+        let (a, b) = (self.neighbors(u), self.neighbors(v));
+        let (mut i, mut j, mut c) = (0, 0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    c += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Number of common *distance-2* neighbors of `u` and `v` — the quantity
+    /// thresholded by the similarity graphs `H_{1-1/k}` of Section 2.3.
+    #[must_use]
+    pub fn common_d2_neighbors(&self, u: NodeId, v: NodeId) -> usize {
+        let a = self.d2_neighbors(u);
+        let b = self.d2_neighbors(v);
+        let (mut i, mut j, mut c) = (0, 0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    c += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Whether the graph is connected (true for `n ≤ 1`).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.n() <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.n()];
+        let mut stack = vec![0 as NodeId];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &u in self.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == self.n()
+    }
+}
+
+/// Incremental builder for [`Graph`]. Duplicate edges are deduplicated.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// New builder for a graph on `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Records the undirected edge `{u, v}`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Whether the edge `{u, v}` was already recorded. `O(edges)` — intended
+    /// for generators that need occasional duplicate checks; prefer
+    /// deduplication at build time otherwise.
+    #[must_use]
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edges.iter().any(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+    }
+
+    /// Number of edges recorded so far (before deduplication).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into an immutable CSR [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] on out-of-range endpoints or self-loops.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        let n = self.n;
+        for &(u, v) in &self.edges {
+            if u as usize >= n || v as usize >= n {
+                return Err(GraphError::EndpointOutOfRange { u, v, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { u });
+            }
+        }
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(u, v) in &self.edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut flat = Vec::new();
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            flat.extend_from_slice(list);
+            offsets.push(flat.len());
+        }
+        Ok(Graph { offsets, adj: flat })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = path4();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduped() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert_eq!(
+            Graph::from_edges(3, &[(1, 1)]).unwrap_err(),
+            GraphError::SelfLoop { u: 1 }
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = Graph::from_edges(3, &[(0, 7)]).unwrap_err();
+        assert_eq!(err, GraphError::EndpointOutOfRange { u: 0, v: 7, n: 3 });
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = Graph::from_edges(3, &[(0, 7)]).unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn ports_are_consistent() {
+        let g = path4();
+        assert_eq!(g.port_of(1, 0), Some(0));
+        assert_eq!(g.port_of(1, 2), Some(1));
+        assert_eq!(g.port_of(1, 3), None);
+        assert_eq!(g.neighbors(1)[g.port_of(1, 2).unwrap()], 2);
+    }
+
+    #[test]
+    fn d2_neighborhood_of_path() {
+        let g = path4();
+        assert_eq!(g.d2_neighbors(0), vec![1, 2]);
+        assert_eq!(g.d2_neighbors(1), vec![0, 2, 3]);
+        assert!(g.are_d2_neighbors(0, 2));
+        assert!(!g.are_d2_neighbors(0, 3));
+        assert!(!g.are_d2_neighbors(2, 2));
+    }
+
+    #[test]
+    fn common_neighbor_counts() {
+        // Two 2-paths between 0 and 3: via 1 and via 2.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(g.common_neighbors(0, 3), 2);
+        assert_eq!(g.common_neighbors(0, 1), 0);
+        assert_eq!(g.common_d2_neighbors(0, 3), 2); // 1 and 2
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = path4();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(path4().is_connected());
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!g.is_connected());
+        let empty = Graph::from_edges(0, &[]).unwrap();
+        assert!(empty.is_connected());
+        assert_eq!(empty.max_degree(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Centralized structural statistics used by the experiment reports:
+//! degree distributions, d2-degree distributions, and the sparsity
+//! spectrum of Definition 2.4 (which governs how much slack the initial
+//! random phase creates — Proposition 2.5).
+
+use crate::{square, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Minimum value.
+    pub min: f64,
+    /// Mean value.
+    pub mean: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes an iterator of values (0/0/0 for empty input).
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            count += 1;
+        }
+        if count == 0 {
+            return Summary { min: 0.0, mean: 0.0, max: 0.0 };
+        }
+        Summary { min, mean: sum / count as f64, max }
+    }
+}
+
+/// Structural profile of a workload graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphProfile {
+    /// Nodes.
+    pub n: usize,
+    /// Edges.
+    pub m: usize,
+    /// Maximum degree `∆`.
+    pub delta: usize,
+    /// Degree distribution.
+    pub degree: Summary,
+    /// d2-degree distribution (degree in `G²`).
+    pub d2_degree: Summary,
+    /// Sparsity `ζ(v)` distribution (Definition 2.4).
+    pub sparsity: Summary,
+}
+
+/// Computes the full profile (builds `G²`; intended for analysis, not the
+/// hot path).
+#[must_use]
+pub fn profile(g: &Graph) -> GraphProfile {
+    let sq = square::square(g);
+    GraphProfile {
+        n: g.n(),
+        m: g.m(),
+        delta: g.max_degree(),
+        degree: Summary::of((0..g.n() as NodeId).map(|v| g.degree(v) as f64)),
+        d2_degree: Summary::of((0..g.n() as NodeId).map(|v| g.d2_degree(v) as f64)),
+        sparsity: Summary::of((0..g.n() as NodeId).map(|v| square::sparsity(g, &sq, v))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of([1.0, 2.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.max, 3.0);
+        let empty = Summary::of(std::iter::empty());
+        assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    fn torus_profile_is_regular() {
+        let g = gen::torus(6, 6);
+        let p = profile(&g);
+        assert_eq!(p.delta, 4);
+        assert_eq!(p.degree.min, 4.0);
+        assert_eq!(p.degree.max, 4.0);
+        // Torus d2-degree: 4 + 8 = 12 for every node... (4 at distance 1,
+        // 8 at distance 2 on the 4-regular torus).
+        assert_eq!(p.d2_degree.min, p.d2_degree.max);
+    }
+
+    #[test]
+    fn sparsity_is_bounded_and_uniform_on_vertex_transitive_graphs() {
+        // ζ ranges over [0, (∆²−1)/2] (Def. 2.4); on a vertex-transitive
+        // graph every node has the same value.
+        let g = gen::torus(7, 7);
+        let p = profile(&g);
+        let cap = ((p.delta * p.delta - 1) as f64) / 2.0;
+        assert!(p.sparsity.min >= 0.0 && p.sparsity.max <= cap);
+        assert!((p.sparsity.max - p.sparsity.min).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end integration: every algorithm × a matrix of workloads.
+//!
+//! The invariants checked here are the paper's headline guarantees:
+//! validity of the d2-coloring, the palette bound of each theorem, and
+//! CONGEST bandwidth compliance.
+
+use d2color::prelude::*;
+use d2core::det::splitting::SplitMode;
+
+fn workloads() -> Vec<(String, Graph)> {
+    vec![
+        ("gnp-sparse".into(), graphs::gen::gnp_capped(200, 0.03, 6, 1)),
+        ("gnp-denser".into(), graphs::gen::gnp_capped(120, 0.1, 9, 2)),
+        ("grid".into(), graphs::gen::grid(12, 12)),
+        ("torus".into(), graphs::gen::torus(9, 9)),
+        ("star".into(), graphs::gen::star(14)),
+        ("clique".into(), graphs::gen::clique(12)),
+        ("clique-ring".into(), graphs::gen::clique_ring(4, 6)),
+        ("caterpillar".into(), graphs::gen::caterpillar(10, 4)),
+        ("double-star".into(), graphs::gen::double_star(9)),
+        ("unit-disk".into(), graphs::gen::unit_disk(150, 0.09, 3)),
+        ("task-resource".into(), graphs::gen::task_resource(60, 20, 3, 4)),
+        ("pref-attach".into(), graphs::gen::preferential_attachment(150, 2, 5)),
+        ("binary-tree".into(), graphs::gen::binary_tree(100)),
+        ("hypercube".into(), graphs::gen::hypercube(6)),
+        ("biclique".into(), graphs::gen::complete_bipartite(6, 8)),
+    ]
+}
+
+fn bound(g: &Graph) -> usize {
+    let d = g.max_degree();
+    (d * d).min(g.n().saturating_sub(1)) + 1
+}
+
+#[test]
+fn randomized_improved_on_all_workloads() {
+    for (name, g) in workloads() {
+        let out =
+            d2core::rand::driver::improved(&g, &Params::practical(), &SimConfig::seeded(10))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            graphs::verify::is_valid_d2_coloring(&g, &out.colors),
+            "{name}: invalid coloring"
+        );
+        assert!(out.palette_bound() <= bound(&g), "{name}: palette bound violated");
+        assert!(out.metrics.is_congest_compliant(), "{name}: bandwidth violated");
+    }
+}
+
+#[test]
+fn randomized_basic_on_all_workloads() {
+    for (name, g) in workloads() {
+        let out = d2core::rand::driver::basic(&g, &Params::practical(), &SimConfig::seeded(20))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            graphs::verify::is_valid_d2_coloring(&g, &out.colors),
+            "{name}: invalid coloring"
+        );
+        assert!(out.palette_bound() <= bound(&g), "{name}: palette bound violated");
+    }
+}
+
+#[test]
+fn deterministic_small_on_all_workloads() {
+    for (name, g) in workloads() {
+        let out = d2core::det::small::run(&g, &Params::practical(), &SimConfig::seeded(30))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            graphs::verify::is_valid_d2_coloring(&g, &out.colors),
+            "{name}: invalid coloring"
+        );
+        assert!(out.palette_bound() <= bound(&g), "{name}: palette bound violated");
+        assert!(out.metrics.is_congest_compliant(), "{name}: bandwidth violated");
+        // Determinism across repeats.
+        let again = d2core::det::small::run(&g, &Params::practical(), &SimConfig::seeded(30))
+            .expect("repeat run");
+        assert_eq!(out.colors, again.colors, "{name}: nondeterministic");
+    }
+}
+
+#[test]
+fn split_color_theorem_1_3() {
+    for (name, g) in [
+        ("regular", graphs::gen::random_regular(140, 12, 7)),
+        ("gnp", graphs::gen::gnp_capped(150, 0.06, 8, 8)),
+    ] {
+        for mode in [SplitMode::Deterministic, SplitMode::Randomized] {
+            let (out, report) = d2core::det::split_color::run(
+                &g,
+                &Params::practical(),
+                &SimConfig::seeded(40),
+                2.0,
+                mode,
+                Some(1),
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                graphs::verify::is_valid_d2_coloring(&g, &out.colors),
+                "{name}/{mode:?}: invalid coloring"
+            );
+            assert!(
+                out.palette_bound() <= report.palette,
+                "{name}/{mode:?}: palette {} > laid out {}",
+                out.palette_bound(),
+                report.palette
+            );
+        }
+    }
+}
+
+#[test]
+fn g_coloring_theorem_3_4() {
+    let g = graphs::gen::random_regular(160, 18, 9);
+    let (out, report) = d2core::det::g_coloring::run(
+        &g,
+        &Params::practical(),
+        &SimConfig::seeded(50),
+        1.0,
+        SplitMode::Deterministic,
+        Some(2),
+    )
+    .expect("theorem 3.4 run");
+    assert!(graphs::verify::is_valid_coloring(&g, &out.colors));
+    assert!(out.palette_bound() <= report.palette);
+}
+
+#[test]
+fn baselines_are_valid() {
+    let g = graphs::gen::gnp_capped(100, 0.08, 6, 11);
+    let over = d2core::baseline::oversampled(&g, 1.0, &SimConfig::seeded(60)).expect("oversampled");
+    assert!(graphs::verify::is_valid_d2_coloring(&g, &over.colors));
+    let naive = d2core::baseline::naive_relay(&g, &SimConfig::seeded(61)).expect("naive relay");
+    assert!(graphs::verify::is_valid_d2_coloring(&g, &naive.colors));
+    assert!(naive.palette_bound() <= bound(&g));
+}
+
+/// All algorithms agree with the centralized verifier on tiny edge cases.
+#[test]
+fn degenerate_inputs() {
+    for g in [
+        graphs::gen::empty(0),
+        graphs::gen::empty(1),
+        graphs::gen::empty(6),
+        graphs::gen::path(2),
+        graphs::gen::path(3),
+    ] {
+        let params = Params::practical();
+        let cfg = SimConfig::seeded(70);
+        let a = d2core::det::small::run(&g, &params, &cfg).expect("det");
+        let b = d2core::rand::driver::improved(&g, &params, &cfg).expect("rand");
+        if g.n() > 0 {
+            assert!(graphs::verify::is_valid_d2_coloring(&g, &a.colors));
+            assert!(graphs::verify::is_valid_d2_coloring(&g, &b.colors));
+        } else {
+            assert!(a.colors.is_empty() && b.colors.is_empty());
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests (proptest) over random graph shapes: the paper's
+//! invariants must hold on *arbitrary* inputs, not just curated workloads.
+
+use d2color::prelude::*;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    // (n, edge probability numerator, degree cap, seed)
+    (4usize..60, 1u32..20, 3usize..8, 0u64..1000).prop_map(|(n, p, cap, seed)| {
+        graphs::gen::gnp_capped(n, f64::from(p) / 100.0, cap, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1.2 on arbitrary graphs: valid, within ∆²+1, deterministic.
+    #[test]
+    fn det_small_always_valid(g in arb_graph(), seed in 0u64..100) {
+        let out = d2core::det::small::run(&g, &Params::practical(), &SimConfig::seeded(seed))
+            .expect("run");
+        prop_assert!(graphs::verify::is_valid_d2_coloring(&g, &out.colors));
+        let d = g.max_degree();
+        prop_assert!(out.palette_bound() <= (d * d).min(g.n() - 1) + 1);
+        prop_assert!(out.metrics.is_congest_compliant());
+    }
+
+    /// Theorem 1.1 on arbitrary graphs.
+    #[test]
+    fn rand_improved_always_valid(g in arb_graph(), seed in 0u64..100) {
+        let out = d2core::rand::driver::improved(&g, &Params::practical(), &SimConfig::seeded(seed))
+            .expect("run");
+        prop_assert!(graphs::verify::is_valid_d2_coloring(&g, &out.colors));
+        let d = g.max_degree();
+        prop_assert!(out.palette_bound() <= (d * d).min(g.n() - 1) + 1);
+    }
+
+    /// The centralized square graph agrees with the distributed conflict
+    /// semantics: any coloring valid per the verifier is a proper coloring
+    /// of the explicit G².
+    #[test]
+    fn square_graph_consistency(g in arb_graph()) {
+        let sq = graphs::square::square(&g);
+        let (colors, _) = graphs::square::greedy_square_coloring(&g);
+        prop_assert!(graphs::verify::is_valid_d2_coloring(&g, &colors));
+        for (u, v) in sq.edges() {
+            prop_assert_ne!(colors[u as usize], colors[v as usize]);
+        }
+    }
+
+    /// Randomized splitting satisfies Definition 3.1 with a safe λ at
+    /// every degree scale (threshold keeps low-degree vertices exempt).
+    #[test]
+    fn randomized_split_definition(g in arb_graph(), seed in 0u64..50) {
+        let mut driver = d2core::Driver::new(&g, SimConfig::seeded(seed));
+        let sides = driver
+            .run_phase("split", &d2core::det::splitting::RandomizedSplit)
+            .expect("split");
+        let result = d2core::det::splitting::SplitResult {
+            sides,
+            lambda: 0.95,
+            threshold: 12,
+        };
+        prop_assert!(result.satisfies_definition(&g, &vec![0; g.n()]));
+    }
+}
