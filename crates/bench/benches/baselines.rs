@@ -1,18 +1,26 @@
 //! Criterion bench for experiment E6: our algorithms against the naive
 //! relay and the oversampled-palette baseline at a fixed workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use benchkit::Algo;
 use congest::SimConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
 use d2core::Params;
 
 fn bench_baselines(c: &mut Criterion) {
     let g = graphs::gen::random_regular(150, 12, 3);
     let mut group = c.benchmark_group("baselines");
     group.sample_size(10);
-    for algo in [Algo::RandImproved, Algo::DetSmall, Algo::Oversampled, Algo::NaiveRelay] {
+    for algo in [
+        Algo::RandImproved,
+        Algo::DetSmall,
+        Algo::Oversampled,
+        Algo::NaiveRelay,
+    ] {
         group.bench_function(algo.name(), |b| {
-            b.iter(|| algo.run(&g, &Params::practical(), &SimConfig::seeded(3)).expect("run"));
+            b.iter(|| {
+                algo.run(&g, &Params::practical(), &SimConfig::seeded(3))
+                    .expect("run")
+            });
         });
     }
     group.finish();

@@ -2,8 +2,8 @@
 //! sampling, splitting, and the verifier — the ablation view of where the
 //! simulated work goes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use congest::SimConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
 use d2core::det::splitting::SplitMode;
 use d2core::Params;
 

@@ -1,0 +1,65 @@
+//! Criterion comparison backing this PR's headline perf claim: verifying a
+//! d2-coloring and building `G²` through the naive per-call
+//! `Graph::d2_neighbors` path vs. the precomputed [`graphs::D2View`] CSR
+//! oracle, on `gnp_capped(2000, 0.05, 32)`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphs::{D2View, NodeId};
+
+/// The old per-call verifier: fresh `Vec` per node per query.
+fn naive_verify(g: &graphs::Graph, colors: &[u32]) -> bool {
+    for v in 0..g.n() as NodeId {
+        let cv = colors[v as usize];
+        for u in g.d2_neighbors(v) {
+            if u > v && colors[u as usize] == cv && cv != u32::MAX {
+                return false;
+            }
+        }
+    }
+    colors.iter().all(|&c| c != u32::MAX)
+}
+
+/// The old square construction: per-call `d2_neighbors` through a builder.
+fn naive_square(g: &graphs::Graph) -> graphs::Graph {
+    let mut b = graphs::GraphBuilder::new(g.n());
+    for v in 0..g.n() as NodeId {
+        for u in g.d2_neighbors(v) {
+            if v < u {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    b.build().expect("square of a valid graph is valid")
+}
+
+fn bench_d2view(c: &mut Criterion) {
+    let g = graphs::gen::gnp_capped(2000, 0.05, 32, 7);
+    let (colors, _) = graphs::square::greedy_square_coloring(&g);
+    let mut group = c.benchmark_group("d2view");
+    group.sample_size(10);
+
+    group.bench_function("verify+square/naive", |b| {
+        b.iter(|| {
+            let ok = naive_verify(&g, &colors);
+            let sq = naive_square(&g);
+            (ok, sq.m())
+        });
+    });
+    group.bench_function("verify+square/d2view", |b| {
+        b.iter(|| {
+            let view = D2View::build(&g);
+            let ok = graphs::verify::is_valid_d2_coloring_with(&view, &colors);
+            let sq = view.to_square();
+            (ok, sq.m())
+        });
+    });
+    // Steady-state view reuse: what experiments that keep the view pay.
+    let view = D2View::build(&g);
+    group.bench_function("verify-only/prebuilt-view", |b| {
+        b.iter(|| graphs::verify::is_valid_d2_coloring_with(&view, &colors));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_d2view);
+criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Criterion bench for experiment E3: Theorem 1.2 end-to-end runs across
 //! the ∆ sweep (rounds scale as ∆²; wall time follows).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use benchkit::Algo;
 use congest::SimConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use d2core::Params;
 
 fn bench_det_small(c: &mut Criterion) {

@@ -3,9 +3,9 @@
 //! by the harness binary. Sizes are kept small so `cargo bench` stays
 //! quick.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use benchkit::Algo;
 use congest::SimConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use d2core::Params;
 
 fn bench_rand_improved(c: &mut Criterion) {

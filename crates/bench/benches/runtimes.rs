@@ -1,9 +1,9 @@
-//! Criterion bench for experiment E12: sequential vs channel-based
+//! Criterion bench for experiment E12: sequential vs batched-transport
 //! parallel runtime on the same protocol (identical results, different
 //! wall-clock).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use congest::SimConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_runtimes(c: &mut Criterion) {
     let g = graphs::gen::random_regular(1000, 10, 4);

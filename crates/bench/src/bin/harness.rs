@@ -1,11 +1,13 @@
-//! Experiment harness: regenerates every table in EXPERIMENTS.md.
+//! Experiment harness: regenerates every table in EXPERIMENTS.md, and the
+//! `BENCH_PR1.json` perf-trajectory report.
 //!
 //! ```sh
 //! cargo run --release -p d2color-bench --bin harness -- all
 //! cargo run --release -p d2color-bench --bin harness -- exp1
+//! cargo run --release -p d2color-bench --bin harness -- bench-pr1 [out.json]
 //! ```
 
-use benchkit::{delta_sweep, loglog_slope, measure, n_sweep, print_table, Algo, Row};
+use benchkit::{delta_sweep, loglog_slope, measure, measure_with, n_sweep, print_table, Algo, Row};
 use congest::SimConfig;
 use d2core::det::splitting::{self, SplitMode};
 use d2core::Params;
@@ -32,10 +34,18 @@ fn slope_note(rows: &[Row], x: impl Fn(&Row) -> f64) {
 /// E1 — Theorem 1.1: rounds of the improved randomized algorithm scale
 /// ~ log ∆ · log n (slope ≪ 1 in n at fixed ∆; gentle in ∆ at fixed n).
 fn exp1() {
-    let rows = run_sweep(Algo::RandImproved, &n_sweep(8, &[100, 200, 400, 800], 1), 11);
+    let rows = run_sweep(
+        Algo::RandImproved,
+        &n_sweep(8, &[100, 200, 400, 800], 1),
+        11,
+    );
     print_table("E1a — T1.1 rounds vs n (∆ = 8)", &rows);
     slope_note(&rows, |r| r.n as f64);
-    let rows = run_sweep(Algo::RandImproved, &delta_sweep(400, &[4, 8, 16, 24], 2), 12);
+    let rows = run_sweep(
+        Algo::RandImproved,
+        &delta_sweep(400, &[4, 8, 16, 24], 2),
+        12,
+    );
     print_table("E1b — T1.1 rounds vs ∆ (n = 400)", &rows);
     slope_note(&rows, |r| r.delta as f64);
 }
@@ -89,12 +99,18 @@ fn exp4() {
 /// E5 — CONGEST compliance across all algorithms.
 fn exp5() {
     let g = graphs::gen::gnp_capped(300, 0.04, 10, 5);
+    let view = graphs::D2View::build(&g);
     let budget = SimConfig::seeded(51).bandwidth_bits(g.n());
     let rows: Vec<Row> = Algo::ALL
         .iter()
-        .map(|&a| measure(a.name(), a, &g, &params(), &SimConfig::seeded(51)).expect("run"))
+        .map(|&a| {
+            measure_with(a.name(), a, &g, &view, &params(), &SimConfig::seeded(51)).expect("run")
+        })
         .collect();
-    print_table(&format!("E5 — bandwidth compliance (budget {budget} bits)"), &rows);
+    print_table(
+        &format!("E5 — bandwidth compliance (budget {budget} bits)"),
+        &rows,
+    );
 }
 
 /// E6 — baseline separation: naive relay pays Θ(∆)/super-round; the
@@ -102,9 +118,13 @@ fn exp5() {
 fn exp6() {
     for d in [8usize, 16, 24] {
         let g = graphs::gen::random_regular(240, d, 6);
+        let view = graphs::D2View::build(&g);
         let rows: Vec<Row> = [Algo::RandImproved, Algo::Oversampled, Algo::NaiveRelay]
             .iter()
-            .map(|&a| measure(a.name(), a, &g, &params(), &SimConfig::seeded(61)).expect("run"))
+            .map(|&a| {
+                measure_with(a.name(), a, &g, &view, &params(), &SimConfig::seeded(61))
+                    .expect("run")
+            })
             .collect();
         print_table(&format!("E6 — baselines at ∆ = {d} (n = 240)"), &rows);
     }
@@ -169,7 +189,11 @@ fn exp8() {
         );
         let lp_res = congest::run(&g, &lp, &cfg).expect("learn");
         let max_tv = lp_res.states.iter().map(|s| s.t_v_size).max().unwrap_or(0);
-        let free: Vec<Vec<u32>> = lp_res.states.iter().map(|s| s.free_palette.clone()).collect();
+        let free: Vec<Vec<u32>> = lp_res
+            .states
+            .iter()
+            .map(|s| s.free_palette.clone())
+            .collect();
         let fin = d2core::rand::finish::FinishColoring::new(palette, know, free);
         let fin_res = congest::run(&g, &fin, &cfg).expect("finish");
         println!(
@@ -210,11 +234,16 @@ fn exp10() {
 /// E11 — stage-by-stage colors through the deterministic pipeline.
 fn exp11() {
     println!("\n### E11 — T1.2 stage-by-stage palette trajectory\n");
-    println!("| graph | K0 = n | after Linial (TB.1) | after loc-iter (TB.4) | after reduce (TB.2) |");
+    println!(
+        "| graph | K0 = n | after Linial (TB.1) | after loc-iter (TB.4) | after reduce (TB.2) |"
+    );
     println!("|---|---|---|---|---|");
     for (name, g) in [
         ("regular(300,6)", graphs::gen::random_regular(300, 6, 10)),
-        ("gnp(1000,cap5)", graphs::gen::gnp_capped(1000, 0.005, 5, 11)),
+        (
+            "gnp(1000,cap5)",
+            graphs::gen::gnp_capped(1000, 0.005, 5, 11),
+        ),
     ] {
         let cfg = SimConfig::seeded(111);
         let scope = d2core::det::Scope::full_d2(&g);
@@ -245,7 +274,11 @@ fn exp12() {
     let t0 = std::time::Instant::now();
     let seq = congest::run(&g, &proto, &cfg).expect("seq");
     let seq_ms = t0.elapsed().as_millis();
-    println!("| {} | 1 (seq) | {seq_ms} | {} | - |", g.n(), seq.metrics.rounds);
+    println!(
+        "| {} | 1 (seq) | {seq_ms} | {} | - |",
+        g.n(),
+        seq.metrics.rounds
+    );
     let seq_cols: Vec<u32> = seq.states.iter().map(|s| s.trial.color()).collect();
     for threads in [2usize, 4, 8] {
         let t0 = std::time::Instant::now();
@@ -261,8 +294,31 @@ fn exp12() {
     }
 }
 
+/// Runs the BENCH_PR1 matrix and writes the JSON report (default path:
+/// `BENCH_PR1.json` in the current directory — the repo root in CI).
+fn bench_pr1() {
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_PR1.json".into());
+    let cells = benchkit::pr1::run_matrix(4);
+    for c in &cells {
+        println!(
+            "{:<18} {:<20} {:<12} wall {:>9.2} ms  rounds {:>6}  msgs/round {:>9.0}  valid {}",
+            c.graph, c.algo, c.runtime, c.wall_ms, c.rounds, c.messages_per_round, c.valid
+        );
+        assert!(c.valid, "benchmark cell produced an invalid coloring");
+    }
+    let doc = benchkit::pr1::to_json(&cells);
+    std::fs::write(&out_path, doc).expect("write BENCH_PR1.json");
+    println!("\nwrote {} cells to {out_path}", cells.len());
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if arg == "bench-pr1" {
+        bench_pr1();
+        return;
+    }
     let exps: Vec<(&str, fn())> = vec![
         ("exp1", exp1),
         ("exp2", exp2),
@@ -286,7 +342,9 @@ fn main() {
         name => match exps.iter().find(|(n, _)| *n == name) {
             Some((_, f)) => f(),
             None => {
-                eprintln!("unknown experiment {name}; available: all, exp1..exp8, exp10..exp12");
+                eprintln!(
+                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1"
+                );
                 std::process::exit(2);
             }
         },

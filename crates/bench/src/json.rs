@@ -1,0 +1,164 @@
+//! A tiny JSON document builder.
+//!
+//! The build environment cannot fetch `serde`/`serde_json`, and the
+//! harness only needs to *emit* one flat report file, so this module
+//! provides exactly that: a [`Json`] value tree with correct string
+//! escaping and deterministic field order, pretty-printed with two-space
+//! indentation.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Finite number (emitted via `f64`; integers print without a dot).
+    Num(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Ordered array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object from key/value pairs (insertion order preserved).
+    #[must_use]
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// String value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Integer value (exact for |x| < 2⁵³, far beyond any metric here).
+    #[must_use]
+    pub fn int(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+
+    /// Serializes with two-space indentation.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close_pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 9e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&pad);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_document() {
+        let doc = Json::obj(vec![
+            ("name", Json::str("bench")),
+            ("ok", Json::Bool(true)),
+            ("count", Json::int(3)),
+            ("ratio", Json::Num(0.5)),
+            ("cells", Json::Arr(vec![Json::int(1), Json::int(2)])),
+            ("nothing", Json::Null),
+        ]);
+        let s = doc.pretty();
+        assert!(s.contains("\"name\": \"bench\""));
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("\"ratio\": 0.5"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let s = Json::str("a\"b\\c\nd\u{1}").pretty();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).pretty(), "{}\n");
+    }
+}

@@ -4,7 +4,10 @@
 use congest::{SimConfig, SimError};
 use d2core::det::splitting::SplitMode;
 use d2core::{ColoringOutcome, Params};
-use graphs::Graph;
+use graphs::{D2View, Graph};
+
+pub mod json;
+pub mod pr1;
 
 /// The algorithms under measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +107,10 @@ pub struct Row {
 
 /// Runs `algo` on `g` and verifies the outcome into a [`Row`].
 ///
+/// Builds the distance-2 oracle once; sweeps measuring several algorithms
+/// on the same graph should build a [`D2View`] themselves and call
+/// [`measure_with`].
+///
 /// # Errors
 ///
 /// Propagates simulator errors.
@@ -111,6 +118,23 @@ pub fn measure(
     label: impl Into<String>,
     algo: Algo,
     g: &Graph,
+    params: &Params,
+    cfg: &SimConfig,
+) -> Result<Row, SimError> {
+    measure_with(label, algo, g, &D2View::build(g), params, cfg)
+}
+
+/// [`measure`] with a prebuilt [`D2View`] (one oracle per experiment, not
+/// one per run).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_with(
+    label: impl Into<String>,
+    algo: Algo,
+    g: &Graph,
+    view: &D2View,
     params: &Params,
     cfg: &SimConfig,
 ) -> Result<Row, SimError> {
@@ -126,7 +150,7 @@ pub fn measure(
         messages: out.metrics.messages,
         max_bits: out.metrics.max_message_bits,
         violations: out.metrics.bandwidth_violations,
-        valid: graphs::verify::is_valid_d2_coloring(g, &out.colors),
+        valid: graphs::verify::is_valid_d2_coloring_with(view, &out.colors),
     })
 }
 
@@ -161,7 +185,10 @@ pub fn n_sweep(delta: usize, sizes: &[usize], seed: u64) -> Vec<(String, Graph)>
     sizes
         .iter()
         .map(|&n| {
-            (format!("regular n={n} d={delta}"), graphs::gen::random_regular(n, delta, seed))
+            (
+                format!("regular n={n} d={delta}"),
+                graphs::gen::random_regular(n, delta, seed),
+            )
         })
         .collect()
 }
@@ -171,7 +198,12 @@ pub fn n_sweep(delta: usize, sizes: &[usize], seed: u64) -> Vec<(String, Graph)>
 pub fn delta_sweep(n: usize, degrees: &[usize], seed: u64) -> Vec<(String, Graph)> {
     degrees
         .iter()
-        .map(|&d| (format!("regular n={n} d={d}"), graphs::gen::random_regular(n, d, seed)))
+        .map(|&d| {
+            (
+                format!("regular n={n} d={d}"),
+                graphs::gen::random_regular(n, d, seed),
+            )
+        })
         .collect()
 }
 
@@ -201,9 +233,14 @@ mod tests {
     #[test]
     fn measure_produces_valid_row() {
         let g = graphs::gen::grid(6, 6);
-        let row =
-            measure("grid", Algo::DetSmall, &g, &Params::practical(), &SimConfig::seeded(1))
-                .expect("measure");
+        let row = measure(
+            "grid",
+            Algo::DetSmall,
+            &g,
+            &Params::practical(),
+            &SimConfig::seeded(1),
+        )
+        .expect("measure");
         assert!(row.valid);
         assert!(row.palette <= row.budget);
         assert_eq!(row.violations, 0);

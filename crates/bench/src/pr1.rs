@@ -1,0 +1,170 @@
+//! `BENCH_PR1.json`: the first anchored point of the performance
+//! trajectory.
+//!
+//! Sweeps a small (graph × algorithm × runtime) matrix, records wall-clock
+//! and CONGEST metrics per cell, and serializes the report. Every cell is
+//! verified through a per-graph prebuilt [`D2View`]; the sequential and
+//! parallel runtimes must produce identical model metrics (rounds,
+//! messages), which the report records so regressions are visible in
+//! review diffs.
+
+use crate::json::Json;
+use crate::Algo;
+use congest::SimConfig;
+use d2core::Params;
+use graphs::D2View;
+use std::time::Instant;
+
+/// One (graph, algorithm, runtime) measurement.
+#[derive(Debug, Clone)]
+pub struct Pr1Cell {
+    /// Workload label.
+    pub graph: String,
+    /// Nodes.
+    pub n: usize,
+    /// Maximum degree.
+    pub delta: usize,
+    /// Algorithm name.
+    pub algo: String,
+    /// Runtime label (`sequential` / `parallel-T`).
+    pub runtime: String,
+    /// Wall-clock milliseconds for the full pipeline.
+    pub wall_ms: f64,
+    /// Rounds to completion (model complexity).
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Messages per round.
+    pub messages_per_round: f64,
+    /// Palette certificate (max color + 1).
+    pub palette: usize,
+    /// Whether the coloring verified against the oracle.
+    pub valid: bool,
+}
+
+/// The workloads × algorithms × runtimes matrix of this PR's benchmark.
+///
+/// # Panics
+///
+/// Panics if any cell's simulation errors — the benchmark graphs are all
+/// known-terminating workloads.
+#[must_use]
+pub fn run_matrix(parallel_threads: usize) -> Vec<Pr1Cell> {
+    let graphs: Vec<(String, graphs::Graph)> = vec![
+        (
+            "regular-n400-d8".into(),
+            graphs::gen::random_regular(400, 8, 1),
+        ),
+        (
+            "gnp-n600-cap10".into(),
+            graphs::gen::gnp_capped(600, 0.02, 10, 2),
+        ),
+        ("torus-20x20".into(), graphs::gen::torus(20, 20)),
+    ];
+    let algos = [Algo::RandImproved, Algo::DetSmall];
+    let runtimes: [(String, Option<usize>); 2] = [
+        ("sequential".into(), None),
+        (
+            format!("parallel-{parallel_threads}"),
+            Some(parallel_threads),
+        ),
+    ];
+    let params = Params::practical();
+    let mut cells = Vec::new();
+    for (glabel, g) in &graphs {
+        let view = D2View::build(g);
+        for algo in algos {
+            for (rlabel, threads) in &runtimes {
+                let cfg = SimConfig::seeded(42).with_threads(*threads);
+                let t0 = Instant::now();
+                let out = algo.run(g, &params, &cfg).expect("benchmark cell failed");
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let rounds = out.rounds();
+                cells.push(Pr1Cell {
+                    graph: glabel.clone(),
+                    n: g.n(),
+                    delta: g.max_degree(),
+                    algo: algo.name().to_string(),
+                    runtime: rlabel.clone(),
+                    wall_ms,
+                    rounds,
+                    messages: out.metrics.messages,
+                    messages_per_round: if rounds == 0 {
+                        0.0
+                    } else {
+                        out.metrics.messages as f64 / rounds as f64
+                    },
+                    palette: out.palette_bound(),
+                    valid: graphs::verify::is_valid_d2_coloring_with(&view, &out.colors),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Serializes cells into the `BENCH_PR1.json` document.
+#[must_use]
+pub fn to_json(cells: &[Pr1Cell]) -> String {
+    let rows: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("graph", Json::str(&c.graph)),
+                ("n", Json::int(c.n as u64)),
+                ("delta", Json::int(c.delta as u64)),
+                ("algo", Json::str(&c.algo)),
+                ("runtime", Json::str(&c.runtime)),
+                ("wall_ms", Json::Num((c.wall_ms * 1000.0).round() / 1000.0)),
+                ("rounds", Json::int(c.rounds)),
+                ("messages", Json::int(c.messages)),
+                (
+                    "messages_per_round",
+                    Json::Num(c.messages_per_round.round()),
+                ),
+                ("palette", Json::int(c.palette as u64)),
+                ("valid", Json::Bool(c.valid)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("bench", Json::str("BENCH_PR1")),
+        (
+            "description",
+            Json::str(
+                "Perf trajectory anchor: (graph x algorithm x runtime) wall-clock and \
+                 CONGEST metrics after the D2View oracle + batched cross-shard transport PR",
+            ),
+        ),
+        ("cells", Json::Arr(rows)),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_required_dimensions_and_serializes() {
+        // A single small cell keeps the unit test quick; the harness runs
+        // the full matrix.
+        let cells = vec![Pr1Cell {
+            graph: "g".into(),
+            n: 10,
+            delta: 3,
+            algo: "a".into(),
+            runtime: "sequential".into(),
+            wall_ms: 1.25,
+            rounds: 4,
+            messages: 40,
+            messages_per_round: 10.0,
+            palette: 7,
+            valid: true,
+        }];
+        let s = to_json(&cells);
+        assert!(s.contains("\"bench\": \"BENCH_PR1\""));
+        assert!(s.contains("\"runtime\": \"sequential\""));
+        assert!(s.contains("\"messages_per_round\": 10"));
+    }
+}

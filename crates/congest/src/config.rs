@@ -35,13 +35,22 @@ pub struct SimConfig {
     pub max_rounds: u64,
     /// Identifier assignment policy.
     pub ids: IdAssignment,
+    /// Worker threads for phase drivers: `None` = sequential runtime,
+    /// `Some(0)` = parallel with available parallelism, `Some(t)` =
+    /// parallel with `t` workers. Both runtimes are bit-identical; this
+    /// only selects the engine, so experiment harnesses can sweep the
+    /// runtime dimension through configuration alone.
+    pub threads: Option<usize>,
 }
 
 impl SimConfig {
     /// A config with the given seed and library defaults otherwise.
     #[must_use]
     pub fn seeded(seed: u64) -> Self {
-        SimConfig { seed, ..SimConfig::default() }
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
     }
 
     /// The per-message budget in bits for a network of `n` nodes.
@@ -71,6 +80,14 @@ impl SimConfig {
         self
     }
 
+    /// Returns `self` with the runtime selection replaced (`None` =
+    /// sequential, `Some(t)` = parallel with `t` workers, 0 = all cores).
+    #[must_use]
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The effective seed for node RNG streams.
     #[must_use]
     pub(crate) fn rng_seed(&self) -> u64 {
@@ -91,6 +108,7 @@ impl Default for SimConfig {
             strict_bandwidth: false,
             max_rounds: 5_000_000,
             ids: IdAssignment::Permuted,
+            threads: None,
         }
     }
 }
@@ -101,7 +119,11 @@ mod tests {
 
     #[test]
     fn bandwidth_budget_scales_with_n() {
-        let c = SimConfig { bandwidth_factor: 4, min_bandwidth_bits: 0, ..SimConfig::default() };
+        let c = SimConfig {
+            bandwidth_factor: 4,
+            min_bandwidth_bits: 0,
+            ..SimConfig::default()
+        };
         assert_eq!(c.bandwidth_bits(1024), 40);
         assert_eq!(c.bandwidth_bits(1 << 20), 80);
     }

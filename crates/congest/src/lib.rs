@@ -18,9 +18,10 @@
 //!
 //! Two interchangeable runtimes execute protocols: a deterministic
 //! [`SequentialRuntime`] and a [`ParallelRuntime`] that shards nodes over
-//! worker threads and moves cross-shard messages through `crossbeam`
-//! channels. Both produce bit-identical results for the same seed, which is
-//! asserted by tests (experiment E12).
+//! worker threads and exchanges cross-shard messages through per-shard-pair
+//! batch buffers swapped at the round barrier (no per-message sends or
+//! allocations). Both produce bit-identical results for the same seed,
+//! which is asserted by tests (experiment E12).
 //!
 //! # Example
 //!

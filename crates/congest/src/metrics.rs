@@ -1,9 +1,7 @@
 //! Run metrics: the quantities the paper's theorems are stated in.
 
-use serde::{Deserialize, Serialize};
-
 /// Aggregated measurements from one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Number of synchronous rounds executed (the paper's complexity unit).
     pub rounds: u64,
@@ -54,7 +52,10 @@ mod tests {
 
     #[test]
     fn record_and_violations() {
-        let mut m = Metrics { bandwidth_bits: 10, ..Metrics::default() };
+        let mut m = Metrics {
+            bandwidth_bits: 10,
+            ..Metrics::default()
+        };
         m.record_message(8, 10);
         m.record_message(12, 10);
         assert_eq!(m.messages, 2);

@@ -21,6 +21,12 @@ impl<M> Inbox<M> {
     }
 
     pub(crate) fn finalize(&mut self) {
+        // Fast path: deliveries arrive in port order most of the time
+        // (sequential runtime, and intra-shard traffic in the parallel
+        // runtime); skip the sort when already sorted.
+        if self.items.windows(2).all(|w| w[0].0 <= w[1].0) {
+            return;
+        }
         self.items.sort_by_key(|&(p, _)| p);
     }
 
@@ -102,7 +108,11 @@ impl<M: Clone> Outbox<M> {
     /// this round — both are protocol bugs, not runtime conditions.
     pub fn send(&mut self, port: Port, msg: M) {
         let p = port as usize;
-        assert!(p < self.degree, "send on port {p} but degree is {}", self.degree);
+        assert!(
+            p < self.degree,
+            "send on port {p} but degree is {}",
+            self.degree
+        );
         assert!(!self.used[p], "duplicate send on port {p} in one round (CONGEST allows one message per edge per round)");
         self.used[p] = true;
         self.items.push((port, msg));

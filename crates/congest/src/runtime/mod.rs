@@ -48,7 +48,10 @@ impl fmt::Display for SimError {
                 write!(f, "protocol did not terminate within {limit} rounds")
             }
             SimError::Bandwidth { round, bits, limit } => {
-                write!(f, "message of {bits} bits exceeded the {limit}-bit budget in round {round}")
+                write!(
+                    f,
+                    "message of {bits} bits exceeded the {limit}-bit budget in round {round}"
+                )
             }
         }
     }
@@ -70,7 +73,7 @@ pub fn run<P: Protocol>(
     SequentialRuntime.execute(graph, protocol, config)
 }
 
-/// Runs `protocol` with the channel-based parallel runtime on
+/// Runs `protocol` with the batched-transport parallel runtime on
 /// `threads` worker threads (0 = number of available CPUs).
 ///
 /// # Errors
@@ -92,7 +95,10 @@ pub fn run_parallel<P: Protocol>(
 /// locally (e.g. ident-ordered turn-taking inside decomposition clusters).
 #[must_use]
 pub fn assigned_idents(graph: &Graph, config: &SimConfig) -> Vec<u64> {
-    build_contexts(graph, config).into_iter().map(|c| c.ident).collect()
+    build_contexts(graph, config)
+        .into_iter()
+        .map(|c| c.ident)
+        .collect()
 }
 
 /// Derives the private RNG stream of node `index` for run seed `seed`.
@@ -178,7 +184,10 @@ mod tests {
     #[test]
     fn sequential_ids_are_indices() {
         let g = gen::path(4);
-        let cfg = SimConfig { ids: IdAssignment::Sequential, ..SimConfig::default() };
+        let cfg = SimConfig {
+            ids: IdAssignment::Sequential,
+            ..SimConfig::default()
+        };
         let ctxs = build_contexts(&g, &cfg);
         assert!(ctxs.iter().enumerate().all(|(i, c)| c.ident == i as u64));
     }
@@ -209,7 +218,11 @@ mod tests {
     fn sim_error_display() {
         let e = SimError::RoundLimitExceeded { limit: 5 };
         assert!(e.to_string().contains('5'));
-        let b = SimError::Bandwidth { round: 1, bits: 99, limit: 64 };
+        let b = SimError::Bandwidth {
+            round: 1,
+            bits: 99,
+            limit: 64,
+        };
         assert!(b.to_string().contains("99"));
     }
 }

@@ -1,25 +1,39 @@
-//! Channel-based parallel runtime.
+//! Batched-transport parallel runtime.
 //!
 //! Nodes are sharded over worker threads. Within a round, each worker steps
-//! its own nodes; messages crossing shard boundaries travel through
-//! `crossbeam` channels (one channel per destination shard). Two barriers
-//! per round keep the system synchronous — exactly the lockstep semantics
-//! of the CONGEST model, now with real inter-thread message passing.
+//! its own nodes; messages crossing shard boundaries are accumulated in
+//! per-(source-shard → destination-shard) batch buffers that are exchanged
+//! wholesale at the existing round barrier — **zero per-message channel
+//! sends or allocations** on the cross-shard path. Each cell of the t×t
+//! buffer matrix is double-buffered by a `Vec` swap: the worker fills its
+//! private buffer during the step phase, swaps it into the shared cell
+//! before the barrier, and gets last round's drained (capacity-retaining)
+//! buffer back. Two barriers per round keep the system synchronous —
+//! exactly the lockstep semantics of the CONGEST model.
 //!
-//! Determinism: per-node RNG streams depend only on `(seed, index)`, and
-//! inboxes are sorted by port before delivery, so the observable behavior
-//! is bit-identical to [`SequentialRuntime`](super::SequentialRuntime)
-//! regardless of thread interleaving (asserted by tests and experiment E12).
+//! Determinism: per-node RNG streams depend only on `(seed, index)`, at
+//! most one message arrives per port per round (the `Outbox` enforces the
+//! CONGEST discipline), and inboxes are sorted by port before delivery, so
+//! the observable behavior is bit-identical to
+//! [`SequentialRuntime`](super::SequentialRuntime) regardless of thread
+//! interleaving or batch arrival order (asserted by tests and experiment
+//! E12).
 
 use super::{build_contexts, build_reverse_ports, node_rng, RunResult, SimError};
 use crate::{Inbox, Message, Metrics, NodeCtx, Outbox, Port, Protocol, SimConfig, Status};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use graphs::Graph;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 
-/// Multi-threaded engine with crossbeam-channel message transport.
+/// One staged cross-shard message: destination node index, arrival port,
+/// payload.
+type Staged<M> = (u32, Port, M);
+
+/// The t×t batch-buffer matrix: `matrix[src][dst]` carries one round's
+/// messages from shard `src` to shard `dst`.
+type MailboxMatrix<M> = Vec<Vec<Mutex<Vec<Staged<M>>>>>;
+
+/// Multi-threaded engine with barrier-batched message transport.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelRuntime {
     threads: usize,
@@ -50,6 +64,7 @@ impl ParallelRuntime {
     ///
     /// Returns [`SimError::RoundLimitExceeded`] if the protocol does not
     /// terminate, or [`SimError::Bandwidth`] in strict mode.
+    #[allow(clippy::too_many_lines)]
     pub fn execute<P: Protocol>(
         &self,
         graph: &Graph,
@@ -61,7 +76,10 @@ impl ParallelRuntime {
         if n == 0 {
             return Ok(RunResult {
                 states: Vec::new(),
-                metrics: Metrics { bandwidth_bits: budget, ..Metrics::default() },
+                metrics: Metrics {
+                    bandwidth_bits: budget,
+                    ..Metrics::default()
+                },
             });
         }
         let t = self.threads.min(n).max(1);
@@ -71,21 +89,28 @@ impl ParallelRuntime {
         let mut ctxs = build_contexts(graph, config);
         let rev = build_reverse_ports(graph);
 
-        // One channel per destination shard; payload = (dest index, arrival port, msg).
-        let mut senders: Vec<Sender<(u32, Port, P::Msg)>> = Vec::with_capacity(t);
-        let mut receivers: Vec<Receiver<(u32, Port, P::Msg)>> = Vec::with_capacity(t);
-        for _ in 0..t {
-            let (s, r) = unbounded();
-            senders.push(s);
-            receivers.push(r);
-        }
+        // The t×t transport matrix: `mailboxes[src][dst]` holds the batch
+        // of messages from shard `src` to shard `dst` for the current
+        // round. Workers swap their full private buffer in before the
+        // barrier and drain their column after it; the same allocations
+        // shuttle back and forth for the whole run.
+        let mailboxes: MailboxMatrix<P::Msg> = (0..t)
+            .map(|_| (0..t).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
 
         let barrier = Barrier::new(t);
         let done_counts = [AtomicU64::new(0), AtomicU64::new(0)];
         let abort = AtomicBool::new(false);
-        let first_error: Mutex<Option<SimError>> = Mutex::new(None);
-        let global_metrics: Mutex<Metrics> =
-            Mutex::new(Metrics { bandwidth_bits: budget, ..Metrics::default() });
+        // Errors are keyed by (round, node index) and the minimum key wins,
+        // so the reported error is the first one in the sequential runtime's
+        // node order — deterministic regardless of which shard records it
+        // first. RoundLimitExceeded uses the maximum key: any bandwidth
+        // violation outranks it.
+        let first_error: Mutex<Option<((u64, usize), SimError)>> = Mutex::new(None);
+        let global_metrics: Mutex<Metrics> = Mutex::new(Metrics {
+            bandwidth_bits: budget,
+            ..Metrics::default()
+        });
         let out_states: Mutex<Vec<(usize, Vec<P::State>)>> = Mutex::new(Vec::new());
 
         // Disjoint mutable context slices, one per shard.
@@ -97,8 +122,7 @@ impl ParallelRuntime {
         std::thread::scope(|scope| {
             for (shard, ctx_slice) in ctx_chunks.into_iter().enumerate() {
                 let start = shard * chunk;
-                let senders = senders.clone();
-                let receiver = receivers[shard].clone();
+                let mailboxes = &mailboxes;
                 let barrier = &barrier;
                 let done_counts = &done_counts;
                 let abort = &abort;
@@ -116,16 +140,21 @@ impl ParallelRuntime {
                         .zip(rngs.iter_mut())
                         .map(|(c, r)| protocol.init(c, r))
                         .collect();
-                    let mut cur: Vec<Inbox<P::Msg>> =
-                        (0..local_n).map(|_| Inbox::new()).collect();
-                    let mut next: Vec<Inbox<P::Msg>> =
-                        (0..local_n).map(|_| Inbox::new()).collect();
+                    let mut cur: Vec<Inbox<P::Msg>> = (0..local_n).map(|_| Inbox::new()).collect();
+                    let mut next: Vec<Inbox<P::Msg>> = (0..local_n).map(|_| Inbox::new()).collect();
                     let mut out: Outbox<P::Msg> = Outbox::new(0);
-                    let mut metrics = Metrics { bandwidth_bits: budget, ..Metrics::default() };
+                    // Private outgoing batch per destination shard, reused
+                    // (and capacity-recycled via the swap) every round.
+                    let mut out_bufs: Vec<Vec<Staged<P::Msg>>> =
+                        (0..t).map(|_| Vec::new()).collect();
+                    let mut metrics = Metrics {
+                        bandwidth_bits: budget,
+                        ..Metrics::default()
+                    };
 
                     let mut finished_ok = false;
                     for round in 0..config.max_rounds {
-                        // ---- Phase A: step local nodes, route messages.
+                        // ---- Phase A: step local nodes, stage messages.
                         let mut local_done = 0u64;
                         for i in 0..local_n {
                             let v = start + i;
@@ -145,36 +174,53 @@ impl ParallelRuntime {
                                 let bits = msg.bits();
                                 metrics.record_message(bits, budget);
                                 if config.strict_bandwidth && bits > budget {
-                                    let mut e = first_error.lock();
-                                    if e.is_none() {
-                                        *e = Some(SimError::Bandwidth {
-                                            round,
-                                            bits,
-                                            limit: budget,
-                                        });
+                                    let mut e = first_error.lock().expect("no poisoned lock");
+                                    let key = (round, v);
+                                    if e.as_ref().is_none_or(|(k, _)| key < *k) {
+                                        *e = Some((
+                                            key,
+                                            SimError::Bandwidth {
+                                                round,
+                                                bits,
+                                                limit: budget,
+                                            },
+                                        ));
                                     }
                                     abort.store(true, Ordering::SeqCst);
                                 }
-                                let dest =
-                                    graph.neighbors(v as u32)[port as usize] as usize;
+                                let dest = graph.neighbors(v as u32)[port as usize] as usize;
                                 let arrival = rev[v][port as usize];
                                 let ds = shard_of(dest);
                                 if ds == shard {
                                     next[dest - start].push(arrival, msg);
                                 } else {
-                                    senders[ds]
-                                        .send((dest as u32, arrival, msg))
-                                        .expect("receiver lives for the whole scope");
+                                    out_bufs[ds].push((dest as u32, arrival, msg));
                                 }
                             }
                         }
-                        done_counts[(round % 2) as usize]
-                            .fetch_add(local_done, Ordering::SeqCst);
+                        // Publish this round's batches: swap each full
+                        // private buffer into the matrix cell, taking back
+                        // the drained buffer from last round.
+                        for (ds, buf) in out_bufs.iter_mut().enumerate() {
+                            if ds != shard {
+                                let mut cell =
+                                    mailboxes[shard][ds].lock().expect("no poisoned lock");
+                                std::mem::swap(&mut *cell, buf);
+                            }
+                        }
+                        done_counts[(round % 2) as usize].fetch_add(local_done, Ordering::SeqCst);
                         barrier.wait();
 
-                        // ---- Phase B: deliver cross-shard messages, rotate inboxes.
-                        for (dest, port, msg) in receiver.try_iter() {
-                            next[dest as usize - start].push(port, msg);
+                        // ---- Phase B: drain the inbound column, rotate
+                        // inboxes.
+                        for (src, row) in mailboxes.iter().enumerate() {
+                            if src == shard {
+                                continue;
+                            }
+                            let mut cell = row[shard].lock().expect("no poisoned lock");
+                            for (dest, port, msg) in cell.drain(..) {
+                                next[dest as usize - start].push(port, msg);
+                            }
                         }
                         for inbox in &mut cur {
                             inbox.clear();
@@ -200,28 +246,39 @@ impl ParallelRuntime {
                         }
                     }
                     if !finished_ok && !abort.load(Ordering::SeqCst) {
-                        let mut e = first_error.lock();
+                        let mut e = first_error.lock().expect("no poisoned lock");
                         if e.is_none() {
-                            *e = Some(SimError::RoundLimitExceeded { limit: config.max_rounds });
+                            *e = Some((
+                                (u64::MAX, usize::MAX),
+                                SimError::RoundLimitExceeded {
+                                    limit: config.max_rounds,
+                                },
+                            ));
                         }
                     }
                     // Only shard 0 reports the round count (identical everywhere).
                     if shard != 0 {
                         metrics.rounds = 0;
                     }
-                    global_metrics.lock().absorb(&metrics);
-                    out_states.lock().push((start, states));
+                    global_metrics
+                        .lock()
+                        .expect("no poisoned lock")
+                        .absorb(&metrics);
+                    out_states
+                        .lock()
+                        .expect("no poisoned lock")
+                        .push((start, states));
                 });
             }
         });
 
-        if let Some(err) = first_error.into_inner() {
+        if let Some((_, err)) = first_error.into_inner().expect("no poisoned lock") {
             return Err(err);
         }
-        let mut shards = out_states.into_inner();
+        let mut shards = out_states.into_inner().expect("no poisoned lock");
         shards.sort_by_key(|&(s, _)| s);
         let states: Vec<P::State> = shards.into_iter().flat_map(|(_, v)| v).collect();
-        let mut metrics = global_metrics.into_inner();
+        let mut metrics = global_metrics.into_inner().expect("no poisoned lock");
         metrics.bandwidth_bits = budget;
         Ok(RunResult { states, metrics })
     }
@@ -339,5 +396,58 @@ mod tests {
             seq.states.iter().map(|s| s.sum).collect::<Vec<_>>(),
             par.states.iter().map(|s| s.sum).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn strict_bandwidth_aborts_in_parallel_with_sequential_error() {
+        /// Every node sends one oversized message whose size encodes its
+        /// index, so the *identity* of the reported violation is
+        /// observable: it must be the first one in node order — the same
+        /// error the sequential runtime returns — on every run.
+        struct Fat;
+        #[derive(Debug, Clone)]
+        struct Huge(u64);
+        impl Message for Huge {
+            fn bits(&self) -> u64 {
+                (1 << 20) + self.0
+            }
+        }
+        impl Protocol for Fat {
+            type State = ();
+            type Msg = Huge;
+            fn init(&self, _: &NodeCtx, _: &mut NodeRng) {}
+            fn round(
+                &self,
+                _: &mut (),
+                ctx: &NodeCtx,
+                _: &mut NodeRng,
+                _: &Inbox<Huge>,
+                out: &mut Outbox<Huge>,
+            ) -> Status {
+                if ctx.round == 0 {
+                    out.broadcast(Huge(u64::from(ctx.index)));
+                    Status::Running
+                } else {
+                    Status::Done
+                }
+            }
+        }
+        let g = gen::cycle(9);
+        let cfg = SimConfig::default().strict();
+        let seq_err = super::super::SequentialRuntime
+            .execute(&g, &Fat, &cfg)
+            .unwrap_err();
+        match seq_err {
+            SimError::Bandwidth { bits, .. } => assert_eq!(bits, 1 << 20),
+            ref other => panic!("expected bandwidth error, got {other:?}"),
+        }
+        for threads in [2usize, 3, 5] {
+            for _ in 0..3 {
+                let err = ParallelRuntime::new(threads)
+                    .execute(&g, &Fat, &cfg)
+                    .unwrap_err();
+                assert_eq!(err, seq_err, "error diverged with {threads} threads");
+            }
+        }
     }
 }

@@ -26,10 +26,15 @@ impl SequentialRuntime {
     ) -> Result<RunResult<P::State>, SimError> {
         let n = graph.n();
         let budget = config.bandwidth_bits(n);
-        let mut metrics = Metrics { bandwidth_bits: budget, ..Metrics::default() };
+        let mut metrics = Metrics {
+            bandwidth_bits: budget,
+            ..Metrics::default()
+        };
         let mut ctxs = build_contexts(graph, config);
         let rev = build_reverse_ports(graph);
-        let mut rngs: Vec<_> = (0..n as u32).map(|v| node_rng(config.rng_seed(), v)).collect();
+        let mut rngs: Vec<_> = (0..n as u32)
+            .map(|v| node_rng(config.rng_seed(), v))
+            .collect();
         let mut states: Vec<P::State> = ctxs
             .iter()
             .zip(rngs.iter_mut())
@@ -56,7 +61,11 @@ impl SequentialRuntime {
                     let bits = msg.bits();
                     metrics.record_message(bits, budget);
                     if config.strict_bandwidth && bits > budget {
-                        return Err(SimError::Bandwidth { round, bits, limit: budget });
+                        return Err(SimError::Bandwidth {
+                            round,
+                            bits,
+                            limit: budget,
+                        });
                     }
                     let dest = graph.neighbors(v as u32)[port as usize] as usize;
                     next[dest].push(rev[v][port as usize], msg);
@@ -74,7 +83,9 @@ impl SequentialRuntime {
                 return Ok(RunResult { states, metrics });
             }
         }
-        Err(SimError::RoundLimitExceeded { limit: config.max_rounds })
+        Err(SimError::RoundLimitExceeded {
+            limit: config.max_rounds,
+        })
     }
 }
 
@@ -97,7 +108,10 @@ mod tests {
         type State = FloodState;
         type Msg = u64;
         fn init(&self, ctx: &NodeCtx, _rng: &mut NodeRng) -> FloodState {
-            FloodState { best: ctx.ident, changed: true }
+            FloodState {
+                best: ctx.ident,
+                changed: true,
+            }
         }
         fn round(
             &self,
@@ -126,9 +140,13 @@ mod tests {
     #[test]
     fn flood_converges_to_global_max_on_path() {
         let g = gen::path(16);
-        let res = SequentialRuntime
-            .execute(&g, &MaxFlood, &SimConfig::default())
-            .unwrap();
+        // Sequential ids put the max identifier at an endpoint, so it must
+        // travel the full diameter (permuted ids could place it centrally).
+        let cfg = SimConfig {
+            ids: crate::IdAssignment::Sequential,
+            ..SimConfig::default()
+        };
+        let res = SequentialRuntime.execute(&g, &MaxFlood, &cfg).unwrap();
         assert!(res.states.iter().all(|s| s.best == 15));
         // The max must travel the diameter; rounds is Θ(n) on a path.
         assert!(res.metrics.rounds >= 15, "rounds = {}", res.metrics.rounds);

@@ -13,7 +13,9 @@
 
 use crate::rand::trials::{self, RandomTrials};
 use crate::{ColoringOutcome, Driver, TrialCore, TrialMsg};
-use congest::{BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, SimConfig, SimError, Status};
+use congest::{
+    BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, SimConfig, SimError, Status,
+};
 use graphs::Graph;
 use rand::Rng;
 
@@ -146,13 +148,14 @@ impl Protocol for NaiveRelay {
                 } else {
                     None
                 };
-                st.trial
-                    .begin_cycle(ctx.degree(), try_color, |p, m| out.send(p, RelayMsg::Trial(m)));
+                st.trial.begin_cycle(ctx.degree(), try_color, |p, m| {
+                    out.send(p, RelayMsg::Trial(m))
+                });
             }
             1 => {
                 // Record direct adoptions (announcements) for counting and
                 // forwarding, then answer tries.
-                for &(_, ref m) in &trial_msgs {
+                for (_, m) in &trial_msgs {
                     if let TrialMsg::Announce(c) = *m {
                         st.used[c as usize] += 1;
                         st.queue.push(c);

@@ -8,10 +8,9 @@
 
 use congest::{Metrics, Protocol, RunResult, SimConfig, SimError};
 use graphs::Graph;
-use serde::{Deserialize, Serialize};
 
 /// Metrics of one named pipeline phase.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PhaseReport {
     /// Human-readable phase name (e.g. `"reduce(64,32)"`).
     pub name: String,
@@ -20,7 +19,7 @@ pub struct PhaseReport {
 }
 
 /// Final product of a coloring pipeline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ColoringOutcome {
     /// Color of each node, indexed by node index.
     pub colors: Vec<u32>,
@@ -66,13 +65,15 @@ pub struct Driver<'g> {
 }
 
 impl<'g> Driver<'g> {
-    /// New sequential driver.
+    /// New driver. Runs sequentially unless `config.threads` selects the
+    /// parallel runtime (both are bit-identical; see experiment E12).
     #[must_use]
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        let threads = config.threads;
         Driver {
             graph,
             config,
-            threads: None,
+            threads,
             phase_counter: 0,
             metrics: Metrics::default(),
             phases: Vec::new(),
@@ -116,7 +117,10 @@ impl<'g> Driver<'g> {
             Some(t) => congest::run_parallel(self.graph, protocol, &cfg, t)?,
         };
         self.metrics.absorb(&metrics);
-        self.phases.push(PhaseReport { name: name.into(), metrics });
+        self.phases.push(PhaseReport {
+            name: name.into(),
+            metrics,
+        });
         Ok(states)
     }
 
@@ -129,7 +133,11 @@ impl<'g> Driver<'g> {
     /// Finalizes into a [`ColoringOutcome`].
     #[must_use]
     pub fn finish(self, colors: Vec<u32>) -> ColoringOutcome {
-        ColoringOutcome { colors, metrics: self.metrics, phases: self.phases }
+        ColoringOutcome {
+            colors,
+            metrics: self.metrics,
+            phases: self.phases,
+        }
     }
 }
 

@@ -255,7 +255,7 @@ impl TrialCore {
         };
         let mut ok = 0usize;
         let mut fail = false;
-        for &(_, ref m) in received {
+        for (_, m) in received {
             if let TrialMsg::Verdict(v) = *m {
                 ok += 1;
                 fail |= !v;
@@ -333,10 +333,9 @@ mod tests {
     fn verdict_detects_simultaneous_tries() {
         let mut core = TrialCore::new(3);
         let mut out = Vec::new();
-        core.verdict_round(
-            &[(0, TrialMsg::Try(4)), (2, TrialMsg::Try(4))],
-            |p, m| out.push((p, m)),
-        );
+        core.verdict_round(&[(0, TrialMsg::Try(4)), (2, TrialMsg::Try(4))], |p, m| {
+            out.push((p, m))
+        });
         // Both proposers of color 4 must be rejected.
         assert!(out.iter().all(|(_, m)| *m == TrialMsg::Verdict(false)));
         assert_eq!(out.len(), 2);
@@ -403,17 +402,12 @@ mod tests {
     fn cross_part_collisions_are_ignored() {
         // w sits between two proposers in different parts, and w's other
         // neighbor (part 1) already holds color 4.
-        let mut core = TrialCore::scoped(
-            1,
-            vec![0, 1, 1],
-            UNCOLORED,
-            vec![UNCOLORED, UNCOLORED, 4],
-        );
+        let mut core =
+            TrialCore::scoped(1, vec![0, 1, 1], UNCOLORED, vec![UNCOLORED, UNCOLORED, 4]);
         let mut out = Vec::new();
-        core.verdict_round(
-            &[(0, TrialMsg::Try(4)), (1, TrialMsg::Try(4))],
-            |p, m| out.push((p, m)),
-        );
+        core.verdict_round(&[(0, TrialMsg::Try(4)), (1, TrialMsg::Try(4))], |p, m| {
+            out.push((p, m))
+        });
         // Proposer in part 0: no same-part conflict → ok.
         // Proposer in part 1: collides with port 2's color 4 → rejected.
         assert_eq!(out.len(), 2);
@@ -423,15 +417,14 @@ mod tests {
 
     #[test]
     fn same_part_simultaneous_tries_rejected_cross_part_allowed() {
-        let mut core = TrialCore::scoped(
-            9,
-            vec![2, 2, 3],
-            UNCOLORED,
-            vec![UNCOLORED; 3],
-        );
+        let mut core = TrialCore::scoped(9, vec![2, 2, 3], UNCOLORED, vec![UNCOLORED; 3]);
         let mut out = Vec::new();
         core.verdict_round(
-            &[(0, TrialMsg::Try(1)), (1, TrialMsg::Try(1)), (2, TrialMsg::Try(1))],
+            &[
+                (0, TrialMsg::Try(1)),
+                (1, TrialMsg::Try(1)),
+                (2, TrialMsg::Try(1)),
+            ],
             |p, m| out.push((p, m)),
         );
         assert!(out.contains(&(0, TrialMsg::Verdict(false))));

@@ -144,11 +144,8 @@ impl GatherCore {
                 if self.dist == Dist::Two {
                     for p in 0..degree {
                         let dest_part = nbr_parts[p];
-                        for q in 0..degree {
-                            if q != p
-                                && nbr_parts[q] == dest_part
-                                && self.direct[q] != crate::UNCOLORED
-                            {
+                        for (q, &qp) in nbr_parts.iter().enumerate() {
+                            if q != p && qp == dest_part && self.direct[q] != crate::UNCOLORED {
                                 self.queues[p].push_back(self.direct[q]);
                             }
                         }
@@ -157,7 +154,7 @@ impl GatherCore {
                 }
             }
             _ => {
-                for &(_, ref m) in received {
+                for (_, m) in received {
                     if let DetMsg::Batch(ref colors) = *m {
                         self.collected.extend_from_slice(colors);
                     }

@@ -76,8 +76,13 @@ fn best_step(k: u64, delta_c: u64) -> IterPlan {
             q = crate::common::next_prime(q);
         }
         let k_out = q * q;
-        if best.map_or(true, |b| k_out < b.k_out) {
-            best = Some(IterPlan { k_in: k, q, d, k_out });
+        if best.is_none_or(|b| k_out < b.k_out) {
+            best = Some(IterPlan {
+                k_in: k,
+                q,
+                d,
+                k_out,
+            });
         }
     }
     best.expect("d = 1 always yields a plan")
@@ -170,7 +175,13 @@ impl Linial {
     ) -> Self {
         let nbr_parts = scope.nbr_parts(g);
         let plans = schedule(k0, scope.delta_c as u64);
-        Linial { scope, nbr_parts, init_colors, plans, budget }
+        Linial {
+            scope,
+            nbr_parts,
+            init_colors,
+            plans,
+            budget,
+        }
     }
 
     /// The color-space size this instance converges to.
@@ -209,7 +220,11 @@ impl Protocol for Linial {
             Some(v) => v[ctx.index as usize],
             None => ctx.ident,
         };
-        LinialState { color, iter: 0, gather: None }
+        LinialState {
+            color,
+            iter: 0,
+            gather: None,
+        }
     }
 
     fn round(
@@ -233,20 +248,15 @@ impl Protocol for Linial {
         loop {
             let gather = st.gather.as_mut().expect("set above");
             let my_color = if active { Some(st.color as u32) } else { None };
-            let complete = gather.step(
-                my_color,
-                my_part,
-                &self.nbr_parts[v],
-                &received,
-                |p, m| out.send(p, m),
-            );
+            let complete = gather.step(my_color, my_part, &self.nbr_parts[v], &received, |p, m| {
+                out.send(p, m)
+            });
             if !complete {
                 return Status::Running;
             }
             // Fold this iteration: compute the new color, move on.
             if active {
-                let conflicts: Vec<u64> =
-                    gather.collected.iter().map(|&c| u64::from(c)).collect();
+                let conflicts: Vec<u64> = gather.collected.iter().map(|&c| u64::from(c)).collect();
                 st.color = reduce_color(st.color, &self.plans[st.iter], &conflicts);
             }
             st.iter += 1;
@@ -360,7 +370,11 @@ mod tests {
     fn linial_part_scoped_d1() {
         let g = graphs::gen::cycle(10);
         let part: Vec<u32> = (0..10).map(|i| (i % 2) as u32).collect();
-        let scope = Scope { part: part.clone(), dist: Dist::One, delta_c: 2 };
+        let scope = Scope {
+            part: part.clone(),
+            dist: Dist::One,
+            delta_c: 2,
+        };
         let cfg = SimConfig::seeded(1);
         let budget = cfg.bandwidth_bits(g.n());
         let proto = Linial::new(&g, scope, None, 10, budget);

@@ -52,7 +52,12 @@ impl LocIter {
     pub fn new(g: &Graph, scope: Scope, psi: Vec<u32>, k_in: u64) -> Self {
         let q = choose_q(k_in, scope.delta_c as u64);
         let nbr_parts = scope.nbr_parts(g);
-        LocIter { scope, nbr_parts, psi, q }
+        LocIter {
+            scope,
+            nbr_parts,
+            psi,
+            q,
+        }
     }
 
     fn candidate(&self, psi: u32, phase: u64) -> u32 {
@@ -94,7 +99,10 @@ impl Protocol for LocIter {
         if self.scope.dist == super::Dist::One {
             trial = trial.distance_one();
         }
-        LocIterState { trial, psi: self.psi[v] }
+        LocIterState {
+            trial,
+            psi: self.psi[v],
+        }
     }
 
     fn round(
@@ -116,7 +124,8 @@ impl Protocol for LocIter {
                 } else {
                     None
                 };
-                st.trial.begin_cycle(ctx.degree(), try_color, |p, m| out.send(p, m));
+                st.trial
+                    .begin_cycle(ctx.degree(), try_color, |p, m| out.send(p, m));
             }
             1 => {
                 st.trial.verdict_round(&received, |p, m| out.send(p, m));
@@ -177,7 +186,11 @@ mod tests {
         assert!(graphs::verify::is_valid_d2_coloring(&g, &colors));
         assert!(colors.iter().all(|&c| u64::from(c) < q), "palette [q]");
         // Rounds: 3 rounds per phase, q + O(1) phases.
-        assert!(res.metrics.rounds <= 3 * (q + 3), "rounds = {}", res.metrics.rounds);
+        assert!(
+            res.metrics.rounds <= 3 * (q + 3),
+            "rounds = {}",
+            res.metrics.rounds
+        );
         assert!(res.metrics.is_congest_compliant());
     }
 
@@ -199,7 +212,11 @@ mod tests {
     fn loc_iter_part_scoped() {
         let g = graphs::gen::cycle(12);
         let part: Vec<u32> = (0..12).map(|i| (i % 3 == 0) as u32).collect();
-        let scope = Scope { part: part.clone(), dist: Dist::One, delta_c: 2 };
+        let scope = Scope {
+            part: part.clone(),
+            dist: Dist::One,
+            delta_c: 2,
+        };
         let psi: Vec<u32> = (0..12).collect();
         let proto = LocIter::new(&g, scope, psi, 12);
         let res = congest::run(&g, &proto, &SimConfig::seeded(5)).unwrap();

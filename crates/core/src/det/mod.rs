@@ -66,7 +66,11 @@ impl Scope {
     pub fn full_d2(g: &graphs::Graph) -> Self {
         let d = g.max_degree();
         let dc = (d * d).min(g.n().saturating_sub(1));
-        Scope { part: vec![0; g.n()], dist: Dist::Two, delta_c: dc }
+        Scope {
+            part: vec![0; g.n()],
+            dist: Dist::Two,
+            delta_c: dc,
+        }
     }
 
     /// The ordinary-coloring scope: one part, distance-1,
@@ -74,7 +78,11 @@ impl Scope {
     #[must_use]
     pub fn full_d1(g: &graphs::Graph) -> Self {
         let dc = g.max_degree().min(g.n().saturating_sub(1));
-        Scope { part: vec![0; g.n()], dist: Dist::One, delta_c: dc }
+        Scope {
+            part: vec![0; g.n()],
+            dist: Dist::One,
+            delta_c: dc,
+        }
     }
 
     /// Whether node `v` participates.
@@ -89,7 +97,12 @@ impl Scope {
     #[must_use]
     pub fn nbr_parts(&self, g: &graphs::Graph) -> Vec<Vec<u32>> {
         (0..g.n() as u32)
-            .map(|v| g.neighbors(v).iter().map(|&u| self.part[u as usize]).collect())
+            .map(|v| {
+                g.neighbors(v)
+                    .iter()
+                    .map(|&u| self.part[u as usize])
+                    .collect()
+            })
             .collect()
     }
 }
@@ -116,7 +129,11 @@ mod tests {
     #[test]
     fn nbr_parts_follow_ports() {
         let g = graphs::gen::path(3);
-        let scope = Scope { part: vec![5, NO_PART, 7], dist: Dist::One, delta_c: 2 };
+        let scope = Scope {
+            part: vec![5, NO_PART, 7],
+            dist: Dist::One,
+            delta_c: 2,
+        };
         let np = scope.nbr_parts(&g);
         assert_eq!(np[1], vec![5, 7]);
         assert!(!scope.is_active(1));

@@ -43,7 +43,14 @@ impl ReduceColors {
     pub fn new(g: &Graph, scope: Scope, init_colors: Vec<u32>, k_in: u64, budget: u64) -> Self {
         let target = scope.delta_c as u64 + 1;
         let nbr_parts = scope.nbr_parts(g);
-        ReduceColors { scope, nbr_parts, init_colors, k_in, target, budget }
+        ReduceColors {
+            scope,
+            nbr_parts,
+            init_colors,
+            k_in,
+            target,
+            budget,
+        }
     }
 
     /// Number of recoloring phases (0 when the input is already small).
@@ -119,10 +126,9 @@ impl Protocol for ReduceColors {
             }
             let gather = st.gather.as_mut().expect("set above");
             let my_color = if active { Some(st.color) } else { None };
-            let complete =
-                gather.step(my_color, my_part, &self.nbr_parts[v], &received, |p, m| {
-                    out.send(p, m);
-                });
+            let complete = gather.step(my_color, my_part, &self.nbr_parts[v], &received, |p, m| {
+                out.send(p, m);
+            });
             if complete {
                 for &c in &gather.collected {
                     st.counts[c as usize] += 1;
@@ -134,9 +140,9 @@ impl Protocol for ReduceColors {
 
         let t = ctx.round - g_rounds;
         let phase = t / 2;
-        if t % 2 == 0 {
+        if t.is_multiple_of(2) {
             // Fold forwarded updates from the previous phase, then decide.
-            for &(_, ref m) in &received {
+            for (_, m) in &received {
                 if let DetMsg::Fwd { old, new } = *m {
                     st.bump(old, new);
                 }

@@ -79,7 +79,13 @@ pub fn pipeline(driver: &mut Driver<'_>, scope: &Scope) -> Result<Vec<u32>, SimE
     Ok(states
         .iter()
         .enumerate()
-        .map(|(v, s)| if scope.is_active(v) { s.color } else { UNCOLORED })
+        .map(|(v, s)| {
+            if scope.is_active(v) {
+                s.color
+            } else {
+                UNCOLORED
+            }
+        })
         .collect())
 }
 
@@ -101,7 +107,10 @@ mod tests {
             "palette {} > {bound} on {g:?}",
             out.palette_bound()
         );
-        assert!(out.metrics.is_congest_compliant(), "bandwidth violated on {g:?}");
+        assert!(
+            out.metrics.is_congest_compliant(),
+            "bandwidth violated on {g:?}"
+        );
         out
     }
 

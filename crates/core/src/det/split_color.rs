@@ -24,7 +24,7 @@
 use super::{small, splitting, Dist, Scope};
 use crate::{ColoringOutcome, Driver, Params};
 use congest::{SimConfig, SimError};
-use graphs::Graph;
+use graphs::{D2View, Graph};
 
 /// Extra information reported alongside the coloring.
 #[derive(Debug, Clone)]
@@ -40,11 +40,12 @@ pub struct SplitColorReport {
 }
 
 /// Maximum number of same-part distance-≤2 neighbors over all nodes.
+/// One pass over a prebuilt [`D2View`]; allocation-free.
 #[must_use]
-pub fn max_part_d2_degree(g: &Graph, part: &[u32]) -> usize {
-    (0..g.n() as u32)
+pub fn max_part_d2_degree(view: &D2View, part: &[u32]) -> usize {
+    (0..view.n() as u32)
         .map(|v| {
-            g.d2_neighbors(v)
+            view.d2_neighbors(v)
                 .iter()
                 .filter(|&&u| part[u as usize] == part[v as usize])
                 .count()
@@ -67,11 +68,17 @@ pub fn run(
     force_levels: Option<u32>,
 ) -> Result<(ColoringOutcome, SplitColorReport), SimError> {
     let mut driver = Driver::new(g, cfg.clone());
-    let split =
-        splitting::recursive_split(&mut driver, params, epsilon / 4.0, mode, force_levels)?;
-    let delta_c = max_part_d2_degree(g, &split.part).max(1);
+    let split = splitting::recursive_split(&mut driver, params, epsilon / 4.0, mode, force_levels)?;
+    // Built once per experiment: this is the only centralized d2 oracle
+    // query of the whole pipeline (the distributed phases never see G²).
+    let view = D2View::build(g);
+    let delta_c = max_part_d2_degree(&view, &split.part).max(1);
 
-    let scope = Scope { part: split.part.clone(), dist: Dist::Two, delta_c };
+    let scope = Scope {
+        part: split.part.clone(),
+        dist: Dist::Two,
+        delta_c,
+    };
     let local = small::pipeline(&mut driver, &scope)?;
     let stride = delta_c as u32 + 1;
     let colors: Vec<u32> = local
@@ -147,8 +154,8 @@ mod tests {
 
     #[test]
     fn part_d2_degree_helper() {
-        let g = gen::path(4);
-        assert_eq!(max_part_d2_degree(&g, &[0, 0, 0, 0]), 3);
-        assert_eq!(max_part_d2_degree(&g, &[0, 1, 0, 1]), 1);
+        let view = D2View::build(&gen::path(4));
+        assert_eq!(max_part_d2_degree(&view, &[0, 0, 0, 0]), 3);
+        assert_eq!(max_part_d2_degree(&view, &[0, 1, 0, 1]), 1);
     }
 }

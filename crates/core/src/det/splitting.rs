@@ -198,7 +198,13 @@ impl DerandSplit {
             offset += longest;
         }
         let _ = part;
-        DerandSplit { nbr_parts, fix_slot, total_slots: offset, lambda, threshold }
+        DerandSplit {
+            nbr_parts,
+            fix_slot,
+            total_slots: offset,
+            lambda,
+            threshold,
+        }
     }
 
     /// Total rounds the protocol occupies (3 per slot).
@@ -225,7 +231,11 @@ impl Protocol for DerandSplit {
             .map(|(p, d)| (p, TailEstimator::new(d, self.lambda), 0, 0))
             .collect();
         trackers.sort_by_key(|t| t.0);
-        DerandState { side: false, fixed: false, trackers }
+        DerandState {
+            side: false,
+            fixed: false,
+            trackers,
+        }
     }
 
     fn round(
@@ -283,7 +293,7 @@ impl Protocol for DerandSplit {
                 // The fixer decides; everyone folds in announced sides.
                 if !st.fixed && self.fix_slot[v] == slot && slot < self.total_slots {
                     let (mut red_sum, mut blue_sum) = (0.0, 0.0);
-                    for &(_, ref m) in inbox.iter() {
+                    for (_, m) in inbox.iter() {
                         if let SplitMsg::Cond(r, b) = *m {
                             red_sum += r;
                             blue_sum += b;
@@ -354,9 +364,11 @@ pub fn recursive_split(
     let delta = g.max_degree();
     let ln_n = (n.max(2) as f64).ln();
     let log_delta = (delta.max(2) as f64).log2();
-    let lambda = (epsilon / (10.0 * log_delta)).max(params.lambda_floor).min(0.9);
-    let threshold = ((params.split_threshold_coeff * ln_n / (lambda * lambda)).ceil() as usize)
-        .max(2);
+    let lambda = (epsilon / (10.0 * log_delta))
+        .max(params.lambda_floor)
+        .min(0.9);
+    let threshold =
+        ((params.split_threshold_coeff * ln_n / (lambda * lambda)).ceil() as usize).max(2);
     let stop = (params.split_stop_coeff * epsilon.powi(-2) * ln_n.powi(3)).max(1.0);
 
     // h = smallest integer with ((1+λ)/2)^h · ∆ ≤ stop.
@@ -388,20 +400,15 @@ pub fn recursive_split(
     for level in 0..h {
         let sides: Vec<Side> = match mode {
             SplitMode::Randomized => {
-                let states = driver.run_phase(format!("rand-split(level={level})"), &RandomizedSplit)?;
+                let states =
+                    driver.run_phase(format!("rand-split(level={level})"), &RandomizedSplit)?;
                 states
             }
             SplitMode::Deterministic => {
                 let decomposition = decomp::oracle::decompose_power(g, 2, None);
                 charged += decomp::linial_saks::charged_rounds(n, 2);
-                let proto = DerandSplit::new(
-                    g,
-                    &decomposition,
-                    &idents,
-                    part.clone(),
-                    lambda,
-                    threshold,
-                );
+                let proto =
+                    DerandSplit::new(g, &decomposition, &idents, part.clone(), lambda, threshold);
                 let states = driver.run_phase(format!("derand-split(level={level})"), &proto)?;
                 states.into_iter().map(|s| s.side).collect()
             }
@@ -411,7 +418,14 @@ pub fn recursive_split(
         }
     }
     let delta_h = (bound.ceil() as usize).max(1);
-    Ok(PartitionOutcome { part, levels: h, delta_h, lambda, threshold, charged_rounds: charged })
+    Ok(PartitionOutcome {
+        part,
+        levels: h,
+        delta_h,
+        lambda,
+        threshold,
+        charged_rounds: charged,
+    })
 }
 
 /// Centralized check of the Lemma 3.3 postcondition: max neighbors of any
@@ -489,7 +503,11 @@ mod tests {
         let g = gen::random_regular(200, 20, 7);
         let mut driver = Driver::new(&g, SimConfig::seeded(3));
         let sides = driver.run_phase("split", &RandomizedSplit).unwrap();
-        let result = SplitResult { sides, lambda: 0.8, threshold: 10 };
+        let result = SplitResult {
+            sides,
+            lambda: 0.8,
+            threshold: 10,
+        };
         assert!(result.satisfies_definition(&g, &vec![0; g.n()]));
     }
 
@@ -521,9 +539,17 @@ mod tests {
     fn split_result_definition_check_works() {
         let g = gen::path(3);
         // Node 1 has both neighbors red: with threshold 2, λ=0 this fails.
-        let bad = SplitResult { sides: vec![true, false, true], lambda: 0.0, threshold: 2 };
+        let bad = SplitResult {
+            sides: vec![true, false, true],
+            lambda: 0.0,
+            threshold: 2,
+        };
         assert!(!bad.satisfies_definition(&g, &[0, 0, 0]));
-        let good = SplitResult { sides: vec![true, false, false], lambda: 0.0, threshold: 2 };
+        let good = SplitResult {
+            sides: vec![true, false, false],
+            lambda: 0.0,
+            threshold: 2,
+        };
         assert!(good.satisfies_definition(&g, &[0, 0, 0]));
     }
 }

@@ -84,7 +84,10 @@ pub fn run(
     // Step 2 (initial random trials) — run before similarity, matching
     // Improved-d2-Color's ordering; both orders are valid for d2-Color.
     let cycles = params.initial_trials(n);
-    let st = driver.run_phase(format!("initial-trials(x{cycles})"), &RandomTrials::new(palette, cycles))?;
+    let st = driver.run_phase(
+        format!("initial-trials(x{cycles})"),
+        &RandomTrials::new(palette, cycles),
+    )?;
     let mut know = trials::knowledge(&st);
 
     // Step 1: similarity graphs.
@@ -111,15 +114,7 @@ pub fn run(
     let c2ln = params.c2_log_n(n);
     let mut tau = params.c1_leeway_frac * dc as f64;
     while tau > c2ln {
-        let proto = Reduce::new(
-            params,
-            n,
-            palette,
-            2.0 * tau,
-            tau,
-            know,
-            sim.clone(),
-        );
+        let proto = Reduce::new(params, n, palette, 2.0 * tau, tau, know, sim.clone());
         let st = driver.run_phase(format!("reduce({:.0},{:.0})", 2.0 * tau, tau), &proto)?;
         know = reduce::knowledge(&st);
         tau /= 2.0;
@@ -206,7 +201,13 @@ mod tests {
         check(&gen::empty(4), Variant::Improved, 1);
         check(&gen::path(2), Variant::Basic, 2);
         let g = gen::empty(0);
-        let out = run(&g, &Params::practical(), &SimConfig::seeded(1), Variant::Improved).unwrap();
+        let out = run(
+            &g,
+            &Params::practical(),
+            &SimConfig::seeded(1),
+            Variant::Improved,
+        )
+        .unwrap();
         assert!(out.colors.is_empty());
     }
 

@@ -15,9 +15,9 @@
 //! against a stale palette merely wastes the cycle (the handshake rejects
 //! it); validity is never at risk.
 
-use crate::{TrialCore, TrialMsg};
 #[cfg(test)]
 use crate::UNCOLORED;
+use crate::{TrialCore, TrialMsg};
 use congest::{BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, Status};
 use rand::prelude::*;
 
@@ -53,7 +53,11 @@ impl FinishColoring {
     /// (`LearnPalette` output; empty for colored nodes).
     #[must_use]
     pub fn new(palette: u32, knowledge: Vec<(u32, Vec<u32>)>, free: Vec<Vec<u32>>) -> Self {
-        FinishColoring { palette, knowledge, free }
+        FinishColoring {
+            palette,
+            knowledge,
+            free,
+        }
     }
 }
 
@@ -119,8 +123,7 @@ impl Protocol for FinishColoring {
         }
         match ctx.round % 3 {
             0 => {
-                let try_color = if st.trial.is_live() && !st.free.is_empty() && rng.gen_bool(0.5)
-                {
+                let try_color = if st.trial.is_live() && !st.free.is_empty() && rng.gen_bool(0.5) {
                     Some(st.free[rng.gen_range(0..st.free.len())])
                 } else {
                     None
@@ -132,7 +135,8 @@ impl Protocol for FinishColoring {
                     .begin_cycle(degree, try_color, |p, m| out.send(p, FinMsg::Trial(m)));
             }
             1 => {
-                st.trial.verdict_round(&tries, |p, m| out.send(p, FinMsg::Trial(m)));
+                st.trial
+                    .verdict_round(&tries, |p, m| out.send(p, FinMsg::Trial(m)));
             }
             _ => {
                 let _ = st.trial.resolve(degree, &verdicts);
@@ -183,6 +187,7 @@ mod tests {
     /// and check FinishColoring completes quickly and validly.
     fn run_finish(g: &graphs::Graph, pre_colors: Vec<u32>, seed: u64) -> (Vec<u32>, u64) {
         let d = g.max_degree();
+        let view = graphs::D2View::build(g);
         let palette = ((d * d).min(g.n().saturating_sub(1)) + 1) as u32;
         let knowledge: Vec<(u32, Vec<u32>)> = (0..g.n() as u32)
             .map(|v| {
@@ -201,7 +206,9 @@ mod tests {
                 }
                 (0..palette)
                     .filter(|&c| {
-                        g.d2_neighbors(v).iter().all(|&u| pre_colors[u as usize] != c)
+                        view.d2_neighbors(v)
+                            .iter()
+                            .all(|&u| pre_colors[u as usize] != c)
                     })
                     .collect()
             })

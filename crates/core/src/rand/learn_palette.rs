@@ -28,9 +28,7 @@
 
 use super::similarity::SimilarityKnowledge;
 use crate::{Params, UNCOLORED};
-use congest::{
-    BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, Status,
-};
+use congest::{BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, Status};
 use rand::prelude::*;
 use std::collections::HashMap;
 
@@ -137,7 +135,10 @@ impl Message for LpMsg {
             LpMsg::Report { i, missing } => {
                 tag + BitCost::uint(u64::from(*i))
                     + 8
-                    + missing.iter().map(|&c| BitCost::uint(u64::from(c))).sum::<u64>()
+                    + missing
+                        .iter()
+                        .map(|&c| BitCost::uint(u64::from(c)))
+                        .sum::<u64>()
             }
             LpMsg::TQuery(cs) | LpMsg::TReply(cs) => {
                 tag + 8 + cs.iter().map(|&c| BitCost::uint(u64::from(c))).sum::<u64>()
@@ -183,10 +184,8 @@ impl LearnPalette {
         let w_assign = u64::from(z_blocks) + 1;
         let w_inform =
             ((params.learn_fanout_coeff * (delta as f64 * ln_n).sqrt()).ceil() as u64).max(2) + 2;
-        let w_gossip = ((params.learn_gossip_coeff
-            * ln_n
-            * (1.0 + (ln_n / delta as f64).sqrt()))
-        .ceil() as u64)
+        let w_gossip = ((params.learn_gossip_coeff * ln_n * (1.0 + (ln_n / delta as f64).sqrt()))
+            .ceil() as u64)
             .max(4)
             + 4;
         LearnPalette {
@@ -341,8 +340,14 @@ impl Protocol for LearnPalette {
                 LpMsg::Gossip2 { v, color } => {
                     let i = self.block_of(*color);
                     if let Some(&ptr) = st.inform_ptr.get(&(*v, i)) {
-                        st.capture_queue
-                            .push((ptr, LpMsg::ToHandler { v: *v, i, color: *color }));
+                        st.capture_queue.push((
+                            ptr,
+                            LpMsg::ToHandler {
+                                v: *v,
+                                i,
+                                color: *color,
+                            },
+                        ));
                     } else if let Some(entry) = st.handled.get_mut(&(*v, i)) {
                         entry.1.push(*color);
                     }
@@ -351,8 +356,14 @@ impl Protocol for LearnPalette {
                     if let Some(entry) = st.handled.get_mut(&(*v, *i)) {
                         entry.1.push(*color);
                     } else if let Some(&ptr) = st.inform_ptr.get(&(*v, *i)) {
-                        st.capture_queue
-                            .push((ptr, LpMsg::ToHandler2 { v: *v, i: *i, color: *color }));
+                        st.capture_queue.push((
+                            ptr,
+                            LpMsg::ToHandler2 {
+                                v: *v,
+                                i: *i,
+                                color: *color,
+                            },
+                        ));
                     }
                 }
                 LpMsg::ToHandler2 { v, i, color } => {
@@ -366,9 +377,7 @@ impl Protocol for LearnPalette {
                     let used: Vec<u32> = cs
                         .iter()
                         .copied()
-                        .filter(|&c| {
-                            c == st.color || st.nbr_colors.iter().any(|&nc| nc == c)
-                        })
+                        .filter(|&c| c == st.color || st.nbr_colors.contains(&c))
                         .collect();
                     st.t7_reply_queues[p as usize].extend(used);
                 }
@@ -415,12 +424,17 @@ impl Protocol for LearnPalette {
                 st.live_d2.remove(i);
             }
             if live && degree > 0 {
-                let h_ports: Vec<Port> =
-                    (0..degree as Port).filter(|&p| sim.h_with_self(p)).collect();
-                let pool: Vec<Port> =
-                    if h_ports.is_empty() { (0..degree as Port).collect() } else { h_ports };
-                st.my_handler_port =
-                    (0..self.z_blocks).map(|i| pool[i as usize % pool.len()]).collect();
+                let h_ports: Vec<Port> = (0..degree as Port)
+                    .filter(|&p| sim.h_with_self(p))
+                    .collect();
+                let pool: Vec<Port> = if h_ports.is_empty() {
+                    (0..degree as Port).collect()
+                } else {
+                    h_ports
+                };
+                st.my_handler_port = (0..self.z_blocks)
+                    .map(|i| pool[i as usize % pool.len()])
+                    .collect();
             }
             if !live {
                 let copies = 3usize;
@@ -502,8 +516,10 @@ impl Protocol for LearnPalette {
             for ((_vid, i), (port, mut heard)) in handled {
                 heard.sort_unstable();
                 heard.dedup();
-                let missing: Vec<u32> =
-                    self.block_colors(i).filter(|c| heard.binary_search(c).is_err()).collect();
+                let missing: Vec<u32> = self
+                    .block_colors(i)
+                    .filter(|c| heard.binary_search(c).is_err())
+                    .collect();
                 st.report_queue.push((port, i, missing, false));
             }
             st.report_queue.sort_by_key(|&(p, i, _, _)| (p, i));
@@ -551,7 +567,7 @@ impl Protocol for LearnPalette {
                 }
                 t.sort_unstable();
                 t.dedup();
-                t.retain(|&c| c != st.color && !st.nbr_colors.iter().any(|&nc| nc == c));
+                t.retain(|&c| c != st.color && !st.nbr_colors.contains(&c));
                 st.t_v_size = t.len();
                 st.t7_send = t.clone();
                 st.t_candidates = t;
@@ -578,6 +594,7 @@ impl Protocol for LearnPalette {
             st.pass = Pass::AwaitingReplies;
         }
         // Serve other nodes' passes.
+        #[allow(clippy::needless_range_loop)] // `p` indexes three parallel per-port arrays
         for p in 0..degree {
             if used[p] {
                 continue;
@@ -608,8 +625,8 @@ impl Protocol for LearnPalette {
             }
             st.pass = Pass::Complete;
         }
-        let all_served = (0..degree)
-            .all(|p| st.t7_reply_queues[p].is_empty() && !st.t7_pending_end[p]);
+        let all_served =
+            (0..degree).all(|p| st.t7_reply_queues[p].is_empty() && !st.t7_pending_end[p]);
         if st.pass == Pass::Complete
             && all_served
             && st.report_queue.is_empty()
@@ -664,6 +681,7 @@ mod tests {
             (gen::clique_ring(3, 7), 2),
             (gen::gnp_capped(80, 0.1, 6, 3), 3),
         ] {
+            let view = graphs::D2View::build(&g);
             let (states, metrics, palette) = run_lp(&g, 2, seed);
             let colors: Vec<u32> = states.iter().map(|s| s.color).collect();
             for v in 0..g.n() as u32 {
@@ -672,7 +690,9 @@ mod tests {
                 }
                 let truly_free: Vec<u32> = (0..palette)
                     .filter(|&c| {
-                        g.d2_neighbors(v).iter().all(|&u| colors[u as usize] != c)
+                        view.d2_neighbors(v)
+                            .iter()
+                            .all(|&u| colors[u as usize] != c)
                     })
                     .collect();
                 assert_eq!(
@@ -688,14 +708,16 @@ mod tests {
     #[test]
     fn live_d2_lists_are_exact() {
         let g = gen::grid(5, 5);
+        let view = graphs::D2View::build(&g);
         let cfg = SimConfig::seeded(9);
         let (states, _, _) = run_lp(&g, 1, 9);
         let idents = congest::assigned_idents(&g, &cfg);
         let colors: Vec<u32> = states.iter().map(|s| s.color).collect();
         for v in 0..g.n() as u32 {
-            let mut expect: Vec<u64> = g
+            let mut expect: Vec<u64> = view
                 .d2_neighbors(v)
-                .into_iter()
+                .iter()
+                .copied()
                 .filter(|&u| colors[u as usize] == UNCOLORED)
                 .map(|u| idents[u as usize])
                 .collect();

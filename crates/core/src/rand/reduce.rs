@@ -27,9 +27,7 @@
 use super::sampling::{RelayTarget, SampMsg, SamplerCore, SlotRoute};
 use super::similarity::SimilarityKnowledge;
 use crate::{Params, TrialCore, TrialMsg, UNCOLORED};
-use congest::{
-    BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, Status,
-};
+use congest::{BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, Status};
 use rand::prelude::*;
 
 /// Messages of the `Reduce` protocol.
@@ -105,9 +103,7 @@ impl Message for ReduceMsg {
                 tag + BitCost::uint(*v) + BitCost::uint(u64::from(*slot))
             }
             ReduceMsg::AdjAck(_) => tag + 1,
-            ReduceMsg::Proposal(c) | ReduceMsg::ColorOffer(c) => {
-                tag + BitCost::uint(u64::from(*c))
-            }
+            ReduceMsg::Proposal(c) | ReduceMsg::ColorOffer(c) => tag + BitCost::uint(u64::from(*c)),
             ReduceMsg::Trial(t) => tag + t.bits(),
             ReduceMsg::Both(a, b) => a.bits() + b.bits(),
         }
@@ -187,7 +183,16 @@ impl Reduce {
         let rho = u32::try_from(params.rho(phi, tau, n)).unwrap_or(u32::MAX);
         let act_p = (tau / (params.act_denom * phi)).clamp(0.0, 1.0);
         let query_p = (1.0 / (params.query_denom * phi)).clamp(0.0, 1.0);
-        Reduce { phi, tau, rho, palette, act_p, query_p, knowledge, sim }
+        Reduce {
+            phi,
+            tau,
+            rho,
+            palette,
+            act_p,
+            query_p,
+            knowledge,
+            sim,
+        }
     }
 
     /// Total rounds: sampling window + `ρ` phases + announce flush.
@@ -220,7 +225,9 @@ struct Intents {
 
 impl Intents {
     fn new(degree: usize) -> Self {
-        Intents { by_port: vec![Vec::new(); degree] }
+        Intents {
+            by_port: vec![Vec::new(); degree],
+        }
     }
 
     fn stage(&mut self, port: Port, msg: ReduceMsg) {
@@ -294,9 +301,10 @@ impl Protocol for Reduce {
                     _ => None,
                 })
                 .collect();
-            st.sampler.round(ctx.round, ctx, rng, sim, &samp_msgs, |p, m| {
-                out.send(p, ReduceMsg::Samp(m));
-            });
+            st.sampler
+                .round(ctx.round, ctx, rng, sim, &samp_msgs, |p, m| {
+                    out.send(p, ReduceMsg::Samp(m));
+                });
             return Status::Running;
         }
 
@@ -306,7 +314,8 @@ impl Protocol for Reduce {
             // Tail: flush the last adoption announcement, then stop.
             let tail = t - u64::from(self.rho) * Self::PERIOD;
             if tail == 0 {
-                st.trial.begin_cycle(degree, None, |p, m| out.send(p, ReduceMsg::Trial(m)));
+                st.trial
+                    .begin_cycle(degree, None, |p, m| out.send(p, ReduceMsg::Trial(m)));
                 return Status::Running;
             }
             return Status::Done;
@@ -335,10 +344,7 @@ impl Protocol for Reduce {
                     st.flow.uprime_v = Some(vp);
                     let vid = ctx.neighbor_idents[vp as usize];
                     for q in 0..degree as Port {
-                        if q != vp
-                            && sim.hhat_between_ports(vp, q)
-                            && rng.gen_bool(self.query_p)
-                        {
+                        if q != vp && sim.hhat_between_ports(vp, q) && rng.gen_bool(self.query_p) {
                             intents.stage(q, ReduceMsg::Query { v: vid });
                         }
                     }
@@ -363,7 +369,13 @@ impl Protocol for Reduce {
                     };
                     st.flow.u = Some((vid, back, cand));
                     for p in 0..degree as Port {
-                        intents.stage(p, ReduceMsg::Probe { v: vid, color: cand });
+                        intents.stage(
+                            p,
+                            ReduceMsg::Probe {
+                                v: vid,
+                                color: cand,
+                            },
+                        );
                     }
                 }
             }
@@ -381,7 +393,13 @@ impl Protocol for Reduce {
                                 used = true;
                             }
                         }
-                        intents.stage(*p, ReduceMsg::ProbeAck { adj_v, color_used: used });
+                        intents.stage(
+                            *p,
+                            ReduceMsg::ProbeAck {
+                                adj_v,
+                                color_used: used,
+                            },
+                        );
                     }
                 }
             }
@@ -549,11 +567,13 @@ impl Protocol for Reduce {
                 if try_color.is_some() {
                     st.trials += 1;
                 }
-                st.trial
-                    .begin_cycle(degree, try_color, |p, m| intents.stage(p, ReduceMsg::Trial(m)));
+                st.trial.begin_cycle(degree, try_color, |p, m| {
+                    intents.stage(p, ReduceMsg::Trial(m))
+                });
             }
             13 => {
-                st.trial.verdict_round(&tries, |p, m| intents.stage(p, ReduceMsg::Trial(m)));
+                st.trial
+                    .verdict_round(&tries, |p, m| intents.stage(p, ReduceMsg::Trial(m)));
             }
             _ => {
                 let _ = st.trial.resolve(degree, &verdicts);
@@ -582,7 +602,10 @@ pub fn colors(states: &[ReduceState]) -> Vec<u32> {
 /// Number of live nodes remaining.
 #[must_use]
 pub fn live_count(states: &[ReduceState]) -> usize {
-    states.iter().filter(|s| s.trial.color() == UNCOLORED).count()
+    states
+        .iter()
+        .filter(|s| s.trial.color() == UNCOLORED)
+        .count()
 }
 
 #[cfg(test)]
@@ -629,7 +652,10 @@ mod tests {
         let proto = Reduce::new(&params, g.n(), palette, phi, phi / 2.0, knowledge_in, sim);
         let res = congest::run(&g, &proto, &cfg.clone().with_max_rounds(200_000)).unwrap();
         let cols = colors(&res.states);
-        assert!(verify::first_d2_violation(&g, &cols).is_none(), "validity is unconditional");
+        assert!(
+            verify::first_d2_violation(&g, &cols).is_none(),
+            "validity is unconditional"
+        );
         let live_after = live_count(&res.states);
         assert!(
             live_after <= live_before,
@@ -655,14 +681,14 @@ mod tests {
         let phi = 8.0;
         let proto = Reduce::new(&params, g.n(), palette, phi, 4.0, knowledge_in, sim);
         let res = congest::run(&g, &proto, &cfg.clone().with_max_rounds(200_000)).unwrap();
-        let total_proposal_phases: u32 =
-            res.states.iter().map(|s| s.phases_with_proposals).sum();
+        let total_proposal_phases: u32 = res.states.iter().map(|s| s.phases_with_proposals).sum();
         let cols = colors(&res.states);
         assert!(verify::first_d2_violation(&g, &cols).is_none());
         // At least some proposals must have flowed somewhere.
         assert!(
             total_proposal_phases > 0,
-            "no proposals delivered in {} phases", proto.rho
+            "no proposals delivered in {} phases",
+            proto.rho
         );
     }
 

@@ -175,7 +175,13 @@ impl SamplerCore {
                 }
                 if let Some(tg) = target {
                     self.route.insert((u as Port, slot), tg);
-                    stage(u as Port, SampMsg::MinReply { slot, value: best_val });
+                    stage(
+                        u as Port,
+                        SampMsg::MinReply {
+                            slot,
+                            value: best_val,
+                        },
+                    );
                 }
             }
             // Sampler duty: direct candidates from my immediate H-neighbors.
@@ -195,7 +201,14 @@ impl SamplerCore {
             self.my_r = rng.gen::<u64>() & self.string_mask;
             self.my_b = rng.gen::<u64>() & self.string_mask;
             for p in 0..degree as Port {
-                stage(p, SampMsg::Slot { slot, r: self.my_r, b: self.my_b });
+                stage(
+                    p,
+                    SampMsg::Slot {
+                        slot,
+                        r: self.my_r,
+                        b: self.my_b,
+                    },
+                );
             }
         }
     }
@@ -259,7 +272,9 @@ mod tests {
         type Msg = SampMsg;
 
         fn init(&self, ctx: &congest::NodeCtx, rng: &mut congest::NodeRng) -> HarnessState {
-            HarnessState { sampler: SamplerCore::new(self.rho, ctx.degree(), rng) }
+            HarnessState {
+                sampler: SamplerCore::new(self.rho, ctx.degree(), rng),
+            }
         }
 
         fn round(

@@ -250,7 +250,11 @@ impl ExactSimilarity {
     /// Standard thresholds (2/3, 5/6) with the given bandwidth budget.
     #[must_use]
     pub fn new(budget: u64) -> Self {
-        ExactSimilarity { h_frac: 2.0 / 3.0, hhat_frac: 5.0 / 6.0, budget }
+        ExactSimilarity {
+            h_frac: 2.0 / 3.0,
+            hhat_frac: 5.0 / 6.0,
+            budget,
+        }
     }
 }
 
@@ -260,8 +264,13 @@ impl Protocol for ExactSimilarity {
 
     fn init(&self, ctx: &NodeCtx, _rng: &mut NodeRng) -> SimilarityState {
         let mut st = SimilarityState::new(ctx.degree());
-        st.my_first =
-            sorted_dedup(ctx.neighbor_idents.iter().copied().chain([ctx.ident]).collect());
+        st.my_first = sorted_dedup(
+            ctx.neighbor_idents
+                .iter()
+                .copied()
+                .chain([ctx.ident])
+                .collect(),
+        );
         st.send_queue = st.my_first.clone();
         st
     }
@@ -299,8 +308,7 @@ impl Protocol for ExactSimilarity {
                 st.pump(degree, per_batch, &mut |p, m| out.send(p, m));
                 if st.sent_end && st.second_done.iter().all(|&d| d) {
                     for p in 0..degree {
-                        st.second_lists[p] =
-                            sorted_dedup(std::mem::take(&mut st.second_lists[p]));
+                        st.second_lists[p] = sorted_dedup(std::mem::take(&mut st.second_lists[p]));
                     }
                     // Normalize by the effective d2-degree bound: on small
                     // dense graphs n−1 < ∆² and the paper's ∆²-relative
@@ -332,7 +340,11 @@ impl SampledSimilarity {
     /// `∆²`.
     #[must_use]
     pub fn new(p: f64, delta_sq: usize, budget: u64) -> Self {
-        SampledSimilarity { p, expected_hits: p * delta_sq as f64, budget }
+        SampledSimilarity {
+            p,
+            expected_hits: p * delta_sq as f64,
+            budget,
+        }
     }
 }
 
@@ -400,8 +412,7 @@ impl Protocol for SampledSimilarity {
                 st.pump(degree, per_batch, &mut |p, m| out.send(p, m));
                 if st.sent_end && st.second_done.iter().all(|&d| d) {
                     for p in 0..degree {
-                        st.second_lists[p] =
-                            sorted_dedup(std::mem::take(&mut st.second_lists[p]));
+                        st.second_lists[p] = sorted_dedup(std::mem::take(&mut st.second_lists[p]));
                     }
                     let m = self.expected_hits;
                     st.compute_flags(degree, 5.0 / 6.0 * m, 11.0 / 12.0 * m);
@@ -440,10 +451,12 @@ mod tests {
         }
     }
 
-    /// Exact flags must match centralized common-d2-neighbor counts.
+    /// Exact flags must match centralized common-d2-neighbor counts
+    /// (queried through the allocation-free [`graphs::D2View`] oracle).
     #[test]
     fn exact_flags_match_centralized_counts() {
         let g = gen::gnp_capped(40, 0.15, 5, 8);
+        let view = graphs::D2View::build(&g);
         let cfg = SimConfig::seeded(2);
         let states = exact_knowledge(&g, &cfg);
         let dsq = (g.max_degree() * g.max_degree()).min(g.n() - 1);
@@ -451,7 +464,7 @@ mod tests {
             let st = &states[w as usize];
             let nbrs = g.neighbors(w);
             for (ai, &a) in nbrs.iter().enumerate() {
-                let common = g.common_d2_neighbors(w, a);
+                let common = view.common_d2(w, a);
                 let expect_h = common as f64 >= 2.0 / 3.0 * dsq as f64;
                 assert_eq!(
                     st.knowledge.h_with_self(ai as Port),
@@ -459,7 +472,7 @@ mod tests {
                     "pair ({w},{a}): common={common}"
                 );
                 for (bi, &b) in nbrs.iter().enumerate().skip(ai + 1) {
-                    let common = g.common_d2_neighbors(a, b);
+                    let common = view.common_d2(a, b);
                     let expect = common as f64 >= 2.0 / 3.0 * dsq as f64;
                     assert_eq!(
                         st.knowledge.h_between_ports(ai as Port, bi as Port),
@@ -476,6 +489,7 @@ mod tests {
     #[test]
     fn sampled_flags_respect_theorem_2_2() {
         let g = gen::clique_ring(3, 9);
+        let view = graphs::D2View::build(&g);
         let cfg = SimConfig::seeded(5);
         let dsq = (g.max_degree() * g.max_degree()).min(g.n() - 1);
         // p = 1 makes the sampled counts exact: the theorem's
@@ -486,7 +500,7 @@ mod tests {
             let st = &res.states[w as usize];
             let nbrs = g.neighbors(w);
             for (ai, &a) in nbrs.iter().enumerate() {
-                let common = g.common_d2_neighbors(w, a) as f64;
+                let common = view.common_d2(w, a) as f64;
                 if common >= 0.95 * dsq as f64 {
                     assert!(
                         st.knowledge.h_with_self(ai as Port),

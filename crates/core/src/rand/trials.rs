@@ -29,13 +29,23 @@ impl RandomTrials {
     /// Fresh run: everyone live, fixed cycle budget.
     #[must_use]
     pub fn new(palette: u32, cycles: u64) -> Self {
-        RandomTrials { palette, cycles, run_to_completion: false, init: None }
+        RandomTrials {
+            palette,
+            cycles,
+            run_to_completion: false,
+            init: None,
+        }
     }
 
     /// Baseline mode: run until all nodes are colored.
     #[must_use]
     pub fn to_completion(palette: u32) -> Self {
-        RandomTrials { palette, cycles: u64::MAX, run_to_completion: true, init: None }
+        RandomTrials {
+            palette,
+            cycles: u64::MAX,
+            run_to_completion: true,
+            init: None,
+        }
     }
 
     /// Resumes from colors carried out of a previous phase.
@@ -86,7 +96,8 @@ impl Protocol for RandomTrials {
                 } else {
                     None
                 };
-                st.trial.begin_cycle(ctx.degree(), try_color, |p, m| out.send(p, m));
+                st.trial
+                    .begin_cycle(ctx.degree(), try_color, |p, m| out.send(p, m));
             }
             1 => st.trial.verdict_round(&received, |p, m| out.send(p, m)),
             _ => {

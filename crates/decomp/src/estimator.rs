@@ -33,7 +33,11 @@ impl TailEstimator {
     /// optimal exponent `t = ln(1+λ)`.
     #[must_use]
     pub fn new(d: u64, lambda: f64) -> Self {
-        TailEstimator { d, lambda, t: (1.0 + lambda).ln() }
+        TailEstimator {
+            d,
+            lambda,
+            t: (1.0 + lambda).ln(),
+        }
     }
 
     /// Upper-tail bound given `fixed` fixed coins of which `red` are red.

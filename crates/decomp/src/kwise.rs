@@ -28,7 +28,9 @@ impl KwiseCoins {
         // Prime larger than the input space so evaluation points are
         // distinct field elements.
         let p = next_prime_u64(input_space.max(2));
-        let coeffs = (0..k).map(|i| seed_words.get(i).copied().unwrap_or(0) % p).collect();
+        let coeffs = (0..k)
+            .map(|i| seed_words.get(i).copied().unwrap_or(0) % p)
+            .collect();
         KwiseCoins { p, coeffs }
     }
 
@@ -75,12 +77,12 @@ fn is_prime(x: u64) -> bool {
     if x < 2 {
         return false;
     }
-    if x % 2 == 0 {
+    if x.is_multiple_of(2) {
         return x == 2;
     }
     let mut d = 3;
     while d * d <= x {
-        if x % d == 0 {
+        if x.is_multiple_of(d) {
             return false;
         }
         d += 2;

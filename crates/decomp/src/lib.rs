@@ -82,8 +82,7 @@ impl Decomposition {
             }
             for &u in &seen {
                 let cu = self.cluster[u as usize];
-                if cu != cv && self.cluster_color[cu as usize] == self.cluster_color[cv as usize]
-                {
+                if cu != cv && self.cluster_color[cu as usize] == self.cluster_color[cv as usize] {
                     return false;
                 }
             }

@@ -33,7 +33,11 @@ pub fn charged_rounds(n: usize, k: usize) -> u64 {
 pub fn decompose_power(g: &Graph, k: usize, beta: f64, seed: u64) -> Decomposition {
     let n = g.n();
     if n == 0 {
-        return Decomposition { cluster: Vec::new(), cluster_color: Vec::new(), num_colors: 1 };
+        return Decomposition {
+            cluster: Vec::new(),
+            cluster_color: Vec::new(),
+            num_colors: 1,
+        };
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let shifts: Vec<f64> = (0..n).map(|_| sample_exp(&mut rng, beta)).collect();
@@ -45,7 +49,10 @@ pub fn decompose_power(g: &Graph, k: usize, beta: f64, seed: u64) -> Decompositi
     impl Eq for Item {}
     impl Ord for Item {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            other.0.partial_cmp(&self.0).unwrap_or(std::cmp::Ordering::Equal)
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then(other.1.cmp(&self.1))
         }
     }
@@ -95,11 +102,13 @@ pub fn decompose_power(g: &Graph, k: usize, beta: f64, seed: u64) -> Decompositi
     let mut cluster_color = vec![u32::MAX; count as usize];
     let mut max_color = 0u32;
     for c in 0..count as usize {
-        let used: HashSet<u32> =
-            adj[c].iter().filter_map(|&d| {
+        let used: HashSet<u32> = adj[c]
+            .iter()
+            .filter_map(|&d| {
                 let col = cluster_color[d as usize];
                 (col != u32::MAX).then_some(col)
-            }).collect();
+            })
+            .collect();
         let mut col = 0u32;
         while used.contains(&col) {
             col += 1;
@@ -107,7 +116,11 @@ pub fn decompose_power(g: &Graph, k: usize, beta: f64, seed: u64) -> Decompositi
         cluster_color[c] = col;
         max_color = max_color.max(col);
     }
-    Decomposition { cluster, cluster_color, num_colors: max_color + 1 }
+    Decomposition {
+        cluster,
+        cluster_color,
+        num_colors: max_color + 1,
+    }
 }
 
 fn sample_exp(rng: &mut ChaCha8Rng, beta: f64) -> f64 {

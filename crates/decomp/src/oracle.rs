@@ -52,7 +52,7 @@ pub fn decompose_power(g: &Graph, k: usize, radius_budget: Option<usize>) -> Dec
                     if dist[u as usize] == usize::MAX
                         && cluster[u as usize] == u32::MAX
                         && !blocked[u as usize]
-                        && dist[v as usize] + 1 <= radius
+                        && dist[v as usize] < radius
                     {
                         dist[u as usize] = dist[v as usize] + 1;
                         q.push_back(u);
@@ -85,7 +85,11 @@ pub fn decompose_power(g: &Graph, k: usize, radius_budget: Option<usize>) -> Dec
         color += 1;
         debug_assert!(color as usize <= n + 1, "carving must terminate");
     }
-    Decomposition { cluster, cluster_color, num_colors: color.max(1) }
+    Decomposition {
+        cluster,
+        cluster_color,
+        num_colors: color.max(1),
+    }
 }
 
 #[cfg(test)]
@@ -95,7 +99,10 @@ mod tests {
 
     fn check(g: &Graph, k: usize) -> Decomposition {
         let d = decompose_power(g, k, None);
-        assert!(d.validate_separation(g, k), "separation violated for k={k} on {g:?}");
+        assert!(
+            d.validate_separation(g, k),
+            "separation violated for k={k} on {g:?}"
+        );
         assert!(g.n() == 0 || d.cluster.iter().all(|&c| c != u32::MAX));
         d
     }

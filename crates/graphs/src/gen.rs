@@ -74,23 +74,22 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     let mut r = rng(seed);
     let mut deg = vec![0usize; n];
     let mut b = GraphBuilder::new(n);
-    let mut present: std::collections::HashSet<(NodeId, NodeId)> = std::collections::HashSet::new();
     // Repeated random perfect-matching-ish passes: pair up nodes that still
-    // need degree, skipping collisions. A handful of sweeps converges.
+    // need degree, skipping collisions (the builder's hash-backed
+    // `contains_edge` makes the duplicate check O(1)). A handful of sweeps
+    // converges.
     for _ in 0..(4 * d + 20) {
-        let mut open: Vec<NodeId> =
-            (0..n as NodeId).filter(|&v| deg[v as usize] < d).collect();
+        let mut open: Vec<NodeId> = (0..n as NodeId).filter(|&v| deg[v as usize] < d).collect();
         if open.len() < 2 {
             break;
         }
         open.shuffle(&mut r);
         for pair in open.chunks_exact(2) {
             let (u, v) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
-            if u == v || present.contains(&(u, v)) {
+            if u == v || b.contains_edge(u, v) {
                 continue;
             }
             if deg[u as usize] < d && deg[v as usize] < d {
-                present.insert((u, v));
                 deg[u as usize] += 1;
                 deg[v as usize] += 1;
                 b.add_edge(u, v);
@@ -370,7 +369,9 @@ pub fn cycle(n: usize) -> Graph {
 /// The empty graph on `n` nodes (no edges) — boundary-condition workload.
 #[must_use]
 pub fn empty(n: usize) -> Graph {
-    GraphBuilder::new(n).build().expect("no edges, always valid")
+    GraphBuilder::new(n)
+        .build()
+        .expect("no edges, always valid")
 }
 
 #[cfg(test)]
@@ -392,7 +393,10 @@ mod tests {
         let g = random_regular(60, 6, 3);
         assert!(g.max_degree() <= 6);
         let full = (0..60u32).filter(|&v| g.degree(v) == 6).count();
-        assert!(full >= 50, "most nodes should reach target degree, got {full}");
+        assert!(
+            full >= 50,
+            "most nodes should reach target degree, got {full}"
+        );
     }
 
     #[test]
@@ -469,7 +473,11 @@ mod tests {
     fn preferential_attachment_connected_and_skewed() {
         let g = preferential_attachment(200, 2, 7);
         assert!(g.is_connected());
-        assert!(g.max_degree() > 6, "hub should emerge, ∆ = {}", g.max_degree());
+        assert!(
+            g.max_degree() > 6,
+            "hub should emerge, ∆ = {}",
+            g.max_degree()
+        );
     }
 
     #[test]

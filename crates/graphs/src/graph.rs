@@ -40,6 +40,10 @@ impl std::error::Error for GraphError {}
 pub struct Graph {
     offsets: Vec<usize>,
     adj: Vec<NodeId>,
+    /// Cached `∆`, computed once at build time. `max_degree()` sits inside
+    /// per-node loops all over the codebase (sparsity, palette sizing), so
+    /// it must not be an `O(n)` scan per call.
+    max_degree: usize,
 }
 
 impl fmt::Debug for Graph {
@@ -86,10 +90,29 @@ impl Graph {
         self.offsets[v as usize + 1] - self.offsets[v as usize]
     }
 
-    /// Maximum degree `∆` of the graph (0 for the empty graph).
+    /// Maximum degree `∆` of the graph (0 for the empty graph). Cached at
+    /// build time; `O(1)`.
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        (0..self.n() as NodeId).map(|v| self.degree(v)).max().unwrap_or(0)
+        self.max_degree
+    }
+
+    /// Assembles a graph directly from CSR parts: `offsets` of length
+    /// `n + 1` and sorted, duplicate-free adjacency rows in `flat`.
+    ///
+    /// Crate-internal: used by [`GraphBuilder::build`] and by
+    /// [`D2View::to_square`](crate::D2View::to_square), which both
+    /// guarantee the invariants (sorted rows, symmetric adjacency, no
+    /// self-loops).
+    pub(crate) fn from_csr_parts(offsets: Vec<usize>, flat: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().expect("nonempty"), flat.len());
+        let max_degree = offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        Graph {
+            offsets,
+            adj: flat,
+            max_degree,
+        }
     }
 
     /// Sorted slice of neighbors of `v`.
@@ -135,9 +158,24 @@ impl Graph {
     ///
     /// Centralized (oracle) computation: the distributed algorithms are not
     /// permitted to call this — that is the whole difficulty of the paper.
+    ///
+    /// Allocates a fresh `Vec` per call. For repeated queries build a
+    /// [`D2View`](crate::D2View) once (`O(Σ deg²)`, then allocation-free
+    /// slices); for one-off queries under memory pressure reuse a scratch
+    /// buffer via [`Graph::d2_neighbors_into`].
     #[must_use]
     pub fn d2_neighbors(&self, v: NodeId) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = Vec::with_capacity(self.degree(v) * 4);
+        let mut out = Vec::with_capacity(self.degree(v) * 4);
+        self.d2_neighbors_into(v, &mut out);
+        out
+    }
+
+    /// Scratch-buffer variant of [`Graph::d2_neighbors`]: clears `out` and
+    /// fills it with the sorted distance-≤2 neighborhood of `v` (excluding
+    /// `v`), reusing the buffer's capacity. The allocation-free fallback
+    /// for callers that cannot afford a full [`D2View`](crate::D2View).
+    pub fn d2_neighbors_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
         for &u in self.neighbors(v) {
             out.push(u);
             out.extend_from_slice(self.neighbors(u));
@@ -147,7 +185,6 @@ impl Graph {
         if let Ok(i) = out.binary_search(&v) {
             out.remove(i);
         }
-        out
     }
 
     /// Whether `u` and `v` are at distance ≤ 2 (and distinct).
@@ -241,27 +278,35 @@ impl Graph {
 pub struct GraphBuilder {
     n: usize,
     edges: Vec<(NodeId, NodeId)>,
+    /// Normalized `(min, max)` endpoint pairs, kept so
+    /// [`GraphBuilder::contains_edge`] is `O(1)` instead of a scan over the
+    /// edge list (generators call it inside sampling loops).
+    seen: std::collections::HashSet<(NodeId, NodeId)>,
 }
 
 impl GraphBuilder {
     /// New builder for a graph on `n` nodes.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            seen: std::collections::HashSet::new(),
+        }
     }
 
     /// Records the undirected edge `{u, v}`.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
         self.edges.push((u, v));
+        self.seen.insert((u.min(v), u.max(v)));
         self
     }
 
-    /// Whether the edge `{u, v}` was already recorded. `O(edges)` — intended
-    /// for generators that need occasional duplicate checks; prefer
-    /// deduplication at build time otherwise.
+    /// Whether the edge `{u, v}` was already recorded. `O(1)` expected
+    /// (hash lookup on the normalized endpoint pair).
     #[must_use]
     pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.edges.iter().any(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+        self.seen.contains(&(u.min(v), u.max(v)))
     }
 
     /// Number of edges recorded so far (before deduplication).
@@ -271,6 +316,11 @@ impl GraphBuilder {
     }
 
     /// Finalizes into an immutable CSR [`Graph`].
+    ///
+    /// Two passes over the edge list — count degrees, then scatter into one
+    /// flat array — followed by an in-place per-row sort/dedup compaction.
+    /// No intermediate `Vec<Vec<NodeId>>` (the old path allocated one `Vec`
+    /// per node, a per-build allocation spike on large graphs).
     ///
     /// # Errors
     ///
@@ -285,21 +335,49 @@ impl GraphBuilder {
                 return Err(GraphError::SelfLoop { u });
             }
         }
-        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        // Pass 1: degree counts (duplicates included; deduped below).
+        let mut counts = vec![0usize; n];
         for &(u, v) in &self.edges {
-            adj[u as usize].push(v);
-            adj[v as usize].push(u);
+            counts[u as usize] += 1;
+            counts[v as usize] += 1;
         }
+        // Exclusive prefix sums = provisional row offsets.
         let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0usize);
-        let mut flat = Vec::new();
-        for list in &mut adj {
-            list.sort_unstable();
-            list.dedup();
-            flat.extend_from_slice(list);
-            offsets.push(flat.len());
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
         }
-        Ok(Graph { offsets, adj: flat })
+        // Pass 2: scatter both endpoint directions via per-row cursors.
+        let mut flat = vec![0 as NodeId; acc];
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        for &(u, v) in &self.edges {
+            flat[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            flat[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort each row, dedup by compacting the flat array in place.
+        let mut write = 0usize;
+        let mut final_offsets = Vec::with_capacity(n + 1);
+        final_offsets.push(0usize);
+        for v in 0..n {
+            let (start, end) = (offsets[v], offsets[v + 1]);
+            flat[start..end].sort_unstable();
+            let mut prev: Option<NodeId> = None;
+            for i in start..end {
+                let x = flat[i];
+                if prev != Some(x) {
+                    flat[write] = x;
+                    write += 1;
+                    prev = Some(x);
+                }
+            }
+            final_offsets.push(write);
+        }
+        flat.truncate(write);
+        Ok(Graph::from_csr_parts(final_offsets, flat))
     }
 }
 
@@ -382,6 +460,41 @@ mod tests {
         let g = path4();
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn contains_edge_is_symmetric() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(2, 1);
+        assert!(b.contains_edge(1, 2));
+        assert!(b.contains_edge(2, 1));
+        assert!(!b.contains_edge(0, 1));
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn counting_pass_build_matches_expected_csr() {
+        // Unsorted insertion order, duplicates in both orientations.
+        let g = Graph::from_edges(5, &[(3, 1), (0, 3), (1, 3), (4, 0), (0, 4), (2, 0), (1, 0)])
+            .unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.neighbors(1), &[0, 3]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.neighbors(3), &[0, 1]);
+        assert_eq!(g.neighbors(4), &[0]);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn d2_neighbors_into_reuses_buffer() {
+        let g = path4();
+        let mut buf = Vec::new();
+        g.d2_neighbors_into(1, &mut buf);
+        assert_eq!(buf, vec![0, 2, 3]);
+        g.d2_neighbors_into(0, &mut buf);
+        assert_eq!(buf, vec![1, 2]);
+        assert_eq!(buf, g.d2_neighbors(0));
     }
 
     #[test]

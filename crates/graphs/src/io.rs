@@ -85,7 +85,11 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
         max_node = max_node.max(u).max(v);
         edges.push((u as NodeId, v as NodeId));
     }
-    let n = if edges.is_empty() { 0 } else { max_node as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_node as usize + 1
+    };
     let mut b = GraphBuilder::new(n);
     for (u, v) in edges {
         b.add_edge(u, v);
@@ -108,13 +112,12 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
             None | Some("c") => {}
             Some("p") => {
                 let _fmt = it.next();
-                let n: usize = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| ParseError::Malformed {
+                let n: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                    ParseError::Malformed {
                         line: i + 1,
                         reason: "p-line missing node count".into(),
-                    })?;
+                    }
+                })?;
                 builder = Some(GraphBuilder::new(n));
             }
             Some("e") => {
@@ -186,7 +189,10 @@ mod tests {
         let g2 = read_edge_list(std::io::Cursor::new(&buf)).unwrap();
         // Header comment does not carry n for trailing isolated nodes;
         // compare edges and degrees on the common prefix.
-        assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

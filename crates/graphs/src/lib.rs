@@ -20,13 +20,15 @@
 //! assert!(verify::is_valid_d2_coloring(&g, &coloring));
 //! ```
 
-mod graph;
+mod d2view;
 pub mod gen;
+mod graph;
 pub mod io;
 pub mod square;
 pub mod stats;
 pub mod verify;
 
+pub use d2view::D2View;
 pub use graph::{Graph, GraphBuilder, GraphError, NodeId};
 
 /// Number of bits needed to write down values in `0..n` (at least 1).

@@ -4,27 +4,23 @@
 //! see `G²` explicitly — the paper's entire point is that building it is too
 //! expensive in CONGEST.
 
-use crate::{Graph, GraphBuilder, NodeId};
+use crate::{D2View, Graph, NodeId};
 
 /// Computes the square graph `G²`: same vertex set, an edge wherever
 /// `dist_G(u, v) ≤ 2`.
+///
+/// One [`D2View`] construction plus a CSR copy — the view's rows *are* the
+/// square graph's adjacency. Callers that already hold a view should use
+/// [`D2View::to_square`] directly.
 #[must_use]
 pub fn square(g: &Graph) -> Graph {
-    let mut b = GraphBuilder::new(g.n());
-    for v in 0..g.n() as NodeId {
-        for u in g.d2_neighbors(v) {
-            if v < u {
-                b.add_edge(v, u);
-            }
-        }
-    }
-    b.build().expect("square of a valid graph is valid")
+    D2View::build(g).to_square()
 }
 
 /// Maximum degree of `G²` without materializing it.
 #[must_use]
 pub fn square_max_degree(g: &Graph) -> usize {
-    (0..g.n() as NodeId).map(|v| g.d2_degree(v)).max().unwrap_or(0)
+    D2View::build(g).max_d2_degree()
 }
 
 /// Sparsity `ζ(v)` of a node per Definition 2.4 of the paper:
@@ -34,13 +30,16 @@ pub fn square_max_degree(g: &Graph) -> usize {
 ///
 /// Small `ζ` means the d2-neighborhood is nearly a clique (the "dense" case
 /// driving `Reduce`); sparsity translates into color slack (Prop. 2.5).
+///
+/// Takes the prebuilt [`D2View`] of the base graph and its square `sq`
+/// (`view.to_square()`); allocation-free per query.
 #[must_use]
-pub fn sparsity(g: &Graph, sq: &Graph, v: NodeId) -> f64 {
-    let d2 = g.max_degree() * g.max_degree();
+pub fn sparsity(view: &D2View, sq: &Graph, v: NodeId) -> f64 {
+    let d2 = view.base_max_degree() * view.base_max_degree();
     if d2 == 0 {
         return 0.0;
     }
-    let nbrs = g.d2_neighbors(v);
+    let nbrs = view.d2_neighbors(v);
     let mut edges = 0usize;
     for (i, &a) in nbrs.iter().enumerate() {
         for &b in &nbrs[i + 1..] {
@@ -58,13 +57,14 @@ pub fn sparsity(g: &Graph, sq: &Graph, v: NodeId) -> f64 {
 /// of colors used.
 #[must_use]
 pub fn greedy_square_coloring(g: &Graph) -> (Vec<u32>, usize) {
+    let view = D2View::build(g);
     let n = g.n();
     let mut colors = vec![u32::MAX; n];
     let mut used: Vec<u32> = Vec::new();
     let mut max_color = 0u32;
     for v in 0..n as NodeId {
         used.clear();
-        for u in g.d2_neighbors(v) {
+        for &u in view.d2_neighbors(v) {
             if colors[u as usize] != u32::MAX {
                 used.push(colors[u as usize]);
             }
@@ -127,10 +127,11 @@ mod tests {
         // denser than the path neighborhood.
         let dense = gen::clique(8);
         let sparse = gen::path(8);
-        let sq_d = square(&dense);
-        let sq_s = square(&sparse);
-        let zeta_dense = sparsity(&dense, &sq_d, 0);
-        let zeta_sparse = sparsity(&sparse, &sq_s, 3);
+        let view_d = D2View::build(&dense);
+        let view_s = D2View::build(&sparse);
+        let (sq_d, sq_s) = (view_d.to_square(), view_s.to_square());
+        let zeta_dense = sparsity(&view_d, &sq_d, 0);
+        let zeta_sparse = sparsity(&view_s, &sq_s, 3);
         // Both are measured against their own ∆²; the clique is maximally
         // dense relative to its neighborhood size.
         assert!(zeta_dense >= 0.0 && zeta_sparse >= 0.0);

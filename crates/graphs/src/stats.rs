@@ -3,11 +3,10 @@
 //! spectrum of Definition 2.4 (which governs how much slack the initial
 //! random phase creates — Proposition 2.5).
 
-use crate::{square, Graph, NodeId};
-use serde::{Deserialize, Serialize};
+use crate::{square, D2View, Graph, NodeId};
 
 /// Summary statistics of one distribution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Minimum value.
     pub min: f64,
@@ -31,14 +30,22 @@ impl Summary {
             count += 1;
         }
         if count == 0 {
-            return Summary { min: 0.0, mean: 0.0, max: 0.0 };
+            return Summary {
+                min: 0.0,
+                mean: 0.0,
+                max: 0.0,
+            };
         }
-        Summary { min, mean: sum / count as f64, max }
+        Summary {
+            min,
+            mean: sum / count as f64,
+            max,
+        }
     }
 }
 
 /// Structural profile of a workload graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GraphProfile {
     /// Nodes.
     pub n: usize,
@@ -54,18 +61,19 @@ pub struct GraphProfile {
     pub sparsity: Summary,
 }
 
-/// Computes the full profile (builds `G²`; intended for analysis, not the
-/// hot path).
+/// Computes the full profile (builds one [`D2View`] and `G²`; intended for
+/// analysis, not the hot path).
 #[must_use]
 pub fn profile(g: &Graph) -> GraphProfile {
-    let sq = square::square(g);
+    let view = D2View::build(g);
+    let sq = view.to_square();
     GraphProfile {
         n: g.n(),
         m: g.m(),
         delta: g.max_degree(),
         degree: Summary::of((0..g.n() as NodeId).map(|v| g.degree(v) as f64)),
-        d2_degree: Summary::of((0..g.n() as NodeId).map(|v| g.d2_degree(v) as f64)),
-        sparsity: Summary::of((0..g.n() as NodeId).map(|v| square::sparsity(g, &sq, v))),
+        d2_degree: Summary::of((0..g.n() as NodeId).map(|v| view.d2_degree(v) as f64)),
+        sparsity: Summary::of((0..g.n() as NodeId).map(|v| square::sparsity(&view, &sq, v))),
     }
 }
 

@@ -4,7 +4,7 @@
 //! checks; the experiment harness refuses to report numbers for runs that
 //! fail them.
 
-use crate::{Graph, NodeId};
+use crate::{D2View, Graph, NodeId};
 
 /// A single violation of the distance-2 constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,20 +20,43 @@ pub struct D2Violation {
 /// Checks that `colors` is a valid distance-2 coloring of `g`:
 /// every pair at distance ≤ 2 has distinct colors and every node is colored
 /// (`u32::MAX` denotes "uncolored" and always fails).
+///
+/// Builds a [`D2View`] internally; callers that verify repeatedly on the
+/// same graph should build the view once and use
+/// [`is_valid_d2_coloring_with`].
 #[must_use]
 pub fn is_valid_d2_coloring(g: &Graph, colors: &[u32]) -> bool {
-    first_d2_violation(g, colors).is_none() && colors.iter().all(|&c| c != u32::MAX)
+    is_valid_d2_coloring_with(&D2View::build(g), colors)
+}
+
+/// [`is_valid_d2_coloring`] against a prebuilt [`D2View`].
+#[must_use]
+pub fn is_valid_d2_coloring_with(view: &D2View, colors: &[u32]) -> bool {
+    first_d2_violation_with(view, colors).is_none() && colors.iter().all(|&c| c != u32::MAX)
 }
 
 /// Returns the first distance-2 violation, if any. Linear in `Σ_v deg²(v)`.
 #[must_use]
 pub fn first_d2_violation(g: &Graph, colors: &[u32]) -> Option<D2Violation> {
-    assert_eq!(colors.len(), g.n(), "coloring length must equal n");
-    for v in 0..g.n() as NodeId {
+    first_d2_violation_with(&D2View::build(g), colors)
+}
+
+/// [`first_d2_violation`] against a prebuilt [`D2View`] — allocation-free.
+#[must_use]
+pub fn first_d2_violation_with(view: &D2View, colors: &[u32]) -> Option<D2Violation> {
+    assert_eq!(colors.len(), view.n(), "coloring length must equal n");
+    for v in 0..view.n() as NodeId {
         let cv = colors[v as usize];
-        for u in g.d2_neighbors(v) {
-            if u > v && colors[u as usize] == cv && cv != u32::MAX {
-                return Some(D2Violation { u: v, v: u, color: cv });
+        if cv == u32::MAX {
+            continue;
+        }
+        for &u in view.d2_neighbors(v) {
+            if u > v && colors[u as usize] == cv {
+                return Some(D2Violation {
+                    u: v,
+                    v: u,
+                    color: cv,
+                });
             }
         }
     }
@@ -45,7 +68,8 @@ pub fn first_d2_violation(g: &Graph, colors: &[u32]) -> Option<D2Violation> {
 pub fn is_valid_coloring(g: &Graph, colors: &[u32]) -> bool {
     colors.len() == g.n()
         && colors.iter().all(|&c| c != u32::MAX)
-        && g.edges().all(|(u, v)| colors[u as usize] != colors[v as usize])
+        && g.edges()
+            .all(|(u, v)| colors[u as usize] != colors[v as usize])
 }
 
 /// Number of distinct colors used.

@@ -1,6 +1,6 @@
 //! Determinism showcase: the deterministic algorithms produce the same
 //! coloring on every run and on every runtime (sequential vs. the
-//! channel-based parallel engine), and the randomized algorithm is
+//! batched-transport parallel engine), and the randomized algorithm is
 //! reproducible from its seed.
 //!
 //! ```sh

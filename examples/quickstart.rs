@@ -52,6 +52,9 @@ fn main() -> Result<(), SimError> {
     report("baseline naive relay", &g, &out);
 
     let (_, k) = d2core::baseline::greedy_central(&g);
-    println!("{:<22} colors {k:>5}  (centralized reference)", "greedy central");
+    println!(
+        "{:<22} colors {k:>5}  (centralized reference)",
+        "greedy central"
+    );
     Ok(())
 }

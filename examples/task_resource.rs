@@ -23,11 +23,7 @@ fn main() -> Result<(), SimError> {
         g.max_degree()
     );
 
-    let out = d2core::rand::driver::improved(
-        &g,
-        &Params::practical(),
-        &SimConfig::seeded(7),
-    )?;
+    let out = d2core::rand::driver::improved(&g, &Params::practical(), &SimConfig::seeded(7))?;
     assert!(graphs::verify::is_valid_d2_coloring(&g, &out.colors));
 
     // Build the schedule: group tasks by color.

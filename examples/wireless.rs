@@ -19,7 +19,9 @@ fn main() -> Result<(), SimError> {
     let mut points = Vec::new();
     let mut rng_state = 0x5EEDu64;
     let mut next = move || {
-        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (rng_state >> 11) as f64 / (1u64 << 53) as f64
     };
     for _ in 0..120 {
@@ -53,7 +55,10 @@ fn main() -> Result<(), SimError> {
     );
     println!("per-phase breakdown:");
     for ph in &out.phases {
-        println!("  {:<28} {:>7} rounds {:>9} msgs", ph.name, ph.metrics.rounds, ph.metrics.messages);
+        println!(
+            "  {:<28} {:>7} rounds {:>9} msgs",
+            ph.name, ph.metrics.rounds, ph.metrics.messages
+        );
     }
 
     // Frequency-reuse statistics: how many cells per frequency?

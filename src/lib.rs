@@ -8,7 +8,7 @@
 //! This crate is a facade re-exporting the workspace members:
 //!
 //! * [`congest`] — the CONGEST simulator (rounds, ports, bandwidth
-//!   accounting, sequential + channel-based parallel runtimes).
+//!   accounting, sequential + batched-transport parallel runtimes).
 //! * [`graphs`] — graph structures, workload generators, verification.
 //! * [`d2core`] — the paper's algorithms (Theorems 1.1, 1.2, 1.3, 3.2,
 //!   3.4, B.1, B.2, B.4; Corollary 2.1) and baselines.

@@ -9,7 +9,10 @@ use d2core::det::splitting::SplitMode;
 
 fn workloads() -> Vec<(String, Graph)> {
     vec![
-        ("gnp-sparse".into(), graphs::gen::gnp_capped(200, 0.03, 6, 1)),
+        (
+            "gnp-sparse".into(),
+            graphs::gen::gnp_capped(200, 0.03, 6, 1),
+        ),
         ("gnp-denser".into(), graphs::gen::gnp_capped(120, 0.1, 9, 2)),
         ("grid".into(), graphs::gen::grid(12, 12)),
         ("torus".into(), graphs::gen::torus(9, 9)),
@@ -19,8 +22,14 @@ fn workloads() -> Vec<(String, Graph)> {
         ("caterpillar".into(), graphs::gen::caterpillar(10, 4)),
         ("double-star".into(), graphs::gen::double_star(9)),
         ("unit-disk".into(), graphs::gen::unit_disk(150, 0.09, 3)),
-        ("task-resource".into(), graphs::gen::task_resource(60, 20, 3, 4)),
-        ("pref-attach".into(), graphs::gen::preferential_attachment(150, 2, 5)),
+        (
+            "task-resource".into(),
+            graphs::gen::task_resource(60, 20, 3, 4),
+        ),
+        (
+            "pref-attach".into(),
+            graphs::gen::preferential_attachment(150, 2, 5),
+        ),
         ("binary-tree".into(), graphs::gen::binary_tree(100)),
         ("hypercube".into(), graphs::gen::hypercube(6)),
         ("biclique".into(), graphs::gen::complete_bipartite(6, 8)),
@@ -35,15 +44,20 @@ fn bound(g: &Graph) -> usize {
 #[test]
 fn randomized_improved_on_all_workloads() {
     for (name, g) in workloads() {
-        let out =
-            d2core::rand::driver::improved(&g, &Params::practical(), &SimConfig::seeded(10))
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let out = d2core::rand::driver::improved(&g, &Params::practical(), &SimConfig::seeded(10))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
             graphs::verify::is_valid_d2_coloring(&g, &out.colors),
             "{name}: invalid coloring"
         );
-        assert!(out.palette_bound() <= bound(&g), "{name}: palette bound violated");
-        assert!(out.metrics.is_congest_compliant(), "{name}: bandwidth violated");
+        assert!(
+            out.palette_bound() <= bound(&g),
+            "{name}: palette bound violated"
+        );
+        assert!(
+            out.metrics.is_congest_compliant(),
+            "{name}: bandwidth violated"
+        );
     }
 }
 
@@ -56,7 +70,10 @@ fn randomized_basic_on_all_workloads() {
             graphs::verify::is_valid_d2_coloring(&g, &out.colors),
             "{name}: invalid coloring"
         );
-        assert!(out.palette_bound() <= bound(&g), "{name}: palette bound violated");
+        assert!(
+            out.palette_bound() <= bound(&g),
+            "{name}: palette bound violated"
+        );
     }
 }
 
@@ -69,8 +86,14 @@ fn deterministic_small_on_all_workloads() {
             graphs::verify::is_valid_d2_coloring(&g, &out.colors),
             "{name}: invalid coloring"
         );
-        assert!(out.palette_bound() <= bound(&g), "{name}: palette bound violated");
-        assert!(out.metrics.is_congest_compliant(), "{name}: bandwidth violated");
+        assert!(
+            out.palette_bound() <= bound(&g),
+            "{name}: palette bound violated"
+        );
+        assert!(
+            out.metrics.is_congest_compliant(),
+            "{name}: bandwidth violated"
+        );
         // Determinism across repeats.
         let again = d2core::det::small::run(&g, &Params::practical(), &SimConfig::seeded(30))
             .expect("repeat run");

@@ -1,6 +1,6 @@
-//! Experiment E12: the sequential and the channel-based parallel runtime
-//! are observationally identical — bit-identical final states and message
-//! metrics — for representative protocols of every family.
+//! Experiment E12: the sequential and the batched-transport parallel
+//! runtime are observationally identical — bit-identical final states and
+//! message metrics — for representative protocols of every family.
 
 use d2color::prelude::*;
 
@@ -33,6 +33,49 @@ fn full_deterministic_pipeline_equivalent_via_driver() {
     assert_eq!(seq.colors, par.colors);
     assert_eq!(seq.metrics.messages, par.metrics.messages);
     assert_eq!(seq.metrics.rounds, par.metrics.rounds);
+}
+
+/// End-to-end coloring protocols — not just gossip — must be bit-identical
+/// across runtimes, through the public `SimConfig::threads` knob that the
+/// drivers thread down to the engine.
+#[test]
+fn coloring_pipelines_equivalent_across_runtimes() {
+    let params = Params::practical();
+    for (name, g) in [
+        ("gnp", graphs::gen::gnp_capped(150, 0.06, 6, 9)),
+        ("clique-ring", graphs::gen::clique_ring(4, 6)),
+    ] {
+        let seq_cfg = SimConfig::seeded(11);
+        let rand_seq = d2core::rand::driver::improved(&g, &params, &seq_cfg).expect("rand seq");
+        let det_seq = d2core::det::small::run(&g, &params, &seq_cfg).expect("det seq");
+        assert!(
+            graphs::verify::is_valid_d2_coloring(&g, &rand_seq.colors),
+            "{name}"
+        );
+        for threads in [2usize, 4, 7] {
+            let par_cfg = SimConfig::seeded(11).with_threads(Some(threads));
+            let rand_par = d2core::rand::driver::improved(&g, &params, &par_cfg).expect("rand par");
+            assert_eq!(
+                rand_seq.colors, rand_par.colors,
+                "{name}: randomized pipeline diverged with {threads} threads"
+            );
+            assert_eq!(rand_seq.metrics.rounds, rand_par.metrics.rounds, "{name}");
+            assert_eq!(
+                rand_seq.metrics.messages, rand_par.metrics.messages,
+                "{name}"
+            );
+            assert_eq!(
+                rand_seq.metrics.total_bits, rand_par.metrics.total_bits,
+                "{name}"
+            );
+            let det_par = d2core::det::small::run(&g, &params, &par_cfg).expect("det par");
+            assert_eq!(
+                det_seq.colors, det_par.colors,
+                "{name}: deterministic pipeline diverged with {threads} threads"
+            );
+            assert_eq!(det_seq.metrics.messages, det_par.metrics.messages, "{name}");
+        }
+    }
 }
 
 #[test]
