@@ -5,6 +5,7 @@
 //! cargo run --release -p d2color-bench --bin harness -- all
 //! cargo run --release -p d2color-bench --bin harness -- exp1
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr1 [out.json]
+//! cargo run --release -p d2color-bench --bin harness -- bench-pr2 [out.json]
 //! ```
 
 use benchkit::{delta_sweep, loglog_slope, measure, measure_with, n_sweep, print_table, Algo, Row};
@@ -73,6 +74,8 @@ fn exp4() {
     println!("| eps | levels | n | delta | rounds | palette | (1+eps)Delta^2 | valid |");
     println!("|---|---|---|---|---|---|---|---|");
     let g = graphs::gen::random_regular(300, 16, 4);
+    // One distance-2 oracle serves all four sweep cells.
+    let view = graphs::D2View::build(&g);
     for (eps, levels) in [(0.5, 0u32), (1.0, 1), (2.0, 1), (2.0, 2)] {
         let (out, rep) = d2core::det::split_color::run(
             &g,
@@ -83,7 +86,7 @@ fn exp4() {
             Some(levels),
         )
         .expect("split-color");
-        let valid = graphs::verify::is_valid_d2_coloring(&g, &out.colors);
+        let valid = graphs::verify::is_valid_d2_coloring_with(&view, &out.colors);
         println!(
             "| {eps} | {} | {} | {} | {} | {} | {:.0} | {valid} |",
             rep.levels,
@@ -313,10 +316,33 @@ fn bench_pr1() {
     println!("\nwrote {} cells to {out_path}", cells.len());
 }
 
+/// Runs the BENCH_PR2 matrix (adaptive runtime + per-phase breakdown) and
+/// writes the JSON report (default path: `BENCH_PR2.json`).
+fn bench_pr2() {
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_PR2.json".into());
+    let cells = benchkit::pr2::run_matrix(4);
+    for c in &cells {
+        println!(
+            "{:<18} {:<20} {:<12} wall {:>9.2} ms  rounds {:>6}  msgs/s {:>11.0}  valid {}",
+            c.graph, c.algo, c.runtime, c.wall_ms, c.rounds, c.messages_per_sec, c.valid
+        );
+        assert!(c.valid, "benchmark cell produced an invalid coloring");
+    }
+    let doc = benchkit::pr2::to_json(&cells);
+    std::fs::write(&out_path, doc).expect("write BENCH_PR2.json");
+    println!("\nwrote {} cells to {out_path}", cells.len());
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if arg == "bench-pr1" {
         bench_pr1();
+        return;
+    }
+    if arg == "bench-pr2" {
+        bench_pr2();
         return;
     }
     let exps: Vec<(&str, fn())> = vec![
@@ -343,7 +369,7 @@ fn main() {
             Some((_, f)) => f(),
             None => {
                 eprintln!(
-                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1"
+                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2"
                 );
                 std::process::exit(2);
             }

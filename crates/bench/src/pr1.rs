@@ -42,15 +42,12 @@ pub struct Pr1Cell {
     pub valid: bool,
 }
 
-/// The workloads × algorithms × runtimes matrix of this PR's benchmark.
-///
-/// # Panics
-///
-/// Panics if any cell's simulation errors — the benchmark graphs are all
-/// known-terminating workloads.
+/// The PR 1 workloads. Single source of truth for the (label, generator)
+/// pairs: `pr2::workloads` extends this list, and the CI diff relies on
+/// the shared labels staying bit-identical across the reports.
 #[must_use]
-pub fn run_matrix(parallel_threads: usize) -> Vec<Pr1Cell> {
-    let graphs: Vec<(String, graphs::Graph)> = vec![
+pub fn workloads() -> Vec<(String, graphs::Graph)> {
+    vec![
         (
             "regular-n400-d8".into(),
             graphs::gen::random_regular(400, 8, 1),
@@ -60,7 +57,18 @@ pub fn run_matrix(parallel_threads: usize) -> Vec<Pr1Cell> {
             graphs::gen::gnp_capped(600, 0.02, 10, 2),
         ),
         ("torus-20x20".into(), graphs::gen::torus(20, 20)),
-    ];
+    ]
+}
+
+/// The workloads × algorithms × runtimes matrix of this PR's benchmark.
+///
+/// # Panics
+///
+/// Panics if any cell's simulation errors — the benchmark graphs are all
+/// known-terminating workloads.
+#[must_use]
+pub fn run_matrix(parallel_threads: usize) -> Vec<Pr1Cell> {
+    let graphs = workloads();
     let algos = [Algo::RandImproved, Algo::DetSmall];
     let runtimes: [(String, Option<usize>); 2] = [
         ("sequential".into(), None),

@@ -1,0 +1,259 @@
+//! `BENCH_PR2.json`: second anchored point of the performance trajectory —
+//! the single-barrier adaptive runtime + cached driver contexts PR.
+//!
+//! Extends the PR 1 matrix in three directions:
+//!
+//! * **Runtimes**: `sequential`, `parallel-T`, and `auto` (the
+//!   size-adaptive [`RuntimeMode::Auto`] selection). The PR 1 graphs and
+//!   the `sequential`/`parallel-T` runtime labels are kept verbatim so CI
+//!   can diff shared cells across the two reports.
+//! * **Scale**: two `n ≥ 2000` workloads join the `n ≤ 600` cells, putting
+//!   both sides of the auto threshold on the record.
+//! * **Columns**: throughput (`messages_per_sec`) and a per-phase
+//!   wall-clock breakdown (from [`PhaseReport::wall_ms`]) so regressions
+//!   can be localized to a pipeline phase, not just a cell.
+
+use crate::json::Json;
+use crate::Algo;
+use congest::{auto_work_estimate, RuntimeMode, SimConfig};
+use d2core::{Params, PhaseReport};
+use graphs::D2View;
+use std::time::Instant;
+
+/// Wall-clock and metrics of one pipeline phase inside a cell.
+#[derive(Debug, Clone)]
+pub struct Pr2Phase {
+    /// Phase name as reported by the driver.
+    pub name: String,
+    /// Wall-clock milliseconds of the phase.
+    pub wall_ms: f64,
+    /// Simulated rounds of the phase.
+    pub rounds: u64,
+}
+
+/// One (graph, algorithm, runtime) measurement.
+#[derive(Debug, Clone)]
+pub struct Pr2Cell {
+    /// Workload label.
+    pub graph: String,
+    /// Nodes.
+    pub n: usize,
+    /// Maximum degree.
+    pub delta: usize,
+    /// The auto-mode work estimate `n + 2m` for this graph.
+    pub work_estimate: u64,
+    /// Algorithm name.
+    pub algo: String,
+    /// Runtime label (`sequential` / `parallel-T` / `auto`).
+    pub runtime: String,
+    /// Wall-clock milliseconds for the full pipeline.
+    pub wall_ms: f64,
+    /// Rounds to completion (model complexity).
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Messages per round.
+    pub messages_per_round: f64,
+    /// Delivered messages per wall-clock second (throughput).
+    pub messages_per_sec: f64,
+    /// Per-phase wall-clock breakdown.
+    pub phases: Vec<Pr2Phase>,
+    /// Palette certificate (max color + 1).
+    pub palette: usize,
+    /// Whether the coloring verified against the oracle.
+    pub valid: bool,
+}
+
+/// The workloads of the PR 2 matrix: the PR 1 trio (same definitions —
+/// reused from [`crate::pr1::workloads`] so the shared-cell diff in CI
+/// cannot silently desynchronize) plus two `n ≥ 2000` workloads on the
+/// far side of the auto threshold.
+#[must_use]
+pub fn workloads() -> Vec<(String, graphs::Graph)> {
+    crate::pr1::workloads()
+        .into_iter()
+        .chain([
+            (
+                "regular-n2000-d8".into(),
+                graphs::gen::random_regular(2000, 8, 3),
+            ),
+            (
+                "gnp-n3000-cap12".into(),
+                graphs::gen::gnp_capped(3000, 0.004, 12, 4),
+            ),
+        ])
+        .collect()
+}
+
+/// The workloads × algorithms × runtimes matrix of this PR's benchmark.
+///
+/// # Panics
+///
+/// Panics if any cell's simulation errors — the benchmark graphs are all
+/// known-terminating workloads.
+#[must_use]
+pub fn run_matrix(parallel_threads: usize) -> Vec<Pr2Cell> {
+    let algos = [Algo::RandImproved, Algo::DetSmall];
+    let runtimes: [(String, RuntimeMode); 3] = [
+        ("sequential".into(), RuntimeMode::Sequential),
+        (
+            format!("parallel-{parallel_threads}"),
+            RuntimeMode::Parallel(parallel_threads),
+        ),
+        ("auto".into(), RuntimeMode::Auto(parallel_threads)),
+    ];
+    let params = Params::practical();
+    let mut cells = Vec::new();
+    for (glabel, g) in &workloads() {
+        let view = D2View::build(g);
+        for algo in algos {
+            for (rlabel, runtime) in &runtimes {
+                let cfg = SimConfig::seeded(42).with_runtime(*runtime);
+                let t0 = Instant::now();
+                let out = algo.run(g, &params, &cfg).expect("benchmark cell failed");
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let rounds = out.rounds();
+                cells.push(Pr2Cell {
+                    graph: glabel.clone(),
+                    n: g.n(),
+                    delta: g.max_degree(),
+                    work_estimate: auto_work_estimate(g),
+                    algo: algo.name().to_string(),
+                    runtime: rlabel.clone(),
+                    wall_ms,
+                    rounds,
+                    messages: out.metrics.messages,
+                    messages_per_round: if rounds == 0 {
+                        0.0
+                    } else {
+                        out.metrics.messages as f64 / rounds as f64
+                    },
+                    messages_per_sec: if wall_ms > 0.0 {
+                        out.metrics.messages as f64 / (wall_ms / 1e3)
+                    } else {
+                        0.0
+                    },
+                    phases: out.phases.iter().map(phase_row).collect(),
+                    palette: out.palette_bound(),
+                    valid: graphs::verify::is_valid_d2_coloring_with(&view, &out.colors),
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn phase_row(p: &PhaseReport) -> Pr2Phase {
+    Pr2Phase {
+        name: p.name.clone(),
+        wall_ms: p.wall_ms,
+        rounds: p.metrics.rounds,
+    }
+}
+
+fn ms(x: f64) -> Json {
+    Json::Num((x * 1000.0).round() / 1000.0)
+}
+
+/// Serializes cells into the `BENCH_PR2.json` document.
+#[must_use]
+pub fn to_json(cells: &[Pr2Cell]) -> String {
+    let rows: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("graph", Json::str(&c.graph)),
+                ("n", Json::int(c.n as u64)),
+                ("delta", Json::int(c.delta as u64)),
+                ("work_estimate", Json::int(c.work_estimate)),
+                ("algo", Json::str(&c.algo)),
+                ("runtime", Json::str(&c.runtime)),
+                ("wall_ms", ms(c.wall_ms)),
+                ("rounds", Json::int(c.rounds)),
+                ("messages", Json::int(c.messages)),
+                (
+                    "messages_per_round",
+                    Json::Num(c.messages_per_round.round()),
+                ),
+                ("messages_per_sec", Json::Num(c.messages_per_sec.round())),
+                (
+                    "phases",
+                    Json::Arr(
+                        c.phases
+                            .iter()
+                            .map(|p| {
+                                Json::obj(vec![
+                                    ("name", Json::str(&p.name)),
+                                    ("wall_ms", ms(p.wall_ms)),
+                                    ("rounds", Json::int(p.rounds)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("palette", Json::int(c.palette as u64)),
+                ("valid", Json::Bool(c.valid)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("bench", Json::str("BENCH_PR2")),
+        (
+            "description",
+            Json::str(
+                "Perf trajectory anchor: (graph x algorithm x runtime) wall-clock, throughput \
+                 and per-phase breakdown after the single-barrier adaptive runtime + cached \
+                 driver contexts PR",
+            ),
+        ),
+        ("cells", Json::Arr(rows)),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_required_columns() {
+        let cells = vec![Pr2Cell {
+            graph: "g".into(),
+            n: 10,
+            delta: 3,
+            work_estimate: 40,
+            algo: "a".into(),
+            runtime: "auto".into(),
+            wall_ms: 1.25,
+            rounds: 4,
+            messages: 40,
+            messages_per_round: 10.0,
+            messages_per_sec: 32_000.0,
+            phases: vec![Pr2Phase {
+                name: "linial".into(),
+                wall_ms: 0.75,
+                rounds: 3,
+            }],
+            palette: 7,
+            valid: true,
+        }];
+        let s = to_json(&cells);
+        assert!(s.contains("\"bench\": \"BENCH_PR2\""));
+        assert!(s.contains("\"runtime\": \"auto\""));
+        assert!(s.contains("\"messages_per_sec\": 32000"));
+        assert!(s.contains("\"name\": \"linial\""));
+        assert!(s.contains("\"work_estimate\": 40"));
+    }
+
+    #[test]
+    fn workload_matrix_straddles_the_auto_threshold() {
+        let ws = workloads();
+        let below = ws
+            .iter()
+            .filter(|(_, g)| auto_work_estimate(g) < congest::AUTO_WORK_THRESHOLD)
+            .count();
+        let above = ws.len() - below;
+        assert!(below >= 2, "need light cells on the sequential side");
+        assert!(above >= 2, "need heavy cells on the parallel side");
+    }
+}

@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use graphs::Graph;
+
 /// How `O(log n)`-bit identifiers are assigned to node indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IdAssignment {
@@ -10,6 +12,79 @@ pub enum IdAssignment {
     /// order and identifier order (Linial-style algorithms are sensitive to
     /// adversarial ID placement).
     Permuted,
+}
+
+/// Which engine executes a run. Both engines are bit-identical for the same
+/// seed, so this only trades wall-clock; see [`RuntimeMode::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeMode {
+    /// The deterministic single-threaded reference engine.
+    Sequential,
+    /// The sharded single-barrier engine with the given worker count
+    /// (0 = available parallelism).
+    Parallel(usize),
+    /// Pick per run: sequential for light networks where barrier overhead
+    /// would dominate, parallel (with the given worker count, 0 = available
+    /// parallelism) above [`AUTO_WORK_THRESHOLD`] estimated work units per
+    /// round.
+    Auto(usize),
+}
+
+/// Per-round work threshold (in units of `n + 2m`) above which
+/// [`RuntimeMode::Auto`] selects the parallel engine (given more than one
+/// core — see [`RuntimeMode::resolve_for`]).
+///
+/// Calibrated from the `BENCH_PR1`/`BENCH_PR2` trajectory: barrier
+/// overhead dominates the `n ≤ 600` cells (work ≤ ~6 600 units), which
+/// lose under the parallel engine even after the single-barrier redesign,
+/// while the `n = 2000` cells (work ≥ ~18 000 units) carry enough
+/// per-round work to amortize one barrier per round on multicore hosts.
+/// The threshold sits between the two clusters. To re-derive it: run
+/// `cargo run --release -p d2color-bench --bin harness -- bench-pr2` on a
+/// multicore host and put the cut anywhere between the largest
+/// parallel-losing cell's work estimate and the smallest parallel-winning
+/// cell's work estimate.
+pub const AUTO_WORK_THRESHOLD: u64 = 12_000;
+
+/// The per-round work estimate steering [`RuntimeMode::Auto`]: one unit per
+/// node stepped plus one per directed edge (the upper bound on messages
+/// handled per round).
+#[must_use]
+pub fn auto_work_estimate(graph: &Graph) -> u64 {
+    graph.n() as u64 + 2 * graph.m() as u64
+}
+
+impl RuntimeMode {
+    /// Resolves `Auto` against a concrete graph and this host's available
+    /// parallelism, returning either `Sequential` or `Parallel`.
+    #[must_use]
+    pub fn resolve(self, graph: &Graph) -> RuntimeMode {
+        self.resolve_for(
+            graph,
+            std::thread::available_parallelism().map_or(1, usize::from),
+        )
+    }
+
+    /// [`RuntimeMode::resolve`] with an explicit core count.
+    ///
+    /// `Auto` picks the parallel engine only when (a) the host actually has
+    /// more than one core — a time-sliced "parallel" run can never beat
+    /// sequential, it only adds barrier hand-offs — and (b) the estimated
+    /// per-round work clears [`AUTO_WORK_THRESHOLD`], so the barrier is
+    /// amortized.
+    #[must_use]
+    pub fn resolve_for(self, graph: &Graph, cores: usize) -> RuntimeMode {
+        match self {
+            RuntimeMode::Auto(threads) => {
+                if cores > 1 && auto_work_estimate(graph) >= AUTO_WORK_THRESHOLD {
+                    RuntimeMode::Parallel(threads)
+                } else {
+                    RuntimeMode::Sequential
+                }
+            }
+            other => other,
+        }
+    }
 }
 
 /// Configuration for a simulation run.
@@ -35,12 +110,10 @@ pub struct SimConfig {
     pub max_rounds: u64,
     /// Identifier assignment policy.
     pub ids: IdAssignment,
-    /// Worker threads for phase drivers: `None` = sequential runtime,
-    /// `Some(0)` = parallel with available parallelism, `Some(t)` =
-    /// parallel with `t` workers. Both runtimes are bit-identical; this
-    /// only selects the engine, so experiment harnesses can sweep the
-    /// runtime dimension through configuration alone.
-    pub threads: Option<usize>,
+    /// Engine selection for phase drivers. All modes are bit-identical;
+    /// this only selects the execution strategy, so experiment harnesses
+    /// can sweep the runtime dimension through configuration alone.
+    pub runtime: RuntimeMode,
 }
 
 impl SimConfig {
@@ -80,12 +153,28 @@ impl SimConfig {
         self
     }
 
-    /// Returns `self` with the runtime selection replaced (`None` =
-    /// sequential, `Some(t)` = parallel with `t` workers, 0 = all cores).
+    /// Returns `self` with the runtime selection replaced.
     #[must_use]
-    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
-        self.threads = threads;
+    pub fn with_runtime(mut self, runtime: RuntimeMode) -> Self {
+        self.runtime = runtime;
         self
+    }
+
+    /// Compatibility helper predating [`RuntimeMode`]: `None` = sequential,
+    /// `Some(t)` = parallel with `t` workers (0 = all cores).
+    #[must_use]
+    pub fn with_threads(self, threads: Option<usize>) -> Self {
+        self.with_runtime(match threads {
+            None => RuntimeMode::Sequential,
+            Some(t) => RuntimeMode::Parallel(t),
+        })
+    }
+
+    /// Returns `self` with size-adaptive engine selection (`threads`
+    /// workers when the parallel engine is chosen, 0 = all cores).
+    #[must_use]
+    pub fn auto(self, threads: usize) -> Self {
+        self.with_runtime(RuntimeMode::Auto(threads))
     }
 
     /// The effective seed for node RNG streams.
@@ -108,7 +197,7 @@ impl Default for SimConfig {
             strict_bandwidth: false,
             max_rounds: 5_000_000,
             ids: IdAssignment::Permuted,
-            threads: None,
+            runtime: RuntimeMode::Sequential,
         }
     }
 }
@@ -140,5 +229,44 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert!(c.strict_bandwidth);
         assert_eq!(c.max_rounds, 10);
+        assert_eq!(
+            SimConfig::default().with_threads(Some(3)).runtime,
+            RuntimeMode::Parallel(3)
+        );
+        assert_eq!(
+            SimConfig::default().with_threads(None).runtime,
+            RuntimeMode::Sequential
+        );
+        assert_eq!(SimConfig::default().auto(4).runtime, RuntimeMode::Auto(4));
+    }
+
+    #[test]
+    fn auto_resolution_follows_work_estimate_and_cores() {
+        let small = graphs::gen::cycle(16);
+        assert!(auto_work_estimate(&small) < AUTO_WORK_THRESHOLD);
+        assert_eq!(
+            RuntimeMode::Auto(4).resolve_for(&small, 8),
+            RuntimeMode::Sequential
+        );
+        let big = graphs::gen::random_regular(4000, 8, 1);
+        assert!(auto_work_estimate(&big) >= AUTO_WORK_THRESHOLD);
+        assert_eq!(
+            RuntimeMode::Auto(4).resolve_for(&big, 8),
+            RuntimeMode::Parallel(4)
+        );
+        // A single-core host can never win by time-slicing shards.
+        assert_eq!(
+            RuntimeMode::Auto(4).resolve_for(&big, 1),
+            RuntimeMode::Sequential
+        );
+        // Explicit modes resolve to themselves.
+        assert_eq!(
+            RuntimeMode::Parallel(2).resolve(&small),
+            RuntimeMode::Parallel(2)
+        );
+        assert_eq!(
+            RuntimeMode::Sequential.resolve(&big),
+            RuntimeMode::Sequential
+        );
     }
 }

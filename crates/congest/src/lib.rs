@@ -19,9 +19,14 @@
 //! Two interchangeable runtimes execute protocols: a deterministic
 //! [`SequentialRuntime`] and a [`ParallelRuntime`] that shards nodes over
 //! worker threads and exchanges cross-shard messages through per-shard-pair
-//! batch buffers swapped at the round barrier (no per-message sends or
-//! allocations). Both produce bit-identical results for the same seed,
-//! which is asserted by tests (experiment E12).
+//! batch buffers hand-shaken with a *single* spin barrier per
+//! communication round (no per-message sends or allocations; see the
+//! [`runtime`] module docs for the epoch-counter protocol). Both produce
+//! bit-identical results for the same seed, which is asserted by tests
+//! (experiment E12), and [`RuntimeMode::Auto`] picks between them per run
+//! from a calibrated work estimate. Protocols that communicate only every
+//! `p`-th round can declare it ([`Protocol::sync_period`]) to batch `p`
+//! simulator rounds per synchronization.
 //!
 //! # Example
 //!
@@ -64,17 +69,20 @@
 mod config;
 mod message;
 mod metrics;
+mod net;
 mod node;
 mod outbox;
 mod protocol;
 pub mod runtime;
 
-pub use config::{IdAssignment, SimConfig};
+pub use config::{auto_work_estimate, IdAssignment, RuntimeMode, SimConfig, AUTO_WORK_THRESHOLD};
 pub use message::{BitCost, Message};
 pub use metrics::Metrics;
+pub use net::NetTables;
 pub use node::{NodeCtx, NodeRng, Port};
 pub use outbox::{Inbox, Outbox};
 pub use protocol::{Protocol, Status};
 pub use runtime::{
-    assigned_idents, run, run_parallel, ParallelRuntime, RunResult, SequentialRuntime, SimError,
+    assigned_idents, run, run_parallel, run_with, ParallelRuntime, RunResult, SequentialRuntime,
+    SimError,
 };

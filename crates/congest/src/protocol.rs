@@ -40,4 +40,27 @@ pub trait Protocol: Sync {
         inbox: &Inbox<Self::Msg>,
         out: &mut Outbox<Self::Msg>,
     ) -> Status;
+
+    /// Synchronization-tolerance hint enabling round batching.
+    ///
+    /// Returning `p > 1` declares a *communication schedule*: nodes send
+    /// messages only in rounds `r` with `r % p == 0` (the rounds in between
+    /// are local computation over previously received messages). Engines
+    /// exploit the declaration by synchronizing — exchanging cross-shard
+    /// batches and evaluating unanimous [`Status::Done`] — only at those
+    /// communication rounds, i.e. once per `p` simulator rounds instead of
+    /// every round.
+    ///
+    /// Both runtimes honor the same schedule, so results stay bit-identical
+    /// across engines for any hint value. The promise is *enforced*: a
+    /// message staged in a silent round is a protocol bug and panics, like
+    /// a duplicate send on a port. Termination votes cast in silent rounds
+    /// are ignored (a protocol declaring `p` must keep voting its decision
+    /// until the next communication round).
+    ///
+    /// The default, `1`, is the classic CONGEST schedule: every round may
+    /// communicate, termination is evaluated every round.
+    fn sync_period(&self) -> u64 {
+        1
+    }
 }

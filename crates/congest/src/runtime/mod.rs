@@ -1,16 +1,62 @@
 //! Execution engines for [`Protocol`]s.
+//!
+//! Two interchangeable engines execute protocols:
+//!
+//! * [`SequentialRuntime`] — the deterministic single-threaded reference:
+//!   nodes are stepped in index order, every observable (states, metrics,
+//!   errors) is canonical.
+//! * [`ParallelRuntime`] — nodes sharded over worker threads with a
+//!   **single synchronization barrier per communication round** (see
+//!   `parallel.rs` for the handshake protocol).
+//!
+//! Both engines are bit-identical for the same seed: per-node RNG streams
+//! depend only on `(seed, index)`, inboxes are sorted by port before
+//! delivery, and error reporting is keyed by `(round, node)` so the first
+//! error in sequential order wins regardless of thread interleaving. The
+//! differential harness (`tests/runtime_equivalence.rs`) and the transport
+//! property tests assert this equivalence over full coloring pipelines.
+//!
+//! # Engine selection
+//!
+//! [`SimConfig::runtime`] picks the engine per run:
+//!
+//! * [`RuntimeMode::Sequential`] / [`RuntimeMode::Parallel`] — explicit.
+//! * [`RuntimeMode::Auto`] — adaptive: the parallel engine only pays for
+//!   itself when each round carries enough work to amortize the barrier,
+//!   so `Auto` estimates per-round work as `n + 2m` (nodes stepped plus an
+//!   upper bound on messages handled) and picks sequential below
+//!   [`AUTO_WORK_THRESHOLD`](crate::AUTO_WORK_THRESHOLD). The threshold is
+//!   calibrated from `BENCH_PR2.json`; its doc comment records how to
+//!   re-derive it.
+//!
+//! # Round batching
+//!
+//! Protocols that communicate only every `p`-th round can declare it via
+//! [`Protocol::sync_period`]; both engines then evaluate termination (and
+//! the parallel engine synchronizes) only at those communication rounds,
+//! cutting barrier traffic by `p×` while remaining bit-identical.
+//!
+//! # Per-network tables
+//!
+//! Context construction is backed by [`NetTables`](crate::NetTables), a
+//! CSR-layout identifier/reverse-port table built once per
+//! `(graph, config)`. Multi-phase drivers build the tables once and pass
+//! them to [`run_with`]; the convenience entry points build them on the
+//! fly.
 
+mod barrier;
 mod parallel;
 mod sequential;
 
 pub use parallel::ParallelRuntime;
 pub use sequential::SequentialRuntime;
 
-use crate::{IdAssignment, Metrics, NodeCtx, NodeRng, Port, Protocol, SimConfig};
+use crate::{Metrics, NetTables, NodeRng, Protocol, RuntimeMode, SimConfig};
 use graphs::Graph;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::fmt;
+use std::sync::Arc;
 
 /// Result of a completed run: final per-node states plus metrics.
 #[derive(Debug)]
@@ -73,8 +119,8 @@ pub fn run<P: Protocol>(
     SequentialRuntime.execute(graph, protocol, config)
 }
 
-/// Runs `protocol` with the batched-transport parallel runtime on
-/// `threads` worker threads (0 = number of available CPUs).
+/// Runs `protocol` with the single-barrier parallel runtime on `threads`
+/// worker threads (0 = number of available CPUs).
 ///
 /// # Errors
 ///
@@ -89,16 +135,39 @@ pub fn run_parallel<P: Protocol>(
     ParallelRuntime::new(threads).execute(graph, protocol, config)
 }
 
+/// Runs `protocol` on the engine selected by `config.runtime` (resolving
+/// [`RuntimeMode::Auto`] against the graph), reusing prebuilt
+/// [`NetTables`]. This is the entry point multi-phase drivers use: the
+/// tables are built once per driver and shared across all phases.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on round-limit exhaustion, or on bandwidth
+/// violations in strict mode.
+pub fn run_with<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    config: &SimConfig,
+    net: &Arc<NetTables>,
+) -> Result<RunResult<P::State>, SimError> {
+    match config.runtime.resolve(graph) {
+        RuntimeMode::Parallel(t) => {
+            ParallelRuntime::new(t).execute_with(graph, protocol, config, net)
+        }
+        _ => SequentialRuntime.execute_with(graph, protocol, config, net),
+    }
+}
+
 /// The identifier assignment a run with `config` would use — what each
 /// node sees as `ctx.ident`. Public so that phase drivers can precompute
 /// schedules that depend only on information the nodes already possess
 /// locally (e.g. ident-ordered turn-taking inside decomposition clusters).
+/// `O(n)` — computes the permutation alone, not the full [`NetTables`]
+/// (drivers holding a `Driver` should prefer its cached
+/// `idents()` accessor and skip even this).
 #[must_use]
 pub fn assigned_idents(graph: &Graph, config: &SimConfig) -> Vec<u64> {
-    build_contexts(graph, config)
-        .into_iter()
-        .map(|c| c.ident)
-        .collect()
+    crate::net::ident_assignment(graph.n(), config)
 }
 
 /// Derives the private RNG stream of node `index` for run seed `seed`.
@@ -111,70 +180,24 @@ pub(crate) fn node_rng(seed: u64, index: u32) -> NodeRng {
     ChaCha8Rng::seed_from_u64(z)
 }
 
-/// Assigns identifiers and builds each node's [`NodeCtx`].
-pub(crate) fn build_contexts(graph: &Graph, config: &SimConfig) -> Vec<NodeCtx> {
-    let n = graph.n();
-    let idents: Vec<u64> = match config.ids {
-        IdAssignment::Sequential => (0..n as u64).collect(),
-        IdAssignment::Permuted => {
-            let mut ids: Vec<u64> = (0..n as u64).collect();
-            let mut r = ChaCha8Rng::seed_from_u64(config.seed.wrapping_mul(0xA24B_AED4_963E_E407));
-            ids.shuffle(&mut r);
-            ids
-        }
-    };
-    let max_degree = graph.max_degree();
-    (0..n)
-        .map(|v| NodeCtx {
-            index: v as u32,
-            ident: idents[v],
-            n,
-            max_degree,
-            neighbor_idents: graph
-                .neighbors(v as u32)
-                .iter()
-                .map(|&u| idents[u as usize])
-                .collect(),
-            round: 0,
-        })
-        .collect()
-}
-
-/// For each node and port, the arrival port at the other endpoint:
-/// `rev[u][p]` is the port of `u` on `neighbors(u)[p]`.
-pub(crate) fn build_reverse_ports(graph: &Graph) -> Vec<Vec<Port>> {
-    (0..graph.n() as u32)
-        .map(|u| {
-            graph
-                .neighbors(u)
-                .iter()
-                .map(|&v| {
-                    graph
-                        .port_of(v, u)
-                        .expect("undirected graph: reverse edge exists") as Port
-                })
-                .collect()
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::IdAssignment;
     use graphs::gen;
 
     #[test]
     fn contexts_have_unique_idents_and_correct_ports() {
         let g = gen::cycle(6);
         let cfg = SimConfig::default();
-        let ctxs = build_contexts(&g, &cfg);
+        let ctxs = NetTables::build(&g, &cfg).contexts();
         let mut ids: Vec<u64> = ctxs.iter().map(|c| c.ident).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 6, "identifiers must be unique");
         for (v, c) in ctxs.iter().enumerate() {
             assert_eq!(c.degree(), 2);
-            for (p, &nid) in c.neighbor_idents.iter().enumerate() {
+            for (p, &nid) in c.neighbor_idents().iter().enumerate() {
                 let u = g.neighbors(v as u32)[p];
                 assert_eq!(ctxs[u as usize].ident, nid);
             }
@@ -188,17 +211,18 @@ mod tests {
             ids: IdAssignment::Sequential,
             ..SimConfig::default()
         };
-        let ctxs = build_contexts(&g, &cfg);
+        let ctxs = NetTables::build(&g, &cfg).contexts();
         assert!(ctxs.iter().enumerate().all(|(i, c)| c.ident == i as u64));
+        assert_eq!(assigned_idents(&g, &cfg), vec![0, 1, 2, 3]);
     }
 
     #[test]
     fn reverse_ports_roundtrip() {
         let g = gen::gnp_capped(40, 0.2, 8, 1);
-        let rev = build_reverse_ports(&g);
+        let net = NetTables::build(&g, &SimConfig::default());
         for u in 0..g.n() as u32 {
             for (p, &v) in g.neighbors(u).iter().enumerate() {
-                let back = rev[u as usize][p] as usize;
+                let back = net.reverse_ports_of(u)[p] as usize;
                 assert_eq!(g.neighbors(v)[back], u);
             }
         }

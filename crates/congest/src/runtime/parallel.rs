@@ -1,39 +1,105 @@
-//! Batched-transport parallel runtime.
+//! Single-barrier batched-transport parallel runtime.
 //!
 //! Nodes are sharded over worker threads. Within a round, each worker steps
 //! its own nodes; messages crossing shard boundaries are accumulated in
-//! per-(source-shard → destination-shard) batch buffers that are exchanged
-//! wholesale at the existing round barrier — **zero per-message channel
-//! sends or allocations** on the cross-shard path. Each cell of the t×t
-//! buffer matrix is double-buffered by a `Vec` swap: the worker fills its
-//! private buffer during the step phase, swaps it into the shared cell
-//! before the barrier, and gets last round's drained (capacity-retaining)
-//! buffer back. Two barriers per round keep the system synchronous —
-//! exactly the lockstep semantics of the CONGEST model.
+//! per-(source-shard → destination-shard) batch buffers exchanged wholesale
+//! at a round barrier — zero per-message channel sends or allocations on
+//! the cross-shard path.
 //!
-//! Determinism: per-node RNG streams depend only on `(seed, index)`, at
-//! most one message arrives per port per round (the `Outbox` enforces the
-//! CONGEST discipline), and inboxes are sorted by port before delivery, so
-//! the observable behavior is bit-identical to
+//! # The single-barrier protocol
+//!
+//! Each communication round has two phases: **A** (step nodes, stage
+//! outgoing batches, count termination votes) and **B** (drain inbound
+//! batches, rotate inboxes, evaluate termination). One barrier separates
+//! A from B; there is **no second barrier** between B and the next round's
+//! A. The earlier two-barrier design needed the second one so that a fast
+//! shard's next publish could not overwrite a batch a slow shard was still
+//! draining. That hand-off is now race-free by construction:
+//!
+//! * **Parity-double-buffered cells.** The mailbox cell for
+//!   `(src, dst)` is an array of two buffers indexed by `sync % 2`, where
+//!   `sync` counts barriers so far. Phase A of sync `k` writes parity
+//!   `k % 2`; phase B of sync `k` drains the same parity. The next write
+//!   to that parity happens in phase A of sync `k + 2`. The barrier of
+//!   sync `k + 1` sits between — and a shard only reaches it after
+//!   finishing its phase B of sync `k` — so every drain strictly precedes
+//!   the next overwrite. (Phase B of sync `k` runs concurrently with other
+//!   shards' phase A of sync `k + 1`, which touches the *other* parity.)
+//! * **Epoch stamps.** Each parity buffer carries an atomic epoch; a
+//!   producer publishing a non-empty batch at sync `k` stamps it `k + 1`.
+//!   Consumers skip the (uncontended, but not free) cell lock entirely
+//!   unless the stamp matches the current sync — the swap handshake
+//!   reduced to one atomic load per cell on the empty path. The stamp
+//!   lives beside its buffer (not per cell) because phase B of sync `k`
+//!   overlaps phase A of sync `k + 1`.
+//! * **Epoch-rotated vote counters.** Unanimous-`Done` counts and the
+//!   strict-bandwidth abort flag live in three atomic slots indexed by
+//!   `sync % 3`: written in phase A, read in phase B, and reset by shard 0
+//!   two syncs later — the earliest point at which the barrier ordering
+//!   proves no reader or writer can still touch the slot. (A single,
+//!   unrotated flag would let a shard observe a flag raised one sync in
+//!   the future and break early — deserting the flagging shard at the next
+//!   barrier.)
+//!
+//! The barrier itself is a sense-reversing spin barrier
+//! ([`super::barrier::SpinBarrier`]): worker counts are small and rounds
+//! are short, so spinning beats the mutex/condvar handshake of
+//! `std::sync::Barrier` by an order of magnitude on light rounds. A panic
+//! in any worker (protocol bug) poisons the barrier so the remaining
+//! workers panic too instead of deadlocking.
+//!
+//! # Round batching
+//!
+//! Protocols declaring a [`Protocol::sync_period`] of `p` communicate only
+//! every `p`-th round; the engine then runs the `p - 1` silent rounds
+//! between communication rounds entirely locally — no publish, no barrier,
+//! no drain — and synchronizes once per `p` simulator rounds.
+//!
+//! # Determinism
+//!
+//! Per-node RNG streams depend only on `(seed, index)`, at most one
+//! message arrives per port per round (the `Outbox` enforces the CONGEST
+//! discipline), and inboxes are sorted by port before delivery, so the
+//! observable behavior is bit-identical to
 //! [`SequentialRuntime`](super::SequentialRuntime) regardless of thread
-//! interleaving or batch arrival order (asserted by tests and experiment
-//! E12).
+//! interleaving or batch arrival order (asserted by the differential
+//! harness and the transport property tests).
 
-use super::{build_contexts, build_reverse_ports, node_rng, RunResult, SimError};
-use crate::{Inbox, Message, Metrics, NodeCtx, Outbox, Port, Protocol, SimConfig, Status};
+use super::barrier::SpinBarrier;
+use super::{node_rng, RunResult, SimError};
+use crate::{
+    Inbox, Message, Metrics, NetTables, NodeCtx, Outbox, Port, Protocol, SimConfig, Status,
+};
 use graphs::Graph;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::{Arc, Mutex};
 
 /// One staged cross-shard message: destination node index, arrival port,
 /// payload.
 type Staged<M> = (u32, Port, M);
 
-/// The t×t batch-buffer matrix: `matrix[src][dst]` carries one round's
-/// messages from shard `src` to shard `dst`.
-type MailboxMatrix<M> = Vec<Vec<Mutex<Vec<Staged<M>>>>>;
+/// One direction of one shard pair: two parity buffers, each with the
+/// epoch stamp of its most recent non-empty publish.
+///
+/// The stamp is per *parity buffer*, not per cell: a consumer's phase B of
+/// sync `k` runs concurrently with the producer's phase A of sync `k + 1`,
+/// so a shared stamp could be overwritten (to `k + 2`) before the consumer
+/// compares it against `k + 1` — silently skipping a full batch.
+struct MailCell<M> {
+    bufs: [Mutex<Vec<Staged<M>>>; 2],
+    epochs: [AtomicU64; 2],
+}
 
-/// Multi-threaded engine with barrier-batched message transport.
+impl<M> MailCell<M> {
+    fn new() -> Self {
+        MailCell {
+            bufs: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
+            epochs: [AtomicU64::new(0), AtomicU64::new(0)],
+        }
+    }
+}
+
+/// Multi-threaded engine with single-barrier batched message transport.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelRuntime {
     threads: usize,
@@ -58,19 +124,46 @@ impl ParallelRuntime {
         ParallelRuntime { threads }
     }
 
-    /// Runs `protocol` to unanimous [`Status::Done`].
+    /// Runs `protocol` to unanimous [`Status::Done`], building the network
+    /// tables on the fly.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::RoundLimitExceeded`] if the protocol does not
     /// terminate, or [`SimError::Bandwidth`] in strict mode.
-    #[allow(clippy::too_many_lines)]
     pub fn execute<P: Protocol>(
         &self,
         graph: &Graph,
         protocol: &P,
         config: &SimConfig,
     ) -> Result<RunResult<P::State>, SimError> {
+        self.execute_with(graph, protocol, config, &NetTables::build(graph, config))
+    }
+
+    /// [`ParallelRuntime::execute`] with prebuilt [`NetTables`] — the
+    /// allocation-light path multi-phase drivers use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimitExceeded`] if the protocol does not
+    /// terminate, or [`SimError::Bandwidth`] in strict mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` was not built for `graph` (node or edge count
+    /// mismatch — proceeding would mis-route messages and return silently
+    /// wrong results), or if the protocol stages a message in a round its
+    /// declared [`Protocol::sync_period`] marks silent — a protocol bug,
+    /// like a duplicate send on a port.
+    #[allow(clippy::too_many_lines)]
+    pub fn execute_with<P: Protocol>(
+        &self,
+        graph: &Graph,
+        protocol: &P,
+        config: &SimConfig,
+        net: &Arc<NetTables>,
+    ) -> Result<RunResult<P::State>, SimError> {
+        assert!(net.matches(graph), "NetTables built for a different graph");
         let n = graph.n();
         let budget = config.bandwidth_bits(n);
         if n == 0 {
@@ -85,22 +178,34 @@ impl ParallelRuntime {
         let t = self.threads.min(n).max(1);
         let chunk = n.div_ceil(t);
         let shard_of = |v: usize| (v / chunk).min(t - 1);
+        let period = protocol.sync_period().max(1);
 
-        let mut ctxs = build_contexts(graph, config);
-        let rev = build_reverse_ports(graph);
+        let mut ctxs = net.contexts();
 
-        // The t×t transport matrix: `mailboxes[src][dst]` holds the batch
-        // of messages from shard `src` to shard `dst` for the current
-        // round. Workers swap their full private buffer in before the
-        // barrier and drain their column after it; the same allocations
-        // shuttle back and forth for the whole run.
-        let mailboxes: MailboxMatrix<P::Msg> = (0..t)
-            .map(|_| (0..t).map(|_| Mutex::new(Vec::new())).collect())
+        // The t×t transport matrix: `mailboxes[src][dst]` carries batches
+        // from shard `src` to shard `dst`, parity-double-buffered per sync
+        // (see the module docs). The same allocations shuttle back and
+        // forth for the whole run.
+        let mailboxes: Vec<Vec<MailCell<P::Msg>>> = (0..t)
+            .map(|_| (0..t).map(|_| MailCell::new()).collect())
             .collect();
 
-        let barrier = Barrier::new(t);
-        let done_counts = [AtomicU64::new(0), AtomicU64::new(0)];
-        let abort = AtomicBool::new(false);
+        let barrier = SpinBarrier::new(t);
+        // Unanimous-Done vote counts and the strict-bandwidth abort flag,
+        // both rotated over three sync epochs. A *single* abort flag would
+        // deadlock the single-barrier protocol: phase B of sync `k`
+        // overlaps other shards' phase A of sync `k + 1`, so a violation
+        // flagged at `k + 1` could be (racily) observed by a shard still
+        // evaluating sync `k`, making it break one sync earlier than the
+        // flagging shard — which then waits forever on a barrier the early
+        // breaker never reaches. Slot rotation pins every flag to the sync
+        // it was raised in, so all shards break at the same sync.
+        let done_slots = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+        let abort_slots = [
+            AtomicBool::new(false),
+            AtomicBool::new(false),
+            AtomicBool::new(false),
+        ];
         // Errors are keyed by (round, node index) and the minimum key wins,
         // so the reported error is the first one in the sequential runtime's
         // node order — deterministic regardless of which shard records it
@@ -124,13 +229,16 @@ impl ParallelRuntime {
                 let start = shard * chunk;
                 let mailboxes = &mailboxes;
                 let barrier = &barrier;
-                let done_counts = &done_counts;
-                let abort = &abort;
+                let done_slots = &done_slots;
+                let abort_slots = &abort_slots;
                 let first_error = &first_error;
                 let global_metrics = &global_metrics;
                 let out_states = &out_states;
-                let rev = &rev;
+                let net = &net;
                 scope.spawn(move || {
+                    // Poison the barrier if this worker unwinds (protocol
+                    // bug) so peers panic instead of spinning forever.
+                    let _poison = barrier.poison_guard();
                     let local_n = ctx_slice.len();
                     let mut rngs: Vec<_> = (0..local_n)
                         .map(|i| node_rng(config.rng_seed(), (start + i) as u32))
@@ -144,7 +252,7 @@ impl ParallelRuntime {
                     let mut next: Vec<Inbox<P::Msg>> = (0..local_n).map(|_| Inbox::new()).collect();
                     let mut out: Outbox<P::Msg> = Outbox::new(0);
                     // Private outgoing batch per destination shard, reused
-                    // (and capacity-recycled via the swap) every round.
+                    // (and capacity-recycled via the swap) every sync.
                     let mut out_bufs: Vec<Vec<Staged<P::Msg>>> =
                         (0..t).map(|_| Vec::new()).collect();
                     let mut metrics = Metrics {
@@ -152,8 +260,14 @@ impl ParallelRuntime {
                         ..Metrics::default()
                     };
 
+                    // Number of completed synchronizations; drives the cell
+                    // parity and the vote-slot rotation. Equals the round
+                    // number while period == 1.
+                    let mut sync: u64 = 0;
                     let mut finished_ok = false;
+                    let mut saw_abort = false;
                     for round in 0..config.max_rounds {
+                        let comm = round.is_multiple_of(period);
                         // ---- Phase A: step local nodes, stage messages.
                         let mut local_done = 0u64;
                         for i in 0..local_n {
@@ -170,6 +284,10 @@ impl ParallelRuntime {
                             if status == Status::Done {
                                 local_done += 1;
                             }
+                            assert!(
+                                comm || out.is_empty(),
+                                "protocol declared sync_period {period} but node {v} sent in silent round {round}"
+                            );
                             for (port, msg) in out.drain() {
                                 let bits = msg.bits();
                                 metrics.record_message(bits, budget);
@@ -186,10 +304,11 @@ impl ParallelRuntime {
                                             },
                                         ));
                                     }
-                                    abort.store(true, Ordering::SeqCst);
+                                    abort_slots[(sync % 3) as usize]
+                                        .store(true, Ordering::SeqCst);
                                 }
                                 let dest = graph.neighbors(v as u32)[port as usize] as usize;
-                                let arrival = rev[v][port as usize];
+                                let arrival = net.reverse_ports_of(v as u32)[port as usize];
                                 let ds = shard_of(dest);
                                 if ds == shard {
                                     next[dest - start].push(arrival, msg);
@@ -198,28 +317,50 @@ impl ParallelRuntime {
                                 }
                             }
                         }
-                        // Publish this round's batches: swap each full
-                        // private buffer into the matrix cell, taking back
-                        // the drained buffer from last round.
+                        metrics.rounds = round + 1;
+
+                        if !comm {
+                            // Silent round: no messages in flight anywhere,
+                            // so just rotate inboxes locally and move on —
+                            // no publish, no barrier, no drain.
+                            for inbox in &mut cur {
+                                inbox.clear();
+                            }
+                            std::mem::swap(&mut cur, &mut next);
+                            continue;
+                        }
+
+                        let parity = (sync % 2) as usize;
+                        // Publish this sync's batches: swap each non-empty
+                        // private buffer into its parity cell (taking back
+                        // the buffer drained two syncs ago) and stamp the
+                        // cell's epoch so consumers can skip empty cells
+                        // with one atomic load.
                         for (ds, buf) in out_bufs.iter_mut().enumerate() {
-                            if ds != shard {
-                                let mut cell =
-                                    mailboxes[shard][ds].lock().expect("no poisoned lock");
-                                std::mem::swap(&mut *cell, buf);
+                            if ds != shard && !buf.is_empty() {
+                                let cell = &mailboxes[shard][ds];
+                                {
+                                    let mut slot =
+                                        cell.bufs[parity].lock().expect("no poisoned lock");
+                                    debug_assert!(slot.is_empty(), "cell drained two syncs ago");
+                                    std::mem::swap(&mut *slot, buf);
+                                }
+                                cell.epochs[parity].store(sync + 1, Ordering::SeqCst);
                             }
                         }
-                        done_counts[(round % 2) as usize].fetch_add(local_done, Ordering::SeqCst);
+                        done_slots[(sync % 3) as usize].fetch_add(local_done, Ordering::SeqCst);
+
                         barrier.wait();
 
                         // ---- Phase B: drain the inbound column, rotate
-                        // inboxes.
-                        for (src, row) in mailboxes.iter().enumerate() {
-                            if src == shard {
-                                continue;
-                            }
-                            let mut cell = row[shard].lock().expect("no poisoned lock");
-                            for (dest, port, msg) in cell.drain(..) {
-                                next[dest as usize - start].push(port, msg);
+                        // inboxes, evaluate termination.
+                        for row in mailboxes.iter() {
+                            let cell = &row[shard];
+                            if cell.epochs[parity].load(Ordering::SeqCst) == sync + 1 {
+                                let mut slot = cell.bufs[parity].lock().expect("no poisoned lock");
+                                for (dest, port, msg) in slot.drain(..) {
+                                    next[dest as usize - start].push(port, msg);
+                                }
                             }
                         }
                         for inbox in &mut cur {
@@ -229,15 +370,21 @@ impl ParallelRuntime {
                         for inbox in &mut cur {
                             inbox.finalize();
                         }
-                        metrics.rounds = round + 1;
                         let all_done =
-                            done_counts[(round % 2) as usize].load(Ordering::SeqCst) == n as u64;
-                        let aborted = abort.load(Ordering::SeqCst);
+                            done_slots[(sync % 3) as usize].load(Ordering::SeqCst) == n as u64;
+                        let aborted = abort_slots[(sync % 3) as usize].load(Ordering::SeqCst);
                         if shard == 0 {
-                            done_counts[((round + 1) % 2) as usize].store(0, Ordering::SeqCst);
+                            // Reset the slots for sync + 2: their last
+                            // readers finished in phase B of sync - 1,
+                            // which happens-before this phase B; their next
+                            // writers start in phase A of sync + 2, which
+                            // happens-after (module docs).
+                            done_slots[((sync + 2) % 3) as usize].store(0, Ordering::SeqCst);
+                            abort_slots[((sync + 2) % 3) as usize].store(false, Ordering::SeqCst);
                         }
-                        barrier.wait();
+                        sync += 1;
                         if aborted {
+                            saw_abort = true;
                             break;
                         }
                         if all_done {
@@ -245,7 +392,7 @@ impl ParallelRuntime {
                             break;
                         }
                     }
-                    if !finished_ok && !abort.load(Ordering::SeqCst) {
+                    if !finished_ok && !saw_abort {
                         let mut e = first_error.lock().expect("no poisoned lock");
                         if e.is_none() {
                             *e = Some((
@@ -449,5 +596,41 @@ mod tests {
                 assert_eq!(err, seq_err, "error diverged with {threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn worker_panic_poisons_instead_of_deadlocking() {
+        /// Panics at round 2 on exactly one node; without barrier
+        /// poisoning the other shards would spin forever.
+        struct Bomb;
+        impl Protocol for Bomb {
+            type State = ();
+            type Msg = u64;
+            fn init(&self, _: &NodeCtx, _: &mut NodeRng) {}
+            fn round(
+                &self,
+                _: &mut (),
+                ctx: &NodeCtx,
+                _: &mut NodeRng,
+                _: &Inbox<u64>,
+                out: &mut Outbox<u64>,
+            ) -> Status {
+                assert!(
+                    !(ctx.round == 2 && ctx.index == 7),
+                    "deliberate protocol bug"
+                );
+                out.broadcast(1);
+                Status::Running
+            }
+        }
+        let g = gen::cycle(12);
+        let caught = std::panic::catch_unwind(|| {
+            let _ = ParallelRuntime::new(4).execute(
+                &g,
+                &Bomb,
+                &SimConfig::default().with_max_rounds(10),
+            );
+        });
+        assert!(caught.is_err(), "panic must propagate, not deadlock");
     }
 }

@@ -1,18 +1,23 @@
 //! Deterministic single-threaded runtime.
 
-use super::{build_contexts, build_reverse_ports, node_rng, RunResult, SimError};
-use crate::{Inbox, Message, Metrics, Outbox, Protocol, SimConfig, Status};
+use super::{node_rng, RunResult, SimError};
+use crate::{Inbox, Message, Metrics, NetTables, Outbox, Protocol, SimConfig, Status};
 use graphs::Graph;
+use std::sync::Arc;
 
 /// Single-threaded engine: nodes are stepped in index order each round.
 ///
 /// This is the reference implementation; the parallel runtime is validated
-/// against it.
+/// against it. It honors the same [`Protocol::sync_period`] communication
+/// schedule as the parallel engine — sends are rejected and termination
+/// votes ignored in silent rounds — so a protocol declaring a period
+/// behaves bit-identically on both engines.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SequentialRuntime;
 
 impl SequentialRuntime {
-    /// Runs `protocol` to unanimous [`Status::Done`].
+    /// Runs `protocol` to unanimous [`Status::Done`], building the network
+    /// tables on the fly.
     ///
     /// # Errors
     ///
@@ -24,14 +29,40 @@ impl SequentialRuntime {
         protocol: &P,
         config: &SimConfig,
     ) -> Result<RunResult<P::State>, SimError> {
+        self.execute_with(graph, protocol, config, &NetTables::build(graph, config))
+    }
+
+    /// [`SequentialRuntime::execute`] with prebuilt [`NetTables`] — the
+    /// allocation-light path multi-phase drivers use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimitExceeded`] if the protocol does not
+    /// terminate, or [`SimError::Bandwidth`] in strict mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` was not built for `graph` (node or edge count
+    /// mismatch — proceeding would mis-route messages and return silently
+    /// wrong results), or if the protocol stages a message in a round its
+    /// declared [`Protocol::sync_period`] marks silent — a protocol bug,
+    /// like a duplicate send on a port.
+    pub fn execute_with<P: Protocol>(
+        &self,
+        graph: &Graph,
+        protocol: &P,
+        config: &SimConfig,
+        net: &Arc<NetTables>,
+    ) -> Result<RunResult<P::State>, SimError> {
+        assert!(net.matches(graph), "NetTables built for a different graph");
         let n = graph.n();
         let budget = config.bandwidth_bits(n);
+        let period = protocol.sync_period().max(1);
         let mut metrics = Metrics {
             bandwidth_bits: budget,
             ..Metrics::default()
         };
-        let mut ctxs = build_contexts(graph, config);
-        let rev = build_reverse_ports(graph);
+        let mut ctxs = net.contexts();
         let mut rngs: Vec<_> = (0..n as u32)
             .map(|v| node_rng(config.rng_seed(), v))
             .collect();
@@ -50,6 +81,10 @@ impl SequentialRuntime {
         }
 
         for round in 0..config.max_rounds {
+            // Communication rounds carry messages and termination votes;
+            // the `period - 1` rounds in between are declared-silent local
+            // computation (see `Protocol::sync_period`).
+            let comm = round.is_multiple_of(period);
             let mut all_done = true;
             for v in 0..n {
                 ctxs[v].round = round;
@@ -57,6 +92,10 @@ impl SequentialRuntime {
                 let status =
                     protocol.round(&mut states[v], &ctxs[v], &mut rngs[v], &cur[v], &mut out);
                 all_done &= status == Status::Done;
+                assert!(
+                    comm || out.is_empty(),
+                    "protocol declared sync_period {period} but node {v} sent in silent round {round}"
+                );
                 for (port, msg) in out.drain() {
                     let bits = msg.bits();
                     metrics.record_message(bits, budget);
@@ -68,7 +107,7 @@ impl SequentialRuntime {
                         });
                     }
                     let dest = graph.neighbors(v as u32)[port as usize] as usize;
-                    next[dest].push(rev[v][port as usize], msg);
+                    next[dest].push(net.reverse_ports_of(v as u32)[port as usize], msg);
                 }
             }
             metrics.rounds = round + 1;
@@ -79,7 +118,7 @@ impl SequentialRuntime {
             for inbox in &mut cur {
                 inbox.finalize();
             }
-            if all_done {
+            if comm && all_done {
                 return Ok(RunResult { states, metrics });
             }
         }
@@ -257,5 +296,89 @@ mod tests {
         assert!(res.metrics.messages > 0);
         assert!(res.metrics.total_bits >= res.metrics.messages);
         assert!(res.metrics.max_message_bits <= 3); // idents 0..3 fit in ≤2 bits, +min 1
+    }
+
+    /// A k-periodic protocol: pulse a counter to all neighbors at
+    /// communication rounds, accumulate locally in between.
+    struct Pulse {
+        period: u64,
+        pulses: u64,
+    }
+
+    impl Protocol for Pulse {
+        type State = u64;
+        type Msg = u64;
+        fn init(&self, _: &NodeCtx, _: &mut NodeRng) -> u64 {
+            0
+        }
+        fn round(
+            &self,
+            st: &mut u64,
+            ctx: &NodeCtx,
+            _: &mut NodeRng,
+            inbox: &Inbox<u64>,
+            out: &mut Outbox<u64>,
+        ) -> Status {
+            for &(p, x) in inbox {
+                *st = st.wrapping_add(x ^ u64::from(p));
+            }
+            let pulse = ctx.round / self.period;
+            if ctx.round.is_multiple_of(self.period) && pulse < self.pulses {
+                out.broadcast(ctx.ident + pulse);
+                Status::Running
+            } else if pulse < self.pulses {
+                Status::Running
+            } else {
+                Status::Done
+            }
+        }
+        fn sync_period(&self) -> u64 {
+            self.period
+        }
+    }
+
+    #[test]
+    fn periodic_protocol_terminates_at_comm_round() {
+        let g = gen::cycle(8);
+        let p = Pulse {
+            period: 3,
+            pulses: 4,
+        };
+        let res = SequentialRuntime
+            .execute(&g, &p, &SimConfig::seeded(2))
+            .unwrap();
+        // Done votes only count at rounds ≡ 0 (mod 3): the first unanimous
+        // one is round 12 (pulse index 4), so 13 rounds execute.
+        assert_eq!(res.metrics.rounds, 13);
+        // 4 pulses × 8 nodes × degree 2.
+        assert_eq!(res.metrics.messages, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "silent round")]
+    fn silent_round_send_is_rejected() {
+        /// Claims period 2 but sends every round.
+        struct Liar;
+        impl Protocol for Liar {
+            type State = ();
+            type Msg = u64;
+            fn init(&self, _: &NodeCtx, _: &mut NodeRng) {}
+            fn round(
+                &self,
+                _: &mut (),
+                _: &NodeCtx,
+                _: &mut NodeRng,
+                _: &Inbox<u64>,
+                out: &mut Outbox<u64>,
+            ) -> Status {
+                out.broadcast(1);
+                Status::Running
+            }
+            fn sync_period(&self) -> u64 {
+                2
+            }
+        }
+        let g = gen::cycle(4);
+        let _ = SequentialRuntime.execute(&g, &Liar, &SimConfig::default().with_max_rounds(10));
     }
 }

@@ -6,8 +6,10 @@
 //! carries node-local knowledge forward, accumulates metrics, and records a
 //! per-phase breakdown for the experiment harness.
 
-use congest::{Metrics, Protocol, RunResult, SimConfig, SimError};
+use congest::{Metrics, NetTables, Protocol, RunResult, RuntimeMode, SimConfig, SimError};
 use graphs::Graph;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Metrics of one named pipeline phase.
 #[derive(Debug, Clone)]
@@ -16,6 +18,9 @@ pub struct PhaseReport {
     pub name: String,
     /// Metrics of this phase alone.
     pub metrics: Metrics,
+    /// Wall-clock milliseconds this phase took (simulation only, excluding
+    /// any centralized pre/post-processing around the phase call).
+    pub wall_ms: f64,
 }
 
 /// Final product of a coloring pipeline.
@@ -54,26 +59,32 @@ impl ColoringOutcome {
 ///
 /// Each phase gets a fresh RNG salt (so randomized phases draw fresh coins)
 /// while node identifiers stay fixed across the whole pipeline.
+///
+/// The driver builds the per-network [`NetTables`] (CSR neighbor-identifier
+/// and reverse-port tables) **once** at construction and shares them across
+/// every phase — multi-phase pipelines no longer pay a per-phase context
+/// rebuild with one `Vec` per node.
 #[derive(Debug)]
 pub struct Driver<'g> {
     graph: &'g Graph,
     config: SimConfig,
-    threads: Option<usize>,
+    net: Arc<NetTables>,
     phase_counter: u64,
     metrics: Metrics,
     phases: Vec<PhaseReport>,
 }
 
 impl<'g> Driver<'g> {
-    /// New driver. Runs sequentially unless `config.threads` selects the
-    /// parallel runtime (both are bit-identical; see experiment E12).
+    /// New driver. The engine is selected by `config.runtime` — all modes
+    /// are bit-identical (see experiment E12), including
+    /// [`RuntimeMode::Auto`]'s per-run choice.
     #[must_use]
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
-        let threads = config.threads;
+        let net = NetTables::build(graph, &config);
         Driver {
             graph,
             config,
-            threads,
+            net,
             phase_counter: 0,
             metrics: Metrics::default(),
             phases: Vec::new(),
@@ -84,7 +95,7 @@ impl<'g> Driver<'g> {
     /// (0 = available parallelism).
     #[must_use]
     pub fn parallel(mut self, threads: usize) -> Self {
-        self.threads = Some(threads);
+        self.config.runtime = RuntimeMode::Parallel(threads);
         self
     }
 
@@ -100,6 +111,14 @@ impl<'g> Driver<'g> {
         &self.config
     }
 
+    /// The identifier assignment of this driver's network, from the cached
+    /// tables — what each node sees as `ctx.ident` in every phase. Free;
+    /// prefer this over `congest::assigned_idents` when a driver exists.
+    #[must_use]
+    pub fn idents(&self) -> &[u64] {
+        self.net.idents()
+    }
+
     /// Runs one phase to completion and returns the final node states.
     ///
     /// # Errors
@@ -112,14 +131,15 @@ impl<'g> Driver<'g> {
     ) -> Result<Vec<P::State>, SimError> {
         let cfg = self.config.clone().with_salt(self.phase_counter);
         self.phase_counter += 1;
-        let RunResult { states, metrics } = match self.threads {
-            None => congest::run(self.graph, protocol, &cfg)?,
-            Some(t) => congest::run_parallel(self.graph, protocol, &cfg, t)?,
-        };
+        let t0 = Instant::now();
+        let RunResult { states, metrics } =
+            congest::run_with(self.graph, protocol, &cfg, &self.net)?;
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         self.metrics.absorb(&metrics);
         self.phases.push(PhaseReport {
             name: name.into(),
             metrics,
+            wall_ms,
         });
         Ok(states)
     }

@@ -396,7 +396,7 @@ pub fn recursive_split(
         });
     }
 
-    let idents = congest::assigned_idents(g, driver.config());
+    let idents = driver.idents().to_vec();
     for level in 0..h {
         let sides: Vec<Side> = match mode {
             SplitMode::Randomized => {

@@ -321,14 +321,14 @@ impl Protocol for LearnPalette {
             let p = *p;
             match m {
                 LpMsg::Live => {
-                    let id = ctx.neighbor_idents[p as usize];
+                    let id = ctx.neighbor_idents()[p as usize];
                     st.live_d2.push(id);
                     st.live_send.push(id);
                 }
                 LpMsg::LiveList(ids) => st.live_d2.extend_from_slice(ids),
                 LpMsg::LiveEnd => {}
                 LpMsg::Assign { i } => {
-                    let vid = ctx.neighbor_idents[p as usize];
+                    let vid = ctx.neighbor_idents()[p as usize];
                     st.handled.insert((vid, *i), (p, Vec::new()));
                     st.informs_to_spray.push((vid, *i));
                 }

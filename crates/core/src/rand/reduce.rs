@@ -342,7 +342,7 @@ impl Protocol for Reduce {
                     .collect();
                 if let Some(&vp) = starters.choose(rng) {
                     st.flow.uprime_v = Some(vp);
-                    let vid = ctx.neighbor_idents[vp as usize];
+                    let vid = ctx.neighbor_idents()[vp as usize];
                     for q in 0..degree as Port {
                         if q != vp && sim.hhat_between_ports(vp, q) && rng.gen_bool(self.query_p) {
                             intents.stage(q, ReduceMsg::Query { v: vid });
@@ -383,7 +383,7 @@ impl Protocol for Reduce {
                 // Answer every probe (one per port at most).
                 for (p, m) in &msgs {
                     if let ReduceMsg::Probe { v, color } = m {
-                        let adj_v = ctx.neighbor_idents.contains(v);
+                        let adj_v = ctx.neighbor_idents().contains(v);
                         let mut used = sim.h_with_self(*p) && st.trial.color() == *color;
                         for q in 0..degree {
                             if q != *p as usize
@@ -481,7 +481,7 @@ impl Protocol for Reduce {
                     relayed.push(sq);
                 }
                 if let Some(&(vid, from)) = relayed.choose(rng) {
-                    let adj = ctx.neighbor_idents.contains(&vid) || ctx.ident == vid;
+                    let adj = ctx.neighbor_idents().contains(&vid) || ctx.ident == vid;
                     st.flow.w = Some((vid, from, adj));
                     for p in 0..degree as Port {
                         intents.stage(p, ReduceMsg::CheckD2 { v: vid });
@@ -497,7 +497,7 @@ impl Protocol for Reduce {
             7 => {
                 for (p, m) in &msgs {
                     if let ReduceMsg::CheckD2 { v } = m {
-                        intents.stage(*p, ReduceMsg::AdjAck(ctx.neighbor_idents.contains(v)));
+                        intents.stage(*p, ReduceMsg::AdjAck(ctx.neighbor_idents().contains(v)));
                     }
                 }
             }

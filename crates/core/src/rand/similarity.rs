@@ -265,7 +265,7 @@ impl Protocol for ExactSimilarity {
     fn init(&self, ctx: &NodeCtx, _rng: &mut NodeRng) -> SimilarityState {
         let mut st = SimilarityState::new(ctx.degree());
         st.my_first = sorted_dedup(
-            ctx.neighbor_idents
+            ctx.neighbor_idents()
                 .iter()
                 .copied()
                 .chain([ctx.ident])
@@ -382,7 +382,7 @@ impl Protocol for SampledSimilarity {
             let mut list: Vec<u64> = inbox
                 .iter()
                 .filter(|(_, m)| matches!(m, SimMsg::InS))
-                .map(|&(p, _)| ctx.neighbor_idents[p as usize])
+                .map(|&(p, _)| ctx.neighbor_idents()[p as usize])
                 .collect();
             if st.in_sample {
                 list.push(ctx.ident);

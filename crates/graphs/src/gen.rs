@@ -374,6 +374,25 @@ pub fn empty(n: usize) -> Graph {
         .expect("no edges, always valid")
 }
 
+/// The disjoint union of `parts`: part `i`'s node `v` becomes node
+/// `offset_i + v`, with no edges between parts. The canonical generator of
+/// disconnected workloads (multi-component networks exercise termination
+/// detection: every component must keep voting until the globally slowest
+/// one finishes).
+#[must_use]
+pub fn disjoint_union(parts: &[Graph]) -> Graph {
+    let n: usize = parts.iter().map(Graph::n).sum();
+    let mut b = GraphBuilder::new(n);
+    let mut base = 0u32;
+    for g in parts {
+        for (u, v) in g.edges() {
+            b.add_edge(base + u, base + v);
+        }
+        base += g.n() as NodeId;
+    }
+    b.build().expect("parts are valid simple graphs")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,5 +529,19 @@ mod tests {
         assert_eq!(cycle(5).m(), 5);
         assert_eq!(empty(5).m(), 0);
         assert_eq!(empty(5).max_degree(), 0);
+    }
+
+    #[test]
+    fn disjoint_union_offsets_parts() {
+        let g = disjoint_union(&[cycle(4), empty(3), path(2)]);
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.m(), 5);
+        assert!(!g.is_connected());
+        // Component structure survives the offset.
+        assert!(g.has_edge(0, 3), "cycle closes within first part");
+        assert!((4..7u32).all(|v| g.degree(v) == 0), "isolated middle part");
+        assert!(g.has_edge(7, 8), "path lands after the offset");
+        assert!(!g.are_d2_neighbors(3, 4), "no cross-part adjacency");
+        assert_eq!(disjoint_union(&[]).n(), 0);
     }
 }

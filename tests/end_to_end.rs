@@ -2,10 +2,12 @@
 //!
 //! The invariants checked here are the paper's headline guarantees:
 //! validity of the d2-coloring, the palette bound of each theorem, and
-//! CONGEST bandwidth compliance.
+//! CONGEST bandwidth compliance. Each workload builds its distance-2
+//! oracle ([`D2View`]) once and verifies every outcome through it.
 
 use d2color::prelude::*;
 use d2core::det::splitting::SplitMode;
+use graphs::D2View;
 
 fn workloads() -> Vec<(String, Graph)> {
     vec![
@@ -44,10 +46,11 @@ fn bound(g: &Graph) -> usize {
 #[test]
 fn randomized_improved_on_all_workloads() {
     for (name, g) in workloads() {
+        let view = D2View::build(&g);
         let out = d2core::rand::driver::improved(&g, &Params::practical(), &SimConfig::seeded(10))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
-            graphs::verify::is_valid_d2_coloring(&g, &out.colors),
+            graphs::verify::is_valid_d2_coloring_with(&view, &out.colors),
             "{name}: invalid coloring"
         );
         assert!(
@@ -64,10 +67,11 @@ fn randomized_improved_on_all_workloads() {
 #[test]
 fn randomized_basic_on_all_workloads() {
     for (name, g) in workloads() {
+        let view = D2View::build(&g);
         let out = d2core::rand::driver::basic(&g, &Params::practical(), &SimConfig::seeded(20))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
-            graphs::verify::is_valid_d2_coloring(&g, &out.colors),
+            graphs::verify::is_valid_d2_coloring_with(&view, &out.colors),
             "{name}: invalid coloring"
         );
         assert!(
@@ -80,10 +84,11 @@ fn randomized_basic_on_all_workloads() {
 #[test]
 fn deterministic_small_on_all_workloads() {
     for (name, g) in workloads() {
+        let view = D2View::build(&g);
         let out = d2core::det::small::run(&g, &Params::practical(), &SimConfig::seeded(30))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
-            graphs::verify::is_valid_d2_coloring(&g, &out.colors),
+            graphs::verify::is_valid_d2_coloring_with(&view, &out.colors),
             "{name}: invalid coloring"
         );
         assert!(
@@ -107,6 +112,7 @@ fn split_color_theorem_1_3() {
         ("regular", graphs::gen::random_regular(140, 12, 7)),
         ("gnp", graphs::gen::gnp_capped(150, 0.06, 8, 8)),
     ] {
+        let view = D2View::build(&g);
         for mode in [SplitMode::Deterministic, SplitMode::Randomized] {
             let (out, report) = d2core::det::split_color::run(
                 &g,
@@ -118,7 +124,7 @@ fn split_color_theorem_1_3() {
             )
             .unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(
-                graphs::verify::is_valid_d2_coloring(&g, &out.colors),
+                graphs::verify::is_valid_d2_coloring_with(&view, &out.colors),
                 "{name}/{mode:?}: invalid coloring"
             );
             assert!(
@@ -150,10 +156,17 @@ fn g_coloring_theorem_3_4() {
 #[test]
 fn baselines_are_valid() {
     let g = graphs::gen::gnp_capped(100, 0.08, 6, 11);
+    let view = D2View::build(&g);
     let over = d2core::baseline::oversampled(&g, 1.0, &SimConfig::seeded(60)).expect("oversampled");
-    assert!(graphs::verify::is_valid_d2_coloring(&g, &over.colors));
+    assert!(graphs::verify::is_valid_d2_coloring_with(
+        &view,
+        &over.colors
+    ));
     let naive = d2core::baseline::naive_relay(&g, &SimConfig::seeded(61)).expect("naive relay");
-    assert!(graphs::verify::is_valid_d2_coloring(&g, &naive.colors));
+    assert!(graphs::verify::is_valid_d2_coloring_with(
+        &view,
+        &naive.colors
+    ));
     assert!(naive.palette_bound() <= bound(&g));
 }
 
@@ -172,8 +185,9 @@ fn degenerate_inputs() {
         let a = d2core::det::small::run(&g, &params, &cfg).expect("det");
         let b = d2core::rand::driver::improved(&g, &params, &cfg).expect("rand");
         if g.n() > 0 {
-            assert!(graphs::verify::is_valid_d2_coloring(&g, &a.colors));
-            assert!(graphs::verify::is_valid_d2_coloring(&g, &b.colors));
+            let view = D2View::build(&g);
+            assert!(graphs::verify::is_valid_d2_coloring_with(&view, &a.colors));
+            assert!(graphs::verify::is_valid_d2_coloring_with(&view, &b.colors));
         } else {
             assert!(a.colors.is_empty() && b.colors.is_empty());
         }

@@ -45,8 +45,9 @@ fn rand_improved_always_valid() {
         let out =
             d2core::rand::driver::improved(&g, &Params::practical(), &SimConfig::seeded(i as u64))
                 .expect("run");
+        let view = D2View::build(&g);
         assert!(
-            graphs::verify::is_valid_d2_coloring(&g, &out.colors),
+            graphs::verify::is_valid_d2_coloring_with(&view, &out.colors),
             "case {i}: invalid coloring on {g:?}"
         );
         let d = g.max_degree();
@@ -65,8 +66,9 @@ fn square_graph_consistency() {
     for (i, g) in graph_cases(12).enumerate() {
         let sq = graphs::square::square(&g);
         let (colors, _) = graphs::square::greedy_square_coloring(&g);
+        let view = D2View::build(&g);
         assert!(
-            graphs::verify::is_valid_d2_coloring(&g, &colors),
+            graphs::verify::is_valid_d2_coloring_with(&view, &colors),
             "case {i}"
         );
         for (u, v) in sq.edges() {

@@ -1,8 +1,221 @@
-//! Experiment E12: the sequential and the batched-transport parallel
-//! runtime are observationally identical — bit-identical final states and
-//! message metrics — for representative protocols of every family.
+//! The differential runtime harness (grown out of experiment E12): the
+//! sequential reference, the single-barrier parallel runtime at several
+//! shard counts, and the auto-selecting mode must be **observationally
+//! identical** — bit-identical final colorings, rounds, message counts and
+//! bit totals, and identical error values — across a seeded sweep of graph
+//! families and both full coloring pipelines (deterministic Theorem 1.2
+//! and randomized Theorem 1.1).
+//!
+//! Thread counts default to {2, 4, 8}; the `D2_THREADS` environment
+//! variable pins a single count so CI can matrix the suite over
+//! `--threads {1, 4}` without recompiling.
 
 use d2color::prelude::*;
+use graphs::D2View;
+
+/// Parallel shard counts under differential test. `D2_THREADS=t` replaces
+/// the default sweep with `{t}` (the CI matrix sets 1 and 4).
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("D2_THREADS") {
+        Ok(s) => vec![s.parse().expect("D2_THREADS must be a thread count")],
+        Err(_) => vec![2, 4, 8],
+    }
+}
+
+/// One seeded round of the family sweep: uncapped G(n,p), capped G(n,p),
+/// cycle, star, and a disconnected union of heterogeneous components
+/// (including isolated nodes — the termination-detection stress case).
+fn families(seed: u64) -> Vec<(String, Graph)> {
+    vec![
+        ("gnp".into(), graphs::gen::gnp(44, 0.09, seed)),
+        (
+            "gnp-capped".into(),
+            graphs::gen::gnp_capped(130, 0.05, 7, seed),
+        ),
+        ("cycle".into(), graphs::gen::cycle(48 + seed as usize)),
+        ("star".into(), graphs::gen::star(21)),
+        (
+            "disconnected".into(),
+            graphs::gen::disjoint_union(&[
+                graphs::gen::gnp_capped(36, 0.09, 5, seed + 1),
+                graphs::gen::cycle(15),
+                graphs::gen::star(7),
+                graphs::gen::empty(5),
+            ]),
+        ),
+    ]
+}
+
+fn assert_identical(
+    name: &str,
+    runtime: &str,
+    reference: &ColoringOutcome,
+    candidate: &ColoringOutcome,
+) {
+    assert_eq!(
+        reference.colors, candidate.colors,
+        "{name}/{runtime}: colorings diverged"
+    );
+    assert_eq!(
+        reference.metrics.rounds, candidate.metrics.rounds,
+        "{name}/{runtime}: rounds diverged"
+    );
+    assert_eq!(
+        reference.metrics.messages, candidate.metrics.messages,
+        "{name}/{runtime}: message counts diverged"
+    );
+    assert_eq!(
+        reference.metrics.total_bits, candidate.metrics.total_bits,
+        "{name}/{runtime}: bit totals diverged"
+    );
+}
+
+/// The headline sweep: every runtime × family × seed × pipeline cell is
+/// bit-identical to the sequential reference.
+#[test]
+fn differential_sweep_det_and_rand_pipelines() {
+    let params = Params::practical();
+    for seed in [3u64, 17] {
+        for (name, g) in families(seed) {
+            let view = D2View::build(&g);
+            let seq_cfg = SimConfig::seeded(seed);
+            let det_seq = d2core::det::small::run(&g, &params, &seq_cfg).expect("det seq");
+            let rand_seq = d2core::rand::driver::improved(&g, &params, &seq_cfg).expect("rand seq");
+            assert!(
+                graphs::verify::is_valid_d2_coloring_with(&view, &det_seq.colors),
+                "{name}: det reference invalid"
+            );
+            assert!(
+                graphs::verify::is_valid_d2_coloring_with(&view, &rand_seq.colors),
+                "{name}: rand reference invalid"
+            );
+            for t in thread_counts() {
+                let cfg = SimConfig::seeded(seed).with_threads(Some(t));
+                let det_par = d2core::det::small::run(&g, &params, &cfg).expect("det par");
+                assert_identical(&name, &format!("parallel-{t}/det"), &det_seq, &det_par);
+                let rand_par = d2core::rand::driver::improved(&g, &params, &cfg).expect("rand par");
+                assert_identical(&name, &format!("parallel-{t}/rand"), &rand_seq, &rand_par);
+            }
+            let auto_cfg = SimConfig::seeded(seed).auto(4);
+            let det_auto = d2core::det::small::run(&g, &params, &auto_cfg).expect("det auto");
+            assert_identical(&name, "auto/det", &det_seq, &det_auto);
+            let rand_auto =
+                d2core::rand::driver::improved(&g, &params, &auto_cfg).expect("rand auto");
+            assert_identical(&name, "auto/rand", &rand_seq, &rand_auto);
+        }
+    }
+}
+
+/// A network large enough for auto mode to resolve to the *parallel*
+/// engine on a multicore host (the sweep above only exercises auto's
+/// sequential resolution — those graphs are small). The policy decision is
+/// asserted against an explicit core count; the engine auto would dispatch
+/// to is then differentially checked at that size, and `run_with` under
+/// auto must match the reference on whatever this host resolves to.
+#[test]
+fn auto_mode_parallel_resolution_is_bit_identical() {
+    use congest::RuntimeMode;
+    let g = graphs::gen::random_regular(2600, 6, 5);
+    assert_eq!(
+        RuntimeMode::Auto(4).resolve_for(&g, 8),
+        RuntimeMode::Parallel(4),
+        "workload must be heavy enough to trigger the parallel engine"
+    );
+    assert_eq!(
+        RuntimeMode::Auto(4).resolve_for(&g, 1),
+        RuntimeMode::Sequential,
+        "a single-core host must stay sequential"
+    );
+    let proto = d2core::rand::trials::RandomTrials::new(37, 12);
+    let seq = congest::run(&g, &proto, &SimConfig::seeded(8)).expect("seq");
+    let par = congest::run_parallel(&g, &proto, &SimConfig::seeded(8), 4).expect("par");
+    let auto = congest::run_with(
+        &g,
+        &proto,
+        &SimConfig::seeded(8).auto(4),
+        &congest::NetTables::build(&g, &SimConfig::seeded(8)),
+    )
+    .expect("auto");
+    let a: Vec<u32> = seq.states.iter().map(|s| s.trial.color()).collect();
+    for (label, res) in [("parallel-4", &par), ("auto", &auto)] {
+        let b: Vec<u32> = res.states.iter().map(|s| s.trial.color()).collect();
+        assert_eq!(a, b, "{label} diverged");
+        assert_eq!(&seq.metrics, &res.metrics, "{label} metrics diverged");
+    }
+}
+
+/// Strict-bandwidth abort: the reported error must be the first violation
+/// in `(round, node)` order — the exact error the sequential runtime
+/// returns — on every runtime and thread count. Violations are staggered
+/// across rounds and nodes so a wrong tie-break is observable.
+#[test]
+fn strict_bandwidth_error_ordering_differential() {
+    use congest::{Inbox, Message, NodeCtx, NodeRng, Outbox, Protocol, Status};
+
+    /// Node `v` sends one oversized message in round `(v * 7) % 5 + 1`,
+    /// with the size encoding `(round, node)` so the *identity* of the
+    /// winning violation is checked, not just its existence.
+    struct Staggered;
+    #[derive(Debug, Clone)]
+    struct Huge(u64);
+    impl Message for Huge {
+        fn bits(&self) -> u64 {
+            (1 << 20) + self.0
+        }
+    }
+    impl Protocol for Staggered {
+        type State = ();
+        type Msg = Huge;
+        fn init(&self, _: &NodeCtx, _: &mut NodeRng) {}
+        fn round(
+            &self,
+            _: &mut (),
+            ctx: &NodeCtx,
+            _: &mut NodeRng,
+            _: &Inbox<Huge>,
+            out: &mut Outbox<Huge>,
+        ) -> Status {
+            let fire = (u64::from(ctx.index) * 7) % 5 + 1;
+            if ctx.round == fire {
+                out.broadcast(Huge(ctx.round * 1000 + u64::from(ctx.index)));
+            }
+            if ctx.round < 8 {
+                Status::Running
+            } else {
+                Status::Done
+            }
+        }
+    }
+
+    for (name, g) in families(9) {
+        if g.m() == 0 {
+            continue;
+        }
+        let cfg = SimConfig::seeded(9).strict();
+        let seq_err = congest::run(&g, &Staggered, &cfg).unwrap_err();
+        let SimError::Bandwidth { round, .. } = seq_err else {
+            panic!("{name}: expected a bandwidth error, got {seq_err:?}");
+        };
+        assert!(round >= 1, "{name}: violations start at round 1");
+        for t in thread_counts() {
+            for repeat in 0..3 {
+                let err = congest::run_parallel(&g, &Staggered, &cfg, t).unwrap_err();
+                assert_eq!(
+                    err, seq_err,
+                    "{name}: error diverged with {t} threads (repeat {repeat})"
+                );
+            }
+        }
+        let auto_err = congest::run_with(
+            &g,
+            &Staggered,
+            &cfg.clone().auto(4),
+            &congest::NetTables::build(&g, &cfg),
+        )
+        .unwrap_err();
+        assert_eq!(auto_err, seq_err, "{name}: auto mode error diverged");
+    }
+}
 
 #[test]
 fn random_trials_equivalent_across_runtimes() {
@@ -33,49 +246,6 @@ fn full_deterministic_pipeline_equivalent_via_driver() {
     assert_eq!(seq.colors, par.colors);
     assert_eq!(seq.metrics.messages, par.metrics.messages);
     assert_eq!(seq.metrics.rounds, par.metrics.rounds);
-}
-
-/// End-to-end coloring protocols — not just gossip — must be bit-identical
-/// across runtimes, through the public `SimConfig::threads` knob that the
-/// drivers thread down to the engine.
-#[test]
-fn coloring_pipelines_equivalent_across_runtimes() {
-    let params = Params::practical();
-    for (name, g) in [
-        ("gnp", graphs::gen::gnp_capped(150, 0.06, 6, 9)),
-        ("clique-ring", graphs::gen::clique_ring(4, 6)),
-    ] {
-        let seq_cfg = SimConfig::seeded(11);
-        let rand_seq = d2core::rand::driver::improved(&g, &params, &seq_cfg).expect("rand seq");
-        let det_seq = d2core::det::small::run(&g, &params, &seq_cfg).expect("det seq");
-        assert!(
-            graphs::verify::is_valid_d2_coloring(&g, &rand_seq.colors),
-            "{name}"
-        );
-        for threads in [2usize, 4, 7] {
-            let par_cfg = SimConfig::seeded(11).with_threads(Some(threads));
-            let rand_par = d2core::rand::driver::improved(&g, &params, &par_cfg).expect("rand par");
-            assert_eq!(
-                rand_seq.colors, rand_par.colors,
-                "{name}: randomized pipeline diverged with {threads} threads"
-            );
-            assert_eq!(rand_seq.metrics.rounds, rand_par.metrics.rounds, "{name}");
-            assert_eq!(
-                rand_seq.metrics.messages, rand_par.metrics.messages,
-                "{name}"
-            );
-            assert_eq!(
-                rand_seq.metrics.total_bits, rand_par.metrics.total_bits,
-                "{name}"
-            );
-            let det_par = d2core::det::small::run(&g, &params, &par_cfg).expect("det par");
-            assert_eq!(
-                det_seq.colors, det_par.colors,
-                "{name}: deterministic pipeline diverged with {threads} threads"
-            );
-            assert_eq!(det_seq.metrics.messages, det_par.metrics.messages, "{name}");
-        }
-    }
 }
 
 #[test]
