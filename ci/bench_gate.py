@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Benchmark-report gates for CI.
+
+Validates the JSON reports the harness emits and diffs them against
+checked-in baselines on machine-portable invariants only:
+
+* ``pr2``: validates ``BENCH_PR2.json`` and diffs its shared cells
+  against the checked-in ``BENCH_PR1.json`` — model metrics (rounds,
+  messages) must be bit-exact, and parallel-overhead ratios must not
+  regress (see ``check_overhead_ratios`` for the exact rule).
+* ``pr3``: validates ``BENCH_PR3.json``, the n up to 10^6 scaling
+  matrix — coverage of the (family, scale, runtime) grid, validity of
+  every cell, and the 10-second build budget for the 10^6-node cells.
+
+Usage:
+    python3 ci/bench_gate.py pr2 BENCH_PR2.json BENCH_PR1.json
+    python3 ci/bench_gate.py pr3 BENCH_PR3.json
+
+Importable for unit tests (``ci/test_bench_gate.py``): every check is a
+pure function over parsed documents that raises ``GateError`` with a
+diagnostic message on the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+# Cells whose sequential side is faster than this are exempt from the
+# overhead-ratio check: scheduler jitter on a shared runner dwarfs the
+# signal below it.
+NOISE_FLOOR_MS = 20.0
+# Absolute parallel/sequential cap, the cross-machine backstop: PR1's
+# worst recorded overhead was 2.2x, PR2's 1.78x, so any engine
+# regression that doubles parallel cost trips this on any hardware.
+OVERHEAD_CAP = 2.5
+# Relative regression bound against the recorded baseline ratio.
+RATIO_REGRESSION = 1.25
+
+# The wall-clock budget for building one 10^6-node graph (acceptance
+# criterion of the O(n+m) generator rebuild).
+HUGE_BUILD_BUDGET_MS = 10_000.0
+
+PR2_CELL_KEYS = {
+    "graph", "algo", "runtime", "wall_ms", "rounds", "messages",
+    "messages_per_round", "messages_per_sec", "phases", "palette",
+    "valid", "n", "delta", "work_estimate",
+}
+
+PR3_CELL_KEYS = {
+    "family", "graph", "n", "m", "delta", "mode", "algo", "runtime",
+    "build_ms", "wall_ms", "rounds", "messages", "messages_per_sec",
+    "palette", "work_estimate", "valid", "peak_rss_mb",
+}
+
+PR3_FAMILIES = {"gnp_capped", "random_regular", "grid"}
+
+
+class GateError(AssertionError):
+    """A benchmark gate violation."""
+
+
+def require(cond, message):
+    if not cond:
+        raise GateError(message)
+
+
+def check_pr2_shape(pr2):
+    """Structural validity of a BENCH_PR2 document."""
+    cells = pr2["cells"]
+    require(len(cells) >= 12, f"expected >= 12 cells, got {len(cells)}")
+    for c in cells:
+        missing = PR2_CELL_KEYS - c.keys()
+        require(not missing, f"cell missing {missing}")
+        require(c["valid"] is True, f"invalid coloring in cell {c}")
+    triples = {(c["graph"], c["algo"], c["runtime"]) for c in cells}
+    require(len(triples) == len(cells), "duplicate (graph, algo, runtime) cells")
+    runtimes = {c["runtime"] for c in cells}
+    require("sequential" in runtimes and "auto" in runtimes,
+            f"need sequential and auto runtimes, got {runtimes}")
+    require(any(c["n"] >= 2000 for c in cells), "need n >= 2000 cells")
+
+
+def check_shared_cells_bit_exact(base_doc, new_doc, min_shared=12):
+    """Model metrics (rounds, messages) of shared cells are bit-exact —
+    seeds are fixed and the engines are required to be observationally
+    identical across PRs."""
+    base = {(c["graph"], c["algo"], c["runtime"]): c for c in base_doc["cells"]}
+    new = {(c["graph"], c["algo"], c["runtime"]): c for c in new_doc["cells"]}
+    shared = sorted(base.keys() & new.keys())
+    require(len(shared) >= min_shared,
+            f"expected >= {min_shared} shared cells, got {len(shared)}")
+    for k in shared:
+        b, n = base[k], new[k]
+        require(n["rounds"] == b["rounds"],
+                f"{k}: rounds drifted {b['rounds']} -> {n['rounds']}")
+        require(n["messages"] == b["messages"],
+                f"{k}: messages drifted {b['messages']} -> {n['messages']}")
+    return shared
+
+
+def overhead_ratios(doc):
+    """Per-(graph, algo) parallel/sequential wall-clock ratio, paired with
+    the sequential wall-clock it was computed from."""
+    out = {}
+    by_key = {(c["graph"], c["algo"], c["runtime"]): c for c in doc["cells"]}
+    for (g, a, r), c in by_key.items():
+        if r.startswith("parallel"):
+            seq = by_key.get((g, a, "sequential"))
+            if seq:
+                out[(g, a)] = (c["wall_ms"] / max(seq["wall_ms"], 1e-9),
+                               seq["wall_ms"])
+    return out
+
+
+def check_overhead_ratios(base_doc, new_doc, log=print):
+    """Within-run parallel-overhead ratios must not regress by more than
+    RATIO_REGRESSION relative to the recorded baseline, skipping cells
+    under the noise floor; OVERHEAD_CAP backstops absolutely (the
+    baseline was recorded on a 1-core container, where the ratio is pure
+    overhead, so a multicore runner gets slack from the relative check
+    alone)."""
+    old_r, new_r = overhead_ratios(base_doc), overhead_ratios(new_doc)
+    regressions = []
+    for k in sorted(old_r.keys() & new_r.keys()):
+        (old, old_seq), (new, new_seq) = old_r[k], new_r[k]
+        rel = new / old
+        if min(old_seq, new_seq) < NOISE_FLOOR_MS:
+            log(f"{'/'.join(k):45s} parallel overhead {old:5.2f}x -> {new:5.2f}x"
+                f"  (skipped: sequential side under {NOISE_FLOOR_MS} ms)")
+            continue
+        bad = rel > RATIO_REGRESSION or new > OVERHEAD_CAP
+        mark = " <-- REGRESSION" if bad else ""
+        log(f"{'/'.join(k):45s} parallel overhead {old:5.2f}x -> {new:5.2f}x"
+            f"  (rel {rel:5.2f}){mark}")
+        if bad:
+            regressions.append((k, rel, new))
+    require(not regressions,
+            f">{RATIO_REGRESSION}x parallel-overhead regressions vs baseline: "
+            f"{regressions}")
+
+
+def validate_pr2(pr2, pr1, log=print):
+    """The full PR2 gate: shape, shared-cell bit-exactness, overhead."""
+    check_pr2_shape(pr2)
+    shared = check_shared_cells_bit_exact(pr1, pr2)
+    check_overhead_ratios(pr1, pr2, log=log)
+    log(f"BENCH_PR2.json OK: {len(pr2['cells'])} cells; {len(shared)} shared "
+        f"cells bit-exact; overhead ratios within {RATIO_REGRESSION}x of PR1")
+
+
+def validate_pr3(pr3, log=print):
+    """The PR3 scaling-matrix gate.
+
+    * every cell carries the full column set, no duplicate
+      (graph, runtime, mode) triples, every cell valid;
+    * >= 9 valid coloring cells, spanning all three families and the
+      sequential/parallel/auto runtimes, including n >= 10^5 runs with
+      nonzero rounds and messages;
+    * build-only coverage at n >= 10^6 for every family, each within the
+      10-second build budget.
+    """
+    require(pr3.get("bench") == "BENCH_PR3",
+            f"not a BENCH_PR3 document: {pr3.get('bench')!r}")
+    cells = pr3["cells"]
+    for c in cells:
+        missing = PR3_CELL_KEYS - c.keys()
+        require(not missing, f"cell missing {missing}")
+        require(c["valid"] is True, f"invalid cell {c['graph']}/{c['runtime']}")
+    triples = {(c["graph"], c["runtime"], c["mode"]) for c in cells}
+    require(len(triples) == len(cells), "duplicate (graph, runtime, mode) cells")
+
+    coloring = [c for c in cells if c["mode"] == "coloring"]
+    require(len(coloring) >= 9,
+            f"expected >= 9 valid coloring cells, got {len(coloring)}")
+    for c in coloring:
+        require(c["rounds"] > 0 and c["messages"] > 0,
+                f"coloring cell {c['graph']}/{c['runtime']} ran 0 rounds")
+    families = {c["family"] for c in coloring}
+    require(PR3_FAMILIES <= families,
+            f"coloring cells missing families: {PR3_FAMILIES - families}")
+    runtimes = {c["runtime"] for c in coloring}
+    require("sequential" in runtimes and "auto" in runtimes
+            and any(r.startswith("parallel") for r in runtimes),
+            f"coloring cells must span sequential/parallel/auto, got {runtimes}")
+    big_coloring = [c for c in coloring if c["n"] >= 100_000]
+    require(big_coloring, "no n >= 10^5 coloring cells")
+
+    builds = [c for c in cells if c["mode"] == "build"]
+    huge = [c for c in builds if c["n"] >= 1_000_000]
+    huge_families = {c["family"] for c in huge}
+    require(PR3_FAMILIES <= huge_families,
+            f"n >= 10^6 build cells missing families: "
+            f"{PR3_FAMILIES - huge_families}")
+    for c in huge:
+        require(c["build_ms"] < HUGE_BUILD_BUDGET_MS,
+                f"{c['graph']}: 10^6-node build took {c['build_ms']} ms, "
+                f"budget {HUGE_BUILD_BUDGET_MS} ms")
+    log(f"BENCH_PR3.json OK: {len(cells)} cells ({len(coloring)} coloring, "
+        f"{len(builds)} build; {len(big_coloring)} coloring cells at "
+        f"n >= 1e5; 1e6 builds within {HUGE_BUILD_BUDGET_MS / 1000:.0f} s)")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    gate = argv[1]
+    try:
+        if gate == "pr2":
+            if len(argv) != 4:
+                print("usage: bench_gate.py pr2 BENCH_PR2.json BENCH_PR1.json",
+                      file=sys.stderr)
+                return 2
+            validate_pr2(load(argv[2]), load(argv[3]))
+        elif gate == "pr3":
+            if len(argv) != 3:
+                print("usage: bench_gate.py pr3 BENCH_PR3.json",
+                      file=sys.stderr)
+                return 2
+            validate_pr3(load(argv[2]))
+        else:
+            print(f"unknown gate {gate!r}; available: pr2, pr3",
+                  file=sys.stderr)
+            return 2
+    except GateError as e:
+        print(f"BENCH GATE FAILED: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

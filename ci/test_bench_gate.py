@@ -1,0 +1,189 @@
+"""Unit tests for ci/bench_gate.py (run with: python3 -m unittest discover ci)."""
+
+import copy
+import unittest
+
+import bench_gate
+from bench_gate import GateError
+
+
+def pr2_cell(graph="g", algo="a", runtime="sequential", wall_ms=100.0,
+             rounds=10, messages=1000, n=2500, valid=True):
+    return {
+        "graph": graph, "algo": algo, "runtime": runtime, "wall_ms": wall_ms,
+        "rounds": rounds, "messages": messages, "messages_per_round": 100.0,
+        "messages_per_sec": 10000.0, "phases": [], "palette": 5,
+        "valid": valid, "n": n, "delta": 4, "work_estimate": 10000,
+    }
+
+
+def pr2_doc():
+    """12 shared cells: 3 graphs x 2 algos x 2 runtimes, plus auto."""
+    cells = []
+    for g in ("g1", "g2", "g3"):
+        for a in ("a1", "a2"):
+            cells.append(pr2_cell(g, a, "sequential", wall_ms=100.0))
+            cells.append(pr2_cell(g, a, "parallel-4", wall_ms=150.0))
+            cells.append(pr2_cell(g, a, "auto", wall_ms=100.0))
+    return {"bench": "BENCH_PR2", "cells": cells}
+
+
+def pr3_cell(family="gnp_capped", n=10_000, runtime="sequential",
+             mode="coloring", build_ms=50.0, rounds=100, messages=5000,
+             valid=True):
+    return {
+        "family": family, "graph": f"{family}-n{n}", "n": n, "m": 6 * n,
+        "delta": 16, "mode": mode, "algo": "det-small(T1.2)" if mode == "coloring" else "-",
+        "runtime": runtime, "build_ms": build_ms, "wall_ms": 500.0,
+        "rounds": rounds, "messages": messages, "messages_per_sec": 1e6,
+        "palette": 250, "work_estimate": 13 * n, "valid": valid,
+        "peak_rss_mb": 100.0,
+    }
+
+
+def pr3_doc():
+    cells = []
+    for family in sorted(bench_gate.PR3_FAMILIES):
+        for n in (10_000, 100_000):
+            for runtime in ("sequential", "parallel-4", "auto"):
+                cells.append(pr3_cell(family, n, runtime))
+        cells.append(pr3_cell(family, 1_000_000, "-", mode="build",
+                              rounds=0, messages=0, build_ms=2000.0))
+    return {"bench": "BENCH_PR3", "cells": cells}
+
+
+class Pr2GateTests(unittest.TestCase):
+    def test_valid_doc_passes(self):
+        doc = pr2_doc()
+        bench_gate.validate_pr2(doc, copy.deepcopy(doc), log=lambda *_: None)
+
+    def test_invalid_coloring_fails(self):
+        doc = pr2_doc()
+        doc["cells"][0]["valid"] = False
+        with self.assertRaisesRegex(GateError, "invalid coloring"):
+            bench_gate.check_pr2_shape(doc)
+
+    def test_missing_key_fails(self):
+        doc = pr2_doc()
+        del doc["cells"][0]["rounds"]
+        with self.assertRaisesRegex(GateError, "missing"):
+            bench_gate.check_pr2_shape(doc)
+
+    def test_duplicate_cells_fail(self):
+        doc = pr2_doc()
+        doc["cells"].append(copy.deepcopy(doc["cells"][0]))
+        with self.assertRaisesRegex(GateError, "duplicate"):
+            bench_gate.check_pr2_shape(doc)
+
+    def test_rounds_drift_fails(self):
+        base, new = pr2_doc(), pr2_doc()
+        new["cells"][0]["rounds"] += 1
+        with self.assertRaisesRegex(GateError, "rounds drifted"):
+            bench_gate.check_shared_cells_bit_exact(base, new)
+
+    def test_message_drift_fails(self):
+        base, new = pr2_doc(), pr2_doc()
+        new["cells"][1]["messages"] += 7
+        with self.assertRaisesRegex(GateError, "messages drifted"):
+            bench_gate.check_shared_cells_bit_exact(base, new)
+
+    def test_too_few_shared_cells_fails(self):
+        base = pr2_doc()
+        new = {"bench": "BENCH_PR2", "cells": base["cells"][:4]}
+        with self.assertRaisesRegex(GateError, "shared cells"):
+            bench_gate.check_shared_cells_bit_exact(base, new)
+
+    def test_overhead_regression_fails(self):
+        base, new = pr2_doc(), pr2_doc()
+        for c in new["cells"]:
+            if c["runtime"] == "parallel-4":
+                c["wall_ms"] = 400.0  # 1.5x -> 4x: relative and absolute trip
+        with self.assertRaisesRegex(GateError, "overhead"):
+            bench_gate.check_overhead_ratios(base, new, log=lambda *_: None)
+
+    def test_noise_floor_exempts_fast_cells(self):
+        base, new = pr2_doc(), pr2_doc()
+        for c in new["cells"]:
+            c["wall_ms"] = c["wall_ms"] / 100.0  # everything under 20 ms
+            if c["runtime"] == "parallel-4":
+                c["wall_ms"] *= 10  # terrible ratio, but in the noise
+        bench_gate.check_overhead_ratios(base, new, log=lambda *_: None)
+
+
+class Pr3GateTests(unittest.TestCase):
+    def test_valid_doc_passes(self):
+        bench_gate.validate_pr3(pr3_doc(), log=lambda *_: None)
+
+    def test_wrong_bench_tag_fails(self):
+        doc = pr3_doc()
+        doc["bench"] = "BENCH_PR2"
+        with self.assertRaisesRegex(GateError, "not a BENCH_PR3"):
+            bench_gate.validate_pr3(doc, log=lambda *_: None)
+
+    def test_invalid_cell_fails(self):
+        doc = pr3_doc()
+        doc["cells"][3]["valid"] = False
+        with self.assertRaisesRegex(GateError, "invalid cell"):
+            bench_gate.validate_pr3(doc, log=lambda *_: None)
+
+    def test_missing_column_fails(self):
+        doc = pr3_doc()
+        del doc["cells"][0]["peak_rss_mb"]
+        with self.assertRaisesRegex(GateError, "missing"):
+            bench_gate.validate_pr3(doc, log=lambda *_: None)
+
+    def test_too_few_coloring_cells_fails(self):
+        doc = pr3_doc()
+        doc["cells"] = [c for c in doc["cells"]
+                        if c["mode"] == "build" or c["runtime"] == "sequential"]
+        with self.assertRaisesRegex(GateError, ">= 9"):
+            bench_gate.validate_pr3(doc, log=lambda *_: None)
+
+    def test_missing_big_coloring_fails(self):
+        doc = pr3_doc()
+        doc["cells"] = [c for c in doc["cells"]
+                        if c["mode"] == "build" or c["n"] < 100_000]
+        with self.assertRaisesRegex(GateError, "n >= 10\\^5"):
+            bench_gate.validate_pr3(doc, log=lambda *_: None)
+
+    def test_zero_round_coloring_fails(self):
+        doc = pr3_doc()
+        coloring = [c for c in doc["cells"] if c["mode"] == "coloring"]
+        coloring[0]["rounds"] = 0
+        with self.assertRaisesRegex(GateError, "0 rounds"):
+            bench_gate.validate_pr3(doc, log=lambda *_: None)
+
+    def test_missing_family_fails(self):
+        doc = pr3_doc()
+        doc["cells"] = [c for c in doc["cells"] if c["family"] != "grid"]
+        with self.assertRaisesRegex(GateError, "missing families"):
+            bench_gate.validate_pr3(doc, log=lambda *_: None)
+
+    def test_build_budget_violation_fails(self):
+        doc = pr3_doc()
+        for c in doc["cells"]:
+            if c["mode"] == "build":
+                c["build_ms"] = 60_000.0
+        with self.assertRaisesRegex(GateError, "budget"):
+            bench_gate.validate_pr3(doc, log=lambda *_: None)
+
+    def test_missing_huge_build_family_fails(self):
+        doc = pr3_doc()
+        doc["cells"] = [c for c in doc["cells"]
+                        if not (c["mode"] == "build" and c["family"] == "grid")]
+        with self.assertRaisesRegex(GateError, "build cells missing"):
+            bench_gate.validate_pr3(doc, log=lambda *_: None)
+
+
+class CliTests(unittest.TestCase):
+    def test_unknown_gate_is_usage_error(self):
+        self.assertEqual(bench_gate.main(["bench_gate.py", "pr9"]), 2)
+
+    def test_missing_args_is_usage_error(self):
+        self.assertEqual(bench_gate.main(["bench_gate.py"]), 2)
+        self.assertEqual(bench_gate.main(["bench_gate.py", "pr2", "x"]), 2)
+        self.assertEqual(bench_gate.main(["bench_gate.py", "pr3"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

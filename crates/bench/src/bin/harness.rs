@@ -6,6 +6,8 @@
 //! cargo run --release -p d2color-bench --bin harness -- exp1
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr1 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr2 [out.json]
+//! cargo run --release -p d2color-bench --bin harness -- bench-pr3 [out.json]
+//! cargo run --release -p d2color-bench --bin harness -- scale-smoke
 //! ```
 
 use benchkit::{delta_sweep, loglog_slope, measure, measure_with, n_sweep, print_table, Algo, Row};
@@ -335,6 +337,80 @@ fn bench_pr2() {
     println!("\nwrote {} cells to {out_path}", cells.len());
 }
 
+/// Runs the BENCH_PR3 scaling matrix (n up to 10⁶) and writes the JSON
+/// report (default path: `BENCH_PR3.json`).
+fn bench_pr3() {
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_PR3.json".into());
+    let cells = benchkit::pr3::run_matrix(4);
+    for c in &cells {
+        println!(
+            "{:<26} {:<10} {:<12} build {:>9.1} ms  wall {:>10.1} ms  rounds {:>5}  msgs/s {:>12.0}  rss {:>7.1} MiB  valid {}",
+            c.graph, c.mode, c.runtime, c.build_ms, c.wall_ms, c.rounds, c.messages_per_sec,
+            c.peak_rss_mb, c.valid
+        );
+        assert!(c.valid, "benchmark cell failed validation: {c:?}");
+    }
+    let doc = benchkit::pr3::to_json(&cells);
+    std::fs::write(&out_path, doc).expect("write BENCH_PR3.json");
+    println!("\nwrote {} cells to {out_path}", cells.len());
+}
+
+/// CI scale-smoke: proves the O(n+m) generator path at n = 10⁶ (hard
+/// 10-second in-process budget on the build) and drives one n = 10⁵
+/// coloring end to end. Exits nonzero on any violation; the CI job adds
+/// an outer wall-clock `timeout` as the total budget.
+fn scale_smoke() {
+    let n = 1_000_000usize;
+    let t0 = std::time::Instant::now();
+    let g = graphs::gen::gnp_capped(n, 20.0 / n as f64, 32, 71);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // Degree-only profile: the full d2 profile is O(Σ deg²) memory and
+    // has no business running at n = 10⁶.
+    let prof = graphs::stats::degree_profile(&g);
+    println!(
+        "gnp_capped(1e6, 20/n, 32): n = {}, m = {}, delta = {}, mean degree {:.2}, \
+         built in {build_ms:.0} ms (peak rss {:.1} MiB)",
+        prof.n,
+        prof.m,
+        prof.delta,
+        prof.degree.mean,
+        benchkit::pr3::peak_rss_mb()
+    );
+    assert!(prof.delta <= 32, "degree cap violated");
+    assert!(prof.m > 8_000_000, "suspiciously few edges: {}", prof.m);
+    assert!(
+        (15.0..=20.0).contains(&prof.degree.mean),
+        "mean degree {:.2} off the ~20/cap-truncated expectation",
+        prof.degree.mean
+    );
+    assert!(
+        build_ms < 10_000.0,
+        "10^6-node build took {build_ms:.0} ms, budget is 10 s"
+    );
+
+    let n = 100_000usize;
+    let t0 = std::time::Instant::now();
+    let g = graphs::gen::gnp_capped(n, 12.0 / n as f64, 16, 72);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cfg = congest::SimConfig::at_scale(72, g.n());
+    let t1 = std::time::Instant::now();
+    let out = Algo::DetSmall
+        .run(&g, &params(), &cfg)
+        .expect("n = 1e5 coloring failed");
+    let wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let valid = graphs::verify::is_valid_d2_coloring(&g, &out.colors);
+    println!(
+        "det-small on gnp_capped(1e5): built {build_ms:.0} ms, colored {wall_ms:.0} ms, \
+         rounds = {}, palette = {}, valid = {valid}",
+        out.rounds(),
+        out.palette_bound()
+    );
+    assert!(valid, "n = 1e5 coloring failed verification");
+    println!("scale-smoke OK");
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if arg == "bench-pr1" {
@@ -343,6 +419,14 @@ fn main() {
     }
     if arg == "bench-pr2" {
         bench_pr2();
+        return;
+    }
+    if arg == "bench-pr3" {
+        bench_pr3();
+        return;
+    }
+    if arg == "scale-smoke" {
+        scale_smoke();
         return;
     }
     let exps: Vec<(&str, fn())> = vec![
@@ -369,7 +453,7 @@ fn main() {
             Some((_, f)) => f(),
             None => {
                 eprintln!(
-                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2"
+                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, scale-smoke"
                 );
                 std::process::exit(2);
             }

@@ -9,6 +9,7 @@ use graphs::{D2View, Graph};
 pub mod json;
 pub mod pr1;
 pub mod pr2;
+pub mod pr3;
 
 /// The algorithms under measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,351 @@
+//! `BENCH_PR3.json`: the scaling-trajectory anchor opened by the O(n+m)
+//! generators.
+//!
+//! Where PR 1/PR 2 measured `n ≤ 3000` graphs, this matrix sweeps
+//! `n ∈ {10⁴, 10⁵, 10⁶}` over three families (`gnp_capped`,
+//! `random_regular`, `grid`) and three runtimes (`sequential`,
+//! `parallel-T`, `auto`) — the first trajectory data where
+//! [`AUTO_WORK_THRESHOLD`](congest::AUTO_WORK_THRESHOLD) and
+//! `sync_period` can matter at all. Every cell records graph **build
+//! time** (the generator + CSR cost this PR made linear) and a peak-RSS
+//! estimate; coloring cells additionally record rounds, messages, and
+//! throughput. At `n = 10⁶` the matrix records build-only cells: the
+//! point of that scale tier is proving graph construction is no longer
+//! the bottleneck, and a 10⁶-node coloring run is CI-budget-hostile on a
+//! shared runner (the `scale-smoke` job bounds the 10⁵ coloring
+//! instead).
+
+use crate::json::Json;
+use crate::Algo;
+use congest::{auto_work_estimate, RuntimeMode, SimConfig};
+use d2core::Params;
+use graphs::{D2View, Graph};
+use std::time::Instant;
+
+/// One scaling-matrix measurement: either a `coloring` cell (full
+/// pipeline run on a prebuilt graph) or a `build` cell (generator + CSR
+/// construction only).
+///
+/// Coloring cells run the deterministic `∆² + 1` pipeline
+/// ([`Algo::DetSmall`]): its message volume stays linear in `m` per
+/// round, so the scale tiers probe runtime-engine behavior rather than
+/// the randomized pipeline's `Θ(∆²)`-sized similarity exchange, which
+/// would blow the CI wall-clock budget at `∆ = 16`, `n = 10⁵` (the
+/// PR 1/PR 2 matrices keep the randomized pipeline on the record at
+/// `n ≤ 3000`).
+#[derive(Debug, Clone)]
+pub struct Pr3Cell {
+    /// Generator family (`gnp_capped` / `random_regular` / `grid`).
+    pub family: String,
+    /// Workload label (family + scale).
+    pub graph: String,
+    /// Nodes.
+    pub n: usize,
+    /// Undirected edges.
+    pub m: usize,
+    /// Maximum degree.
+    pub delta: usize,
+    /// `"coloring"` or `"build"`.
+    pub mode: String,
+    /// Algorithm name (`-` for build cells).
+    pub algo: String,
+    /// Runtime label (`sequential` / `parallel-T` / `auto`; `-` for build
+    /// cells, which never enter the simulator).
+    pub runtime: String,
+    /// Wall-clock milliseconds to generate the graph and build its CSR.
+    pub build_ms: f64,
+    /// Wall-clock milliseconds of the coloring pipeline (0 for build cells).
+    pub wall_ms: f64,
+    /// Rounds to completion (0 for build cells).
+    pub rounds: u64,
+    /// Total messages delivered (0 for build cells).
+    pub messages: u64,
+    /// Delivered messages per wall-clock second (0 for build cells).
+    pub messages_per_sec: f64,
+    /// Palette certificate (0 for build cells).
+    pub palette: usize,
+    /// The auto-mode work estimate `n + 2m`.
+    pub work_estimate: u64,
+    /// Coloring cells: the coloring verified against the D2 oracle.
+    /// Build cells: the structural invariants held (`∆` within the
+    /// family's cap, `m > 0`).
+    pub valid: bool,
+    /// Process peak-RSS high-water mark (MiB) when the cell finished —
+    /// cumulative across the run (Linux `VmHWM`; 0 where unavailable), so
+    /// it bounds, rather than isolates, the cell's own footprint.
+    pub peak_rss_mb: f64,
+}
+
+/// Process peak-RSS high-water mark in MiB (Linux `VmHWM`), 0 when the
+/// platform doesn't expose it.
+#[must_use]
+pub fn peak_rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|kb| kb.parse::<f64>().ok())
+            })
+        })
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// `(family name, generator thunk, degree cap)` — a matrix family at a
+/// fixed scale, built lazily so callers control how many graphs are
+/// alive at once.
+type FamilySpec = (&'static str, Box<dyn Fn() -> Graph>, usize);
+
+/// The matrix families at scale `n`, pinned across tiers: `gnp_capped`
+/// at mean degree ~12 (cap 16), `random_regular` at d = 8, and the 2-D
+/// `grid` (∆ = 4) as the deterministic control.
+fn family_specs(n: usize, seed: u64) -> [FamilySpec; 3] {
+    let side = (n as f64).sqrt().round() as usize;
+    [
+        (
+            "gnp_capped",
+            Box::new(move || graphs::gen::gnp_capped(n, 12.0 / n as f64, 16, seed)),
+            16,
+        ),
+        (
+            "random_regular",
+            Box::new(move || graphs::gen::random_regular(n, 8, seed)),
+            8,
+        ),
+        ("grid", Box::new(move || graphs::gen::grid(side, side)), 4),
+    ]
+}
+
+/// One scale tier of the matrix: builds each family at `n`, returning
+/// `(family, label, graph, degree_cap, build_ms)`. All three graphs are
+/// alive in the returned `Vec` — fine for the coloring tiers (their
+/// `D2View`s dwarf the graphs anyway); the build-only tier in
+/// [`run_matrix`] uses [`family_specs`] directly instead, so each graph
+/// is dropped before the next family's RSS sample.
+#[must_use]
+pub fn build_tier(n: usize, seed: u64) -> Vec<(String, String, Graph, usize, f64)> {
+    family_specs(n, seed)
+        .into_iter()
+        .map(|(family, make, cap)| {
+            let t0 = Instant::now();
+            let g = make();
+            let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let label = format!("{family}-n{n}");
+            (family.to_string(), label, g, cap, build_ms)
+        })
+        .collect()
+}
+
+fn build_cell(family: &str, label: &str, g: &Graph, cap: usize, build_ms: f64) -> Pr3Cell {
+    Pr3Cell {
+        family: family.to_string(),
+        graph: label.to_string(),
+        n: g.n(),
+        m: g.m(),
+        delta: g.max_degree(),
+        mode: "build".into(),
+        algo: "-".into(),
+        runtime: "-".into(),
+        build_ms,
+        wall_ms: 0.0,
+        rounds: 0,
+        messages: 0,
+        messages_per_sec: 0.0,
+        palette: 0,
+        work_estimate: auto_work_estimate(g),
+        valid: g.m() > 0 && g.max_degree() <= cap,
+        peak_rss_mb: peak_rss_mb(),
+    }
+}
+
+/// The scaling matrix.
+///
+/// * `n = 10⁶`: build-only cells per family. These run **first**, while
+///   the process is fresh, and one family at a time (each graph dropped
+///   before the next builds): `peak_rss_mb` is the cumulative high-water
+///   mark, so running them after the coloring tiers (whose `D2View`
+///   verification drives RSS past a gigabyte) — or holding all three
+///   10⁶-node graphs at once — would bury the very bounded-memory claim
+///   the cells exist to evidence.
+/// * `n = 10⁴` and `n = 10⁵`: coloring cells, three families × three
+///   runtimes, deterministic `∆² + 1` pipeline.
+///
+/// # Panics
+///
+/// Panics if any cell's simulation errors — the matrix families are
+/// known-terminating workloads.
+#[must_use]
+pub fn run_matrix(parallel_threads: usize) -> Vec<Pr3Cell> {
+    let runtimes: [(String, RuntimeMode); 3] = [
+        ("sequential".into(), RuntimeMode::Sequential),
+        (
+            format!("parallel-{parallel_threads}"),
+            RuntimeMode::Parallel(parallel_threads),
+        ),
+        ("auto".into(), RuntimeMode::Auto(parallel_threads)),
+    ];
+    let params = Params::practical();
+    let mut cells = Vec::new();
+    for (family, make, cap) in family_specs(1_000_000, 42) {
+        let t0 = Instant::now();
+        let g = make();
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        cells.push(build_cell(
+            family,
+            &format!("{family}-n1000000"),
+            &g,
+            cap,
+            build_ms,
+        ));
+    }
+    for n in [10_000usize, 100_000] {
+        for (family, label, g, _cap, build_ms) in build_tier(n, 42) {
+            // One oracle per graph serves all runtime cells' verification.
+            let view = D2View::build(&g);
+            for (rlabel, runtime) in &runtimes {
+                let cfg = SimConfig::at_scale(42, g.n()).with_runtime(*runtime);
+                let t0 = Instant::now();
+                let out = Algo::DetSmall
+                    .run(&g, &params, &cfg)
+                    .expect("benchmark cell failed");
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                cells.push(Pr3Cell {
+                    family: family.clone(),
+                    graph: label.clone(),
+                    n: g.n(),
+                    m: g.m(),
+                    delta: g.max_degree(),
+                    mode: "coloring".into(),
+                    algo: Algo::DetSmall.name().to_string(),
+                    runtime: rlabel.clone(),
+                    build_ms,
+                    wall_ms,
+                    rounds: out.rounds(),
+                    messages: out.metrics.messages,
+                    messages_per_sec: if wall_ms > 0.0 {
+                        out.metrics.messages as f64 / (wall_ms / 1e3)
+                    } else {
+                        0.0
+                    },
+                    palette: out.palette_bound(),
+                    work_estimate: auto_work_estimate(&g),
+                    valid: graphs::verify::is_valid_d2_coloring_with(&view, &out.colors),
+                    peak_rss_mb: peak_rss_mb(),
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn ms(x: f64) -> Json {
+    Json::Num((x * 1000.0).round() / 1000.0)
+}
+
+/// Serializes cells into the `BENCH_PR3.json` document.
+#[must_use]
+pub fn to_json(cells: &[Pr3Cell]) -> String {
+    let rows: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("family", Json::str(&c.family)),
+                ("graph", Json::str(&c.graph)),
+                ("n", Json::int(c.n as u64)),
+                ("m", Json::int(c.m as u64)),
+                ("delta", Json::int(c.delta as u64)),
+                ("mode", Json::str(&c.mode)),
+                ("algo", Json::str(&c.algo)),
+                ("runtime", Json::str(&c.runtime)),
+                ("build_ms", ms(c.build_ms)),
+                ("wall_ms", ms(c.wall_ms)),
+                ("rounds", Json::int(c.rounds)),
+                ("messages", Json::int(c.messages)),
+                ("messages_per_sec", Json::Num(c.messages_per_sec.round())),
+                ("palette", Json::int(c.palette as u64)),
+                ("work_estimate", Json::int(c.work_estimate)),
+                ("valid", Json::Bool(c.valid)),
+                ("peak_rss_mb", ms(c.peak_rss_mb)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("bench", Json::str("BENCH_PR3")),
+        (
+            "description",
+            Json::str(
+                "Scaling trajectory opened by the O(n+m) generators: \
+                 n in {1e4, 1e5} coloring cells and n = 1e6 build cells \
+                 across (family x runtime), with build time and peak-RSS \
+                 estimate per cell",
+            ),
+        ),
+        ("cells", Json::Arr(rows)),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_required_columns() {
+        let cells = vec![Pr3Cell {
+            family: "gnp_capped".into(),
+            graph: "gnp_capped-n10000".into(),
+            n: 10_000,
+            m: 59_000,
+            delta: 16,
+            mode: "coloring".into(),
+            algo: "det-small(T1.2)".into(),
+            runtime: "auto".into(),
+            build_ms: 12.5,
+            wall_ms: 900.0,
+            rounds: 120,
+            messages: 1_000_000,
+            messages_per_sec: 1.1e6,
+            palette: 250,
+            work_estimate: 128_000,
+            valid: true,
+            peak_rss_mb: 180.0,
+        }];
+        let s = to_json(&cells);
+        for key in [
+            "\"bench\": \"BENCH_PR3\"",
+            "\"family\": \"gnp_capped\"",
+            "\"mode\": \"coloring\"",
+            "\"build_ms\": 12.5",
+            "\"peak_rss_mb\": 180",
+            "\"work_estimate\": 128000",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn build_tier_produces_all_families_in_bounds() {
+        let tier = build_tier(400, 7);
+        assert_eq!(tier.len(), 3);
+        let families: Vec<&str> = tier.iter().map(|(f, ..)| f.as_str()).collect();
+        assert_eq!(families, ["gnp_capped", "random_regular", "grid"]);
+        for (family, label, g, cap, build_ms) in &tier {
+            assert!(g.n() >= 396, "{family}: n = {}", g.n()); // grid side rounding
+            assert!(g.max_degree() <= *cap, "{family} exceeded cap");
+            assert!(*build_ms >= 0.0);
+            assert!(label.contains(family.as_str()));
+            let cell = build_cell(family, label, g, *cap, *build_ms);
+            assert_eq!(cell.mode, "build");
+            assert!(cell.valid, "{family} build cell invalid");
+        }
+    }
+
+    #[test]
+    fn peak_rss_reads_something_on_linux() {
+        let rss = peak_rss_mb();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0.0, "VmHWM should be readable on Linux");
+        }
+    }
+}

@@ -87,6 +87,51 @@ impl RuntimeMode {
     }
 }
 
+/// Coarse workload-scale buckets, used to preset simulator knobs for the
+/// benchmark trajectory (`BENCH_PR3`'s `n ∈ {10⁴, 10⁵, 10⁶}` matrix and
+/// the CI scale-smoke job).
+///
+/// The buckets matter because two defaults that are right for unit-test
+/// graphs are wrong at a million nodes: the livelock cutoff
+/// (`max_rounds = 5·10⁶` would let a buggy protocol spin for hours before
+/// erroring — the paper's pipelines finish in `O(log ∆ · log n)` ≪ 10⁵
+/// rounds at any of these scales) and the engine selection (explicitly
+/// sequential is the right default for tiny graphs, size-adaptive
+/// [`RuntimeMode::Auto`] for anything that might amortize a barrier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalePreset {
+    /// `n < 10⁴`: unit-test and EXPERIMENTS.md territory.
+    Small,
+    /// `10⁴ ≤ n < 10⁶`: the benchmark-trajectory midrange.
+    Large,
+    /// `n ≥ 10⁶`: the scaling regime the O(n+m) generators open.
+    Huge,
+}
+
+impl ScalePreset {
+    /// The bucket a graph of `n` nodes falls into.
+    #[must_use]
+    pub fn of(n: usize) -> Self {
+        match n {
+            0..=9_999 => ScalePreset::Small,
+            10_000..=999_999 => ScalePreset::Large,
+            _ => ScalePreset::Huge,
+        }
+    }
+
+    /// Livelock cutoff for this scale: generous multiples of the polylog
+    /// round counts the paper's algorithms actually need, but small enough
+    /// that a livelocked big run fails in minutes, not hours.
+    #[must_use]
+    pub fn max_rounds(self) -> u64 {
+        match self {
+            ScalePreset::Small => 5_000_000,
+            ScalePreset::Large => 500_000,
+            ScalePreset::Huge => 200_000,
+        }
+    }
+}
+
 /// Configuration for a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -124,6 +169,18 @@ impl SimConfig {
             seed,
             ..SimConfig::default()
         }
+    }
+
+    /// Scale-aware config: the given seed, size-adaptive runtime (all
+    /// cores when the parallel engine is picked), and the
+    /// [`ScalePreset`]-tuned livelock cutoff for a graph of `n` nodes.
+    /// The constructor the large-`n` benchmark matrix and the CI
+    /// scale-smoke job use.
+    #[must_use]
+    pub fn at_scale(seed: u64, n: usize) -> Self {
+        SimConfig::seeded(seed)
+            .with_runtime(RuntimeMode::Auto(0))
+            .with_max_rounds(ScalePreset::of(n).max_rounds())
     }
 
     /// The per-message budget in bits for a network of `n` nodes.
@@ -238,6 +295,24 @@ mod tests {
             RuntimeMode::Sequential
         );
         assert_eq!(SimConfig::default().auto(4).runtime, RuntimeMode::Auto(4));
+    }
+
+    #[test]
+    fn scale_presets_bucket_and_cap() {
+        assert_eq!(ScalePreset::of(100), ScalePreset::Small);
+        assert_eq!(ScalePreset::of(10_000), ScalePreset::Large);
+        assert_eq!(ScalePreset::of(999_999), ScalePreset::Large);
+        assert_eq!(ScalePreset::of(1_000_000), ScalePreset::Huge);
+        assert!(ScalePreset::Huge.max_rounds() < ScalePreset::Small.max_rounds());
+        let c = SimConfig::at_scale(9, 1_000_000);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.runtime, RuntimeMode::Auto(0));
+        assert_eq!(c.max_rounds, ScalePreset::Huge.max_rounds());
+        // Small graphs keep the default generous cutoff.
+        assert_eq!(
+            SimConfig::at_scale(9, 500).max_rounds,
+            SimConfig::default().max_rounds
+        );
     }
 
     #[test]

@@ -75,7 +75,9 @@ mod outbox;
 mod protocol;
 pub mod runtime;
 
-pub use config::{auto_work_estimate, IdAssignment, RuntimeMode, SimConfig, AUTO_WORK_THRESHOLD};
+pub use config::{
+    auto_work_estimate, IdAssignment, RuntimeMode, ScalePreset, SimConfig, AUTO_WORK_THRESHOLD,
+};
 pub use message::{BitCost, Message};
 pub use metrics::Metrics;
 pub use net::NetTables;

@@ -38,7 +38,7 @@
 //!
 //! # Per-network tables
 //!
-//! Context construction is backed by [`NetTables`](crate::NetTables), a
+//! Context construction is backed by [`NetTables`], a
 //! CSR-layout identifier/reverse-port table built once per
 //! `(graph, config)`. Multi-phase drivers build the tables once and pass
 //! them to [`run_with`]; the convenience entry points build them on the

@@ -2,7 +2,7 @@
 //!
 //! If `∆` is small, color `G` directly with `∆+1` colors (the distance-1
 //! instantiation of the Theorem 1.2 pipeline — standing in for the
-//! Barenboim–Elkin–Goldenberg algorithm [7] the paper invokes). Otherwise,
+//! Barenboim–Elkin–Goldenberg algorithm \[7\] the paper invokes). Otherwise,
 //! partition `V` into `p = 2^h` parts via the recursive splitting of
 //! Lemma 3.3 and color every `G[Vᵢ]` **in parallel** with a disjoint
 //! palette of `∆_h + 1` colors each: total `2^h (∆_h + 1) ≤ (1+ε)∆`

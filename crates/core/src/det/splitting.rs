@@ -21,7 +21,7 @@
 //! Substitutions vs. the paper (DESIGN.md §4): exact conditional
 //! expectations → MGF pessimistic estimators; per-bit seed fixing with
 //! k-wise independence → per-coin fixing (the guarantee `Σ_v F_v = 0` is
-//! identical); decomposition black box [28] → [`decomp::oracle`] with its
+//! identical); decomposition black box \[28\] → [`decomp::oracle`] with its
 //! round cost charged analytically.
 
 use crate::{Driver, Params};

@@ -410,8 +410,13 @@ impl Protocol for LearnPalette {
                 } else {
                     let take = self.batch.min(st.live_send.len());
                     let batch: Vec<u64> = st.live_send.drain(..take).collect();
-                    for p in 0..degree as Port {
+                    // Clone for all ports but the last; the final send
+                    // moves the batch.
+                    for p in 0..degree.saturating_sub(1) as Port {
                         out.send(p, LpMsg::LiveList(batch.clone()));
+                    }
+                    if degree > 0 {
+                        out.send(degree as Port - 1, LpMsg::LiveList(batch));
                     }
                 }
             }

@@ -183,8 +183,12 @@ impl SimilarityState {
         }
         let take = per_batch.min(self.send_queue.len());
         let batch: Vec<u64> = self.send_queue.drain(..take).collect();
-        for p in 0..degree as Port {
+        // Clone for all ports but the last; the final send moves the batch.
+        for p in 0..degree.saturating_sub(1) as Port {
             send(p, SimMsg::Batch(batch.clone()));
+        }
+        if degree > 0 {
+            send(degree as Port - 1, SimMsg::Batch(batch));
         }
     }
 

@@ -139,7 +139,7 @@ pub fn knowledge(states: &[TrialsState]) -> Vec<(u32, Vec<u32>)> {
         .collect()
 }
 
-/// Colors only (with [`UNCOLORED`] for live nodes).
+/// Colors only (with [`crate::UNCOLORED`] for live nodes).
 #[must_use]
 pub fn colors(states: &[TrialsState]) -> Vec<u32> {
     states.iter().map(|s| s.trial.color()).collect()

@@ -2,13 +2,13 @@
 //!
 //! The paper's Theorem 3.2 derandomizes a zero-round splitting algorithm
 //! by fixing per-cluster random seeds over a network decomposition of `G²`
-//! (Definition A.1), citing Rozhoň–Ghaffari [28] as a black box for the
+//! (Definition A.1), citing Rozhoň–Ghaffari \[28\] as a black box for the
 //! decomposition itself. This crate provides:
 //!
 //! * the decomposition data model ([`Decomposition`]) with validity checks,
 //! * a **centralized oracle** ([`oracle::decompose_power`]) producing
 //!   `(O(log n), O(log n))`-decompositions of `G^k` — the substitution
-//!   documented in DESIGN.md §4 (the paper also treats [28] as a black
+//!   documented in DESIGN.md §4 (the paper also treats \[28\] as a black
 //!   box; its `O(k log⁸ n)` round cost is charged analytically),
 //! * an in-simulator randomized Linial–Saks-style decomposition
 //!   ([`linial_saks`]), message-counted by the CONGEST engine,

@@ -6,7 +6,7 @@
 //! the carved clusters are pairwise `G`-distance `> k` apart; carved nodes
 //! leave the pool; repeat with a fresh color until empty.
 //!
-//! This stands in for the Rozhoň–Ghaffari black box [28] the paper cites
+//! This stands in for the Rozhoň–Ghaffari black box \[28\] the paper cites
 //! (see DESIGN.md §4): downstream consumers only need Def. A.1 validity,
 //! which [`Decomposition::validate_separation`] asserts in tests. The round
 //! cost of the real distributed construction, `O(k · log⁸ n)`, is charged

@@ -326,59 +326,86 @@ impl GraphBuilder {
     ///
     /// Returns [`GraphError`] on out-of-range endpoints or self-loops.
     pub fn build(&self) -> Result<Graph, GraphError> {
-        let n = self.n;
-        for &(u, v) in &self.edges {
-            if u as usize >= n || v as usize >= n {
-                return Err(GraphError::EndpointOutOfRange { u, v, n });
-            }
-            if u == v {
-                return Err(GraphError::SelfLoop { u });
-            }
-        }
-        // Pass 1: degree counts (duplicates included; deduped below).
-        let mut counts = vec![0usize; n];
-        for &(u, v) in &self.edges {
-            counts[u as usize] += 1;
-            counts[v as usize] += 1;
-        }
-        // Exclusive prefix sums = provisional row offsets.
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0usize;
-        offsets.push(0);
-        for &c in &counts {
-            acc += c;
-            offsets.push(acc);
-        }
-        // Pass 2: scatter both endpoint directions via per-row cursors.
-        let mut flat = vec![0 as NodeId; acc];
-        let mut cursor: Vec<usize> = offsets[..n].to_vec();
-        for &(u, v) in &self.edges {
-            flat[cursor[u as usize]] = v;
-            cursor[u as usize] += 1;
-            flat[cursor[v as usize]] = u;
-            cursor[v as usize] += 1;
-        }
-        // Sort each row, dedup by compacting the flat array in place.
-        let mut write = 0usize;
-        let mut final_offsets = Vec::with_capacity(n + 1);
-        final_offsets.push(0usize);
-        for v in 0..n {
-            let (start, end) = (offsets[v], offsets[v + 1]);
-            flat[start..end].sort_unstable();
-            let mut prev: Option<NodeId> = None;
-            for i in start..end {
-                let x = flat[i];
-                if prev != Some(x) {
-                    flat[write] = x;
-                    write += 1;
-                    prev = Some(x);
-                }
-            }
-            final_offsets.push(write);
-        }
-        flat.truncate(write);
-        Ok(Graph::from_csr_parts(final_offsets, flat))
+        csr_from_edge_list(self.n, &self.edges)
     }
+
+    /// Builds a CSR [`Graph`] straight from an edge stream, bypassing the
+    /// incremental builder entirely: no per-edge hash-set bookkeeping (the
+    /// builder maintains one so [`GraphBuilder::contains_edge`] is `O(1)`)
+    /// and no `Vec<Vec>` staging — just one flat `O(m)` edge buffer feeding
+    /// the counting-pass CSR construction. Duplicate edges (in either
+    /// orientation) are deduplicated during row compaction.
+    ///
+    /// This is the bulk-ingest path the `O(n + m)` generators use: for a
+    /// ten-million-edge stream it does two linear passes plus a per-row
+    /// sort, with peak memory bounded by the edge buffer + the CSR arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] on out-of-range endpoints or self-loops.
+    pub fn from_edge_stream<I>(n: usize, edges: I) -> Result<Graph, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let edges: Vec<(NodeId, NodeId)> = edges.into_iter().collect();
+        csr_from_edge_list(n, &edges)
+    }
+}
+
+/// Shared CSR construction: validate, count degrees, scatter, per-row
+/// sort/dedup compaction. `O(n + m log ∆)` time, `O(n + m)` space.
+fn csr_from_edge_list(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Graph, GraphError> {
+    for &(u, v) in edges {
+        if u as usize >= n || v as usize >= n {
+            return Err(GraphError::EndpointOutOfRange { u, v, n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { u });
+        }
+    }
+    // Pass 1: degree counts (duplicates included; deduped below).
+    let mut counts = vec![0usize; n];
+    for &(u, v) in edges {
+        counts[u as usize] += 1;
+        counts[v as usize] += 1;
+    }
+    // Exclusive prefix sums = provisional row offsets.
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &c in &counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    // Pass 2: scatter both endpoint directions via per-row cursors.
+    let mut flat = vec![0 as NodeId; acc];
+    let mut cursor: Vec<usize> = offsets[..n].to_vec();
+    for &(u, v) in edges {
+        flat[cursor[u as usize]] = v;
+        cursor[u as usize] += 1;
+        flat[cursor[v as usize]] = u;
+        cursor[v as usize] += 1;
+    }
+    // Sort each row, dedup by compacting the flat array in place.
+    let mut write = 0usize;
+    let mut final_offsets = Vec::with_capacity(n + 1);
+    final_offsets.push(0usize);
+    for v in 0..n {
+        let (start, end) = (offsets[v], offsets[v + 1]);
+        flat[start..end].sort_unstable();
+        let mut prev: Option<NodeId> = None;
+        for i in start..end {
+            let x = flat[i];
+            if prev != Some(x) {
+                flat[write] = x;
+                write += 1;
+                prev = Some(x);
+            }
+        }
+        final_offsets.push(write);
+    }
+    flat.truncate(write);
+    Ok(Graph::from_csr_parts(final_offsets, flat))
 }
 
 #[cfg(test)]
@@ -484,6 +511,27 @@ mod tests {
         assert_eq!(g.neighbors(4), &[0]);
         assert_eq!(g.m(), 5);
         assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn from_edge_stream_matches_builder_with_duplicates() {
+        let edges = [(3, 1), (0, 3), (1, 3), (4, 0), (0, 4), (2, 0), (1, 0)];
+        let via_builder = Graph::from_edges(5, &edges).unwrap();
+        let via_stream = GraphBuilder::from_edge_stream(5, edges).unwrap();
+        assert_eq!(via_builder, via_stream);
+        assert_eq!(via_stream.m(), 5);
+    }
+
+    #[test]
+    fn from_edge_stream_rejects_bad_edges() {
+        assert_eq!(
+            GraphBuilder::from_edge_stream(3, [(1, 1)]).unwrap_err(),
+            GraphError::SelfLoop { u: 1 }
+        );
+        assert_eq!(
+            GraphBuilder::from_edge_stream(3, [(0, 7)]).unwrap_err(),
+            GraphError::EndpointOutOfRange { u: 0, v: 7, n: 3 }
+        );
     }
 
     #[test]

@@ -61,6 +61,35 @@ pub struct GraphProfile {
     pub sparsity: Summary,
 }
 
+/// Degree-only structural profile: everything [`profile`] reports that
+/// does not require distance-2 information.
+#[derive(Debug, Clone)]
+pub struct DegreeProfile {
+    /// Nodes.
+    pub n: usize,
+    /// Edges.
+    pub m: usize,
+    /// Maximum degree `∆`.
+    pub delta: usize,
+    /// Degree distribution.
+    pub degree: Summary,
+}
+
+/// Computes the degree-only profile in `O(n)` with no auxiliary
+/// structures. [`profile`] builds a [`D2View`] and `G²` (`O(Σ deg²)`
+/// time *and* memory), which is prohibitive at the `n = 10⁶` scale the
+/// generators now reach; this is the variant the scaling harness uses to
+/// sanity-check huge builds.
+#[must_use]
+pub fn degree_profile(g: &Graph) -> DegreeProfile {
+    DegreeProfile {
+        n: g.n(),
+        m: g.m(),
+        delta: g.max_degree(),
+        degree: Summary::of((0..g.n() as NodeId).map(|v| g.degree(v) as f64)),
+    }
+}
+
 /// Computes the full profile (builds one [`D2View`] and `G²`; intended for
 /// analysis, not the hot path).
 #[must_use]
@@ -90,6 +119,17 @@ mod tests {
         assert_eq!(s.max, 3.0);
         let empty = Summary::of(std::iter::empty());
         assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    fn degree_profile_matches_full_profile_degrees() {
+        let g = gen::gnp_capped(120, 0.05, 6, 2);
+        let full = profile(&g);
+        let cheap = degree_profile(&g);
+        assert_eq!(cheap.n, full.n);
+        assert_eq!(cheap.m, full.m);
+        assert_eq!(cheap.delta, full.delta);
+        assert_eq!(cheap.degree, full.degree);
     }
 
     #[test]

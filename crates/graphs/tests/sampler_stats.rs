@@ -1,0 +1,233 @@
+//! Statistical property tests for the O(n + m) generators.
+//!
+//! The geometric-skip `gnp` sampler replaced the per-pair Bernoulli loop,
+//! which changes the realization drawn for a given seed while promising
+//! the same distribution. These tests pin the promise down:
+//!
+//! * edge counts and degree statistics of skip-sampled `G(n, p)` match
+//!   the closed-form Binomial expectations within a generous z-bound;
+//! * the skip sampler and the old `O(n²)` Bernoulli reference (kept here,
+//!   in the test tree, as `naive_gnp` — the production path is gone)
+//!   agree in aggregate;
+//! * `gnp_capped` never exceeds its degree cap anywhere in parameter
+//!   space;
+//! * `GraphBuilder::from_edge_stream` is bit-identical to the
+//!   incremental `GraphBuilder::build` on random edge lists, including
+//!   duplicate edges in both orientations, and rejects invalid edges the
+//!   same way.
+
+use graphs::{gen, Graph, GraphBuilder, GraphError, NodeId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// The pre-PR-3 `O(n²)` Bernoulli sampler, preserved as the statistical
+/// reference implementation.
+fn naive_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if r.gen_bool(p) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build().expect("reference sampler produces valid edges")
+}
+
+/// z-score of an observed Binomial(trials, p) outcome.
+fn binomial_z(observed: f64, trials: f64, p: f64) -> f64 {
+    let mean = trials * p;
+    let sd = (trials * p * (1.0 - p)).sqrt();
+    (observed - mean) / sd
+}
+
+#[test]
+fn gnp_edge_count_matches_closed_form() {
+    // Pooled across seeds, the total edge count is Binomial(S·C(n,2), p);
+    // |z| < 4 has false-positive probability ~6e-5 and the seeds are
+    // fixed, so this is deterministic in practice.
+    let (n, p, seeds) = (600usize, 0.01, 20u64);
+    let pairs = (n * (n - 1) / 2) as f64;
+    let total: usize = (0..seeds).map(|s| gen::gnp(n, p, 1000 + s).m()).sum();
+    let z = binomial_z(total as f64, pairs * seeds as f64, p);
+    assert!(z.abs() < 4.0, "pooled edge count z = {z}, total = {total}");
+}
+
+#[test]
+fn gnp_degree_statistics_match_closed_form() {
+    // Each degree is Binomial(n-1, p): check the pooled mean degree, and
+    // that the maximum degree stays within a union-bound tail.
+    let (n, p) = (2000usize, 0.005);
+    let g = gen::gnp(n, p, 7);
+    let mean = 2.0 * g.m() as f64 / n as f64;
+    let expect = (n - 1) as f64 * p;
+    let sd_of_mean = ((n - 1) as f64 * p * (1.0 - p) / n as f64).sqrt();
+    let z = (mean - expect) / sd_of_mean;
+    assert!(z.abs() < 4.0, "mean degree {mean} vs {expect}, z = {z}");
+    // E[deg] ≈ 10; P(deg > 40 anywhere) is astronomically small.
+    assert!(g.max_degree() < 40, "max degree {}", g.max_degree());
+}
+
+#[test]
+fn gnp_matches_naive_reference_in_aggregate() {
+    // Same distribution ⇒ pooled edge counts of the two samplers are
+    // both Binomial(S·C(n,2), p); their standardized difference is
+    // N(0, 2) under the null.
+    let (n, p, seeds) = (400usize, 0.02, 15u64);
+    let pairs = (n * (n - 1) / 2) as f64;
+    let skip: usize = (0..seeds).map(|s| gen::gnp(n, p, 300 + s).m()).sum();
+    let naive: usize = (0..seeds).map(|s| naive_gnp(n, p, 300 + s).m()).sum();
+    let sd = (pairs * seeds as f64 * p * (1.0 - p)).sqrt();
+    let z = (skip as f64 - naive as f64) / (sd * std::f64::consts::SQRT_2);
+    assert!(
+        z.abs() < 4.0,
+        "skip {skip} vs naive {naive} pooled edges, z = {z}"
+    );
+}
+
+#[test]
+fn gnp_skip_sampler_handles_extreme_p() {
+    assert_eq!(gen::gnp(100, 0.0, 1).m(), 0);
+    assert_eq!(gen::gnp(100, 1.0, 1).m(), 100 * 99 / 2);
+    assert_eq!(gen::gnp(1, 0.5, 1).m(), 0);
+    assert_eq!(gen::gnp(0, 0.5, 1).n(), 0);
+    // Tiny p on a large n: expected m = 0.0005·C(2000,2) ≈ 1000; must
+    // not hang (the old loop did 2·10⁶ Bernoulli draws here).
+    let g = gen::gnp(2000, 0.0005, 3);
+    assert!(g.m() > 500 && g.m() < 1500, "m = {}", g.m());
+    // Subnormal-adjacent p where (1.0 - p).ln() rounds to -0.0: the
+    // skip must stay finite (ln_1p path), terminating with ~surely no
+    // edges instead of looping forever on skip = -inf.
+    assert_eq!(gen::gnp(100, 1e-18, 1).m(), 0);
+    assert_eq!(gen::gnp(100, f64::MIN_POSITIVE, 1).m(), 0);
+}
+
+#[test]
+fn gnp_capped_never_exceeds_cap() {
+    for (n, p, cap, seed) in [
+        (50usize, 0.5, 3usize, 1u64),
+        (200, 0.1, 7, 2),
+        (500, 0.05, 12, 3),
+        (1000, 0.9, 2, 4),
+        (100, 1.0, 1, 5),
+        (300, 0.02, 64, 6),
+    ] {
+        let g = gen::gnp_capped(n, p, cap, seed);
+        assert!(
+            g.max_degree() <= cap,
+            "gnp_capped({n}, {p}, {cap}, {seed}): ∆ = {}",
+            g.max_degree()
+        );
+    }
+}
+
+#[test]
+fn gnp_capped_saturates_toward_cap_when_dense() {
+    // With p = 1 every pair is a candidate, so (almost) every node
+    // should reach the cap — the random-order acceptance can strand at
+    // most a negligible fraction below it.
+    let (n, cap) = (200usize, 4usize);
+    let g = gen::gnp_capped(n, 1.0, cap, 9);
+    let at_cap = (0..n as NodeId).filter(|&v| g.degree(v) == cap).count();
+    assert!(
+        at_cap * 10 >= n * 9,
+        "only {at_cap}/{n} nodes reached the cap"
+    );
+}
+
+#[test]
+fn unit_disk_grid_bucketing_matches_all_pairs_scan() {
+    // The bucketed unit_disk must produce the exact edge set of the
+    // brute-force O(n²) scan — same predicate, different search order.
+    for (n, radius, seed) in [
+        (150usize, 0.09, 3u64),
+        (80, 0.3, 5),
+        (60, 0.02, 8),
+        (40, 2.0, 9),
+    ] {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (r.gen::<f64>(), r.gen::<f64>())).collect();
+        let bucketed = gen::unit_disk_from_points(&pts, radius);
+        let r2 = radius * radius;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let (dx, dy) = (pts[u].0 - pts[v].0, pts[u].1 - pts[v].1);
+                if dx * dx + dy * dy <= r2 {
+                    edges.push((u as NodeId, v as NodeId));
+                }
+            }
+        }
+        let brute = Graph::from_edges(n, &edges).expect("valid edges");
+        assert_eq!(
+            bucketed, brute,
+            "unit_disk(n = {n}, r = {radius}, seed = {seed}) diverged from the all-pairs scan"
+        );
+    }
+}
+
+#[test]
+fn unit_disk_handles_degenerate_layouts() {
+    // All points coincident: K_n for any positive radius.
+    let pts = vec![(0.25, 0.25); 12];
+    assert_eq!(gen::unit_disk_from_points(&pts, 0.1).m(), 12 * 11 / 2);
+    // Collinear points (zero-height bounding box).
+    let line: Vec<(f64, f64)> = (0..50).map(|i| (f64::from(i) * 0.1, 3.0)).collect();
+    let g = gen::unit_disk_from_points(&line, 0.15);
+    assert_eq!(g.m(), 49, "each consecutive pair within radius");
+    // Points far outside the unit square.
+    let far = vec![(1e6, -1e6), (1e6 + 0.05, -1e6), (-1e6, 1e6)];
+    let g = gen::unit_disk_from_points(&far, 0.1);
+    assert_eq!(g.m(), 1);
+    assert!(g.has_edge(0, 1));
+}
+
+#[test]
+fn from_edge_stream_bit_identical_to_builder_on_random_lists() {
+    for seed in 0..30u64 {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        let n = r.gen_range(1usize..120);
+        let len = r.gen_range(0usize..400);
+        let mut edges = Vec::with_capacity(len);
+        let mut b = GraphBuilder::new(n);
+        for _ in 0..len {
+            let u = r.gen_range(0..n as NodeId);
+            let v = r.gen_range(0..n as NodeId);
+            if u == v {
+                continue; // self-loop rejection is covered below
+            }
+            // Both orientations land in the list, plus natural duplicates
+            // from the small node range.
+            edges.push((u, v));
+            b.add_edge(u, v);
+        }
+        let via_builder = b.build().expect("valid edges");
+        let via_stream = GraphBuilder::from_edge_stream(n, edges).expect("valid edges");
+        assert_eq!(
+            via_builder, via_stream,
+            "stream CSR diverged from builder CSR at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn from_edge_stream_rejects_exactly_like_builder() {
+    // Self-loop.
+    let stream = GraphBuilder::from_edge_stream(5, [(0, 1), (2, 2)]);
+    let mut b = GraphBuilder::new(5);
+    b.add_edge(0, 1).add_edge(2, 2);
+    assert_eq!(stream.unwrap_err(), b.build().unwrap_err());
+    assert_eq!(
+        GraphBuilder::from_edge_stream(5, [(2, 2)]).unwrap_err(),
+        GraphError::SelfLoop { u: 2 }
+    );
+    // Out-of-range endpoint.
+    assert_eq!(
+        GraphBuilder::from_edge_stream(3, [(0, 1), (1, 9)]).unwrap_err(),
+        GraphError::EndpointOutOfRange { u: 1, v: 9, n: 3 }
+    );
+    // Empty stream on zero nodes is fine.
+    let g = GraphBuilder::from_edge_stream(0, std::iter::empty()).unwrap();
+    assert_eq!(g.n(), 0);
+}
