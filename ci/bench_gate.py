@@ -11,10 +11,15 @@ checked-in baselines on machine-portable invariants only:
 * ``pr3``: validates ``BENCH_PR3.json``, the n up to 10^6 scaling
   matrix — coverage of the (family, scale, runtime) grid, validity of
   every cell, and the 10-second build budget for the 10^6-node cells.
+* ``pr4``: validates a freshly emitted ``BENCH_PR4.json`` (zero-
+  allocation message plane + the first 10^6 coloring tier) and diffs it
+  against the checked-in report: model metrics bit-exact, and the
+  allocations/round column must not regress (``check_allocs_per_round``).
 
 Usage:
     python3 ci/bench_gate.py pr2 BENCH_PR2.json BENCH_PR1.json
     python3 ci/bench_gate.py pr3 BENCH_PR3.json
+    python3 ci/bench_gate.py pr4 BENCH_PR4.json BENCH_PR4.recorded.json
 
 Importable for unit tests (``ci/test_bench_gate.py``): every check is a
 pure function over parsed documents that raises ``GateError`` with a
@@ -54,6 +59,24 @@ PR3_CELL_KEYS = {
 }
 
 PR3_FAMILIES = {"gnp_capped", "random_regular", "grid"}
+
+PR4_CELL_KEYS = {
+    "family", "graph", "n", "m", "delta", "algo", "runtime", "build_ms",
+    "wall_ms", "rounds", "messages", "messages_per_sec",
+    "allocs_per_round", "palette", "valid", "peak_rss_mb",
+}
+
+# Acceptance factors for the PR4 message-plane rebuild (ISSUE 4): the
+# recorded det-small n = 10^5 cell must show >= 10x fewer allocations per
+# round than the pre-change plane, and the recorded rand-improved
+# gnp_capped n = 10^5 cell must be >= 3x faster than the pre-change wall.
+ALLOC_REDUCTION_FACTOR = 10.0
+RAND_SPEEDUP_FACTOR = 3.0
+# Allocation counts are deterministic per (binary, seed) but tiny
+# environmental differences (allocator-independent library paths) get a
+# small relative + absolute slack before a regression is declared.
+ALLOC_REGRESSION_TOLERANCE = 1.10
+ALLOC_REGRESSION_SLACK = 16.0
 
 
 class GateError(AssertionError):
@@ -201,6 +224,110 @@ def validate_pr3(pr3, log=print):
         f"n >= 1e5; 1e6 builds within {HUGE_BUILD_BUDGET_MS / 1000:.0f} s)")
 
 
+def check_pr4_shape(pr4):
+    """Structural validity of a BENCH_PR4 document."""
+    require(pr4.get("bench") == "BENCH_PR4",
+            f"not a BENCH_PR4 document: {pr4.get('bench')!r}")
+    pre = pr4.get("pre_change", {})
+    require("allocs_per_round_det_1e5" in pre and "rand_gnp_1e5_wall_ms" in pre,
+            "pre_change baselines missing")
+    cells = pr4["cells"]
+    for c in cells:
+        missing = PR4_CELL_KEYS - c.keys()
+        require(not missing, f"cell missing {missing}")
+        require(c["valid"] is True, f"invalid cell {c['graph']}/{c['algo']}")
+    triples = {(c["graph"], c["algo"], c["runtime"]) for c in cells}
+    require(len(triples) == len(cells), "duplicate (graph, algo, runtime) cells")
+
+    det_1e5 = [c for c in cells
+               if c["family"] == "gnp_capped" and c["n"] >= 100_000
+               and c["algo"].startswith("det-small")]
+    require(det_1e5, "no det-small gnp_capped n >= 10^5 cell")
+    rand_cells = [c for c in cells
+                  if c["algo"].startswith("rand-improved") and c["n"] >= 100_000]
+    require(len(rand_cells) >= 2,
+            f"expected >= 2 rand-improved n >= 10^5 cells, got {len(rand_cells)}")
+    huge = [c for c in cells
+            if c["n"] >= 1_000_000 and c["algo"].startswith("det-small")
+            and c["runtime"] == "sequential"]
+    require(huge, "no n >= 10^6 det-small sequential coloring cell")
+    for c in huge:
+        require(c["rounds"] > 0 and c["messages"] > 0,
+                f"10^6 cell {c['graph']} ran 0 rounds")
+
+
+def check_pr4_acceptance(pr4):
+    """The recorded report must evidence the ISSUE-4 acceptance criteria:
+    >= 10x allocations/round reduction on the det-small n = 10^5 cell and
+    >= 3x wall-clock speedup on the rand-improved gnp_capped cell, both
+    against the measured pre-change constants embedded in the report.
+
+    Run this on the *checked-in* report (wall-clock is machine-specific;
+    the recorded numbers come from the recording machine, which also
+    measured the pre-change constants)."""
+    pre = pr4["pre_change"]
+    det = [c for c in pr4["cells"]
+           if c["family"] == "gnp_capped" and c["n"] >= 100_000
+           and c["algo"].startswith("det-small")]
+    for c in det:
+        require(c["allocs_per_round"] >= 0.0,
+                f"{c['graph']}: allocs_per_round not measured "
+                "(harness built without count-allocs)")
+        bound = pre["allocs_per_round_det_1e5"] / ALLOC_REDUCTION_FACTOR
+        require(c["allocs_per_round"] <= bound,
+                f"{c['graph']}: {c['allocs_per_round']} allocs/round > "
+                f"{bound} (pre-change / {ALLOC_REDUCTION_FACTOR})")
+    rand_gnp = [c for c in pr4["cells"]
+                if c["family"] == "gnp_capped" and c["n"] >= 100_000
+                and c["algo"].startswith("rand-improved")]
+    require(rand_gnp, "no rand-improved gnp_capped n >= 10^5 cell")
+    for c in rand_gnp:
+        bound = pre["rand_gnp_1e5_wall_ms"] / RAND_SPEEDUP_FACTOR
+        require(c["wall_ms"] <= bound,
+                f"{c['graph']}: rand wall {c['wall_ms']} ms > {bound} ms "
+                f"(pre-change / {RAND_SPEEDUP_FACTOR})")
+
+
+def check_allocs_per_round(recorded, fresh, log=print):
+    """Allocation counts must not regress between recorded benches: for
+    every shared cell the fresh count must stay within
+    ALLOC_REGRESSION_TOLERANCE (plus a small absolute slack) of the
+    recorded one. Counts are requests, not allocator internals, so they
+    are machine-portable for a fixed seed."""
+    rec = {(c["graph"], c["algo"], c["runtime"]): c for c in recorded["cells"]}
+    new = {(c["graph"], c["algo"], c["runtime"]): c for c in fresh["cells"]}
+    checked = 0
+    for k in sorted(rec.keys() & new.keys()):
+        r, f = rec[k]["allocs_per_round"], new[k]["allocs_per_round"]
+        if r < 0.0:
+            continue  # recorded without counting: nothing to hold against
+        require(f >= 0.0,
+                f"{k}: recorded report has allocs/round but the fresh run "
+                "was built without count-allocs")
+        bound = r * ALLOC_REGRESSION_TOLERANCE + ALLOC_REGRESSION_SLACK
+        mark = " <-- REGRESSION" if f > bound else ""
+        log(f"{'/'.join(k):60s} allocs/round {r:9.1f} -> {f:9.1f}{mark}")
+        require(f <= bound,
+                f"{k}: allocations/round regressed {r} -> {f} "
+                f"(bound {bound:.1f})")
+        checked += 1
+    require(checked > 0, "no shared cells carried a measured allocs/round")
+
+
+def validate_pr4(fresh, recorded, log=print):
+    """The full PR4 gate: fresh-report shape, recorded-report shape +
+    acceptance, bit-exact model metrics on shared cells, and the
+    allocations/round no-regression rule."""
+    check_pr4_shape(fresh)
+    check_pr4_shape(recorded)
+    check_pr4_acceptance(recorded)
+    shared = check_shared_cells_bit_exact(recorded, fresh, min_shared=4)
+    check_allocs_per_round(recorded, fresh, log=log)
+    log(f"BENCH_PR4.json OK: {len(fresh['cells'])} cells; {len(shared)} "
+        f"shared cells bit-exact; allocations/round within "
+        f"{ALLOC_REGRESSION_TOLERANCE}x of the recorded report")
+
+
 def load(path):
     with open(path) as f:
         return json.load(f)
@@ -224,8 +351,14 @@ def main(argv):
                       file=sys.stderr)
                 return 2
             validate_pr3(load(argv[2]))
+        elif gate == "pr4":
+            if len(argv) != 4:
+                print("usage: bench_gate.py pr4 BENCH_PR4.json "
+                      "BENCH_PR4.recorded.json", file=sys.stderr)
+                return 2
+            validate_pr4(load(argv[2]), load(argv[3]))
         else:
-            print(f"unknown gate {gate!r}; available: pr2, pr3",
+            print(f"unknown gate {gate!r}; available: pr2, pr3, pr4",
                   file=sys.stderr)
             return 2
     except GateError as e:

@@ -175,6 +175,114 @@ class Pr3GateTests(unittest.TestCase):
             bench_gate.validate_pr3(doc, log=lambda *_: None)
 
 
+def pr4_cell(family="gnp_capped", graph="gnp_capped-n100000", n=100_000,
+             algo="det-small(T1.2)", runtime="sequential", wall_ms=15_000.0,
+             rounds=4654, messages=17_060_200, allocs_per_round=350.0,
+             valid=True):
+    return {
+        "family": family, "graph": graph, "n": n, "m": 6 * n, "delta": 16,
+        "algo": algo, "runtime": runtime, "build_ms": 150.0,
+        "wall_ms": wall_ms, "rounds": rounds, "messages": messages,
+        "messages_per_sec": 1e6, "allocs_per_round": allocs_per_round,
+        "palette": 257, "valid": valid, "peak_rss_mb": 1000.0,
+    }
+
+
+def pr4_doc():
+    return {
+        "bench": "BENCH_PR4",
+        "pre_change": {"allocs_per_round_det_1e5": 3902.5,
+                       "rand_gnp_1e5_wall_ms": 185_900.0},
+        "cells": [
+            pr4_cell(),
+            pr4_cell(algo="rand-improved(T1.1)", wall_ms=1200.0, rounds=213,
+                     messages=5_405_868, allocs_per_round=2347.5),
+            pr4_cell(family="random_regular",
+                     graph="random_regular-d16-n100000-stressed-c0-1",
+                     algo="rand-improved(T1.1)", wall_ms=58_000.0,
+                     rounds=5317, messages=18_742_572,
+                     allocs_per_round=3561.5),
+            pr4_cell(family="random_regular",
+                     graph="random_regular-d8-n1000000", n=1_000_000,
+                     wall_ms=60_000.0, rounds=1170, messages=114_000_000,
+                     allocs_per_round=400.0),
+        ],
+    }
+
+
+class Pr4GateTests(unittest.TestCase):
+    def test_valid_doc_passes(self):
+        doc = pr4_doc()
+        bench_gate.validate_pr4(copy.deepcopy(doc), doc, log=lambda *_: None)
+
+    def test_wrong_bench_tag_fails(self):
+        doc = pr4_doc()
+        doc["bench"] = "BENCH_PR3"
+        with self.assertRaisesRegex(GateError, "not a BENCH_PR4"):
+            bench_gate.check_pr4_shape(doc)
+
+    def test_missing_pre_change_fails(self):
+        doc = pr4_doc()
+        del doc["pre_change"]["allocs_per_round_det_1e5"]
+        with self.assertRaisesRegex(GateError, "pre_change"):
+            bench_gate.check_pr4_shape(doc)
+
+    def test_missing_huge_cell_fails(self):
+        doc = pr4_doc()
+        doc["cells"] = [c for c in doc["cells"] if c["n"] < 1_000_000]
+        with self.assertRaisesRegex(GateError, "10\\^6"):
+            bench_gate.check_pr4_shape(doc)
+
+    def test_missing_rand_cells_fail(self):
+        doc = pr4_doc()
+        doc["cells"] = [c for c in doc["cells"]
+                        if not c["algo"].startswith("rand-improved")]
+        with self.assertRaisesRegex(GateError, "rand-improved"):
+            bench_gate.check_pr4_shape(doc)
+
+    def test_alloc_reduction_acceptance(self):
+        doc = pr4_doc()
+        doc["cells"][0]["allocs_per_round"] = 3902.5 / 5  # only 5x better
+        with self.assertRaisesRegex(GateError, "allocs/round"):
+            bench_gate.check_pr4_acceptance(doc)
+
+    def test_unmeasured_allocs_fail_acceptance(self):
+        doc = pr4_doc()
+        doc["cells"][0]["allocs_per_round"] = -1.0
+        with self.assertRaisesRegex(GateError, "count-allocs"):
+            bench_gate.check_pr4_acceptance(doc)
+
+    def test_rand_speedup_acceptance(self):
+        doc = pr4_doc()
+        doc["cells"][1]["wall_ms"] = 100_000.0  # < 3x faster than 185.9 s
+        with self.assertRaisesRegex(GateError, "rand wall"):
+            bench_gate.check_pr4_acceptance(doc)
+
+    def test_alloc_regression_fails(self):
+        rec, new = pr4_doc(), pr4_doc()
+        new["cells"][0]["allocs_per_round"] = 350.0 * 1.5
+        with self.assertRaisesRegex(GateError, "regressed"):
+            bench_gate.check_allocs_per_round(rec, new, log=lambda *_: None)
+
+    def test_alloc_within_tolerance_passes(self):
+        rec, new = pr4_doc(), pr4_doc()
+        new["cells"][0]["allocs_per_round"] = 350.0 * 1.05
+        bench_gate.check_allocs_per_round(rec, new, log=lambda *_: None)
+
+    def test_fresh_run_without_counting_fails_diff(self):
+        rec, new = pr4_doc(), pr4_doc()
+        for c in new["cells"]:
+            c["allocs_per_round"] = -1.0
+        with self.assertRaisesRegex(GateError, "count-allocs"):
+            bench_gate.check_allocs_per_round(rec, new, log=lambda *_: None)
+
+    def test_rounds_drift_fails_diff(self):
+        rec, new = pr4_doc(), pr4_doc()
+        new["cells"][2]["rounds"] += 1
+        with self.assertRaisesRegex(GateError, "rounds drifted"):
+            bench_gate.validate_pr4(new, rec, log=lambda *_: None)
+
+
 class CliTests(unittest.TestCase):
     def test_unknown_gate_is_usage_error(self):
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr9"]), 2)
@@ -183,6 +291,7 @@ class CliTests(unittest.TestCase):
         self.assertEqual(bench_gate.main(["bench_gate.py"]), 2)
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr2", "x"]), 2)
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr3"]), 2)
+        self.assertEqual(bench_gate.main(["bench_gate.py", "pr4", "x"]), 2)
 
 
 if __name__ == "__main__":

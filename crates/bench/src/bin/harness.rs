@@ -7,8 +7,14 @@
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr1 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr2 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr3 [out.json]
+//! cargo run --release -p d2color-bench --bin harness -- bench-pr4 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- scale-smoke
+//! cargo run --release -p d2color-bench --bin harness -- scale-coloring-1e6
 //! ```
+//!
+//! `bench-pr4` records allocations/round only when built with
+//! `--features count-allocs` (otherwise the column is the −1 sentinel,
+//! which the CI gate rejects for the recorded report).
 
 use benchkit::{delta_sweep, loglog_slope, measure, measure_with, n_sweep, print_table, Algo, Row};
 use congest::SimConfig;
@@ -357,6 +363,51 @@ fn bench_pr3() {
     println!("\nwrote {} cells to {out_path}", cells.len());
 }
 
+/// Runs the BENCH_PR4 matrix (zero-allocation message plane + first 10⁶
+/// coloring tier) and writes the JSON report (default path:
+/// `BENCH_PR4.json`).
+fn bench_pr4() {
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_PR4.json".into());
+    if !benchkit::alloc::counting_enabled() {
+        eprintln!(
+            "note: built without --features count-allocs; allocs_per_round will be -1 (sentinel)"
+        );
+    }
+    let cells = benchkit::pr4::run_matrix();
+    for c in &cells {
+        println!(
+            "{:<28} {:<20} wall {:>10.1} ms  rounds {:>6}  msgs/s {:>12.0}  allocs/round {:>9.1}  rss {:>7.1} MiB  valid {}",
+            c.graph, c.algo, c.wall_ms, c.rounds, c.messages_per_sec, c.allocs_per_round,
+            c.peak_rss_mb, c.valid
+        );
+        assert!(
+            c.valid,
+            "benchmark cell produced an invalid coloring: {c:?}"
+        );
+    }
+    let doc = benchkit::pr4::to_json(&cells);
+    std::fs::write(&out_path, doc).expect("write BENCH_PR4.json");
+    println!("\nwrote {} cells to {out_path}", cells.len());
+}
+
+/// CI scale-smoke sub-step: the first n = 10⁶ coloring — det-small,
+/// sequential, `random_regular` d = 8 — verified end to end. The CI job
+/// wraps this in a wall-clock `timeout`; completing inside it is the
+/// acceptance signal.
+fn scale_coloring_1e6() {
+    let c = benchkit::pr4::run_scale_cell();
+    println!(
+        "{}: built {:.0} ms, colored {:.0} ms, rounds = {}, messages = {}, \
+         palette = {}, peak rss {:.1} MiB, valid = {}",
+        c.graph, c.build_ms, c.wall_ms, c.rounds, c.messages, c.palette, c.peak_rss_mb, c.valid
+    );
+    assert!(c.valid, "n = 1e6 coloring failed verification");
+    assert!(c.n >= 1_000_000, "cell is not at the 1e6 tier");
+    println!("scale-coloring-1e6 OK");
+}
+
 /// CI scale-smoke: proves the O(n+m) generator path at n = 10⁶ (hard
 /// 10-second in-process budget on the build) and drives one n = 10⁵
 /// coloring end to end. Exits nonzero on any violation; the CI job adds
@@ -425,8 +476,16 @@ fn main() {
         bench_pr3();
         return;
     }
+    if arg == "bench-pr4" {
+        bench_pr4();
+        return;
+    }
     if arg == "scale-smoke" {
         scale_smoke();
+        return;
+    }
+    if arg == "scale-coloring-1e6" {
+        scale_coloring_1e6();
         return;
     }
     let exps: Vec<(&str, fn())> = vec![
@@ -453,7 +512,7 @@ fn main() {
             Some((_, f)) => f(),
             None => {
                 eprintln!(
-                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, scale-smoke"
+                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, bench-pr4, scale-smoke, scale-coloring-1e6"
                 );
                 std::process::exit(2);
             }

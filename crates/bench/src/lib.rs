@@ -6,10 +6,12 @@ use d2core::det::splitting::SplitMode;
 use d2core::{ColoringOutcome, Params};
 use graphs::{D2View, Graph};
 
+pub mod alloc;
 pub mod json;
 pub mod pr1;
 pub mod pr2;
 pub mod pr3;
+pub mod pr4;
 
 /// The algorithms under measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

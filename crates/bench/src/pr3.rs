@@ -121,7 +121,7 @@ fn family_specs(n: usize, seed: u64) -> [FamilySpec; 3] {
 /// `(family, label, graph, degree_cap, build_ms)`. All three graphs are
 /// alive in the returned `Vec` — fine for the coloring tiers (their
 /// `D2View`s dwarf the graphs anyway); the build-only tier in
-/// [`run_matrix`] uses [`family_specs`] directly instead, so each graph
+/// [`run_matrix`] uses `family_specs` directly instead, so each graph
 /// is dropped before the next family's RSS sample.
 #[must_use]
 pub fn build_tier(n: usize, seed: u64) -> Vec<(String, String, Graph, usize, f64)> {

@@ -1,0 +1,334 @@
+//! `BENCH_PR4.json`: the zero-allocation message plane and the first
+//! `n = 10⁶` coloring tier.
+//!
+//! PR 3 proved graph *construction* is no longer the bottleneck; this
+//! matrix tracks the simulator pass itself after the message-plane
+//! rebuild (inline [`congest::SmallIds`] payloads, pooled delivery
+//! buffers, `sync_period` batching, demand-gated sampling):
+//!
+//! * the `n = 10⁵` det-small sequential cell records
+//!   **allocations/round** via the `count-allocs` feature — the
+//!   acceptance metric for the allocation-free round invariant
+//!   (pre-change: [`PRE_CHANGE_ALLOCS_PER_ROUND`]);
+//! * two `n = 10⁵` **rand-improved** cells put the headline randomized
+//!   algorithm on the scaling record: the PR 3-comparable `gnp_capped`
+//!   workload (pre-change: [`PRE_CHANGE_RAND_GNP_WALL_MS`], the
+//!   ROADMAP's "~4 min" cell) and a *stressed* near-tight
+//!   `random_regular` d = 16 workload (warmup cut to `c₀ = 1`) whose
+//!   initial trials leave live stragglers, so the full
+//!   similarity/Reduce/LearnPalette machinery runs end to end;
+//! * the first **`n = 10⁶` coloring cell**: det-small, sequential,
+//!   `random_regular` d = 8, verified against the `D2View` oracle.
+//!
+//! Allocation counts are deterministic for a fixed seed and binary
+//! (they count *requests*, not allocator internals), so the CI gate can
+//! diff them bit-for-bit-ish (small tolerance) across machines.
+
+use crate::json::Json;
+use crate::pr3::peak_rss_mb;
+use crate::{alloc, Algo};
+use congest::{RuntimeMode, SimConfig};
+use d2core::Params;
+use graphs::{D2View, Graph};
+use std::time::Instant;
+
+/// Allocations/round of the det-small `gnp_capped(10⁵, 12/n, 16)`
+/// sequential cell **before** the PR 4 message-plane rebuild (measured on
+/// the PR 3 tree with the same counting allocator: 18.2 M allocations
+/// over 4654 rounds). The acceptance criterion is a ≥ 10× reduction.
+pub const PRE_CHANGE_ALLOCS_PER_ROUND: f64 = 3902.5;
+
+/// Wall-clock of the rand-improved `gnp_capped(10⁵, 12/n, 16)` sequential
+/// cell before the rebuild (the ROADMAP's "~4 min" measurement on this
+/// container: 185.9 s). The acceptance criterion is ≥ 3× faster.
+pub const PRE_CHANGE_RAND_GNP_WALL_MS: f64 = 185_900.0;
+
+/// One PR 4 measurement cell.
+#[derive(Debug, Clone)]
+pub struct Pr4Cell {
+    /// Generator family.
+    pub family: String,
+    /// Workload label (family + scale).
+    pub graph: String,
+    /// Nodes.
+    pub n: usize,
+    /// Undirected edges.
+    pub m: usize,
+    /// Maximum degree.
+    pub delta: usize,
+    /// Algorithm name.
+    pub algo: String,
+    /// Runtime label.
+    pub runtime: String,
+    /// Wall-clock milliseconds to generate the graph and build its CSR.
+    pub build_ms: f64,
+    /// Wall-clock milliseconds of the coloring pipeline.
+    pub wall_ms: f64,
+    /// Rounds to completion.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Delivered messages per wall-clock second.
+    pub messages_per_sec: f64,
+    /// Heap-allocation requests per simulated round during the coloring
+    /// run (−1.0 when the harness was built without `count-allocs`).
+    pub allocs_per_round: f64,
+    /// Palette certificate.
+    pub palette: usize,
+    /// Coloring verified against the `D2View` oracle.
+    pub valid: bool,
+    /// Cumulative process peak RSS (MiB) when the cell finished.
+    pub peak_rss_mb: f64,
+}
+
+/// The cell specs: `(family, label, algo, make_graph, make_params)`.
+///
+/// The third cell is the **stressed** randomized workload: default
+/// practical parameters let the initial-trials phase finish sparse
+/// benchmark graphs outright (and the driver then skips the vacuous
+/// later phases), so one cell cuts the warmup to `c₀ = 1` — initial
+/// trials leave live stragglers and the full similarity / Reduce /
+/// LearnPalette machinery runs end to end on the record.
+type CellSpec = (
+    &'static str,
+    &'static str,
+    Algo,
+    fn() -> Graph,
+    fn() -> Params,
+);
+
+fn specs() -> [CellSpec; 4] {
+    [
+        (
+            "gnp_capped",
+            "gnp_capped-n100000",
+            Algo::DetSmall,
+            || graphs::gen::gnp_capped(100_000, 12.0 / 100_000.0, 16, 42),
+            Params::practical,
+        ),
+        (
+            "gnp_capped",
+            "gnp_capped-n100000",
+            Algo::RandImproved,
+            || graphs::gen::gnp_capped(100_000, 12.0 / 100_000.0, 16, 42),
+            Params::practical,
+        ),
+        (
+            "random_regular",
+            "random_regular-d16-n100000-stressed-c0-1",
+            Algo::RandImproved,
+            || graphs::gen::random_regular(100_000, 16, 42),
+            || Params {
+                c0_initial_rounds: 1.0,
+                ..Params::practical()
+            },
+        ),
+        (
+            "random_regular",
+            "random_regular-d8-n1000000",
+            Algo::DetSmall,
+            || graphs::gen::random_regular(1_000_000, 8, 42),
+            Params::practical,
+        ),
+    ]
+}
+
+/// Runs one coloring cell sequentially with allocation accounting.
+fn run_cell(
+    family: &str,
+    label: &str,
+    algo: Algo,
+    make: fn() -> Graph,
+    make_params: fn() -> Params,
+) -> Pr4Cell {
+    let t0 = Instant::now();
+    let g = make();
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cfg = SimConfig::at_scale(42, g.n()).with_runtime(RuntimeMode::Sequential);
+    let params = make_params();
+    let (a0, _) = alloc::snapshot();
+    let t1 = Instant::now();
+    let out = algo
+        .run(&g, &params, &cfg)
+        .expect("benchmark cell failed to complete");
+    let wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let (a1, _) = alloc::snapshot();
+    let allocs_per_round = if alloc::counting_enabled() {
+        (a1 - a0) as f64 / out.rounds().max(1) as f64
+    } else {
+        -1.0
+    };
+    let view = D2View::build(&g);
+    Pr4Cell {
+        family: family.to_string(),
+        graph: label.to_string(),
+        n: g.n(),
+        m: g.m(),
+        delta: g.max_degree(),
+        algo: algo.name().to_string(),
+        runtime: "sequential".into(),
+        build_ms,
+        wall_ms,
+        rounds: out.rounds(),
+        messages: out.metrics.messages,
+        messages_per_sec: if wall_ms > 0.0 {
+            out.metrics.messages as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        allocs_per_round,
+        palette: out.palette_bound(),
+        valid: graphs::verify::is_valid_d2_coloring_with(&view, &out.colors),
+        peak_rss_mb: peak_rss_mb(),
+    }
+}
+
+/// Runs the full PR 4 matrix in order of increasing memory footprint (the
+/// 10⁶-node cell last, so `peak_rss_mb` of the small cells stays
+/// informative).
+#[must_use]
+pub fn run_matrix() -> Vec<Pr4Cell> {
+    specs()
+        .into_iter()
+        .map(|(family, label, algo, make, params)| run_cell(family, label, algo, make, params))
+        .collect()
+}
+
+/// Runs only the `n = 10⁶` det-small sequential cell — the CI
+/// `scale-smoke` sub-step, bounded by an outer wall-clock `timeout`.
+#[must_use]
+pub fn run_scale_cell() -> Pr4Cell {
+    let (family, label, algo, make, params) = specs()[3];
+    run_cell(family, label, algo, make, params)
+}
+
+fn ms(x: f64) -> Json {
+    Json::Num((x * 1000.0).round() / 1000.0)
+}
+
+/// Serializes cells into the `BENCH_PR4.json` document.
+#[must_use]
+pub fn to_json(cells: &[Pr4Cell]) -> String {
+    let rows: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("family", Json::str(&c.family)),
+                ("graph", Json::str(&c.graph)),
+                ("n", Json::int(c.n as u64)),
+                ("m", Json::int(c.m as u64)),
+                ("delta", Json::int(c.delta as u64)),
+                ("algo", Json::str(&c.algo)),
+                ("runtime", Json::str(&c.runtime)),
+                ("build_ms", ms(c.build_ms)),
+                ("wall_ms", ms(c.wall_ms)),
+                ("rounds", Json::int(c.rounds)),
+                ("messages", Json::int(c.messages)),
+                ("messages_per_sec", Json::Num(c.messages_per_sec.round())),
+                ("allocs_per_round", ms(c.allocs_per_round)),
+                ("palette", Json::int(c.palette as u64)),
+                ("valid", Json::Bool(c.valid)),
+                ("peak_rss_mb", ms(c.peak_rss_mb)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("bench", Json::str("BENCH_PR4")),
+        (
+            "description",
+            Json::str(
+                "Zero-allocation message plane: allocations/round on the \
+                 n = 1e5 det-small cell, rand-improved at n = 1e5 (gnp + \
+                 near-tight random_regular), and the first n = 1e6 \
+                 det-small sequential coloring cell",
+            ),
+        ),
+        (
+            "pre_change",
+            Json::obj(vec![
+                (
+                    "allocs_per_round_det_1e5",
+                    Json::Num(PRE_CHANGE_ALLOCS_PER_ROUND),
+                ),
+                (
+                    "rand_gnp_1e5_wall_ms",
+                    Json::Num(PRE_CHANGE_RAND_GNP_WALL_MS),
+                ),
+            ]),
+        ),
+        ("cells", Json::Arr(rows)),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_required_columns() {
+        let cells = vec![Pr4Cell {
+            family: "gnp_capped".into(),
+            graph: "gnp_capped-n100000".into(),
+            n: 100_000,
+            m: 578_357,
+            delta: 16,
+            algo: "det-small(T1.2)".into(),
+            runtime: "sequential".into(),
+            build_ms: 150.0,
+            wall_ms: 15_000.0,
+            rounds: 4654,
+            messages: 17_060_200,
+            messages_per_sec: 1.1e6,
+            allocs_per_round: 350.25,
+            palette: 257,
+            valid: true,
+            peak_rss_mb: 1100.0,
+        }];
+        let s = to_json(&cells);
+        for key in [
+            "\"bench\": \"BENCH_PR4\"",
+            "\"allocs_per_round\": 350.25",
+            "\"allocs_per_round_det_1e5\": 3902.5",
+            "\"rand_gnp_1e5_wall_ms\": 185900",
+            "\"runtime\": \"sequential\"",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn specs_cover_the_acceptance_cells() {
+        let sp = specs();
+        assert!(sp
+            .iter()
+            .any(|(f, _, a, _, _)| *f == "gnp_capped" && *a == Algo::DetSmall));
+        assert_eq!(
+            sp.iter()
+                .filter(|(_, _, a, _, _)| *a == Algo::RandImproved)
+                .count(),
+            2
+        );
+        let (_, label, algo, _, _) = sp[3];
+        assert!(label.contains("n1000000"));
+        assert_eq!(algo, Algo::DetSmall);
+    }
+
+    #[test]
+    fn sentinel_when_counting_disabled() {
+        // A tiny real cell exercises run_cell end to end.
+        let cell = run_cell(
+            "grid",
+            "grid-tiny",
+            Algo::DetSmall,
+            || graphs::gen::grid(8, 8),
+            Params::practical,
+        );
+        assert!(cell.valid);
+        if alloc::counting_enabled() {
+            assert!(cell.allocs_per_round >= 0.0);
+        } else {
+            assert_eq!(cell.allocs_per_round, -1.0);
+        }
+    }
+}

@@ -78,7 +78,7 @@ pub mod runtime;
 pub use config::{
     auto_work_estimate, IdAssignment, RuntimeMode, ScalePreset, SimConfig, AUTO_WORK_THRESHOLD,
 };
-pub use message::{BitCost, Message};
+pub use message::{BitCost, Message, SmallIds};
 pub use metrics::Metrics;
 pub use net::NetTables;
 pub use node::{NodeCtx, NodeRng, Port};

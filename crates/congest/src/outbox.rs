@@ -12,8 +12,14 @@ pub struct Inbox<M> {
 }
 
 impl<M> Inbox<M> {
-    pub(crate) fn new() -> Self {
-        Inbox { items: Vec::new() }
+    /// An inbox pre-sized to the node's degree — the most a round can
+    /// deliver. One up-front allocation instead of `log₂ degree` growth
+    /// doublings on the first busy rounds (the engines reuse the buffer
+    /// for the whole run, so this is the inbox's only allocation ever).
+    pub(crate) fn with_capacity(degree: usize) -> Self {
+        Inbox {
+            items: Vec::with_capacity(degree),
+        }
     }
 
     pub(crate) fn push(&mut self, port: Port, msg: M) {
@@ -27,7 +33,11 @@ impl<M> Inbox<M> {
         if self.items.windows(2).all(|w| w[0].0 <= w[1].0) {
             return;
         }
-        self.items.sort_by_key(|&(p, _)| p);
+        // Unstable sort keeps the steady-state round allocation-free (the
+        // stable sort buys a merge buffer); it is still deterministic
+        // because the engines deliver at most one message per port per
+        // round, so the keys are distinct.
+        self.items.sort_unstable_by_key(|&(p, _)| p);
     }
 
     pub(crate) fn clear(&mut self) {
@@ -37,6 +47,18 @@ impl<M> Inbox<M> {
     /// Iterates over `(port, message)` pairs in port order.
     pub fn iter(&self) -> std::slice::Iter<'_, (Port, M)> {
         self.items.iter()
+    }
+
+    /// The received `(port, message)` pairs as a port-ordered slice.
+    ///
+    /// This is the allocation-free way for a protocol to hand its inbox to
+    /// helper code expecting `&[(Port, M)]` (the trial handshake, the
+    /// gather cores, the sampler) — cloning the inbox into a fresh `Vec`
+    /// per round was the single largest per-round allocation source in the
+    /// coloring pipelines.
+    #[must_use]
+    pub fn as_slice(&self) -> &[(Port, M)] {
+        &self.items
     }
 
     /// Number of messages received.
@@ -52,12 +74,30 @@ impl<M> Inbox<M> {
     }
 
     /// The message received on `port`, if any.
+    ///
+    /// **Contract**: under the engines' delivery rules at most one message
+    /// arrives per port per round (the sending [`Outbox`] rejects duplicate
+    /// sends), so the lookup has a unique answer. For inboxes constructed
+    /// outside the engines (tests), the *first* message on `port` in
+    /// delivery order is returned deterministically — `binary_search` would
+    /// land on an arbitrary element of an equal run — and a debug assertion
+    /// flags the duplicate, since it indicates a violation of the
+    /// one-message-per-edge discipline upstream.
     #[must_use]
     pub fn from_port(&self, port: Port) -> Option<&M> {
-        self.items
-            .binary_search_by_key(&port, |&(p, _)| p)
-            .ok()
-            .map(|i| &self.items[i].1)
+        // Lower bound of the (at most unit-length) run of entries at `port`.
+        let i = self.items.partition_point(|&(p, _)| p < port);
+        match self.items.get(i) {
+            Some(&(p, ref m)) if p == port => {
+                debug_assert!(
+                    self.items.get(i + 1).is_none_or(|&(q, _)| q != port),
+                    "multiple messages delivered on port {port} in one round \
+                     (CONGEST allows one message per edge per round)"
+                );
+                Some(m)
+            }
+            _ => None,
+        }
     }
 }
 
@@ -159,7 +199,7 @@ mod tests {
 
     #[test]
     fn inbox_sorted_lookup() {
-        let mut inbox: Inbox<u64> = Inbox::new();
+        let mut inbox: Inbox<u64> = Inbox::with_capacity(0);
         inbox.push(2, 20);
         inbox.push(0, 10);
         inbox.finalize();

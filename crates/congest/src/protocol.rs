@@ -58,6 +58,17 @@ pub trait Protocol: Sync {
     /// are ignored (a protocol declaring `p` must keep voting its decision
     /// until the next communication round).
     ///
+    /// **Bandwidth aggregation**: a communication round stands in for the
+    /// `p − 1` silent rounds around it, so the engines budget each
+    /// communication-round message at `p` times the per-round bandwidth —
+    /// the protocol may pack the list traffic it would have pipelined over
+    /// `p` classic rounds into one message, keeping the *per simulator
+    /// round, per edge* bit volume exactly what the CONGEST model allows.
+    /// This is what makes the hint a genuine optimization for pipelined
+    /// list exchanges: the same data crosses each edge in `p`× fewer
+    /// messages and the engines synchronize `p`× less often, while the
+    /// round complexity the paper counts is unchanged.
+    ///
     /// The default, `1`, is the classic CONGEST schedule: every round may
     /// communicate, termination is evaluated every round.
     fn sync_period(&self) -> u64 {

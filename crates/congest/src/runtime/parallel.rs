@@ -165,7 +165,11 @@ impl ParallelRuntime {
     ) -> Result<RunResult<P::State>, SimError> {
         assert!(net.matches(graph), "NetTables built for a different graph");
         let n = graph.n();
-        let budget = config.bandwidth_bits(n);
+        let period = protocol.sync_period().max(1);
+        // Same aggregated budget rule as the sequential engine: a protocol
+        // with sync_period `p` may pack `p` rounds of per-edge bandwidth
+        // into each communication-round message.
+        let budget = config.bandwidth_bits(n).saturating_mul(period);
         if n == 0 {
             return Ok(RunResult {
                 states: Vec::new(),
@@ -178,7 +182,6 @@ impl ParallelRuntime {
         let t = self.threads.min(n).max(1);
         let chunk = n.div_ceil(t);
         let shard_of = |v: usize| (v / chunk).min(t - 1);
-        let period = protocol.sync_period().max(1);
 
         let mut ctxs = net.contexts();
 
@@ -248,8 +251,12 @@ impl ParallelRuntime {
                         .zip(rngs.iter_mut())
                         .map(|(c, r)| protocol.init(c, r))
                         .collect();
-                    let mut cur: Vec<Inbox<P::Msg>> = (0..local_n).map(|_| Inbox::new()).collect();
-                    let mut next: Vec<Inbox<P::Msg>> = (0..local_n).map(|_| Inbox::new()).collect();
+                    let mut cur: Vec<Inbox<P::Msg>> = (0..local_n)
+                        .map(|i| Inbox::with_capacity(graph.degree((start + i) as u32)))
+                        .collect();
+                    let mut next: Vec<Inbox<P::Msg>> = (0..local_n)
+                        .map(|i| Inbox::with_capacity(graph.degree((start + i) as u32)))
+                        .collect();
                     let mut out: Outbox<P::Msg> = Outbox::new(0);
                     // Private outgoing batch per destination shard, reused
                     // (and capacity-recycled via the swap) every sync.

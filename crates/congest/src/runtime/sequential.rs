@@ -56,8 +56,13 @@ impl SequentialRuntime {
     ) -> Result<RunResult<P::State>, SimError> {
         assert!(net.matches(graph), "NetTables built for a different graph");
         let n = graph.n();
-        let budget = config.bandwidth_bits(n);
         let period = protocol.sync_period().max(1);
+        // A protocol declaring sync_period `p` communicates once per `p`
+        // rounds, so a communication-round message may aggregate the `p`
+        // rounds' worth of per-edge bandwidth it stands in for (see
+        // `Protocol::sync_period`). For the default `p = 1` this is the
+        // classic per-round budget.
+        let budget = config.bandwidth_bits(n).saturating_mul(period);
         let mut metrics = Metrics {
             bandwidth_bits: budget,
             ..Metrics::default()
@@ -72,8 +77,12 @@ impl SequentialRuntime {
             .map(|(c, r)| protocol.init(c, r))
             .collect();
 
-        let mut cur: Vec<Inbox<P::Msg>> = (0..n).map(|_| Inbox::new()).collect();
-        let mut next: Vec<Inbox<P::Msg>> = (0..n).map(|_| Inbox::new()).collect();
+        let mut cur: Vec<Inbox<P::Msg>> = (0..n)
+            .map(|v| Inbox::with_capacity(graph.degree(v as u32)))
+            .collect();
+        let mut next: Vec<Inbox<P::Msg>> = (0..n)
+            .map(|v| Inbox::with_capacity(graph.degree(v as u32)))
+            .collect();
         let mut out: Outbox<P::Msg> = Outbox::new(0);
 
         if n == 0 {

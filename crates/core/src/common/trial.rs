@@ -73,6 +73,10 @@ pub struct TrialCore {
     color: u32,
     nbr_colors: Vec<u32>,
     part: u32,
+    /// Parts of the neighbors, by port. The **empty vector** is the
+    /// compressed uniform case: every neighbor shares this node's own
+    /// part (see [`TrialCore::nbr_part`]) — the common unscoped pipelines
+    /// then skip one `Θ(degree)` allocation per node per phase.
     nbr_parts: Vec<u32>,
     /// Distance-1 mode: verdicts only flag the *verdict-giver's own*
     /// color/candidate, since its other neighbors are at distance 2 from
@@ -87,25 +91,31 @@ impl TrialCore {
     /// Fresh core for a node of the given degree (everyone in part 0).
     #[must_use]
     pub fn new(degree: usize) -> Self {
-        TrialCore::scoped(0, vec![0; degree], UNCOLORED, vec![UNCOLORED; degree])
+        TrialCore::scoped(0, Vec::new(), UNCOLORED, vec![UNCOLORED; degree])
     }
 
     /// Resumes with colors carried over from a previous protocol phase
     /// (everyone in part 0).
     #[must_use]
     pub fn resume(color: u32, nbr_colors: Vec<u32>) -> Self {
-        let d = nbr_colors.len();
-        TrialCore::scoped(0, vec![0; d], color, nbr_colors)
+        TrialCore::scoped(0, Vec::new(), color, nbr_colors)
     }
 
-    /// Fully general constructor with part assignments.
+    /// Fully general constructor with part assignments. An **empty**
+    /// `nbr_parts` means every neighbor shares `part` (the uniform case);
+    /// otherwise one entry per port is required.
     ///
     /// # Panics
     ///
-    /// Panics if `nbr_parts` and `nbr_colors` lengths differ.
+    /// Panics if `nbr_parts` is non-empty and its length differs from
+    /// `nbr_colors`.
     #[must_use]
     pub fn scoped(part: u32, nbr_parts: Vec<u32>, color: u32, nbr_colors: Vec<u32>) -> Self {
-        assert_eq!(nbr_parts.len(), nbr_colors.len());
+        assert!(
+            nbr_parts.is_empty() || nbr_parts.len() == nbr_colors.len(),
+            "nbr_parts must be empty (uniform) or one entry per port"
+        );
+        let degree = nbr_colors.len();
         TrialCore {
             color,
             nbr_colors,
@@ -114,7 +124,19 @@ impl TrialCore {
             distance_one: false,
             trying: None,
             pending_announce: None,
-            cycle_tries: Vec::new(),
+            // Sized once for the worst case (one try per port) so the
+            // verdict rounds never grow it.
+            cycle_tries: Vec::with_capacity(degree),
+        }
+    }
+
+    /// The part of the neighbor on port `q` (see `nbr_parts`).
+    #[inline]
+    fn nbr_part(&self, q: usize) -> u32 {
+        if self.nbr_parts.is_empty() {
+            self.part
+        } else {
+            self.nbr_parts[q]
         }
     }
 
@@ -223,10 +245,12 @@ impl TrialCore {
                 TrialMsg::Verdict(_) => {}
             }
         }
-        let tries = std::mem::take(&mut self.cycle_tries);
-        for &(p, c) in &tries {
+        // Iterate the tries in place (no `mem::take`: moving the buffer out
+        // would drop its capacity each cycle and re-allocate on the next,
+        // breaking the allocation-free round invariant).
+        for &(p, c) in &self.cycle_tries {
             // Conflicts count only within the proposer's part.
-            let v_part = self.nbr_parts[p as usize];
+            let v_part = self.nbr_part(p as usize);
             let mut conflict = self.part == v_part && c == self.color;
             conflict |= self.part == v_part && self.trying == Some(c);
             if !self.distance_one {
@@ -235,14 +259,16 @@ impl TrialCore {
                 conflict |= self
                     .nbr_colors
                     .iter()
-                    .zip(&self.nbr_parts)
-                    .any(|(&nc, &np)| np == v_part && nc == c);
-                conflict |= tries
+                    .enumerate()
+                    .any(|(q, &nc)| self.nbr_part(q) == v_part && nc == c);
+                conflict |= self
+                    .cycle_tries
                     .iter()
-                    .any(|&(q, cq)| q != p && cq == c && self.nbr_parts[q as usize] == v_part);
+                    .any(|&(q, cq)| q != p && cq == c && self.nbr_part(q as usize) == v_part);
             }
             send(p, TrialMsg::Verdict(!conflict));
         }
+        self.cycle_tries.clear();
     }
 
     /// Sub-round 2: tally verdicts; adopt on unanimous approval.

@@ -16,8 +16,13 @@
 //! of Theorems 3.4/1.3 congestion-free (Lemma 3.5).
 
 use super::Dist;
-use congest::{BitCost, Message, Port};
-use std::collections::VecDeque;
+use congest::{BitCost, Message, Port, SmallIds};
+
+/// Inline-first color batch: relayed color batches are bounded by the
+/// bandwidth budget (`⌊(B − 16) / value_bits⌋` colors, ≤ 16 for every
+/// realistic palette/budget pair), so the steady-state gather round never
+/// touches the allocator.
+pub type ColorBatch = SmallIds<u32, 16>;
 
 /// Messages of the deterministic stages (gather + recolor updates).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,7 +30,7 @@ pub enum DetMsg {
     /// "My current color is `c`" (gather round 0).
     Own(u32),
     /// A batch of relayed colors, pre-filtered for the receiver's part.
-    Batch(Vec<u32>),
+    Batch(ColorBatch),
     /// Color-reduction update from the recoloring node itself.
     Recolor {
         /// The color given up.
@@ -64,7 +69,13 @@ pub struct GatherCore {
     duration: u64,
     per_batch: usize,
     t: u64,
-    queues: Vec<VecDeque<u32>>,
+    /// Flat relay buffer, port-major: the colors still to be relayed to
+    /// port `p` live at `relay[spans[p].0 .. spans[p].1]`. A flat layout
+    /// costs two allocations per gather instead of one `VecDeque` per
+    /// port — the per-port queues were the largest one-time allocation
+    /// source in the deterministic pipeline at `n = 10⁵`.
+    relay: Vec<u32>,
+    spans: Vec<(u32, u32)>,
     /// Same-part conflict colors heard so far. Multiset: a color appears
     /// once per 2-path (plus once if the owner is adjacent) — the exact
     /// multiplicity later recolor updates replay, keeping counts coherent.
@@ -101,7 +112,8 @@ impl GatherCore {
             duration: Self::rounds(dist, delta, value_bits, budget),
             per_batch: Self::batch_capacity(value_bits, budget),
             t: 0,
-            queues: vec![VecDeque::new(); degree],
+            relay: Vec::new(),
+            spans: vec![(0, 0); degree],
             collected: Vec::new(),
             direct: vec![crate::UNCOLORED; degree],
         }
@@ -142,13 +154,34 @@ impl GatherCore {
                     }
                 }
                 if self.dist == Dist::Two {
+                    // Size the flat relay buffer exactly before filling it:
+                    // one reservation instead of log₂(∆²) growth doublings
+                    // per node. The collected multiset ends up the same
+                    // size as the relays addressed to us, which `relay`'s
+                    // total is the best local proxy for.
+                    let total = (0..degree)
+                        .map(|p| {
+                            let dest_part = nbr_parts[p];
+                            nbr_parts
+                                .iter()
+                                .enumerate()
+                                .filter(|&(q, &qp)| {
+                                    q != p && qp == dest_part && self.direct[q] != crate::UNCOLORED
+                                })
+                                .count()
+                        })
+                        .sum();
+                    self.relay.reserve_exact(total);
+                    self.collected.reserve(total + degree);
                     for p in 0..degree {
                         let dest_part = nbr_parts[p];
+                        let start = self.relay.len() as u32;
                         for (q, &qp) in nbr_parts.iter().enumerate() {
                             if q != p && qp == dest_part && self.direct[q] != crate::UNCOLORED {
-                                self.queues[p].push_back(self.direct[q]);
+                                self.relay.push(self.direct[q]);
                             }
                         }
+                        self.spans[p] = (start, self.relay.len() as u32);
                     }
                     self.flush(&mut send);
                 }
@@ -156,7 +189,7 @@ impl GatherCore {
             _ => {
                 for (_, m) in received {
                     if let DetMsg::Batch(ref colors) = *m {
-                        self.collected.extend_from_slice(colors);
+                        self.collected.extend_from_slice(colors.as_slice());
                     }
                 }
                 if self.t < self.duration - 1 {
@@ -169,12 +202,14 @@ impl GatherCore {
     }
 
     fn flush<F: FnMut(Port, DetMsg)>(&mut self, send: &mut F) {
-        for p in 0..self.queues.len() {
-            if self.queues[p].is_empty() {
+        for p in 0..self.spans.len() {
+            let (next, end) = self.spans[p];
+            if next >= end {
                 continue;
             }
-            let take = self.per_batch.min(self.queues[p].len());
-            let batch: Vec<u32> = self.queues[p].drain(..take).collect();
+            let take = (self.per_batch as u32).min(end - next);
+            let batch = ColorBatch::from_slice(&self.relay[next as usize..(next + take) as usize]);
+            self.spans[p].0 = next + take;
             send(p as Port, DetMsg::Batch(batch));
         }
     }
@@ -196,9 +231,30 @@ mod tests {
     #[test]
     fn message_bits() {
         assert!(DetMsg::Own(5).bits() <= 5);
-        let b = DetMsg::Batch(vec![1, 2, 3]);
+        let b = DetMsg::Batch(ColorBatch::from_slice(&[1, 2, 3]));
         assert!(b.bits() >= 10);
         assert!(DetMsg::Recolor { old: 9, new: 1 }.bits() <= 12);
+    }
+
+    /// The `bits()` accounting must be representation-independent: an
+    /// inline batch and a spilled batch with the same colors charge the
+    /// same wire size (and the same as the old `Vec<u32>` payload did:
+    /// tag + 8-bit length + per-color binary lengths).
+    #[test]
+    fn batch_bits_ignore_representation() {
+        let colors: Vec<u32> = (0..20).map(|i| i * 37 + 1).collect();
+        for len in [0usize, 1, 15, 16, 17, 20] {
+            let inline_or_not = DetMsg::Batch(ColorBatch::from_slice(&colors[..len]));
+            let spilled = DetMsg::Batch(SmallIds::Spilled(colors[..len].to_vec()));
+            let expected = BitCost::tag(4)
+                + 8
+                + colors[..len]
+                    .iter()
+                    .map(|&c| BitCost::uint(u64::from(c)))
+                    .sum::<u64>();
+            assert_eq!(inline_or_not.bits(), expected, "len {len}");
+            assert_eq!(spilled.bits(), expected, "spilled len {len}");
+        }
     }
 
     // End-to-end gather behavior is covered by the Linial and color-

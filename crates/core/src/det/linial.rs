@@ -155,7 +155,7 @@ fn reduce_color(color: u64, plan: &IterPlan, conflicts: &[u64]) -> u64 {
 #[derive(Debug)]
 pub struct Linial {
     scope: Scope,
-    nbr_parts: Vec<Vec<u32>>,
+    nbr_parts: super::NbrParts,
     init_colors: Option<Vec<u64>>,
     plans: Vec<IterPlan>,
     budget: u64,
@@ -244,13 +244,17 @@ impl Protocol for Linial {
         let v = ctx.index as usize;
         let active = self.scope.is_active(v);
         let my_part = self.scope.part[v];
-        let received: Vec<_> = inbox.iter().cloned().collect();
+        let received = inbox.as_slice();
         loop {
             let gather = st.gather.as_mut().expect("set above");
             let my_color = if active { Some(st.color as u32) } else { None };
-            let complete = gather.step(my_color, my_part, &self.nbr_parts[v], &received, |p, m| {
-                out.send(p, m)
-            });
+            let complete = gather.step(
+                my_color,
+                my_part,
+                self.nbr_parts.row(v),
+                received,
+                |p, m| out.send(p, m),
+            );
             if !complete {
                 return Status::Running;
             }

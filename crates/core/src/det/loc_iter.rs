@@ -38,7 +38,8 @@ pub fn choose_q(k_in: u64, delta_c: u64) -> u64 {
 #[derive(Debug)]
 pub struct LocIter {
     scope: Scope,
-    nbr_parts: Vec<Vec<u32>>,
+    nbr_parts: super::NbrParts,
+    uniform: bool,
     /// Input coloring `ψ` (proper on the conflict graph, values < `q²`).
     psi: Vec<u32>,
     /// Prime field size = number of scheduled phases = output palette.
@@ -52,9 +53,11 @@ impl LocIter {
     pub fn new(g: &Graph, scope: Scope, psi: Vec<u32>, k_in: u64) -> Self {
         let q = choose_q(k_in, scope.delta_c as u64);
         let nbr_parts = scope.nbr_parts(g);
+        let uniform = scope.is_uniform();
         LocIter {
             scope,
             nbr_parts,
+            uniform,
             psi,
             q,
         }
@@ -90,9 +93,16 @@ impl Protocol for LocIter {
 
     fn init(&self, ctx: &NodeCtx, _rng: &mut NodeRng) -> LocIterState {
         let v = ctx.index as usize;
+        // Uniform scopes compress the per-node part table away (empty =
+        // "all neighbors in my part"; see `TrialCore::scoped`).
+        let parts = if self.uniform {
+            Vec::new()
+        } else {
+            self.nbr_parts.row(v).to_vec()
+        };
         let mut trial = TrialCore::scoped(
             self.scope.part[v],
-            self.nbr_parts[v].clone(),
+            parts,
             UNCOLORED,
             vec![UNCOLORED; ctx.degree()],
         );
@@ -116,7 +126,7 @@ impl Protocol for LocIter {
         let v = ctx.index as usize;
         let active = self.scope.part[v] != NO_PART;
         let phase = ctx.round / 3;
-        let received: Vec<_> = inbox.iter().cloned().collect();
+        let received = inbox.as_slice();
         match ctx.round % 3 {
             0 => {
                 let try_color = if active && st.trial.is_live() {
@@ -128,10 +138,10 @@ impl Protocol for LocIter {
                     .begin_cycle(ctx.degree(), try_color, |p, m| out.send(p, m));
             }
             1 => {
-                st.trial.verdict_round(&received, |p, m| out.send(p, m));
+                st.trial.verdict_round(received, |p, m| out.send(p, m));
             }
             _ => {
-                let _ = st.trial.resolve(ctx.degree(), &received);
+                let _ = st.trial.resolve(ctx.degree(), received);
             }
         }
         // Done once colored (or inactive) and the announcement flushed:

@@ -95,15 +95,41 @@ impl Scope {
     /// assignment protocols always end by announcing the part to immediate
     /// neighbors; the driver precomputes the table they would hold.
     #[must_use]
-    pub fn nbr_parts(&self, g: &graphs::Graph) -> Vec<Vec<u32>> {
-        (0..g.n() as u32)
-            .map(|v| {
-                g.neighbors(v)
-                    .iter()
-                    .map(|&u| self.part[u as usize])
-                    .collect()
-            })
-            .collect()
+    pub fn nbr_parts(&self, g: &graphs::Graph) -> NbrParts {
+        let mut offsets = Vec::with_capacity(g.n() + 1);
+        offsets.push(0u32);
+        let mut flat = Vec::with_capacity(2 * g.m());
+        for v in 0..g.n() as u32 {
+            flat.extend(g.neighbors(v).iter().map(|&u| self.part[u as usize]));
+            offsets.push(flat.len() as u32);
+        }
+        NbrParts { offsets, flat }
+    }
+
+    /// Whether every node is in the same part — the common unscoped case
+    /// (e.g. [`Scope::full_d2`]), where per-node part tables degenerate to
+    /// a constant and [`crate::TrialCore`] can skip its per-node copy.
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.part.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+/// Per-node neighbor-part rows in one flat CSR table: two allocations for
+/// the whole graph instead of one `Vec` per node (`Vec<Vec<u32>>` was a
+/// `Θ(n)` construction-time allocation source in every deterministic
+/// phase).
+#[derive(Debug, Clone)]
+pub struct NbrParts {
+    offsets: Vec<u32>,
+    flat: Vec<u32>,
+}
+
+impl NbrParts {
+    /// The parts of `v`'s neighbors, by port.
+    #[must_use]
+    pub fn row(&self, v: usize) -> &[u32] {
+        &self.flat[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 }
 
@@ -135,7 +161,7 @@ mod tests {
             delta_c: 2,
         };
         let np = scope.nbr_parts(&g);
-        assert_eq!(np[1], vec![5, 7]);
+        assert_eq!(np.row(1), &[5, 7]);
         assert!(!scope.is_active(1));
     }
 }

@@ -27,7 +27,7 @@ use graphs::Graph;
 #[derive(Debug)]
 pub struct ReduceColors {
     scope: Scope,
-    nbr_parts: Vec<Vec<u32>>,
+    nbr_parts: super::NbrParts,
     init_colors: Vec<u32>,
     /// Input palette size.
     pub k_in: u64,
@@ -112,7 +112,7 @@ impl Protocol for ReduceColors {
         let active = self.scope.is_active(v);
         let my_part = self.scope.part[v];
         let g_rounds = self.gather_rounds(ctx.max_degree);
-        let received: Vec<_> = inbox.iter().cloned().collect();
+        let received = inbox.as_slice();
 
         if ctx.round < g_rounds {
             if st.gather.is_none() {
@@ -126,9 +126,15 @@ impl Protocol for ReduceColors {
             }
             let gather = st.gather.as_mut().expect("set above");
             let my_color = if active { Some(st.color) } else { None };
-            let complete = gather.step(my_color, my_part, &self.nbr_parts[v], &received, |p, m| {
-                out.send(p, m);
-            });
+            let complete = gather.step(
+                my_color,
+                my_part,
+                self.nbr_parts.row(v),
+                received,
+                |p, m| {
+                    out.send(p, m);
+                },
+            );
             if complete {
                 for &c in &gather.collected {
                     st.counts[c as usize] += 1;
@@ -142,7 +148,7 @@ impl Protocol for ReduceColors {
         let phase = t / 2;
         if t.is_multiple_of(2) {
             // Fold forwarded updates from the previous phase, then decide.
-            for (_, m) in &received {
+            for (_, m) in received {
                 if let DetMsg::Fwd { old, new } = *m {
                     st.bump(old, new);
                 }
@@ -168,15 +174,15 @@ impl Protocol for ReduceColors {
             }
         } else {
             // Apply direct updates; forward one hop with part filtering.
-            for &(p, ref m) in &received {
+            for &(p, ref m) in received {
                 if let DetMsg::Recolor { old, new } = *m {
-                    let sender_part = self.nbr_parts[v][p as usize];
+                    let sender_part = self.nbr_parts.row(v)[p as usize];
                     if sender_part == my_part {
                         st.bump(old, new);
                     }
                     if self.scope.dist == Dist::Two {
                         for q in 0..ctx.degree() as Port {
-                            if q != p && self.nbr_parts[v][q as usize] == sender_part {
+                            if q != p && self.nbr_parts.row(v)[q as usize] == sender_part {
                                 out.send(q, DetMsg::Fwd { old, new });
                             }
                         }

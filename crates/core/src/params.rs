@@ -60,6 +60,14 @@ pub struct Params {
     /// Hard cap on `ρ` per `Reduce` call, to keep worst-case runs bounded
     /// at small scale (progress is guaranteed by the final phase anyway).
     pub rho_cap: u64,
+    /// [`congest::Protocol::sync_period`] for the pipelined list exchanges
+    /// (similarity and `LearnPalette`): a communication round carries `p`
+    /// classic rounds' worth of list traffic in one message and the
+    /// engines synchronize once per `p` rounds. `1` is the paper's
+    /// round-per-message schedule; any value is bit-identical across
+    /// engines (the round complexity accounting is unchanged — silent
+    /// rounds still tick the clock).
+    pub list_sync_period: u64,
 }
 
 impl Params {
@@ -83,6 +91,7 @@ impl Params {
             lambda_floor: 1e-3,
             split_stop_coeff: 1200.0,
             rho_cap: u64::MAX,
+            list_sync_period: 1,
         }
     }
 
@@ -106,6 +115,7 @@ impl Params {
             lambda_floor: 0.3,
             split_stop_coeff: 1.0,
             rho_cap: 400,
+            list_sync_period: 4,
         }
     }
 

@@ -28,9 +28,18 @@
 
 use super::similarity::SimilarityKnowledge;
 use crate::{Params, UNCOLORED};
-use congest::{BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, Status};
+use congest::{
+    BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, SmallIds, Status,
+};
 use rand::prelude::*;
 use std::collections::HashMap;
+
+/// Inline-first identifier batch for the live-list relay (see
+/// [`crate::rand::similarity::IdBatch`] for the capacity argument).
+pub type IdBatch = SmallIds<u64, 32>;
+
+/// Inline-first color batch for reports, queries, and replies.
+pub type ColorBatch = SmallIds<u32, 32>;
 
 /// Messages of `LearnPalette`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,7 +47,7 @@ pub enum LpMsg {
     /// "I am live" (round 0).
     Live,
     /// Batch of live-neighbor identifiers (relay of step 2).
-    LiveList(Vec<u64>),
+    LiveList(IdBatch),
     /// Live-list transmission complete.
     LiveEnd,
     /// "You handle block `i` of my palette."
@@ -97,7 +106,7 @@ pub enum LpMsg {
         /// Block index.
         i: u32,
         /// Missing colors (batch).
-        missing: Vec<u32>,
+        missing: ColorBatch,
     },
     /// Report for block `i` complete.
     ReportEnd {
@@ -105,11 +114,11 @@ pub enum LpMsg {
         i: u32,
     },
     /// Step 7: batch of candidate-missing colors.
-    TQuery(Vec<u32>),
+    TQuery(ColorBatch),
     /// Step 7: candidate transmission complete.
     TQueryEnd,
     /// Step 7: which of the candidates the replier sees in use.
-    TReply(Vec<u32>),
+    TReply(ColorBatch),
     /// Step 7: reply complete.
     TReplyEnd,
 }
@@ -161,6 +170,7 @@ pub struct LearnPalette {
     w_inform: u64,
     w_gossip: u64,
     batch: usize,
+    period: u64,
 }
 
 impl LearnPalette {
@@ -178,8 +188,14 @@ impl LearnPalette {
         let n = g.n().max(2);
         let delta = g.max_degree().max(1);
         let ln_n = (n as f64).ln();
+        let period = params.list_sync_period.max(1);
         let z_blocks = ((delta as f64 * params.learn_blocks_per_delta).ceil() as u32).max(1);
-        let batch = ((budget.saturating_sub(16)) / graphs::id_bits(n).max(1)).max(1) as usize;
+        // Windows are measured in *communication* rounds (`sync_period`
+        // slots); the batch capacity reflects the aggregated per-message
+        // budget `p·B`, so the list phases keep the same simulator-round
+        // footprint while moving p x fewer messages.
+        let batch = ((budget.saturating_mul(period).saturating_sub(16)) / graphs::id_bits(n).max(1))
+            .max(1) as usize;
         let w_live = (delta as u64).div_ceil(batch as u64) + 3;
         let w_assign = u64::from(z_blocks) + 1;
         let w_inform =
@@ -198,6 +214,7 @@ impl LearnPalette {
             w_inform,
             w_gossip,
             batch,
+            period,
         }
     }
 
@@ -261,6 +278,8 @@ pub struct LpState {
     t7_reply_queues: Vec<Vec<u32>>,
     t7_pending_end: Vec<bool>,
     my_handler_port: Vec<Port>,
+    /// Per-round used-port scratch, recycled across rounds.
+    used: Vec<bool>,
 }
 
 impl Protocol for LearnPalette {
@@ -295,7 +314,12 @@ impl Protocol for LearnPalette {
             t7_reply_queues: vec![Vec::new(); degree],
             t7_pending_end: vec![false; degree],
             my_handler_port: Vec::new(),
+            used: Vec::new(),
         }
+    }
+
+    fn sync_period(&self) -> u64 {
+        self.period
     }
 
     #[allow(clippy::too_many_lines)]
@@ -315,8 +339,9 @@ impl Protocol for LearnPalette {
         let b_inform = b_assign + self.w_inform;
         let b_gossip = b_inform + self.w_gossip;
 
-        // ---- Fold arrivals.
-        let mut t7_query_ended: Vec<Port> = Vec::new();
+        // ---- Fold arrivals (every round: messages sent at a
+        // communication round land on the following, possibly silent,
+        // round).
         for (p, m) in inbox.iter() {
             let p = *p;
             match m {
@@ -325,7 +350,7 @@ impl Protocol for LearnPalette {
                     st.live_d2.push(id);
                     st.live_send.push(id);
                 }
-                LpMsg::LiveList(ids) => st.live_d2.extend_from_slice(ids),
+                LpMsg::LiveList(ids) => st.live_d2.extend_from_slice(ids.as_slice()),
                 LpMsg::LiveEnd => {}
                 LpMsg::Assign { i } => {
                     let vid = ctx.neighbor_idents()[p as usize];
@@ -371,7 +396,9 @@ impl Protocol for LearnPalette {
                         entry.1.push(*color);
                     }
                 }
-                LpMsg::Report { missing, .. } => st.t_candidates.extend_from_slice(missing),
+                LpMsg::Report { missing, .. } => {
+                    st.t_candidates.extend_from_slice(missing.as_slice());
+                }
                 LpMsg::ReportEnd { .. } => st.reports_seen += 1,
                 LpMsg::TQuery(cs) => {
                     let used: Vec<u32> = cs
@@ -381,16 +408,18 @@ impl Protocol for LearnPalette {
                         .collect();
                     st.t7_reply_queues[p as usize].extend(used);
                 }
-                LpMsg::TQueryEnd => t7_query_ended.push(p),
-                LpMsg::TReply(cs) => st.t7_used.extend_from_slice(cs),
+                LpMsg::TQueryEnd => st.t7_pending_end[p as usize] = true,
+                LpMsg::TReply(cs) => st.t7_used.extend_from_slice(cs.as_slice()),
                 LpMsg::TReplyEnd => st.t7_reply_end[p as usize] = true,
             }
         }
-        for p in t7_query_ended {
-            st.t7_pending_end[p as usize] = true;
-        }
 
-        let r = ctx.round;
+        // Silent rounds end here: all sending (and the window clock)
+        // advances on communication rounds only.
+        if !ctx.round.is_multiple_of(self.period) {
+            return Status::Running;
+        }
+        let r = ctx.round / self.period;
         // ======== Step 2: live announcements and relayed lists.
         if r == 0 {
             if live {
@@ -409,9 +438,10 @@ impl Protocol for LearnPalette {
                     st.live_sent_end = true;
                 } else {
                     let take = self.batch.min(st.live_send.len());
-                    let batch: Vec<u64> = st.live_send.drain(..take).collect();
+                    let batch = IdBatch::from_slice(&st.live_send[..take]);
+                    st.live_send.drain(..take);
                     // Clone for all ports but the last; the final send
-                    // moves the batch.
+                    // moves the batch (inline clones are memcpys).
                     for p in 0..degree.saturating_sub(1) as Port {
                         out.send(p, LpMsg::LiveList(batch.clone()));
                     }
@@ -460,12 +490,13 @@ impl Protocol for LearnPalette {
             return Status::Running;
         }
         if r < b_inform {
-            let mut used = vec![false; degree];
+            st.used.clear();
+            st.used.resize(degree, false);
             for (vid, i) in std::mem::take(&mut st.relay1) {
                 if degree > 0 {
                     let p = rng.gen_range(0..degree);
-                    if !used[p] {
-                        used[p] = true;
+                    if !st.used[p] {
+                        st.used[p] = true;
                         out.send(p as Port, LpMsg::Inform2 { v: vid, i });
                     }
                 }
@@ -474,8 +505,8 @@ impl Protocol for LearnPalette {
                 for k in 0..degree {
                     let (vid, i) = st.informs_to_spray[k % st.informs_to_spray.len()];
                     let p = rng.gen_range(0..degree);
-                    if !used[p] {
-                        used[p] = true;
+                    if !st.used[p] {
+                        st.used[p] = true;
                         out.send(p as Port, LpMsg::Inform { v: vid, i });
                     }
                 }
@@ -484,32 +515,33 @@ impl Protocol for LearnPalette {
         }
         // ======== Step 5: gossip window.
         if r < b_gossip {
-            let mut used = vec![false; degree];
+            st.used.clear();
+            st.used.resize(degree, false);
             let captures = std::mem::take(&mut st.capture_queue);
             for (ptr, msg) in captures {
-                if used[ptr as usize] {
+                if st.used[ptr as usize] {
                     st.capture_queue.push((ptr, msg));
                 } else {
-                    used[ptr as usize] = true;
+                    st.used[ptr as usize] = true;
                     out.send(ptr, msg);
                 }
             }
             for (vid, color) in std::mem::take(&mut st.relay2) {
                 if degree > 0 {
                     let p = rng.gen_range(0..degree);
-                    if !used[p] {
-                        used[p] = true;
+                    if !st.used[p] {
+                        st.used[p] = true;
                         out.send(p as Port, LpMsg::Gossip2 { v: vid, color });
                     }
                 }
             }
             while !st.gossip_queue.is_empty() && degree > 0 {
                 let p = rng.gen_range(0..degree);
-                if used[p] {
+                if st.used[p] {
                     break;
                 }
                 let (vid, color) = st.gossip_queue.pop().expect("nonempty");
-                used[p] = true;
+                st.used[p] = true;
                 out.send(p as Port, LpMsg::Gossip { v: vid, color });
             }
             return Status::Running;
@@ -529,37 +561,44 @@ impl Protocol for LearnPalette {
             }
             st.report_queue.sort_by_key(|&(p, i, _, _)| (p, i));
         }
-        let mut used = vec![false; degree];
+        st.used.clear();
+        st.used.resize(degree, false);
         // Leftover capture relays drain here too (late arrivals).
         let captures = std::mem::take(&mut st.capture_queue);
         for (ptr, msg) in captures {
-            if used[ptr as usize] {
+            if st.used[ptr as usize] {
                 st.capture_queue.push((ptr, msg));
             } else {
-                used[ptr as usize] = true;
+                st.used[ptr as usize] = true;
                 out.send(ptr, msg);
             }
         }
         // Reports: one batch per port per round, End after the last batch.
-        let mut rest = Vec::new();
-        for (port, i, mut missing, end_pending) in std::mem::take(&mut st.report_queue) {
-            if used[port as usize] {
-                rest.push((port, i, missing, end_pending));
+        // Entries stay in place; each send drains a batch-sized chunk off
+        // the front of its `missing` list (no per-round re-allocation).
+        let mut idx = 0;
+        while idx < st.report_queue.len() {
+            let entry = &mut st.report_queue[idx];
+            let (port, i) = (entry.0, entry.1);
+            if st.used[port as usize] {
+                idx += 1;
                 continue;
             }
-            used[port as usize] = true;
-            if end_pending {
+            st.used[port as usize] = true;
+            if entry.3 {
                 out.send(port, LpMsg::ReportEnd { i });
-            } else if missing.len() <= self.batch {
-                out.send(port, LpMsg::Report { i, missing });
-                rest.push((port, i, Vec::new(), true));
-            } else {
-                let tail = missing.split_off(self.batch);
-                out.send(port, LpMsg::Report { i, missing });
-                rest.push((port, i, tail, false));
+                st.report_queue.remove(idx);
+                continue;
             }
+            let take = self.batch.min(entry.2.len());
+            let chunk = ColorBatch::from_slice(&entry.2[..take]);
+            entry.2.drain(..take);
+            if entry.2.is_empty() {
+                entry.3 = true;
+            }
+            out.send(port, LpMsg::Report { i, missing: chunk });
+            idx += 1;
         }
-        st.report_queue = rest;
 
         // Own step-7 pass.
         let reports_expected = if live && degree > 0 { self.z_blocks } else { 0 };
@@ -579,21 +618,22 @@ impl Protocol for LearnPalette {
             }
             st.pass = Pass::SendingBatches;
         }
-        if st.pass == Pass::SendingBatches && (0..degree).all(|p| !used[p]) {
+        if st.pass == Pass::SendingBatches && (0..degree).all(|p| !st.used[p]) {
             if st.t7_send.is_empty() {
                 st.pass = Pass::SendingEnd;
             } else {
                 let take = self.batch.min(st.t7_send.len());
-                let batch: Vec<u32> = st.t7_send.drain(..take).collect();
+                let batch = ColorBatch::from_slice(&st.t7_send[..take]);
+                st.t7_send.drain(..take);
                 for p in 0..degree as Port {
-                    used[p as usize] = true;
+                    st.used[p as usize] = true;
                     out.send(p, LpMsg::TQuery(batch.clone()));
                 }
             }
         }
-        if st.pass == Pass::SendingEnd && (0..degree).all(|p| !used[p]) {
+        if st.pass == Pass::SendingEnd && (0..degree).all(|p| !st.used[p]) {
             for p in 0..degree as Port {
-                used[p as usize] = true;
+                st.used[p as usize] = true;
                 out.send(p, LpMsg::TQueryEnd);
             }
             st.pass = Pass::AwaitingReplies;
@@ -601,16 +641,17 @@ impl Protocol for LearnPalette {
         // Serve other nodes' passes.
         #[allow(clippy::needless_range_loop)] // `p` indexes three parallel per-port arrays
         for p in 0..degree {
-            if used[p] {
+            if st.used[p] {
                 continue;
             }
             if !st.t7_reply_queues[p].is_empty() {
                 let take = self.batch.min(st.t7_reply_queues[p].len());
-                let batch: Vec<u32> = st.t7_reply_queues[p].drain(..take).collect();
-                used[p] = true;
+                let batch = ColorBatch::from_slice(&st.t7_reply_queues[p][..take]);
+                st.t7_reply_queues[p].drain(..take);
+                st.used[p] = true;
                 out.send(p as Port, LpMsg::TReply(batch));
             } else if st.t7_pending_end[p] {
-                used[p] = true;
+                st.used[p] = true;
                 out.send(p as Port, LpMsg::TReplyEnd);
                 st.t7_pending_end[p] = false;
             }
@@ -737,6 +778,33 @@ mod tests {
         let g = gen::path(6);
         let (states, _, _) = run_lp(&g, 60, 4);
         assert!(states.iter().all(|s| s.color != UNCOLORED));
+    }
+
+    /// `LpMsg` list payloads are bits- and contents-identical across the
+    /// inline/spilled representations, straddling the cap.
+    #[test]
+    fn lp_list_payload_bits_are_representation_invariant() {
+        use congest::{BitCost, Message, SmallIds};
+        for len in [0usize, 1, 31, 32, 33, 40] {
+            let colors: Vec<u32> = (0..len as u32).map(|i| i * 13 + 1).collect();
+            let inline_or_not = LpMsg::TQuery(ColorBatch::from_slice(&colors));
+            let spilled = LpMsg::TQuery(SmallIds::Spilled(colors.clone()));
+            assert_eq!(inline_or_not, spilled);
+            let expected = BitCost::tag(15)
+                + 8
+                + colors
+                    .iter()
+                    .map(|&c| BitCost::uint(u64::from(c)))
+                    .sum::<u64>();
+            assert_eq!(inline_or_not.bits(), expected, "len {len}");
+            assert_eq!(spilled.bits(), expected, "spilled len {len}");
+
+            let ids: Vec<u64> = (0..len as u64).map(|i| i * 7 + 3).collect();
+            let a = LpMsg::LiveList(IdBatch::from_slice(&ids));
+            let b = LpMsg::LiveList(SmallIds::Spilled(ids.clone()));
+            assert_eq!(a, b);
+            assert_eq!(a.bits(), b.bits(), "LiveList len {len}");
+        }
     }
 
     /// Isolated live node: the whole palette is free.

@@ -110,7 +110,7 @@ impl Message for ReduceMsg {
     }
 }
 
-/// Per-phase role bookkeeping (reset at sub-round 0).
+/// Per-phase role bookkeeping (cleared at sub-round 0).
 #[derive(Debug, Clone, Default)]
 struct Flow {
     /// As `u'`: the chosen querier's port.
@@ -132,6 +132,54 @@ struct Flow {
     u_offer: Option<u32>,
     /// As `v`: colors proposed this phase.
     proposals: Vec<u32>,
+}
+
+impl Flow {
+    /// Clears the phase bookkeeping in place, keeping the proposal
+    /// buffer's capacity (a fresh `Flow::default()` per phase would
+    /// re-allocate it every time a proposal arrives).
+    fn reset(&mut self) {
+        self.uprime_v = None;
+        self.u = None;
+        self.u_adj_count = 0;
+        self.u_color_used = false;
+        self.u_direct = None;
+        self.u2_back = None;
+        self.self_query = None;
+        self.w = None;
+        self.u_offer = None;
+        self.proposals.clear();
+    }
+
+    /// Whether no role bookkeeping is pending (the adj-count/color-used
+    /// tallies only matter while `u` is set).
+    fn is_empty(&self) -> bool {
+        self.uprime_v.is_none()
+            && self.u.is_none()
+            && self.u_direct.is_none()
+            && self.u2_back.is_none()
+            && self.self_query.is_none()
+            && self.w.is_none()
+            && self.u_offer.is_none()
+            && self.proposals.is_empty()
+    }
+}
+
+/// Uniform choice from an iterator by reservoir sampling — the
+/// allocation-free replacement for `collect::<Vec<_>>().choose(rng)` on
+/// the per-round candidate sets.
+fn choose_iter<T, I: Iterator<Item = T>>(rng: &mut NodeRng, iter: I) -> Option<T> {
+    let mut chosen = None;
+    for (i, item) in iter.enumerate() {
+        // Draw from the exclusive range 0..i+1 (not `0..=i`: the range
+        // type changes the sampling path and the recorded benchmark
+        // trajectories are pinned to this exact draw sequence).
+        #[allow(clippy::range_plus_one)]
+        if rng.gen_range(0..i + 1) == 0 {
+            chosen = Some(item);
+        }
+    }
+    chosen
 }
 
 /// The `Reduce(φ, τ)` protocol.
@@ -163,6 +211,13 @@ pub struct ReduceState {
     pub phases_with_proposals: u32,
     /// Number of trials attempted.
     pub trials: u32,
+    /// Reusable per-round scratch (unpacked inbox, trial sub-slices,
+    /// sampler sub-slice, staged intents) — allocated once at `init`.
+    inbox_buf: Vec<(Port, ReduceMsg)>,
+    tries_buf: Vec<(Port, TrialMsg)>,
+    verdicts_buf: Vec<(Port, TrialMsg)>,
+    samp_buf: Vec<(Port, SampMsg)>,
+    intents: Intents,
 }
 
 impl Reduce {
@@ -202,23 +257,27 @@ impl Reduce {
     }
 }
 
-/// Splits an inbox entry, unpacking `Both` pairs.
-fn unpack(inbox: &Inbox<ReduceMsg>) -> Vec<(Port, ReduceMsg)> {
-    let mut out = Vec::with_capacity(inbox.len());
+/// Splits an inbox into `buf`, unpacking `Both` pairs. The buffer lives in
+/// the node state and is reused every round, so a steady-state round costs
+/// no allocation (`Both` sub-messages never nest, so their clones are
+/// heap-free).
+fn unpack_into(inbox: &Inbox<ReduceMsg>, buf: &mut Vec<(Port, ReduceMsg)>) {
+    buf.clear();
     for (p, m) in inbox.iter() {
         match m {
             ReduceMsg::Both(a, b) => {
-                out.push((*p, (**a).clone()));
-                out.push((*p, (**b).clone()));
+                buf.push((*p, (**a).clone()));
+                buf.push((*p, (**b).clone()));
             }
-            other => out.push((*p, other.clone())),
+            other => buf.push((*p, other.clone())),
         }
     }
-    out
 }
 
 /// Intent buffer: collects per-port sends, merging up to two into `Both`
 /// and randomly dropping beyond that (the paper's culling discipline).
+/// One per node, allocated at `init` and recycled every round.
+#[derive(Debug, Clone)]
 struct Intents {
     by_port: Vec<Vec<ReduceMsg>>,
 }
@@ -234,7 +293,7 @@ impl Intents {
         self.by_port[port as usize].push(msg);
     }
 
-    fn flush(mut self, rng: &mut NodeRng, out: &mut Outbox<ReduceMsg>) {
+    fn flush(&mut self, rng: &mut NodeRng, out: &mut Outbox<ReduceMsg>) {
         for (p, msgs) in self.by_port.iter_mut().enumerate() {
             match msgs.len() {
                 0 => {}
@@ -246,6 +305,7 @@ impl Intents {
                     out.send(p as Port, ReduceMsg::Both(Box::new(a), Box::new(b)));
                 }
             }
+            msgs.clear();
         }
     }
 }
@@ -263,6 +323,11 @@ impl Protocol for Reduce {
             active: false,
             phases_with_proposals: 0,
             trials: 0,
+            inbox_buf: Vec::new(),
+            tries_buf: Vec::new(),
+            verdicts_buf: Vec::new(),
+            samp_buf: Vec::new(),
+            intents: Intents::new(ctx.degree()),
         }
     }
 
@@ -278,31 +343,51 @@ impl Protocol for Reduce {
         let v_idx = ctx.index as usize;
         let sim = &self.sim[v_idx];
         let degree = ctx.degree();
-        let msgs = unpack(inbox);
+        let samp_window = SamplerCore::rounds(self.rho);
+        // Settled fast path: a colored node with an empty inbox, nothing
+        // pending, and the sampling window behind it has no role to play
+        // this round — every helper/relay duty is triggered by arrivals.
+        // Vacuous phases (no live nodes anywhere near) then cost a few
+        // comparisons per node instead of the full sub-round machinery,
+        // and the node's RNG stream is untouched (the full path draws no
+        // coins for settled nodes either).
+        if inbox.is_empty()
+            && ctx.round >= samp_window
+            && !st.trial.is_live()
+            && !st.trial.has_pending_announce()
+            && st.flow.is_empty()
+        {
+            let phases_end = samp_window + u64::from(self.rho) * Self::PERIOD;
+            return if ctx.round > phases_end {
+                Status::Done
+            } else {
+                Status::Running
+            };
+        }
+        unpack_into(inbox, &mut st.inbox_buf);
         // Trial announcements fold in whenever they arrive.
-        let mut tries: Vec<(Port, TrialMsg)> = Vec::new();
-        let mut verdicts: Vec<(Port, TrialMsg)> = Vec::new();
-        for (p, m) in &msgs {
+        st.tries_buf.clear();
+        st.verdicts_buf.clear();
+        for (p, m) in &st.inbox_buf {
             if let ReduceMsg::Trial(t) = m {
                 match t {
                     TrialMsg::Announce(c) => st.trial.note_announce(*p, *c),
-                    TrialMsg::Try(_) => tries.push((*p, t.clone())),
-                    TrialMsg::Verdict(_) => verdicts.push((*p, t.clone())),
+                    TrialMsg::Try(_) => st.tries_buf.push((*p, t.clone())),
+                    TrialMsg::Verdict(_) => st.verdicts_buf.push((*p, t.clone())),
                 }
             }
         }
 
         let samp_rounds = SamplerCore::rounds(self.rho);
         if ctx.round < samp_rounds {
-            let samp_msgs: Vec<(Port, SampMsg)> = msgs
-                .iter()
-                .filter_map(|(p, m)| match m {
-                    ReduceMsg::Samp(s) => Some((*p, s.clone())),
-                    _ => None,
-                })
-                .collect();
+            st.samp_buf.clear();
+            for (p, m) in &st.inbox_buf {
+                if let ReduceMsg::Samp(s) = m {
+                    st.samp_buf.push((*p, s.clone()));
+                }
+            }
             st.sampler
-                .round(ctx.round, ctx, rng, sim, &samp_msgs, |p, m| {
+                .round(ctx.round, ctx, rng, sim, &st.samp_buf, |p, m| {
                     out.send(p, ReduceMsg::Samp(m));
                 });
             return Status::Running;
@@ -321,44 +406,45 @@ impl Protocol for Reduce {
             return Status::Done;
         }
 
-        let mut intents = Intents::new(degree);
         match t % Self::PERIOD {
             0 => {
-                st.flow = Flow::default();
+                st.flow.reset();
                 st.active = st.trial.is_live() && rng.gen_bool(self.act_p);
                 if st.active {
                     for p in 0..degree as Port {
-                        intents.stage(p, ReduceMsg::StartQuery);
+                        st.intents.stage(p, ReduceMsg::StartQuery);
                     }
                 }
             }
             1 => {
                 // u': adopt one querier, spray coin-gated queries to
                 // Ĥ-similar ports.
-                let starters: Vec<Port> = msgs
-                    .iter()
-                    .filter(|(_, m)| matches!(m, ReduceMsg::StartQuery))
-                    .map(|&(p, _)| p)
-                    .collect();
-                if let Some(&vp) = starters.choose(rng) {
+                let starter = choose_iter(
+                    rng,
+                    st.inbox_buf
+                        .iter()
+                        .filter(|(_, m)| matches!(m, ReduceMsg::StartQuery))
+                        .map(|&(p, _)| p),
+                );
+                if let Some(vp) = starter {
                     st.flow.uprime_v = Some(vp);
                     let vid = ctx.neighbor_idents()[vp as usize];
                     for q in 0..degree as Port {
                         if q != vp && sim.hhat_between_ports(vp, q) && rng.gen_bool(self.query_p) {
-                            intents.stage(q, ReduceMsg::Query { v: vid });
+                            st.intents.stage(q, ReduceMsg::Query { v: vid });
                         }
                     }
                 }
             }
             2 => {
-                let queries: Vec<(Port, u64)> = msgs
-                    .iter()
-                    .filter_map(|(p, m)| match m {
+                let query = choose_iter(
+                    rng,
+                    st.inbox_buf.iter().filter_map(|(p, m)| match m {
                         ReduceMsg::Query { v } => Some((*p, *v)),
                         _ => None,
-                    })
-                    .collect();
-                if let Some(&(back, vid)) = queries.choose(rng) {
+                    }),
+                );
+                if let Some((back, vid)) = query {
                     // ĉ random, different from own color.
                     let my = st.trial.color();
                     let cand = loop {
@@ -369,7 +455,7 @@ impl Protocol for Reduce {
                     };
                     st.flow.u = Some((vid, back, cand));
                     for p in 0..degree as Port {
-                        intents.stage(
+                        st.intents.stage(
                             p,
                             ReduceMsg::Probe {
                                 v: vid,
@@ -381,7 +467,7 @@ impl Protocol for Reduce {
             }
             3 => {
                 // Answer every probe (one per port at most).
-                for (p, m) in &msgs {
+                for (p, m) in &st.inbox_buf {
                     if let ReduceMsg::Probe { v, color } = m {
                         let adj_v = ctx.neighbor_idents().contains(v);
                         let mut used = sim.h_with_self(*p) && st.trial.color() == *color;
@@ -393,7 +479,7 @@ impl Protocol for Reduce {
                                 used = true;
                             }
                         }
-                        intents.stage(
+                        st.intents.stage(
                             *p,
                             ReduceMsg::ProbeAck {
                                 adj_v,
@@ -404,7 +490,7 @@ impl Protocol for Reduce {
                 }
             }
             4 => {
-                for (_, m) in &msgs {
+                for (_, m) in &st.inbox_buf {
                     if let ReduceMsg::ProbeAck { adj_v, color_used } = m {
                         st.flow.u_adj_count += u32::from(*adj_v);
                         st.flow.u_color_used |= color_used;
@@ -413,11 +499,12 @@ impl Protocol for Reduce {
                 if let Some((vid, back, cand)) = st.flow.u {
                     if st.flow.u_adj_count == 1 {
                         if !st.flow.u_color_used {
-                            intents.stage(back, ReduceMsg::Proposal(cand));
+                            st.intents.stage(back, ReduceMsg::Proposal(cand));
                         }
                         match st.sampler.take_slot() {
                             Some((slot, SlotRoute::Via(p))) => {
-                                intents.stage(p, ReduceMsg::ForwardQuery { v: vid, slot });
+                                st.intents
+                                    .stage(p, ReduceMsg::ForwardQuery { v: vid, slot });
                             }
                             Some((_, SlotRoute::Direct(p))) => {
                                 st.flow.u_direct = Some((vid, p));
@@ -433,30 +520,30 @@ impl Protocol for Reduce {
             5 => {
                 // u' relays one proposal toward its querier.
                 if let Some(vp) = st.flow.uprime_v {
-                    let props: Vec<u32> = msgs
-                        .iter()
-                        .filter_map(|(_, m)| match m {
+                    let prop = choose_iter(
+                        rng,
+                        st.inbox_buf.iter().filter_map(|(_, m)| match m {
                             ReduceMsg::Proposal(c) => Some(*c),
                             _ => None,
-                        })
-                        .collect();
-                    if let Some(&c) = props.choose(rng) {
-                        intents.stage(vp, ReduceMsg::Proposal(c));
+                        }),
+                    );
+                    if let Some(c) = prop {
+                        st.intents.stage(vp, ReduceMsg::Proposal(c));
                     }
                 }
                 // u'' routes one forwarded query to its recorded target.
-                let fwds: Vec<(Port, u64, u32)> = msgs
-                    .iter()
-                    .filter_map(|(p, m)| match m {
+                let fwd = choose_iter(
+                    rng,
+                    st.inbox_buf.iter().filter_map(|(p, m)| match m {
                         ReduceMsg::ForwardQuery { v, slot } => Some((*p, *v, *slot)),
                         _ => None,
-                    })
-                    .collect();
-                if let Some(&(from, vid, slot)) = fwds.choose(rng) {
+                    }),
+                );
+                if let Some((from, vid, slot)) = fwd {
                     match st.sampler.relay_target(from, slot) {
                         Some(RelayTarget::Port(w)) => {
                             st.flow.u2_back = Some(from);
-                            intents.stage(w, ReduceMsg::RelayQuery { v: vid });
+                            st.intents.stage(w, ReduceMsg::RelayQuery { v: vid });
                         }
                         Some(RelayTarget::SelfNode) => {
                             st.flow.self_query = Some((vid, from));
@@ -466,59 +553,62 @@ impl Protocol for Reduce {
                 }
                 // u fires a pending direct forward.
                 if let Some((vid, wp)) = st.flow.u_direct.take() {
-                    intents.stage(wp, ReduceMsg::RelayQuery { v: vid });
+                    st.intents.stage(wp, ReduceMsg::RelayQuery { v: vid });
                 }
             }
             6 => {
-                let mut relayed: Vec<(u64, Port)> = msgs
-                    .iter()
-                    .filter_map(|(p, m)| match m {
-                        ReduceMsg::RelayQuery { v } => Some((*v, *p)),
-                        _ => None,
-                    })
-                    .collect();
-                if let Some(sq) = st.flow.self_query.take() {
-                    relayed.push(sq);
-                }
-                if let Some(&(vid, from)) = relayed.choose(rng) {
+                let self_query = st.flow.self_query.take();
+                let relayed = choose_iter(
+                    rng,
+                    st.inbox_buf
+                        .iter()
+                        .filter_map(|(p, m)| match m {
+                            ReduceMsg::RelayQuery { v } => Some((*v, *p)),
+                            _ => None,
+                        })
+                        .chain(self_query),
+                );
+                if let Some((vid, from)) = relayed {
                     let adj = ctx.neighbor_idents().contains(&vid) || ctx.ident == vid;
                     st.flow.w = Some((vid, from, adj));
                     for p in 0..degree as Port {
-                        intents.stage(p, ReduceMsg::CheckD2 { v: vid });
+                        st.intents.stage(p, ReduceMsg::CheckD2 { v: vid });
                     }
                 }
                 // v buffers step-3 proposals arriving now.
-                for (_, m) in &msgs {
+                for (_, m) in &st.inbox_buf {
                     if let ReduceMsg::Proposal(c) = m {
                         st.flow.proposals.push(*c);
                     }
                 }
             }
             7 => {
-                for (p, m) in &msgs {
+                for (p, m) in &st.inbox_buf {
                     if let ReduceMsg::CheckD2 { v } = m {
-                        intents.stage(*p, ReduceMsg::AdjAck(ctx.neighbor_idents().contains(v)));
+                        st.intents
+                            .stage(*p, ReduceMsg::AdjAck(ctx.neighbor_idents().contains(v)));
                     }
                 }
             }
             8 => {
                 if let Some((_, from, mut adj)) = st.flow.w.take() {
-                    for (_, m) in &msgs {
+                    for (_, m) in &st.inbox_buf {
                         if let ReduceMsg::AdjAck(a) = m {
                             adj |= a;
                         }
                     }
                     if !adj && !st.trial.is_live() {
-                        intents.stage(from, ReduceMsg::ColorOffer(st.trial.color()));
+                        st.intents
+                            .stage(from, ReduceMsg::ColorOffer(st.trial.color()));
                     }
                 }
             }
             9 => {
                 // u'' relays the offer back; direct-case u holds it.
-                for (_, m) in &msgs {
+                for (_, m) in &st.inbox_buf {
                     if let ReduceMsg::ColorOffer(c) = m {
                         if let Some(back) = st.flow.u2_back {
-                            intents.stage(back, ReduceMsg::ColorOffer(*c));
+                            st.intents.stage(back, ReduceMsg::ColorOffer(*c));
                         } else {
                             st.flow.u_offer = Some(*c);
                         }
@@ -526,31 +616,31 @@ impl Protocol for Reduce {
                 }
             }
             10 => {
-                for (_, m) in &msgs {
+                for (_, m) in &st.inbox_buf {
                     if let ReduceMsg::ColorOffer(c) = m {
                         st.flow.u_offer = Some(*c);
                     }
                 }
                 if let (Some(c), Some((_, back, _))) = (st.flow.u_offer.take(), st.flow.u) {
-                    intents.stage(back, ReduceMsg::ColorOffer(c));
+                    st.intents.stage(back, ReduceMsg::ColorOffer(c));
                 }
             }
             11 => {
                 if let Some(vp) = st.flow.uprime_v {
-                    let offers: Vec<u32> = msgs
-                        .iter()
-                        .filter_map(|(_, m)| match m {
+                    let offer = choose_iter(
+                        rng,
+                        st.inbox_buf.iter().filter_map(|(_, m)| match m {
                             ReduceMsg::ColorOffer(c) => Some(*c),
                             _ => None,
-                        })
-                        .collect();
-                    if let Some(&c) = offers.choose(rng) {
-                        intents.stage(vp, ReduceMsg::ColorOffer(c));
+                        }),
+                    );
+                    if let Some(c) = offer {
+                        st.intents.stage(vp, ReduceMsg::ColorOffer(c));
                     }
                 }
             }
             12 => {
-                for (_, m) in &msgs {
+                for (_, m) in &st.inbox_buf {
                     if let ReduceMsg::ColorOffer(c) = m {
                         st.flow.proposals.push(*c);
                     }
@@ -567,19 +657,21 @@ impl Protocol for Reduce {
                 if try_color.is_some() {
                     st.trials += 1;
                 }
+                let intents = &mut st.intents;
                 st.trial.begin_cycle(degree, try_color, |p, m| {
                     intents.stage(p, ReduceMsg::Trial(m))
                 });
             }
             13 => {
+                let intents = &mut st.intents;
                 st.trial
-                    .verdict_round(&tries, |p, m| intents.stage(p, ReduceMsg::Trial(m)));
+                    .verdict_round(&st.tries_buf, |p, m| intents.stage(p, ReduceMsg::Trial(m)));
             }
             _ => {
-                let _ = st.trial.resolve(degree, &verdicts);
+                let _ = st.trial.resolve(degree, &st.verdicts_buf);
             }
         }
-        intents.flush(rng, out);
+        st.intents.flush(rng, out);
         Status::Running
     }
 }

@@ -19,6 +19,21 @@
 //! rounds, partial-minimum replies on even rounds) so the two message
 //! kinds never contend for an edge: `2ρ + 2` rounds total, matching
 //! Lemma 2.3's `O(|R_u| + log n)`.
+//!
+//! **Demand gating**: the paper has every node broadcast fresh strings in
+//! every slot, but a string is ever *consumed* only along `H`-similar
+//! pairs — on workloads with no similarity structure (sparse random
+//! graphs, where no two nodes share 2/3 of their d2-neighborhoods) the
+//! entire `Θ(ρ·m)` broadcast volume is dead traffic, and it dominated the
+//! whole randomized pipeline's wall clock at `n = 10⁵`. The window
+//! therefore opens with one **demand round** (round 0, previously idle):
+//! each prospective relay `x` sends a 1-bit [`SampMsg::Demand`] on port
+//! `y` iff `x` knows a similar pair involving `y` — exactly the condition
+//! under which `x` will later read `y`'s strings. A node then broadcasts
+//! slot strings iff it was demanded or it has an immediate `H`-neighbor
+//! (the direct-candidate case, which it knows locally). Every string that
+//! is ever read is still broadcast, so the resolved sample distribution
+//! is untouched; the dead broadcasts simply never happen.
 
 use super::similarity::SimilarityKnowledge;
 use congest::{BitCost, Message, NodeCtx, NodeRng, Port};
@@ -46,14 +61,18 @@ pub enum SampMsg {
         /// `min_w (b_u ⊕ r_w)` over the relay's eligible `w`.
         value: u64,
     },
+    /// Demand round (round 0): "I hold a similar pair involving you, so I
+    /// will read your slot strings — broadcast them."
+    Demand,
 }
 
 impl Message for SampMsg {
     fn bits(&self) -> u64 {
-        let tag = BitCost::tag(2);
+        let tag = BitCost::tag(3);
         match self {
             SampMsg::Slot { r, b, .. } => tag + 8 + BitCost::uint(*r) + BitCost::uint(*b),
             SampMsg::MinReply { value, .. } => tag + 8 + BitCost::uint(*value),
+            SampMsg::Demand => tag,
         }
     }
 }
@@ -92,6 +111,14 @@ pub struct SamplerCore {
     /// As relay: `(requester port, slot) → target`.
     route: HashMap<(Port, u32), RelayTarget>,
     next_slot: usize,
+    /// Whether this node relays for at least one similar pair (set in the
+    /// demand round; gates the `O(∆²)` relay scan per slot).
+    has_pairs: bool,
+    /// Whether this node has an immediate `H`-neighbor (direct-candidate
+    /// sampling; known locally).
+    direct_need: bool,
+    /// Whether any neighbor demanded this node's strings.
+    demanded: bool,
 }
 
 impl SamplerCore {
@@ -117,6 +144,9 @@ impl SamplerCore {
             best: vec![(u64::MAX, SlotRoute::Unreachable); rho as usize],
             route: HashMap::new(),
             next_slot: 0,
+            has_pairs: false,
+            direct_need: false,
+            demanded: false,
         }
     }
 
@@ -148,11 +178,30 @@ impl SamplerCore {
                         self.best[s] = (value, SlotRoute::Via(p));
                     }
                 }
+                SampMsg::Demand => self.demanded = true,
             }
+        }
+        // Demand round: announce to each port whether I hold a similar
+        // pair involving it (see the module docs — this is exactly the
+        // condition under which I will read its strings as a relay), and
+        // note my own direct-candidate need.
+        if t == 0 {
+            self.direct_need = (0..degree).any(|p| sim.h_with_self(p as Port));
+            for y in 0..degree {
+                let needed =
+                    (0..degree).any(|z| z != y && sim.h_between_ports(y as Port, z as Port));
+                if needed {
+                    self.has_pairs = true;
+                    stage(y as Port, SampMsg::Demand);
+                }
+            }
+            return;
         }
         // Relay duty: once a slot's strings are in, compute each
         // requester's partial minimum over my eligible ports (and myself).
-        if let Some(slot) = slot_arrived {
+        // Skipped entirely when this node relays for no similar pair — the
+        // scan is O(∆²) per slot and would find nothing.
+        if let Some(slot) = slot_arrived.filter(|_| self.has_pairs || self.direct_need) {
             for u in 0..degree {
                 let b = self.b_values[u];
                 let mut best_val = u64::MAX;
@@ -195,8 +244,12 @@ impl SamplerCore {
                 }
             }
         }
-        // Broadcast fresh strings for the next slot (odd rounds).
-        if t % 2 == 1 && t < 2 * u64::from(self.rho) {
+        // Broadcast fresh strings for the next slot (odd rounds) — but
+        // only when someone will read them: a neighbor demanded them in
+        // round 0, or this node samples its immediate `H`-neighbors
+        // directly (whose strings it reads from `r_values`, symmetrically
+        // gated by *their* `direct_need`).
+        if (self.demanded || self.direct_need) && t % 2 == 1 && t < 2 * u64::from(self.rho) {
             let slot = ((t - 1) / 2) as u32;
             self.my_r = rng.gen::<u64>() & self.string_mask;
             self.my_b = rng.gen::<u64>() & self.string_mask;
@@ -285,13 +338,12 @@ mod tests {
             inbox: &Inbox<SampMsg>,
             out: &mut Outbox<SampMsg>,
         ) -> Status {
-            let received: Vec<_> = inbox.iter().cloned().collect();
             st.sampler.round(
                 ctx.round,
                 ctx,
                 rng,
                 &self.sim[ctx.index as usize],
-                &received,
+                inbox.as_slice(),
                 |p, m| out.send(p, m),
             );
             if ctx.round + 1 >= SamplerCore::rounds(self.rho) {

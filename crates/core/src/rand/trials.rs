@@ -87,7 +87,7 @@ impl Protocol for RandomTrials {
         out: &mut Outbox<TrialMsg>,
     ) -> Status {
         let cycle = ctx.round / 3;
-        let received: Vec<_> = inbox.iter().cloned().collect();
+        let received = inbox.as_slice();
         match ctx.round % 3 {
             0 => {
                 let in_budget = self.run_to_completion || cycle < self.cycles;
@@ -99,9 +99,9 @@ impl Protocol for RandomTrials {
                 st.trial
                     .begin_cycle(ctx.degree(), try_color, |p, m| out.send(p, m));
             }
-            1 => st.trial.verdict_round(&received, |p, m| out.send(p, m)),
+            1 => st.trial.verdict_round(received, |p, m| out.send(p, m)),
             _ => {
-                let _ = st.trial.resolve(ctx.degree(), &received);
+                let _ = st.trial.resolve(ctx.degree(), received);
             }
         }
         // A node may stop only at the resolve sub-round, colored (or out of

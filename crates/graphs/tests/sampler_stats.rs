@@ -231,3 +231,43 @@ fn from_edge_stream_rejects_exactly_like_builder() {
     let g = GraphBuilder::from_edge_stream(0, std::iter::empty()).unwrap();
     assert_eq!(g.n(), 0);
 }
+
+/// Reference `random_regular` with the pre-incremental full rescan per
+/// sweep (the production loop now `retain`s the open list instead): both
+/// must draw identical RNG streams and emit identical graphs per seed.
+fn rescan_random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    let mut deg = vec![0usize; n];
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..(4 * d + 20) {
+        let mut open: Vec<NodeId> = (0..n as NodeId).filter(|&v| deg[v as usize] < d).collect();
+        if open.len() < 2 {
+            break;
+        }
+        open.shuffle(&mut r);
+        for pair in open.chunks_exact(2) {
+            let (u, v) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            if u == v || b.contains_edge(u, v) {
+                continue;
+            }
+            if deg[u as usize] < d && deg[v as usize] < d {
+                deg[u as usize] += 1;
+                deg[v as usize] += 1;
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+#[test]
+fn random_regular_incremental_open_list_is_bit_identical_to_rescan() {
+    for (n, d, seed) in [(40, 3, 1u64), (200, 8, 7), (500, 5, 42), (64, 1, 9)] {
+        let fast = gen::random_regular(n, d, seed);
+        let reference = rescan_random_regular(n, d, seed);
+        assert_eq!(
+            fast, reference,
+            "incremental open list diverged from rescan at n={n} d={d} seed={seed}"
+        );
+    }
+}

@@ -259,3 +259,69 @@ fn similarity_construction_equivalent() {
         assert_eq!(a.knowledge, b.knowledge);
     }
 }
+
+/// The similarity exchange's knowledge must be invariant under the
+/// `sync_period` declaration: batching `p` rounds of list traffic into
+/// one synchronization reschedules the same content, so every node's
+/// pairwise H/Ĥ flags (and both engines) must agree with the classic
+/// `p = 1` schedule — while the message count strictly drops.
+#[test]
+fn similarity_knowledge_is_sync_period_invariant() {
+    let g = graphs::gen::clique_ring(3, 7);
+    let cfg = SimConfig::seeded(7);
+    let budget = cfg.bandwidth_bits(g.n());
+    let reference = congest::run(
+        &g,
+        &d2core::rand::similarity::ExactSimilarity::new(budget),
+        &cfg,
+    )
+    .expect("p=1");
+    for p in [2u64, 3, 4, 8] {
+        let proto = d2core::rand::similarity::ExactSimilarity::new(budget).with_period(p);
+        let seq = congest::run(&g, &proto, &cfg).expect("seq");
+        for t in thread_counts() {
+            let par = congest::run_parallel(&g, &proto, &cfg, t).expect("par");
+            assert_eq!(seq.metrics, par.metrics, "p={p} t={t} metrics diverge");
+            for (a, b) in seq.states.iter().zip(&par.states) {
+                assert_eq!(a.knowledge, b.knowledge, "p={p} t={t}");
+            }
+        }
+        for (a, b) in seq.states.iter().zip(&reference.states) {
+            assert_eq!(a.knowledge, b.knowledge, "p={p} changed the knowledge");
+        }
+        assert!(
+            seq.metrics.messages < reference.metrics.messages,
+            "p={p} should move fewer, bigger messages: {} vs {}",
+            seq.metrics.messages,
+            reference.metrics.messages
+        );
+    }
+}
+
+/// Full randomized pipeline under several `list_sync_period` values, with
+/// a stressed warmup so every phase actually runs: each period must be
+/// bit-identical across engines and produce a valid coloring.
+#[test]
+fn rand_pipeline_sync_period_equivalent_across_engines() {
+    let g = graphs::gen::gnp_capped(140, 0.08, 6, 11);
+    let view = D2View::build(&g);
+    for period in [1u64, 2, 4, 7] {
+        let params = Params {
+            c0_initial_rounds: 1.0,
+            list_sync_period: period,
+            ..Params::practical()
+        };
+        let seq_cfg = SimConfig::seeded(23);
+        let seq = d2core::rand::driver::improved(&g, &params, &seq_cfg).expect("seq");
+        assert!(
+            graphs::verify::is_valid_d2_coloring_with(&view, &seq.colors),
+            "period {period}: invalid coloring"
+        );
+        for t in thread_counts() {
+            let cfg = seq_cfg.clone().with_threads(Some(t));
+            let par = d2core::rand::driver::improved(&g, &params, &cfg).expect("par");
+            assert_eq!(seq.colors, par.colors, "period {period} t={t}");
+            assert_eq!(seq.metrics, par.metrics, "period {period} t={t}");
+        }
+    }
+}
