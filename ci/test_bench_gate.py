@@ -178,13 +178,13 @@ class Pr3GateTests(unittest.TestCase):
 def pr4_cell(family="gnp_capped", graph="gnp_capped-n100000", n=100_000,
              algo="det-small(T1.2)", runtime="sequential", wall_ms=15_000.0,
              rounds=4654, messages=17_060_200, allocs_per_round=350.0,
-             valid=True):
+             valid=True, peak_rss_mb=1000.0):
     return {
         "family": family, "graph": graph, "n": n, "m": 6 * n, "delta": 16,
         "algo": algo, "runtime": runtime, "build_ms": 150.0,
         "wall_ms": wall_ms, "rounds": rounds, "messages": messages,
         "messages_per_sec": 1e6, "allocs_per_round": allocs_per_round,
-        "palette": 257, "valid": valid, "peak_rss_mb": 1000.0,
+        "palette": 257, "valid": valid, "peak_rss_mb": peak_rss_mb,
     }
 
 
@@ -201,7 +201,7 @@ def pr4_doc():
                      graph="random_regular-d16-n100000-stressed-c0-1",
                      algo="rand-improved(T1.1)", wall_ms=58_000.0,
                      rounds=5317, messages=18_742_572,
-                     allocs_per_round=3561.5),
+                     allocs_per_round=3561.5, peak_rss_mb=8000.0),
             pr4_cell(family="random_regular",
                      graph="random_regular-d8-n1000000", n=1_000_000,
                      wall_ms=60_000.0, rounds=1170, messages=114_000_000,
@@ -283,6 +283,139 @@ class Pr4GateTests(unittest.TestCase):
             bench_gate.validate_pr4(new, rec, log=lambda *_: None)
 
 
+def pr5_cell(graph=bench_gate.PR5_STRESSED_GRAPH, n=100_000, delta=16,
+             rounds=5317, messages=18_742_572, peak_rss_mb=1500.0,
+             rss_cumulative=False, valid=True):
+    return {
+        "family": "random_regular", "graph": graph, "n": n, "m": 8 * n,
+        "delta": delta, "algo": "rand-improved(T1.1)",
+        "runtime": "sequential", "build_ms": 175.0, "wall_ms": 50_000.0,
+        "rounds": rounds, "messages": messages, "messages_per_sec": 6e5,
+        "palette": 257, "valid": valid, "peak_rss_mb": peak_rss_mb,
+        "rss_cumulative": rss_cumulative,
+    }
+
+
+def pr5_doc():
+    """Stressed 1e5 cell (matching pr4_doc's recording bit-exactly) plus
+    the 1e6 randomized cell."""
+    return {
+        "bench": "BENCH_PR5",
+        "cells": [
+            pr5_cell(),
+            pr5_cell(graph="random_regular-d8-n1000000-stressed-c0-1",
+                     n=1_000_000, delta=8, rounds=646,
+                     messages=128_000_000, peak_rss_mb=9000.0),
+        ],
+    }
+
+
+class Pr5GateTests(unittest.TestCase):
+    def _validate(self, fresh, recorded, pr4):
+        bench_gate.validate_pr5(fresh, recorded, pr4, log=lambda *_: None)
+
+    def test_valid_doc_passes(self):
+        doc = pr5_doc()
+        self._validate(copy.deepcopy(doc), doc, pr4_doc())
+
+    def test_wrong_bench_tag_fails(self):
+        doc = pr5_doc()
+        doc["bench"] = "BENCH_PR4"
+        with self.assertRaisesRegex(GateError, "not a BENCH_PR5"):
+            bench_gate.check_pr5_shape(doc)
+
+    def test_missing_rss_cumulative_key_fails(self):
+        doc = pr5_doc()
+        del doc["cells"][0]["rss_cumulative"]
+        with self.assertRaisesRegex(GateError, "missing"):
+            bench_gate.check_pr5_shape(doc)
+
+    def test_missing_stressed_cell_fails(self):
+        doc = pr5_doc()
+        doc["cells"] = doc["cells"][1:]
+        with self.assertRaisesRegex(GateError, "stressed"):
+            bench_gate.check_pr5_shape(doc)
+
+    def test_missing_huge_rand_cell_fails(self):
+        doc = pr5_doc()
+        doc["cells"] = doc["cells"][:1]
+        with self.assertRaisesRegex(GateError, "10\\^6"):
+            bench_gate.check_pr5_shape(doc)
+
+    def test_insufficient_rss_reduction_fails(self):
+        doc = pr5_doc()
+        doc["cells"][0]["peak_rss_mb"] = 8000.0 / 3  # only 3x below PR4
+        with self.assertRaisesRegex(GateError, "peak RSS"):
+            bench_gate.check_pr5_rss_reduction(doc, pr4_doc(), "recorded",
+                                               log=lambda *_: None)
+
+    def test_exact_factor_passes(self):
+        doc = pr5_doc()
+        doc["cells"][0]["peak_rss_mb"] = 8000.0 / 4
+        bench_gate.check_pr5_rss_reduction(doc, pr4_doc(), "recorded",
+                                           log=lambda *_: None)
+
+    def test_cumulative_rss_skips_reduction_check_on_fresh(self):
+        doc = pr5_doc()
+        doc["cells"][0]["peak_rss_mb"] = 50_000.0
+        doc["cells"][0]["rss_cumulative"] = True
+        notices = []
+        bench_gate.check_pr5_rss_reduction(doc, pr4_doc(), "fresh",
+                                           allow_cumulative_skip=True,
+                                           log=notices.append)
+        self.assertTrue(any("cumulative" in n for n in notices))
+
+    def test_cumulative_rss_on_recorded_report_is_a_hard_failure(self):
+        doc = pr5_doc()
+        doc["cells"][0]["rss_cumulative"] = True
+        with self.assertRaisesRegex(GateError, "re-record"):
+            bench_gate.check_pr5_rss_reduction(doc, pr4_doc(), "recorded",
+                                               log=lambda *_: None)
+        with self.assertRaisesRegex(GateError, "re-record"):
+            bench_gate.validate_pr5(pr5_doc(), doc, pr4_doc(),
+                                    log=lambda *_: None)
+
+    def test_fresh_tolerance_is_looser_than_recorded(self):
+        doc = pr5_doc()
+        doc["cells"][0]["peak_rss_mb"] = 8000.0 / 4 * 1.1
+        with self.assertRaisesRegex(GateError, "peak RSS"):
+            bench_gate.check_pr5_rss_reduction(doc, pr4_doc(), "recorded",
+                                               log=lambda *_: None)
+        bench_gate.check_pr5_rss_reduction(
+            doc, pr4_doc(), "fresh",
+            tolerance=bench_gate.RSS_FRESH_TOLERANCE, log=lambda *_: None)
+
+    def test_pr4_continuity_rounds_drift_fails(self):
+        doc = pr5_doc()
+        doc["cells"][0]["rounds"] += 1
+        with self.assertRaisesRegex(GateError, "drifted from the PR4"):
+            bench_gate.check_pr5_pr4_continuity(doc, pr4_doc())
+
+    def test_pr4_continuity_messages_drift_fails(self):
+        doc = pr5_doc()
+        doc["cells"][0]["messages"] -= 1
+        with self.assertRaisesRegex(GateError, "drifted from the PR4"):
+            bench_gate.check_pr5_pr4_continuity(doc, pr4_doc())
+
+    def test_fresh_vs_recorded_drift_fails(self):
+        fresh, rec = pr5_doc(), pr5_doc()
+        fresh["cells"][1]["messages"] += 1
+        with self.assertRaisesRegex(GateError, "messages drifted"):
+            self._validate(fresh, rec, pr4_doc())
+
+    def test_invalid_cell_fails(self):
+        doc = pr5_doc()
+        doc["cells"][1]["valid"] = False
+        with self.assertRaisesRegex(GateError, "invalid cell"):
+            bench_gate.check_pr5_shape(doc)
+
+    def test_zero_round_cell_fails(self):
+        doc = pr5_doc()
+        doc["cells"][1]["rounds"] = 0
+        with self.assertRaisesRegex(GateError, "0 rounds"):
+            bench_gate.check_pr5_shape(doc)
+
+
 class CliTests(unittest.TestCase):
     def test_unknown_gate_is_usage_error(self):
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr9"]), 2)
@@ -292,6 +425,7 @@ class CliTests(unittest.TestCase):
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr2", "x"]), 2)
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr3"]), 2)
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr4", "x"]), 2)
+        self.assertEqual(bench_gate.main(["bench_gate.py", "pr5", "x", "y"]), 2)
 
 
 if __name__ == "__main__":

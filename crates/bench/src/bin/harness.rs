@@ -8,8 +8,10 @@
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr2 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr3 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr4 [out.json]
+//! cargo run --release -p d2color-bench --bin harness -- bench-pr5 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- scale-smoke
 //! cargo run --release -p d2color-bench --bin harness -- scale-coloring-1e6
+//! cargo run --release -p d2color-bench --bin harness -- scale-rand-1e6
 //! ```
 //!
 //! `bench-pr4` records allocations/round only when built with
@@ -184,12 +186,14 @@ fn exp8() {
         let know = d2core::rand::trials::knowledge(&wst);
         let live = know.iter().filter(|(c, _)| *c == u32::MAX).count();
         let sim_proto = d2core::rand::similarity::ExactSimilarity::new(cfg.bandwidth_bits(n));
-        let sim: Vec<_> = congest::run(&g, &sim_proto, &cfg)
-            .expect("sim")
-            .states
-            .into_iter()
-            .map(|s| s.knowledge)
-            .collect();
+        let sim = std::sync::Arc::new(
+            congest::run(&g, &sim_proto, &cfg)
+                .expect("sim")
+                .states
+                .into_iter()
+                .map(|s| s.knowledge)
+                .collect::<Vec<_>>(),
+        );
         let lp = d2core::rand::learn_palette::LearnPalette::new(
             &p,
             &g,
@@ -398,14 +402,91 @@ fn bench_pr4() {
 /// acceptance signal.
 fn scale_coloring_1e6() {
     let c = benchkit::pr4::run_scale_cell();
-    println!(
-        "{}: built {:.0} ms, colored {:.0} ms, rounds = {}, messages = {}, \
-         palette = {}, peak rss {:.1} MiB, valid = {}",
-        c.graph, c.build_ms, c.wall_ms, c.rounds, c.messages, c.palette, c.peak_rss_mb, c.valid
+    print_scale_cell(
+        &c.graph,
+        c.build_ms,
+        c.wall_ms,
+        c.rounds,
+        c.messages,
+        c.palette,
+        c.peak_rss_mb,
+        c.valid,
     );
     assert!(c.valid, "n = 1e6 coloring failed verification");
     assert!(c.n >= 1_000_000, "cell is not at the 1e6 tier");
     println!("scale-coloring-1e6 OK");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn print_scale_cell(
+    graph: &str,
+    build_ms: f64,
+    wall_ms: f64,
+    rounds: u64,
+    messages: u64,
+    palette: usize,
+    rss: f64,
+    valid: bool,
+) {
+    println!(
+        "{graph}: built {build_ms:.0} ms, colored {wall_ms:.0} ms, rounds = {rounds}, \
+         messages = {messages}, palette = {palette}, peak rss {rss:.1} MiB, valid = {valid}"
+    );
+}
+
+/// Runs the BENCH_PR5 matrix (streaming similarity fold: per-cell peak
+/// RSS on the stressed n = 10⁵ rand cell + the first n = 10⁶ randomized
+/// coloring) and writes the JSON report (default path:
+/// `BENCH_PR5.json`).
+fn bench_pr5() {
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_PR5.json".into());
+    let cells = benchkit::pr5::run_matrix();
+    for c in &cells {
+        println!(
+            "{:<42} {:<20} wall {:>10.1} ms  rounds {:>6}  msgs/s {:>12.0}  rss {:>8.1} MiB{}  valid {}",
+            c.graph,
+            c.algo,
+            c.wall_ms,
+            c.rounds,
+            c.messages_per_sec,
+            c.peak_rss_mb,
+            if c.rss_cumulative { " (cumulative)" } else { "" },
+            c.valid
+        );
+        assert!(
+            c.valid,
+            "benchmark cell produced an invalid coloring: {c:?}"
+        );
+    }
+    let doc = benchkit::pr5::to_json(&cells);
+    std::fs::write(&out_path, doc).expect("write BENCH_PR5.json");
+    println!("\nwrote {} cells to {out_path}", cells.len());
+}
+
+/// CI scale-smoke sub-step: the first n = 10⁶ **randomized** coloring —
+/// rand-improved, stressed warmup, `random_regular` d = 8, sequential —
+/// verified end to end under the job's wall-clock `timeout`.
+fn scale_rand_1e6() {
+    let c = benchkit::pr5::run_scale_cell();
+    print_scale_cell(
+        &c.graph,
+        c.build_ms,
+        c.wall_ms,
+        c.rounds,
+        c.messages,
+        c.palette,
+        c.peak_rss_mb,
+        c.valid,
+    );
+    assert!(c.valid, "n = 1e6 randomized coloring failed verification");
+    assert!(c.n >= 1_000_000, "cell is not at the 1e6 tier");
+    assert!(
+        c.algo.starts_with("rand-improved"),
+        "cell must run the randomized pipeline"
+    );
+    println!("scale-rand-1e6 OK");
 }
 
 /// CI scale-smoke: proves the O(n+m) generator path at n = 10⁶ (hard
@@ -488,6 +569,14 @@ fn main() {
         scale_coloring_1e6();
         return;
     }
+    if arg == "bench-pr5" {
+        bench_pr5();
+        return;
+    }
+    if arg == "scale-rand-1e6" {
+        scale_rand_1e6();
+        return;
+    }
     let exps: Vec<(&str, fn())> = vec![
         ("exp1", exp1),
         ("exp2", exp2),
@@ -512,7 +601,7 @@ fn main() {
             Some((_, f)) => f(),
             None => {
                 eprintln!(
-                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, bench-pr4, scale-smoke, scale-coloring-1e6"
+                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, bench-pr4, bench-pr5, scale-smoke, scale-coloring-1e6, scale-rand-1e6"
                 );
                 std::process::exit(2);
             }

@@ -12,6 +12,7 @@ pub mod pr1;
 pub mod pr2;
 pub mod pr3;
 pub mod pr4;
+pub mod pr5;
 
 /// The algorithms under measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

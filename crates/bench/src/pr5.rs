@@ -1,0 +1,282 @@
+//! `BENCH_PR5.json`: the streaming similarity fold and the first
+//! `n = 10⁶` randomized coloring tier.
+//!
+//! PR 4 opened the `n = 10⁶` tier for the deterministic pipeline and put
+//! rand-improved on the record at `n = 10⁵` — where its stressed cell
+//! peaked over 8 GiB of RSS, almost all of it the similarity exchange
+//! buffering one full d2-list copy per port. PR 5 folds those lists
+//! streamingly into per-pair counters (see the
+//! `d2core::rand::similarity` module docs), so this matrix records:
+//!
+//! * the **stressed `n = 10⁵` rand-improved cell** (identical workload,
+//!   label, seed, and parameters to BENCH_PR4's — rounds and messages
+//!   must stay bit-exact, proving the fold is receiver-side only) with a
+//!   **per-cell peak RSS** (high-water mark reset before the cell where
+//!   the platform allows): the acceptance criterion is ≥ 4× below the
+//!   PR 4 recording;
+//! * the **first rand-improved `n = 10⁶` cell**: `random_regular` d = 8,
+//!   stressed warmup (`c₀ = 1`, so the trials phase leaves live
+//!   stragglers and the similarity exchange + LearnPalette +
+//!   FinishColoring actually run at that scale), sequential, verified
+//!   against the `D2View` oracle.
+//!
+//! Cells run smallest-footprint first; each resets the RSS high-water
+//! mark where `/proc/self/clear_refs` is writable and records
+//! `rss_cumulative: true` otherwise so the CI gate
+//! (`ci/bench_gate.py pr5`) skips RSS comparison on tainted cells.
+
+use crate::json::Json;
+use crate::pr3::{peak_rss_mb, reset_peak_rss};
+use crate::Algo;
+use congest::{RuntimeMode, SimConfig};
+use d2core::Params;
+use graphs::{D2View, Graph};
+use std::time::Instant;
+
+/// One PR 5 measurement cell.
+#[derive(Debug, Clone)]
+pub struct Pr5Cell {
+    /// Generator family.
+    pub family: String,
+    /// Workload label (family + scale + parameter variant).
+    pub graph: String,
+    /// Nodes.
+    pub n: usize,
+    /// Undirected edges.
+    pub m: usize,
+    /// Maximum degree.
+    pub delta: usize,
+    /// Algorithm name.
+    pub algo: String,
+    /// Runtime label.
+    pub runtime: String,
+    /// Wall-clock milliseconds to generate the graph and build its CSR.
+    pub build_ms: f64,
+    /// Wall-clock milliseconds of the coloring pipeline.
+    pub wall_ms: f64,
+    /// Rounds to completion.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Delivered messages per wall-clock second.
+    pub messages_per_sec: f64,
+    /// Palette certificate.
+    pub palette: usize,
+    /// Coloring verified against the `D2View` oracle.
+    pub valid: bool,
+    /// Peak RSS (MiB) over the coloring run (measured after the pipeline
+    /// returns, before verification builds its oracle). Per-cell where
+    /// the high-water mark could be reset, else cumulative.
+    pub peak_rss_mb: f64,
+    /// `true` when the high-water mark could **not** be reset before the
+    /// run — the RSS column then also covers earlier process history and
+    /// the CI gate skips its comparison.
+    pub rss_cumulative: bool,
+}
+
+/// The cell specs. Both workloads run the **stressed** profile
+/// (`c₀ = 1`): with the practical warmup the initial trials finish these
+/// graphs outright and the driver skips every later phase — the whole
+/// point of the matrix is that the similarity exchange and its
+/// downstream consumers run on the record.
+type CellSpec = (&'static str, &'static str, fn() -> Graph);
+
+fn stressed_params() -> Params {
+    Params {
+        c0_initial_rounds: 1.0,
+        ..Params::practical()
+    }
+}
+
+fn specs() -> [CellSpec; 2] {
+    [
+        (
+            "random_regular",
+            "random_regular-d16-n100000-stressed-c0-1",
+            || graphs::gen::random_regular(100_000, 16, 42),
+        ),
+        (
+            "random_regular",
+            "random_regular-d8-n1000000-stressed-c0-1",
+            || graphs::gen::random_regular(1_000_000, 8, 42),
+        ),
+    ]
+}
+
+/// Runs one stressed rand-improved cell sequentially with a per-cell RSS
+/// window: the high-water mark is reset after the graph is resident and
+/// read back the moment the pipeline returns, so the number bounds the
+/// coloring run itself (graph included, verification oracle excluded).
+fn run_cell(family: &str, label: &str, make: fn() -> Graph) -> Pr5Cell {
+    let t0 = Instant::now();
+    let g = make();
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cfg = SimConfig::at_scale(42, g.n()).with_runtime(RuntimeMode::Sequential);
+    let params = stressed_params();
+    let reset = reset_peak_rss();
+    let t1 = Instant::now();
+    let out = Algo::RandImproved
+        .run(&g, &params, &cfg)
+        .expect("benchmark cell failed to complete");
+    let wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let rss = peak_rss_mb();
+    let view = D2View::build(&g);
+    Pr5Cell {
+        family: family.to_string(),
+        graph: label.to_string(),
+        n: g.n(),
+        m: g.m(),
+        delta: g.max_degree(),
+        algo: Algo::RandImproved.name().to_string(),
+        runtime: "sequential".into(),
+        build_ms,
+        wall_ms,
+        rounds: out.rounds(),
+        messages: out.metrics.messages,
+        messages_per_sec: if wall_ms > 0.0 {
+            out.metrics.messages as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        palette: out.palette_bound(),
+        valid: graphs::verify::is_valid_d2_coloring_with(&view, &out.colors),
+        peak_rss_mb: rss,
+        rss_cumulative: !reset,
+    }
+}
+
+/// Runs the full PR 5 matrix, smallest footprint first.
+#[must_use]
+pub fn run_matrix() -> Vec<Pr5Cell> {
+    specs()
+        .into_iter()
+        .map(|(family, label, make)| run_cell(family, label, make))
+        .collect()
+}
+
+/// Runs only the `n = 10⁶` rand-improved cell — the CI `scale-rand-1e6`
+/// sub-step, bounded by an outer wall-clock `timeout`.
+#[must_use]
+pub fn run_scale_cell() -> Pr5Cell {
+    let (family, label, make) = specs()[1];
+    run_cell(family, label, make)
+}
+
+fn ms(x: f64) -> Json {
+    Json::Num((x * 1000.0).round() / 1000.0)
+}
+
+/// Serializes cells into the `BENCH_PR5.json` document.
+#[must_use]
+pub fn to_json(cells: &[Pr5Cell]) -> String {
+    let rows: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("family", Json::str(&c.family)),
+                ("graph", Json::str(&c.graph)),
+                ("n", Json::int(c.n as u64)),
+                ("m", Json::int(c.m as u64)),
+                ("delta", Json::int(c.delta as u64)),
+                ("algo", Json::str(&c.algo)),
+                ("runtime", Json::str(&c.runtime)),
+                ("build_ms", ms(c.build_ms)),
+                ("wall_ms", ms(c.wall_ms)),
+                ("rounds", Json::int(c.rounds)),
+                ("messages", Json::int(c.messages)),
+                ("messages_per_sec", Json::Num(c.messages_per_sec.round())),
+                ("palette", Json::int(c.palette as u64)),
+                ("valid", Json::Bool(c.valid)),
+                ("peak_rss_mb", ms(c.peak_rss_mb)),
+                ("rss_cumulative", Json::Bool(c.rss_cumulative)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("bench", Json::str("BENCH_PR5")),
+        (
+            "description",
+            Json::str(
+                "Streaming similarity fold: per-cell peak RSS of the \
+                 stressed n = 1e5 rand-improved cell (>= 4x below the \
+                 BENCH_PR4 recording, rounds/messages bit-exact with it) \
+                 and the first n = 1e6 rand-improved coloring cell",
+            ),
+        ),
+        ("cells", Json::Arr(rows)),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_required_columns() {
+        let cells = vec![Pr5Cell {
+            family: "random_regular".into(),
+            graph: "random_regular-d16-n100000-stressed-c0-1".into(),
+            n: 100_000,
+            m: 800_000,
+            delta: 16,
+            algo: "rand-improved(T1.1)".into(),
+            runtime: "sequential".into(),
+            build_ms: 175.0,
+            wall_ms: 60_000.0,
+            rounds: 5338,
+            messages: 38_148_821,
+            messages_per_sec: 6.3e5,
+            palette: 257,
+            valid: true,
+            peak_rss_mb: 1500.5,
+            rss_cumulative: false,
+        }];
+        let s = to_json(&cells);
+        for key in [
+            "\"bench\": \"BENCH_PR5\"",
+            "\"graph\": \"random_regular-d16-n100000-stressed-c0-1\"",
+            "\"peak_rss_mb\": 1500.5",
+            "\"rss_cumulative\": false",
+            "\"rounds\": 5338",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn specs_cover_the_acceptance_cells() {
+        let sp = specs();
+        assert_eq!(
+            sp[0].1, "random_regular-d16-n100000-stressed-c0-1",
+            "the stressed 1e5 label must match BENCH_PR4's for the \
+             bit-exact continuity check"
+        );
+        assert!(sp[1].1.contains("n1000000"));
+    }
+
+    #[test]
+    fn stressed_params_only_cut_the_warmup() {
+        let p = stressed_params();
+        let q = Params::practical();
+        assert_eq!(p.c0_initial_rounds, 1.0);
+        assert_eq!(p.list_sync_period, q.list_sync_period);
+        assert_eq!(p.exact_similarity_threshold, q.exact_similarity_threshold);
+    }
+
+    #[test]
+    fn reset_then_read_peak_rss_is_coherent() {
+        let reset = reset_peak_rss();
+        let rss = peak_rss_mb();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0.0, "VmHWM should be readable on Linux");
+        }
+        // Where the reset worked, the mark must not exceed a generous
+        // bound on current usage plus the touch below.
+        let _buf = vec![1u8; 4 << 20];
+        let after = peak_rss_mb();
+        if reset {
+            assert!(after >= rss, "high-water mark can only grow after reset");
+        }
+    }
+}

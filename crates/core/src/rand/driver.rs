@@ -104,7 +104,9 @@ pub fn run(
         return Ok(driver.finish(know.into_iter().map(|(c, _)| c).collect()));
     }
 
-    // Step 1: similarity graphs.
+    // Step 1: similarity graphs. The knowledge is immutable from here on
+    // and every later phase reads it, so it is Arc-shared across the
+    // whole cascade instead of cloned per `Reduce` call.
     let budget = cfg.bandwidth_bits(n);
     let sim: Vec<SimilarityKnowledge> = if dc <= params.exact_similarity_threshold {
         let proto = ExactSimilarity::new(budget).with_period(params.list_sync_period);
@@ -122,6 +124,7 @@ pub fn run(
             .map(|s| s.knowledge)
             .collect()
     };
+    let sim = std::sync::Arc::new(sim);
 
     // Step 3: the Reduce cascade.
     let c2ln = params.c2_log_n(n);

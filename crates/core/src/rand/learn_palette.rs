@@ -164,7 +164,7 @@ pub struct LearnPalette {
     /// Number of color blocks `Z`.
     pub z_blocks: u32,
     knowledge: Vec<(u32, Vec<u32>)>,
-    sim: Vec<SimilarityKnowledge>,
+    sim: std::sync::Arc<Vec<SimilarityKnowledge>>,
     w_live: u64,
     w_assign: u64,
     w_inform: u64,
@@ -183,7 +183,7 @@ impl LearnPalette {
         palette: u32,
         budget: u64,
         knowledge: Vec<(u32, Vec<u32>)>,
-        sim: Vec<SimilarityKnowledge>,
+        sim: std::sync::Arc<Vec<SimilarityKnowledge>>,
     ) -> Self {
         let n = g.n().max(2);
         let delta = g.max_degree().max(1);
@@ -700,12 +700,14 @@ mod tests {
         let warm = RandomTrials::new(palette, warmup);
         let wstates = congest::run(g, &warm, &cfg).unwrap().states;
         let sim_proto = ExactSimilarity::new(cfg.bandwidth_bits(g.n()));
-        let sim = congest::run(g, &sim_proto, &cfg)
-            .unwrap()
-            .states
-            .into_iter()
-            .map(|s| s.knowledge)
-            .collect();
+        let sim = std::sync::Arc::new(
+            congest::run(g, &sim_proto, &cfg)
+                .unwrap()
+                .states
+                .into_iter()
+                .map(|s| s.knowledge)
+                .collect(),
+        );
         let lp = LearnPalette::new(
             &Params::practical(),
             g,

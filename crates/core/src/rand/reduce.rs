@@ -196,7 +196,7 @@ pub struct Reduce {
     act_p: f64,
     query_p: f64,
     knowledge: Vec<(u32, Vec<u32>)>,
-    sim: Vec<SimilarityKnowledge>,
+    sim: std::sync::Arc<Vec<SimilarityKnowledge>>,
 }
 
 /// Per-node state.
@@ -224,7 +224,11 @@ impl Reduce {
     /// Phase period in rounds.
     pub const PERIOD: u64 = 15;
 
-    /// Builds `Reduce(φ, τ)` from phase inputs.
+    /// Builds `Reduce(φ, τ)` from phase inputs. The similarity
+    /// knowledge is `Arc`-shared: the driver's cascade runs several
+    /// `Reduce` phases over the same (immutable) similarity graphs, and
+    /// at `n = 10⁵⁺` cloning the per-node knowledge per phase was pure
+    /// allocator traffic.
     #[must_use]
     pub fn new(
         params: &Params,
@@ -233,7 +237,7 @@ impl Reduce {
         phi: f64,
         tau: f64,
         knowledge: Vec<(u32, Vec<u32>)>,
-        sim: Vec<SimilarityKnowledge>,
+        sim: std::sync::Arc<Vec<SimilarityKnowledge>>,
     ) -> Self {
         let rho = u32::try_from(params.rho(phi, tau, n)).unwrap_or(u32::MAX);
         let act_p = (tau / (params.act_denom * phi)).clamp(0.0, 1.0);
@@ -708,11 +712,12 @@ mod tests {
     use congest::SimConfig;
     use graphs::{gen, verify};
 
-    fn setup(
-        g: &graphs::Graph,
-        cfg: &SimConfig,
-        warmup_cycles: u64,
-    ) -> (Vec<(u32, Vec<u32>)>, Vec<SimilarityKnowledge>) {
+    type Setup = (
+        Vec<(u32, Vec<u32>)>,
+        std::sync::Arc<Vec<SimilarityKnowledge>>,
+    );
+
+    fn setup(g: &graphs::Graph, cfg: &SimConfig, warmup_cycles: u64) -> Setup {
         let d = g.max_degree();
         let palette = ((d * d).min(g.n() - 1) + 1) as u32;
         let warm = RandomTrials::new(palette, warmup_cycles);
@@ -724,7 +729,7 @@ mod tests {
             .into_iter()
             .map(|s| s.knowledge)
             .collect();
-        (trials::knowledge(&wstates), sim)
+        (trials::knowledge(&wstates), std::sync::Arc::new(sim))
     }
 
     /// The dense showcase: a star's square is a clique, similarity graphs

@@ -186,11 +186,12 @@ impl SamplerCore {
         // condition under which I will read its strings as a relay), and
         // note my own direct-candidate need.
         if t == 0 {
-            self.direct_need = (0..degree).any(|p| sim.h_with_self(p as Port));
+            self.direct_need = sim.h_degree_immediate() > 0;
             for y in 0..degree {
-                let needed =
-                    (0..degree).any(|z| z != y && sim.h_between_ports(y as Port, z as Port));
-                if needed {
+                // The similarity rows are bit matrices: "some similar pair
+                // involves port y" is one set-bit probe of row y (the
+                // diagonal is always false, so z ≠ y is implicit).
+                if sim.h_ports(y as Port).next().is_some() {
                     self.has_pairs = true;
                     stage(y as Port, SampMsg::Demand);
                 }
@@ -206,13 +207,14 @@ impl SamplerCore {
                 let b = self.b_values[u];
                 let mut best_val = u64::MAX;
                 let mut target = None;
-                for w in 0..degree {
-                    if w != u && sim.h_between_ports(u as Port, w as Port) {
-                        let val = b ^ self.r_values[w];
-                        if val < best_val {
-                            best_val = val;
-                            target = Some(RelayTarget::Port(w as Port));
-                        }
+                // Walk the set bits of u's similarity row (ascending, so
+                // the strict-minimum winner is identical to the old full
+                // port probe; the diagonal is always false).
+                for w in sim.h_ports(u as Port) {
+                    let val = b ^ self.r_values[w as usize];
+                    if val < best_val {
+                        best_val = val;
+                        target = Some(RelayTarget::Port(w));
                     }
                 }
                 if sim.h_with_self(u as Port) {
