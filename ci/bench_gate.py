@@ -23,12 +23,23 @@ checked-in baselines on machine-portable invariants only:
   its per-cell peak RSS >= RSS_REDUCTION_FACTOR below PR4's — skipped
   only for cells marked ``rss_cumulative`` (high-water mark not
   resettable on that host).
+* ``pr6``: validates a freshly emitted ``BENCH_PR6.json`` (churn →
+  2-hop local repair economics + fault-plane determinism) against the
+  checked-in report: the churn trace must cover >= ~1% of the base
+  graph's edges, total repair messages must sit at or below 1 /
+  PR6_REPAIR_FACTOR of the fresh det-small run's messages, every
+  repair batch and the final coloring must verify, every chaos cell
+  must report engine-identical results with its fault plane actually
+  firing, and all model metrics (fresh run, per-batch repair, chaos
+  cells) must be bit-exact with the recording — the entire matrix is
+  seeded, so any drift is an engine or protocol change.
 
 Usage:
     python3 ci/bench_gate.py pr2 BENCH_PR2.json BENCH_PR1.json
     python3 ci/bench_gate.py pr3 BENCH_PR3.json
     python3 ci/bench_gate.py pr4 BENCH_PR4.json BENCH_PR4.recorded.json
     python3 ci/bench_gate.py pr5 BENCH_PR5.json BENCH_PR5.recorded.json BENCH_PR4.json
+    python3 ci/bench_gate.py pr6 BENCH_PR6.json BENCH_PR6.recorded.json
 
 Importable for unit tests (``ci/test_bench_gate.py``): every check is a
 pure function over parsed documents that raises ``GateError`` with a
@@ -103,6 +114,32 @@ RSS_REDUCTION_FACTOR = 4.0
 # Fresh runs on other hosts get a little allocator/kernel slack before a
 # regression is declared; the recorded report gets none.
 RSS_FRESH_TOLERANCE = 1.15
+
+
+PR6_FRESH_KEYS = {
+    "graph", "n", "m", "delta", "algo", "runtime", "build_ms", "wall_ms",
+    "rounds", "messages", "palette", "valid", "peak_rss_mb",
+    "rss_cumulative",
+}
+
+PR6_REPAIR_KEYS = {
+    "batch", "events", "inserted", "deleted", "touched", "damaged",
+    "rounds", "messages", "wall_ms", "palette_drift", "valid",
+}
+
+PR6_CHAOS_KEYS = {
+    "graph", "algo", "drop_ppm", "rounds", "messages", "faults_dropped",
+    "engines_identical",
+}
+
+# Acceptance factor for the PR6 local-repair economics (ISSUE 6): total
+# repair messages across the whole churn trace must be <= the fresh
+# det-small run's messages divided by this.
+PR6_REPAIR_FACTOR = 10.0
+# The churn trace must cover at least this fraction of the base graph's
+# edges (the acceptance criterion is "~1% edge churn"; Poisson batch
+# sizes get a little slack below the nominal 1%).
+PR6_MIN_CHURN_FRACTION = 0.009
 
 
 class GateError(AssertionError):
@@ -452,6 +489,110 @@ def validate_pr5(fresh, recorded, pr4, log=print):
         f"{RSS_REDUCTION_FACTOR}x below the PR4 RSS recording")
 
 
+def check_pr6_shape(pr6):
+    """Structural + acceptance validity of one BENCH_PR6 document."""
+    require(pr6.get("bench") == "BENCH_PR6",
+            f"not a BENCH_PR6 document: {pr6.get('bench')!r}")
+    fresh = pr6["fresh"]
+    missing = PR6_FRESH_KEYS - fresh.keys()
+    require(not missing, f"fresh cell missing {missing}")
+    require(fresh["valid"] is True, "fresh baseline coloring invalid")
+    require(fresh["rounds"] > 0 and fresh["messages"] > 0,
+            "fresh baseline ran 0 rounds")
+    require(fresh["n"] >= 100_000,
+            f"fresh baseline below the 10^5 tier: n = {fresh['n']}")
+
+    churn = pr6["churn"]
+    cells = churn["cells"]
+    require(len(cells) == churn["batches"],
+            f"batches field {churn['batches']} != {len(cells)} cells")
+    require(len(cells) >= 5, f"expected >= 5 churn batches, got {len(cells)}")
+    for c in cells:
+        missing = PR6_REPAIR_KEYS - c.keys()
+        require(not missing, f"repair cell missing {missing}")
+        require(c["valid"] is True,
+                f"repair batch {c['batch']} left an invalid coloring")
+    require(churn["final_valid"] is True, "final coloring invalid")
+    frac = churn["events"] / fresh["m"]
+    require(frac >= PR6_MIN_CHURN_FRACTION,
+            f"churn trace covers only {frac:.4%} of edges "
+            f"(needs >= {PR6_MIN_CHURN_FRACTION:.1%})")
+    total = sum(c["messages"] for c in cells)
+    require(total == churn["total_repair_messages"],
+            f"total_repair_messages {churn['total_repair_messages']} != "
+            f"sum of cells {total}")
+    bound = fresh["messages"] / PR6_REPAIR_FACTOR
+    require(total <= bound,
+            f"repair spent {total} messages, over fresh / "
+            f"{PR6_REPAIR_FACTOR} = {bound:.0f}")
+
+    chaos = pr6["chaos"]["cells"]
+    require(len(chaos) >= 4, f"expected >= 4 chaos cells, got {len(chaos)}")
+    keys = {(c["graph"], c["algo"], c["drop_ppm"]) for c in chaos}
+    require(len(keys) == len(chaos), "duplicate chaos cells")
+    for c in chaos:
+        missing = PR6_CHAOS_KEYS - c.keys()
+        require(not missing, f"chaos cell missing {missing}")
+        require(c["engines_identical"] is True,
+                f"chaos cell {c['graph']}/{c['algo']}/{c['drop_ppm']}ppm: "
+                "engines diverged under faults")
+        require(c["faults_dropped"] > 0,
+                f"chaos cell {c['graph']}/{c['algo']}/{c['drop_ppm']}ppm: "
+                "fault plane never fired")
+    algos = {c["algo"] for c in chaos}
+    require(len(algos) >= 2,
+            f"chaos cells must span >= 2 pipelines, got {algos}")
+    require(len({c["drop_ppm"] for c in chaos}) >= 2,
+            "chaos cells must span >= 2 drop rates")
+
+
+def check_pr6_bit_exact(recorded, fresh):
+    """Everything in the PR6 matrix is seeded — fresh runs must reproduce
+    the recorded model metrics bit for bit."""
+    r, f = recorded["fresh"], fresh["fresh"]
+    for k in ("rounds", "messages", "palette", "n", "m"):
+        require(f[k] == r[k],
+                f"fresh baseline {k} drifted {r[k]} -> {f[k]}")
+    rec_cells = {c["batch"]: c for c in recorded["churn"]["cells"]}
+    new_cells = {c["batch"]: c for c in fresh["churn"]["cells"]}
+    require(rec_cells.keys() == new_cells.keys(),
+            f"churn batch sets differ: {sorted(rec_cells)} vs "
+            f"{sorted(new_cells)}")
+    for b in sorted(rec_cells):
+        rc, nc = rec_cells[b], new_cells[b]
+        for k in ("events", "inserted", "deleted", "touched", "damaged",
+                  "rounds", "messages", "palette_drift"):
+            require(nc[k] == rc[k],
+                    f"churn batch {b}: {k} drifted {rc[k]} -> {nc[k]}")
+    rec_chaos = {(c["graph"], c["algo"], c["drop_ppm"]): c
+                 for c in recorded["chaos"]["cells"]}
+    new_chaos = {(c["graph"], c["algo"], c["drop_ppm"]): c
+                 for c in fresh["chaos"]["cells"]}
+    require(rec_chaos.keys() == new_chaos.keys(),
+            "chaos cell sets differ")
+    for k in sorted(rec_chaos):
+        rc, nc = rec_chaos[k], new_chaos[k]
+        for field in ("rounds", "messages", "faults_dropped"):
+            require(nc[field] == rc[field],
+                    f"chaos cell {k}: {field} drifted "
+                    f"{rc[field]} -> {nc[field]}")
+
+
+def validate_pr6(fresh, recorded, log=print):
+    """The full PR6 gate: shape + acceptance on both documents, then
+    bit-exact model metrics between the fresh run and the recording."""
+    check_pr6_shape(fresh)
+    check_pr6_shape(recorded)
+    check_pr6_bit_exact(recorded, fresh)
+    total = fresh["churn"]["total_repair_messages"]
+    base = fresh["fresh"]["messages"]
+    log(f"BENCH_PR6.json OK: {len(fresh['churn']['cells'])} repair batches "
+        f"({fresh['churn']['events']} events), repair messages {total} <= "
+        f"fresh {base} / {PR6_REPAIR_FACTOR:.0f}; "
+        f"{len(fresh['chaos']['cells'])} chaos cells engine-identical; "
+        f"all model metrics bit-exact with the recording")
+
+
 def load(path):
     with open(path) as f:
         return json.load(f)
@@ -488,8 +629,14 @@ def main(argv):
                       file=sys.stderr)
                 return 2
             validate_pr5(load(argv[2]), load(argv[3]), load(argv[4]))
+        elif gate == "pr6":
+            if len(argv) != 4:
+                print("usage: bench_gate.py pr6 BENCH_PR6.json "
+                      "BENCH_PR6.recorded.json", file=sys.stderr)
+                return 2
+            validate_pr6(load(argv[2]), load(argv[3]))
         else:
-            print(f"unknown gate {gate!r}; available: pr2, pr3, pr4, pr5",
+            print(f"unknown gate {gate!r}; available: pr2, pr3, pr4, pr5, pr6",
                   file=sys.stderr)
             return 2
     except GateError as e:

@@ -416,6 +416,218 @@ class Pr5GateTests(unittest.TestCase):
             bench_gate.check_pr5_shape(doc)
 
 
+def pr6_repair_cell(batch, events=800, messages=10_000, rounds=20,
+                    valid=True):
+    return {
+        "batch": batch, "events": events, "inserted": events // 2,
+        "deleted": events - events // 2, "touched": 2 * events,
+        "damaged": events // 4, "rounds": rounds, "messages": messages,
+        "wall_ms": 500.0, "palette_drift": 2, "valid": valid,
+    }
+
+
+def pr6_chaos_cell(algo="det-small(T1.2)", drop_ppm=1000, rounds=1000,
+                   messages=100_000, faults_dropped=100, identical=True):
+    return {
+        "graph": "gnp_capped-d8-n2000", "algo": algo, "drop_ppm": drop_ppm,
+        "rounds": rounds, "messages": messages,
+        "faults_dropped": faults_dropped, "engines_identical": identical,
+    }
+
+
+def pr6_doc():
+    """Fresh n=10^5 baseline, 5 repair batches (4000 events = 1% of m,
+    well under the messages/10 bound), 2 algos x 2 drop rates of chaos."""
+    cells = [pr6_repair_cell(b) for b in range(5)]
+    chaos = [pr6_chaos_cell(algo, ppm)
+             for algo in ("det-small(T1.2)", "rand-improved(T1.1)")
+             for ppm in (1000, 50_000)]
+    return {
+        "bench": "BENCH_PR6",
+        "description": "churn repair + chaos determinism",
+        "fresh": {
+            "graph": "random_regular-d8-n100000", "n": 100_000, "m": 400_000,
+            "delta": 8, "algo": "det-small(T1.2)", "runtime": "sequential",
+            "build_ms": 100.0, "wall_ms": 20_000.0, "rounds": 1170,
+            "messages": 1_000_000, "palette": 65, "valid": True,
+            "peak_rss_mb": 385.0, "rss_cumulative": False,
+        },
+        "churn": {
+            "events": 4000, "batches": 5, "churn_fraction": 0.01,
+            "total_repair_messages": 50_000, "messages_ratio": 0.05,
+            "total_palette_drift": 10, "final_valid": True, "cells": cells,
+        },
+        "chaos": {"cells": chaos},
+    }
+
+
+class Pr6GateTests(unittest.TestCase):
+    def _validate(self, fresh, recorded):
+        bench_gate.validate_pr6(fresh, recorded, log=lambda *_: None)
+
+    def test_valid_doc_passes(self):
+        doc = pr6_doc()
+        self._validate(copy.deepcopy(doc), doc)
+
+    def test_wrong_bench_tag_fails(self):
+        doc = pr6_doc()
+        doc["bench"] = "BENCH_PR5"
+        with self.assertRaisesRegex(GateError, "not a BENCH_PR6"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_missing_fresh_key_fails(self):
+        doc = pr6_doc()
+        del doc["fresh"]["rss_cumulative"]
+        with self.assertRaisesRegex(GateError, "missing"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_invalid_fresh_baseline_fails(self):
+        doc = pr6_doc()
+        doc["fresh"]["valid"] = False
+        with self.assertRaisesRegex(GateError, "baseline coloring invalid"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_fresh_below_scaling_tier_fails(self):
+        doc = pr6_doc()
+        doc["fresh"]["n"] = 10_000
+        with self.assertRaisesRegex(GateError, "10\\^5 tier"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_missing_repair_cell_key_fails(self):
+        doc = pr6_doc()
+        del doc["churn"]["cells"][2]["palette_drift"]
+        with self.assertRaisesRegex(GateError, "repair cell missing"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_invalid_repair_batch_fails(self):
+        doc = pr6_doc()
+        doc["churn"]["cells"][3]["valid"] = False
+        with self.assertRaisesRegex(GateError, "invalid coloring"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_final_invalid_fails(self):
+        doc = pr6_doc()
+        doc["churn"]["final_valid"] = False
+        with self.assertRaisesRegex(GateError, "final coloring invalid"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_batches_cells_mismatch_fails(self):
+        doc = pr6_doc()
+        doc["churn"]["batches"] = 6
+        with self.assertRaisesRegex(GateError, "!= 5 cells"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_too_few_batches_fails(self):
+        doc = pr6_doc()
+        doc["churn"]["cells"] = doc["churn"]["cells"][:4]
+        doc["churn"]["batches"] = 4
+        with self.assertRaisesRegex(GateError, ">= 5 churn batches"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_insufficient_churn_fraction_fails(self):
+        doc = pr6_doc()
+        doc["churn"]["events"] = 100  # 0.025% of m = 400k
+        with self.assertRaisesRegex(GateError, "churn trace covers only"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_total_repair_messages_mismatch_fails(self):
+        doc = pr6_doc()
+        doc["churn"]["total_repair_messages"] += 1
+        with self.assertRaisesRegex(GateError, "sum of cells"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_repair_over_tenth_of_fresh_fails(self):
+        doc = pr6_doc()
+        # 5 x 25_000 = 125_000 > 1_000_000 / 10.
+        for c in doc["churn"]["cells"]:
+            c["messages"] = 25_000
+        doc["churn"]["total_repair_messages"] = 125_000
+        with self.assertRaisesRegex(GateError, "over fresh"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_exact_repair_bound_passes(self):
+        doc = pr6_doc()
+        for c in doc["churn"]["cells"]:
+            c["messages"] = 20_000
+        doc["churn"]["total_repair_messages"] = 100_000  # == fresh / 10
+        bench_gate.check_pr6_shape(doc)
+
+    def test_too_few_chaos_cells_fails(self):
+        doc = pr6_doc()
+        doc["chaos"]["cells"] = doc["chaos"]["cells"][:3]
+        with self.assertRaisesRegex(GateError, ">= 4 chaos cells"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_duplicate_chaos_cells_fail(self):
+        doc = pr6_doc()
+        doc["chaos"]["cells"][1] = copy.deepcopy(doc["chaos"]["cells"][0])
+        with self.assertRaisesRegex(GateError, "duplicate chaos"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_engine_divergence_fails(self):
+        doc = pr6_doc()
+        doc["chaos"]["cells"][2]["engines_identical"] = False
+        with self.assertRaisesRegex(GateError, "engines diverged"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_silent_fault_plane_fails(self):
+        doc = pr6_doc()
+        doc["chaos"]["cells"][0]["faults_dropped"] = 0
+        with self.assertRaisesRegex(GateError, "never fired"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_single_algo_chaos_fails(self):
+        doc = pr6_doc()
+        for c in doc["chaos"]["cells"]:
+            c["algo"] = "det-small(T1.2)"
+        # Dedup the (graph, algo, ppm) keys by varying drop rates.
+        for i, c in enumerate(doc["chaos"]["cells"]):
+            c["drop_ppm"] = 1000 * (i + 1)
+        with self.assertRaisesRegex(GateError, ">= 2 pipelines"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_single_drop_rate_fails(self):
+        doc = pr6_doc()
+        doc["chaos"]["cells"] = [
+            pr6_chaos_cell(algo=f"a{i}", drop_ppm=1000) for i in range(4)
+        ]
+        with self.assertRaisesRegex(GateError, ">= 2 drop rates"):
+            bench_gate.check_pr6_shape(doc)
+
+    def test_fresh_baseline_drift_fails(self):
+        fresh, rec = pr6_doc(), pr6_doc()
+        fresh["fresh"]["rounds"] += 1
+        with self.assertRaisesRegex(GateError, "fresh baseline rounds"):
+            self._validate(fresh, rec)
+
+    def test_repair_batch_drift_fails(self):
+        fresh, rec = pr6_doc(), pr6_doc()
+        fresh["churn"]["cells"][1]["messages"] -= 10
+        fresh["churn"]["total_repair_messages"] -= 10
+        with self.assertRaisesRegex(GateError, "churn batch 1: messages"):
+            self._validate(fresh, rec)
+
+    def test_churn_batch_set_drift_fails(self):
+        fresh, rec = pr6_doc(), pr6_doc()
+        fresh["churn"]["cells"][4]["batch"] = 9
+        with self.assertRaisesRegex(GateError, "batch sets differ"):
+            self._validate(fresh, rec)
+
+    def test_chaos_metric_drift_fails(self):
+        fresh, rec = pr6_doc(), pr6_doc()
+        fresh["chaos"]["cells"][3]["faults_dropped"] += 1
+        with self.assertRaisesRegex(GateError, "faults_dropped drifted"):
+            self._validate(fresh, rec)
+
+    def test_wall_clock_drift_is_tolerated(self):
+        fresh, rec = pr6_doc(), pr6_doc()
+        fresh["fresh"]["wall_ms"] *= 3.0
+        fresh["fresh"]["peak_rss_mb"] += 50.0
+        for c in fresh["churn"]["cells"]:
+            c["wall_ms"] *= 2.0
+        self._validate(fresh, rec)
+
+
 class CliTests(unittest.TestCase):
     def test_unknown_gate_is_usage_error(self):
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr9"]), 2)
@@ -426,6 +638,7 @@ class CliTests(unittest.TestCase):
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr3"]), 2)
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr4", "x"]), 2)
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr5", "x", "y"]), 2)
+        self.assertEqual(bench_gate.main(["bench_gate.py", "pr6", "x"]), 2)
 
 
 if __name__ == "__main__":

@@ -9,6 +9,8 @@
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr3 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr4 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr5 [out.json]
+//! cargo run --release -p d2color-bench --bin harness -- bench-pr6 [out.json]
+//! cargo run --release -p d2color-bench --bin harness -- chaos-smoke
 //! cargo run --release -p d2color-bench --bin harness -- scale-smoke
 //! cargo run --release -p d2color-bench --bin harness -- scale-coloring-1e6
 //! cargo run --release -p d2color-bench --bin harness -- scale-rand-1e6
@@ -465,6 +467,125 @@ fn bench_pr5() {
     println!("\nwrote {} cells to {out_path}", cells.len());
 }
 
+/// Runs the BENCH_PR6 matrix (churn → 2-hop local repair economics +
+/// fault-plane determinism cells) and writes the JSON report (default
+/// path: `BENCH_PR6.json`). The acceptance criteria are asserted here so
+/// a violating report can never be recorded.
+fn bench_pr6() {
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_PR6.json".into());
+    let r = benchkit::pr6::run_matrix();
+    let b = &r.baseline;
+    println!(
+        "fresh {:<28} wall {:>10.1} ms  rounds {:>6}  messages {:>12}  rss {:>8.1} MiB{}  valid {}",
+        b.graph,
+        b.wall_ms,
+        b.rounds,
+        b.messages,
+        b.peak_rss_mb,
+        if b.rss_cumulative {
+            " (cumulative)"
+        } else {
+            ""
+        },
+        b.valid
+    );
+    assert!(b.valid, "fresh baseline produced an invalid coloring");
+    for c in &r.repair {
+        println!(
+            "batch {:>2}: events {:>4} (+{} -{})  touched {:>5}  damaged {:>5}  \
+             repair rounds {:>4}  messages {:>9}  drift {}  wall {:>8.1} ms  valid {}",
+            c.batch,
+            c.events,
+            c.inserted,
+            c.deleted,
+            c.touched,
+            c.damaged,
+            c.rounds,
+            c.messages,
+            c.palette_drift,
+            c.wall_ms,
+            c.valid
+        );
+        assert!(c.valid, "repair batch {} left conflicts", c.batch);
+    }
+    println!(
+        "churn: {} events ({:.3}% of m), repair messages {} / fresh {} = ratio {:.6}",
+        r.churn_events,
+        r.churn_fraction * 100.0,
+        r.total_repair_messages,
+        b.messages,
+        r.messages_ratio
+    );
+    assert!(r.final_valid, "final coloring failed verification");
+    assert!(
+        r.total_repair_messages * benchkit::pr6::REPAIR_MESSAGE_FACTOR <= b.messages,
+        "repair spent {} messages, over 1/{} of the fresh run's {}",
+        r.total_repair_messages,
+        benchkit::pr6::REPAIR_MESSAGE_FACTOR,
+        b.messages
+    );
+    for c in &r.chaos {
+        println!(
+            "chaos {:<22} {:<20} drop {:>6} ppm  rounds {:>5}  messages {:>9}  \
+             dropped {:>7}  identical {}",
+            c.graph,
+            c.algo,
+            c.drop_ppm,
+            c.rounds,
+            c.messages,
+            c.faults_dropped,
+            c.engines_identical
+        );
+        assert!(
+            c.engines_identical,
+            "{}/{} at {} ppm: engines diverged under faults",
+            c.graph, c.algo, c.drop_ppm
+        );
+    }
+    let doc = benchkit::pr6::to_json(&r);
+    std::fs::write(&out_path, doc).expect("write BENCH_PR6.json");
+    println!(
+        "\nwrote {} repair + {} chaos cells to {out_path}",
+        r.repair.len(),
+        r.chaos.len()
+    );
+}
+
+/// CI chaos-smoke: the fault-seed differential matrix alone — both full
+/// pipelines under three seeded drop rates, sequential vs parallel —
+/// exits nonzero if any cell's engines diverge or no fault ever fires.
+fn chaos_smoke() {
+    let cells = benchkit::pr6::run_chaos_matrix();
+    for c in &cells {
+        println!(
+            "{:<22} {:<20} drop {:>6} ppm  rounds {:>5}  messages {:>9}  \
+             dropped {:>7}  identical {}",
+            c.graph,
+            c.algo,
+            c.drop_ppm,
+            c.rounds,
+            c.messages,
+            c.faults_dropped,
+            c.engines_identical
+        );
+        assert!(
+            c.engines_identical,
+            "{}/{} at {} ppm: engines diverged under faults",
+            c.graph, c.algo, c.drop_ppm
+        );
+        assert!(
+            c.faults_dropped > 0,
+            "{}/{} at {} ppm: the fault plane never fired",
+            c.graph,
+            c.algo,
+            c.drop_ppm
+        );
+    }
+    println!("chaos-smoke OK ({} cells)", cells.len());
+}
+
 /// CI scale-smoke sub-step: the first n = 10⁶ **randomized** coloring —
 /// rand-improved, stressed warmup, `random_regular` d = 8, sequential —
 /// verified end to end under the job's wall-clock `timeout`.
@@ -577,6 +698,14 @@ fn main() {
         scale_rand_1e6();
         return;
     }
+    if arg == "bench-pr6" {
+        bench_pr6();
+        return;
+    }
+    if arg == "chaos-smoke" {
+        chaos_smoke();
+        return;
+    }
     let exps: Vec<(&str, fn())> = vec![
         ("exp1", exp1),
         ("exp2", exp2),
@@ -601,7 +730,7 @@ fn main() {
             Some((_, f)) => f(),
             None => {
                 eprintln!(
-                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, bench-pr4, bench-pr5, scale-smoke, scale-coloring-1e6, scale-rand-1e6"
+                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, bench-pr4, bench-pr5, bench-pr6, chaos-smoke, scale-smoke, scale-coloring-1e6, scale-rand-1e6"
                 );
                 std::process::exit(2);
             }

@@ -13,6 +13,7 @@ pub mod pr2;
 pub mod pr3;
 pub mod pr4;
 pub mod pr5;
+pub mod pr6;
 
 /// The algorithms under measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,578 @@
+//! `BENCH_PR6.json`: churn-and-repair economics plus the fault-plane
+//! determinism record.
+//!
+//! PR 6 gives the simulator a deterministic fault plane and the coloring
+//! a 2-hop local repair path. This matrix records the two claims the PR
+//! makes:
+//!
+//! * **Repair is an order of magnitude cheaper than recoloring.** A
+//!   `random_regular` d = 8, n = 10⁵ graph is colored fresh by det-small
+//!   (the `fresh` baseline cell, with the same per-cell peak-RSS window
+//!   as BENCH_PR5 — `rss_cumulative: true` marks hosts where the
+//!   high-water mark could not be reset and the RSS column then covers
+//!   earlier process history). Then ~1 % of its edges churn in seeded
+//!   Poisson batches; each batch is applied as one CSR rebuild
+//!   ([`graphs::apply_batch`]), damage is detected in the 2-hop
+//!   neighborhood of the touched endpoints, and [`d2core::repair()`](d2core::repair())
+//!   recolors only the damaged region. The acceptance line is
+//!   `messages_ratio`: total repair messages across every batch divided
+//!   by the fresh run's messages, gated at ≤ 1/10 by
+//!   `ci/bench_gate.py pr6`.
+//!
+//! * **Faults are deterministic across engines.** Each chaos cell runs a
+//!   full pipeline under a seeded drop rate on the sequential and the
+//!   parallel engine and records whether colorings and metrics (fault
+//!   counters included) were bit-identical — `engines_identical` must be
+//!   `true` in every cell.
+//!
+//! All randomness (churn trace included) is seeded, so rounds, messages,
+//! damage counts, and palettes are bit-exact across machines and reruns.
+
+use crate::json::Json;
+use crate::pr3::{peak_rss_mb, reset_peak_rss};
+use crate::Algo;
+use congest::{FaultConfig, RuntimeMode, SimConfig};
+use d2core::Params;
+use graphs::{D2View, EdgeBatch, Graph, NodeId};
+use std::time::Instant;
+
+/// Seed shared by the workload generators and the simulator configs.
+const SEED: u64 = 42;
+/// Fault seed for the chaos determinism cells.
+const FAULT_SEED: u64 = 11;
+/// Fraction of the base graph's edges that churn across the whole run.
+const CHURN_FRACTION: f64 = 0.01;
+/// Number of Poisson batches the churn trace is split into.
+const CHURN_BATCHES: usize = 10;
+/// Acceptance bound: total repair messages ≤ fresh messages / 10.
+pub const REPAIR_MESSAGE_FACTOR: u64 = 10;
+
+/// The fresh det-small baseline cell (the denominator of the repair
+/// economics).
+#[derive(Debug, Clone)]
+pub struct Pr6Baseline {
+    /// Workload label.
+    pub graph: String,
+    /// Nodes.
+    pub n: usize,
+    /// Undirected edges.
+    pub m: usize,
+    /// Maximum degree.
+    pub delta: usize,
+    /// Algorithm name.
+    pub algo: String,
+    /// Runtime label.
+    pub runtime: String,
+    /// Wall-clock milliseconds to generate the graph and build its CSR.
+    pub build_ms: f64,
+    /// Wall-clock milliseconds of the coloring pipeline.
+    pub wall_ms: f64,
+    /// Rounds to completion.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Palette certificate.
+    pub palette: usize,
+    /// Coloring verified against the `D2View` oracle.
+    pub valid: bool,
+    /// Peak RSS (MiB) over the coloring run; per-cell where the
+    /// high-water mark could be reset, else cumulative.
+    pub peak_rss_mb: f64,
+    /// `true` when the high-water mark could **not** be reset before the
+    /// run — the RSS column then also covers earlier process history and
+    /// the CI gate skips its comparison.
+    pub rss_cumulative: bool,
+}
+
+/// One churn batch: events applied, damage found, repair traffic spent.
+#[derive(Debug, Clone)]
+pub struct Pr6RepairCell {
+    /// Batch index (0-based, applied in order).
+    pub batch: usize,
+    /// Queued edge events in this batch (before no-op filtering).
+    pub events: usize,
+    /// Edges actually inserted.
+    pub inserted: usize,
+    /// Edges actually deleted.
+    pub deleted: usize,
+    /// Endpoints whose adjacency changed.
+    pub touched: usize,
+    /// Nodes stripped and recolored by the repair.
+    pub damaged: usize,
+    /// Repair protocol rounds (0 when no damage was found).
+    pub rounds: u64,
+    /// Repair protocol messages — the numerator of `messages_ratio`.
+    pub messages: u64,
+    /// Wall-clock milliseconds: rebuild + oracle + damage scan + repair.
+    pub wall_ms: f64,
+    /// Palette growth over the pre-churn palette (0 = no drift).
+    pub palette_drift: usize,
+    /// Post-repair coloring verified against the post-churn oracle.
+    pub valid: bool,
+}
+
+/// One fault-determinism cell: a pipeline under a seeded drop rate on
+/// both engines.
+#[derive(Debug, Clone)]
+pub struct Pr6ChaosCell {
+    /// Workload label.
+    pub graph: String,
+    /// Algorithm name.
+    pub algo: String,
+    /// Drop probability in events per million deliveries.
+    pub drop_ppm: u32,
+    /// Rounds to completion (sequential engine).
+    pub rounds: u64,
+    /// Messages charged at send time (sequential engine).
+    pub messages: u64,
+    /// Messages the fault plane dropped (sequential engine).
+    pub faults_dropped: u64,
+    /// Colorings and full metrics bit-identical across engines.
+    pub engines_identical: bool,
+}
+
+/// The full PR 6 report.
+#[derive(Debug, Clone)]
+pub struct Pr6Report {
+    /// Fresh det-small baseline.
+    pub baseline: Pr6Baseline,
+    /// Per-batch churn/repair cells, in application order.
+    pub repair: Vec<Pr6RepairCell>,
+    /// Fault-determinism cells.
+    pub chaos: Vec<Pr6ChaosCell>,
+    /// Total queued churn events.
+    pub churn_events: usize,
+    /// `churn_events / m` of the base graph.
+    pub churn_fraction: f64,
+    /// Sum of the repair cells' messages.
+    pub total_repair_messages: u64,
+    /// `total_repair_messages / baseline.messages`.
+    pub messages_ratio: f64,
+    /// Sum of the per-batch palette drifts.
+    pub total_palette_drift: usize,
+    /// The coloring after the last repair verifies against the final
+    /// topology's oracle.
+    pub final_valid: bool,
+}
+
+/// SplitMix64 — the churn-trace RNG. Self-contained so the trace is
+/// bit-stable independent of any external RNG crate's stream layout.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `0..n` (modulo bias is irrelevant at trace scale).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Knuth's Poisson sampler; fine for the per-batch means used here
+/// (`exp(-λ)` stays representable far past λ = 600).
+fn poisson(rng: &mut SplitMix, lambda: f64) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.next_f64();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// One seeded churn batch against the current topology: each event is a
+/// coin flip between deleting a random existing edge (sampled via a
+/// random endpoint, mildly degree-biased — irrelevant on near-regular
+/// graphs) and inserting a random node pair.
+fn churn_batch(g: &Graph, rng: &mut SplitMix, events: usize) -> EdgeBatch {
+    let n = g.n() as u64;
+    let mut batch = EdgeBatch::new();
+    for _ in 0..events {
+        if rng.next_f64() < 0.5 {
+            loop {
+                let u = rng.below(n) as NodeId;
+                let nbrs = g.neighbors(u);
+                if !nbrs.is_empty() {
+                    let v = nbrs[rng.below(nbrs.len() as u64) as usize];
+                    batch.delete(u, v);
+                    break;
+                }
+            }
+        } else {
+            loop {
+                let u = rng.below(n) as NodeId;
+                let v = rng.below(n) as NodeId;
+                if u != v {
+                    batch.insert(u, v);
+                    break;
+                }
+            }
+        }
+    }
+    batch
+}
+
+/// Runs the fresh det-small baseline with a per-cell RSS window (reset
+/// after the graph is resident, read back when the pipeline returns).
+fn run_baseline(g: &Graph, build_ms: f64, cfg: &SimConfig) -> (Pr6Baseline, Vec<u32>) {
+    let reset = reset_peak_rss();
+    let t0 = Instant::now();
+    let out = Algo::DetSmall
+        .run(g, &Params::practical(), cfg)
+        .expect("baseline coloring failed");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let rss = peak_rss_mb();
+    let view = D2View::build(g);
+    let cell = Pr6Baseline {
+        graph: format!("random_regular-d8-n{}", g.n()),
+        n: g.n(),
+        m: g.m(),
+        delta: g.max_degree(),
+        algo: Algo::DetSmall.name().to_string(),
+        runtime: "sequential".into(),
+        build_ms,
+        wall_ms,
+        rounds: out.rounds(),
+        messages: out.metrics.messages,
+        palette: out.palette_bound(),
+        valid: graphs::verify::is_valid_d2_coloring_with(&view, &out.colors),
+        peak_rss_mb: rss,
+        rss_cumulative: !reset,
+    };
+    (cell, out.colors)
+}
+
+/// Applies the seeded churn trace batch by batch, repairing after each,
+/// and returns the cells plus the final graph validity.
+fn run_churn(
+    mut g: Graph,
+    mut colors: Vec<u32>,
+    cfg: &SimConfig,
+) -> (Vec<Pr6RepairCell>, usize, bool) {
+    let mean = g.m() as f64 * CHURN_FRACTION / CHURN_BATCHES as f64;
+    let mut rng = SplitMix(SEED ^ 0x5DEE_CE66_D0C6_51AB);
+    let mut cells = Vec::with_capacity(CHURN_BATCHES);
+    let mut total_events = 0usize;
+    for batch_idx in 0..CHURN_BATCHES {
+        let events = poisson(&mut rng, mean);
+        total_events += events;
+        let t0 = Instant::now();
+        let batch = churn_batch(&g, &mut rng, events);
+        let churned = graphs::apply_batch(&g, &batch).expect("churn batch");
+        let view = D2View::build(&churned.graph);
+        let out = d2core::repair(&churned.graph, &view, &colors, &churned.touched, cfg)
+            .expect("repair failed");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        cells.push(Pr6RepairCell {
+            batch: batch_idx,
+            events,
+            inserted: churned.inserted,
+            deleted: churned.deleted,
+            touched: churned.touched.len(),
+            damaged: out.damaged,
+            rounds: out.metrics.rounds,
+            messages: out.metrics.messages,
+            wall_ms,
+            palette_drift: out.palette_drift(),
+            valid: graphs::verify::is_valid_d2_coloring_with(&view, &out.colors),
+        });
+        g = churned.graph;
+        colors = out.colors;
+    }
+    let final_valid = graphs::verify::is_valid_d2_coloring_with(&D2View::build(&g), &colors);
+    (cells, total_events, final_valid)
+}
+
+/// The chaos determinism matrix: both full pipelines under three seeded
+/// drop rates, sequential vs parallel-4, bit-equality recorded per cell.
+/// Shared by `bench-pr6` and the CI `chaos-smoke` sub-step.
+#[must_use]
+pub fn run_chaos_matrix() -> Vec<Pr6ChaosCell> {
+    let g = graphs::gen::gnp_capped(2_000, 0.004, 8, SEED);
+    let label = "gnp_capped-d8-n2000";
+    let params = Params::practical();
+    let mut cells = Vec::new();
+    for algo in [Algo::DetSmall, Algo::RandImproved] {
+        for drop_ppm in [1_000u32, 10_000, 50_000] {
+            let faults = FaultConfig::seeded(FAULT_SEED).with_drops(drop_ppm);
+            let seq_cfg = SimConfig::seeded(SEED)
+                .with_faults(faults.clone())
+                .with_runtime(RuntimeMode::Sequential);
+            let par_cfg = seq_cfg.clone().with_threads(Some(4));
+            let seq = algo.run(&g, &params, &seq_cfg).expect("chaos seq");
+            let par = algo.run(&g, &params, &par_cfg).expect("chaos par");
+            cells.push(Pr6ChaosCell {
+                graph: label.into(),
+                algo: algo.name().to_string(),
+                drop_ppm,
+                rounds: seq.metrics.rounds,
+                messages: seq.metrics.messages,
+                faults_dropped: seq.metrics.faults_dropped,
+                engines_identical: seq.colors == par.colors && seq.metrics == par.metrics,
+            });
+        }
+    }
+    cells
+}
+
+/// Runs the full PR 6 matrix: baseline, churn trace, chaos cells.
+#[must_use]
+pub fn run_matrix() -> Pr6Report {
+    let t0 = Instant::now();
+    let g = graphs::gen::random_regular(100_000, 8, SEED);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let m = g.m();
+    let cfg = SimConfig::at_scale(SEED, g.n()).with_runtime(RuntimeMode::Sequential);
+    let (baseline, colors) = run_baseline(&g, build_ms, &cfg);
+    let (repair, churn_events, final_valid) = run_churn(g, colors, &cfg);
+    let chaos = run_chaos_matrix();
+    let total_repair_messages: u64 = repair.iter().map(|c| c.messages).sum();
+    let total_palette_drift: usize = repair.iter().map(|c| c.palette_drift).sum();
+    Pr6Report {
+        messages_ratio: total_repair_messages as f64 / baseline.messages as f64,
+        churn_fraction: churn_events as f64 / m as f64,
+        baseline,
+        repair,
+        chaos,
+        churn_events,
+        total_repair_messages,
+        total_palette_drift,
+        final_valid,
+    }
+}
+
+fn ms(x: f64) -> Json {
+    Json::Num((x * 1000.0).round() / 1000.0)
+}
+
+/// Serializes the report into the `BENCH_PR6.json` document.
+#[must_use]
+pub fn to_json(r: &Pr6Report) -> String {
+    let b = &r.baseline;
+    let fresh = Json::obj(vec![
+        ("graph", Json::str(&b.graph)),
+        ("n", Json::int(b.n as u64)),
+        ("m", Json::int(b.m as u64)),
+        ("delta", Json::int(b.delta as u64)),
+        ("algo", Json::str(&b.algo)),
+        ("runtime", Json::str(&b.runtime)),
+        ("build_ms", ms(b.build_ms)),
+        ("wall_ms", ms(b.wall_ms)),
+        ("rounds", Json::int(b.rounds)),
+        ("messages", Json::int(b.messages)),
+        ("palette", Json::int(b.palette as u64)),
+        ("valid", Json::Bool(b.valid)),
+        ("peak_rss_mb", ms(b.peak_rss_mb)),
+        ("rss_cumulative", Json::Bool(b.rss_cumulative)),
+    ]);
+    let repair_rows: Vec<Json> = r
+        .repair
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("batch", Json::int(c.batch as u64)),
+                ("events", Json::int(c.events as u64)),
+                ("inserted", Json::int(c.inserted as u64)),
+                ("deleted", Json::int(c.deleted as u64)),
+                ("touched", Json::int(c.touched as u64)),
+                ("damaged", Json::int(c.damaged as u64)),
+                ("rounds", Json::int(c.rounds)),
+                ("messages", Json::int(c.messages)),
+                ("wall_ms", ms(c.wall_ms)),
+                ("palette_drift", Json::int(c.palette_drift as u64)),
+                ("valid", Json::Bool(c.valid)),
+            ])
+        })
+        .collect();
+    let chaos_rows: Vec<Json> = r
+        .chaos
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("graph", Json::str(&c.graph)),
+                ("algo", Json::str(&c.algo)),
+                ("drop_ppm", Json::int(u64::from(c.drop_ppm))),
+                ("rounds", Json::int(c.rounds)),
+                ("messages", Json::int(c.messages)),
+                ("faults_dropped", Json::int(c.faults_dropped)),
+                ("engines_identical", Json::Bool(c.engines_identical)),
+            ])
+        })
+        .collect();
+    let churn = Json::obj(vec![
+        ("events", Json::int(r.churn_events as u64)),
+        ("batches", Json::int(r.repair.len() as u64)),
+        (
+            "churn_fraction",
+            Json::Num((r.churn_fraction * 1e6).round() / 1e6),
+        ),
+        ("total_repair_messages", Json::int(r.total_repair_messages)),
+        (
+            "messages_ratio",
+            Json::Num((r.messages_ratio * 1e6).round() / 1e6),
+        ),
+        (
+            "total_palette_drift",
+            Json::int(r.total_palette_drift as u64),
+        ),
+        ("final_valid", Json::Bool(r.final_valid)),
+        ("cells", Json::Arr(repair_rows)),
+    ]);
+    Json::obj(vec![
+        ("bench", Json::str("BENCH_PR6")),
+        (
+            "description",
+            Json::str(
+                "Deterministic fault plane + 2-hop local repair: ~1% seeded \
+                 Poisson edge churn on the n = 1e5 det-small coloring, repaired \
+                 locally for <= 1/10 of the fresh run's messages, plus \
+                 drop-rate chaos cells proving sequential/parallel engines \
+                 stay bit-identical under faults",
+            ),
+        ),
+        ("fresh", fresh),
+        ("churn", churn),
+        ("chaos", Json::obj(vec![("cells", Json::Arr(chaos_rows))])),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Pr6Report {
+        Pr6Report {
+            baseline: Pr6Baseline {
+                graph: "random_regular-d8-n100000".into(),
+                n: 100_000,
+                m: 400_000,
+                delta: 8,
+                algo: "det-small(T1.2)".into(),
+                runtime: "sequential".into(),
+                build_ms: 300.0,
+                wall_ms: 90_000.0,
+                rounds: 5000,
+                messages: 50_000_000,
+                palette: 65,
+                valid: true,
+                peak_rss_mb: 900.0,
+                rss_cumulative: false,
+            },
+            repair: vec![Pr6RepairCell {
+                batch: 0,
+                events: 400,
+                inserted: 195,
+                deleted: 201,
+                touched: 780,
+                damaged: 120,
+                rounds: 12,
+                messages: 40_000,
+                wall_ms: 2_500.0,
+                palette_drift: 0,
+                valid: true,
+            }],
+            chaos: vec![Pr6ChaosCell {
+                graph: "gnp_capped-d8-n2000".into(),
+                algo: "det-small(T1.2)".into(),
+                drop_ppm: 10_000,
+                rounds: 1200,
+                messages: 800_000,
+                faults_dropped: 8_000,
+                engines_identical: true,
+            }],
+            churn_events: 400,
+            churn_fraction: 0.001,
+            total_repair_messages: 40_000,
+            messages_ratio: 0.0008,
+            total_palette_drift: 0,
+            final_valid: true,
+        }
+    }
+
+    #[test]
+    fn serializes_required_sections() {
+        let s = to_json(&sample_report());
+        for key in [
+            "\"bench\": \"BENCH_PR6\"",
+            "\"fresh\"",
+            "\"churn\"",
+            "\"chaos\"",
+            "\"messages_ratio\": 0.0008",
+            "\"engines_identical\": true",
+            "\"final_valid\": true",
+            "\"rss_cumulative\": false",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_lambda() {
+        let mut rng = SplitMix(7);
+        let lambda = 40.0;
+        let n = 400;
+        let total: usize = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - lambda).abs() < lambda * 0.15,
+            "poisson mean {mean} far from lambda {lambda}"
+        );
+    }
+
+    #[test]
+    fn churn_trace_is_deterministic() {
+        let g = graphs::gen::gnp_capped(200, 0.05, 7, 3);
+        let mk = || {
+            let mut rng = SplitMix(99);
+            let b = churn_batch(&g, &mut rng, 30);
+            graphs::apply_batch(&g, &b).expect("apply")
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.touched, b.touched);
+        assert!(
+            a.inserted + a.deleted > 0,
+            "30 events should change something"
+        );
+    }
+
+    #[test]
+    fn end_to_end_churn_repair_on_a_small_graph() {
+        let g = graphs::gen::random_regular(300, 6, 4);
+        let cfg = SimConfig::seeded(4);
+        let out = Algo::DetSmall
+            .run(&g, &Params::practical(), &cfg)
+            .expect("base");
+        let mut rng = SplitMix(1);
+        let batch = churn_batch(&g, &mut rng, 12);
+        let churned = graphs::apply_batch(&g, &batch).expect("churn");
+        let view = D2View::build(&churned.graph);
+        let rep = d2core::repair(&churned.graph, &view, &out.colors, &churned.touched, &cfg)
+            .expect("repair");
+        assert!(graphs::verify::is_valid_d2_coloring_with(
+            &view,
+            &rep.colors
+        ));
+        assert!(
+            rep.metrics.messages < out.metrics.messages,
+            "repair ({}) should undercut the fresh run ({})",
+            rep.metrics.messages,
+            out.metrics.messages
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::faults::FaultConfig;
 use graphs::Graph;
 
 /// How `O(log n)`-bit identifiers are assigned to node indices.
@@ -159,6 +160,16 @@ pub struct SimConfig {
     /// this only selects the execution strategy, so experiment harnesses
     /// can sweep the runtime dimension through configuration alone.
     pub runtime: RuntimeMode,
+    /// Optional fault injection: seeded message drops/duplicates and node
+    /// crash/restart schedules (see [`crate::faults`]). `None` (the
+    /// default) is the flawless network of the paper; every metric is then
+    /// bit-identical to a build without the fault plane.
+    pub faults: Option<FaultConfig>,
+    /// Human-readable label of the pipeline phase this run executes,
+    /// carried into [`SimError::RoundLimitExceeded`](crate::SimError)
+    /// diagnostics so a stalled multi-phase run names its stalled phase.
+    /// Drivers set it per phase; empty means "unnamed".
+    pub phase_label: String,
 }
 
 impl SimConfig {
@@ -234,6 +245,27 @@ impl SimConfig {
         self.with_runtime(RuntimeMode::Auto(threads))
     }
 
+    /// Returns `self` with the given fault model installed.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Returns `self` with fault injection disabled (the default).
+    #[must_use]
+    pub fn without_faults(mut self) -> Self {
+        self.faults = None;
+        self
+    }
+
+    /// Returns `self` with the diagnostic phase label replaced.
+    #[must_use]
+    pub fn with_phase_label(mut self, label: impl Into<String>) -> Self {
+        self.phase_label = label.into();
+        self
+    }
+
     /// The effective seed for node RNG streams.
     #[must_use]
     pub(crate) fn rng_seed(&self) -> u64 {
@@ -255,6 +287,8 @@ impl Default for SimConfig {
             max_rounds: 5_000_000,
             ids: IdAssignment::Permuted,
             runtime: RuntimeMode::Sequential,
+            faults: None,
+            phase_label: String::new(),
         }
     }
 }
@@ -295,6 +329,17 @@ mod tests {
             RuntimeMode::Sequential
         );
         assert_eq!(SimConfig::default().auto(4).runtime, RuntimeMode::Auto(4));
+    }
+
+    #[test]
+    fn fault_and_phase_builders() {
+        let c = SimConfig::seeded(1)
+            .with_faults(FaultConfig::seeded(9).with_drops(1000))
+            .with_phase_label("linial");
+        assert_eq!(c.faults.as_ref().map(|f| f.fault_seed), Some(9));
+        assert_eq!(c.phase_label, "linial");
+        assert!(c.without_faults().faults.is_none());
+        assert!(SimConfig::default().faults.is_none());
     }
 
     #[test]

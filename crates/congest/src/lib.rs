@@ -28,6 +28,11 @@
 //! `p`-th round can declare it ([`Protocol::sync_period`]) to batch `p`
 //! simulator rounds per synchronization.
 //!
+//! Robustness experiments run against a deterministic fault plane
+//! ([`faults`]): seeded per-(round, edge) message drops/duplicates and
+//! per-node crash windows injected identically by both engines, so a fault
+//! trace reproduces bit for bit from its `(graph seed, fault seed)` pair.
+//!
 //! # Example
 //!
 //! ```
@@ -67,6 +72,7 @@
 //! ```
 
 mod config;
+pub mod faults;
 mod message;
 mod metrics;
 mod net;
@@ -78,11 +84,12 @@ pub mod runtime;
 pub use config::{
     auto_work_estimate, IdAssignment, RuntimeMode, ScalePreset, SimConfig, AUTO_WORK_THRESHOLD,
 };
+pub use faults::{Fate, FaultConfig, FaultPlane, PER_MILLION};
 pub use message::{BitCost, Message, SmallIds};
 pub use metrics::Metrics;
 pub use net::NetTables;
 pub use node::{NodeCtx, NodeRng, Port};
-pub use outbox::{Inbox, Outbox};
+pub use outbox::{DuplicateDelivery, Inbox, Outbox};
 pub use protocol::{Protocol, Status};
 pub use runtime::{
     assigned_idents, run, run_parallel, run_with, ParallelRuntime, RunResult, SequentialRuntime,

@@ -15,6 +15,21 @@ pub struct Metrics {
     pub bandwidth_bits: u64,
     /// Number of messages exceeding the budget (0 in compliant runs).
     pub bandwidth_violations: u64,
+    /// Messages lost on the wire by the fault plane (see
+    /// [`crate::faults`]). Dropped messages still count in [`messages`]
+    /// — bandwidth is charged at send time.
+    ///
+    /// [`messages`]: Metrics::messages
+    pub faults_dropped: u64,
+    /// Messages the fault plane delivered twice. Only the original copy
+    /// counts in [`Metrics::messages`].
+    pub faults_duplicated: u64,
+    /// Messages discarded because their receiver was crashed at the
+    /// arrival round.
+    pub crash_drops: u64,
+    /// Node-rounds spent crashed (nodes skipped by the engine because
+    /// their crash window covered the round).
+    pub crashed_rounds: u64,
 }
 
 impl Metrics {
@@ -27,6 +42,10 @@ impl Metrics {
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
         self.bandwidth_bits = self.bandwidth_bits.max(other.bandwidth_bits);
         self.bandwidth_violations += other.bandwidth_violations;
+        self.faults_dropped += other.faults_dropped;
+        self.faults_duplicated += other.faults_duplicated;
+        self.crash_drops += other.crash_drops;
+        self.crashed_rounds += other.crashed_rounds;
     }
 
     /// Record one delivered message of `bits` bits against budget `budget`.
@@ -74,6 +93,7 @@ mod tests {
             max_message_bits: 16,
             bandwidth_bits: 64,
             bandwidth_violations: 0,
+            ..Metrics::default()
         };
         let b = Metrics {
             rounds: 2,
@@ -82,6 +102,10 @@ mod tests {
             max_message_bits: 32,
             bandwidth_bits: 64,
             bandwidth_violations: 1,
+            faults_dropped: 4,
+            faults_duplicated: 3,
+            crash_drops: 2,
+            crashed_rounds: 7,
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
@@ -89,5 +113,9 @@ mod tests {
         assert_eq!(a.total_bits, 160);
         assert_eq!(a.max_message_bits, 32);
         assert_eq!(a.bandwidth_violations, 1);
+        assert_eq!(a.faults_dropped, 4);
+        assert_eq!(a.faults_duplicated, 3);
+        assert_eq!(a.crash_drops, 2);
+        assert_eq!(a.crashed_rounds, 7);
     }
 }

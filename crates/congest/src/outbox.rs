@@ -1,6 +1,36 @@
 //! Inboxes and outboxes: the only I/O surface of a node program.
 
 use crate::node::Port;
+use std::fmt;
+
+/// More than one message arrived on a single port in one round.
+///
+/// Only the fault plane's duplicate injection ([`crate::faults`]) can
+/// produce this under the engines — the sending [`Outbox`] rejects
+/// duplicate sends — so protocols that must distinguish "one message" from
+/// "one message, delivered twice" use [`Inbox::from_port_strict`] and
+/// surface this as a structured error instead of silently reading the
+/// first copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateDelivery {
+    /// The port carrying more than one message.
+    pub port: Port,
+    /// How many copies arrived (≥ 2).
+    pub copies: usize,
+}
+
+impl fmt::Display for DuplicateDelivery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} messages delivered on port {} in one round \
+             (CONGEST allows one message per edge per round)",
+            self.copies, self.port
+        )
+    }
+}
+
+impl std::error::Error for DuplicateDelivery {}
 
 /// Messages received this round, as `(port, message)` pairs sorted by port.
 ///
@@ -34,9 +64,11 @@ impl<M> Inbox<M> {
             return;
         }
         // Unstable sort keeps the steady-state round allocation-free (the
-        // stable sort buys a merge buffer); it is still deterministic
-        // because the engines deliver at most one message per port per
-        // round, so the keys are distinct.
+        // stable sort buys a merge buffer); it is still deterministic:
+        // the Outbox delivers at most one message per port per round, so
+        // keys are distinct except for fault-plane duplicates — and those
+        // are bitwise copies of each other, making any reordering within
+        // an equal run unobservable.
         self.items.sort_unstable_by_key(|&(p, _)| p);
     }
 
@@ -75,28 +107,51 @@ impl<M> Inbox<M> {
 
     /// The message received on `port`, if any.
     ///
-    /// **Contract**: under the engines' delivery rules at most one message
-    /// arrives per port per round (the sending [`Outbox`] rejects duplicate
-    /// sends), so the lookup has a unique answer. For inboxes constructed
-    /// outside the engines (tests), the *first* message on `port` in
-    /// delivery order is returned deterministically — `binary_search` would
-    /// land on an arbitrary element of an equal run — and a debug assertion
-    /// flags the duplicate, since it indicates a violation of the
-    /// one-message-per-edge discipline upstream.
+    /// **Contract**: under the engines' fault-free delivery rules at most
+    /// one message arrives per port per round (the sending [`Outbox`]
+    /// rejects duplicate sends), so the lookup has a unique answer. When
+    /// the fault plane ([`crate::faults`]) injects a duplicate — or an
+    /// inbox constructed outside the engines (tests) carries one — the
+    /// *first* copy on `port` in sorted order is returned
+    /// deterministically; since fault-plane duplicates are bitwise copies,
+    /// first-copy semantics are indistinguishable from fault-free delivery
+    /// for this accessor. Use [`Inbox::from_port_strict`] to detect the
+    /// duplication instead of absorbing it.
     #[must_use]
     pub fn from_port(&self, port: Port) -> Option<&M> {
-        // Lower bound of the (at most unit-length) run of entries at `port`.
+        // Lower bound of the (usually unit-length) run of entries at `port`.
+        let i = self.items.partition_point(|&(p, _)| p < port);
+        match self.items.get(i) {
+            Some(&(p, ref m)) if p == port => Some(m),
+            _ => None,
+        }
+    }
+
+    /// [`Inbox::from_port`] that reports multiple deliveries on `port` as
+    /// a structured [`DuplicateDelivery`] error instead of returning the
+    /// first copy — for protocols (or harnesses) that audit the
+    /// one-message-per-edge discipline at runtime rather than trusting
+    /// first-copy absorption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicateDelivery`] if more than one message arrived on
+    /// `port` this round.
+    pub fn from_port_strict(&self, port: Port) -> Result<Option<&M>, DuplicateDelivery> {
         let i = self.items.partition_point(|&(p, _)| p < port);
         match self.items.get(i) {
             Some(&(p, ref m)) if p == port => {
-                debug_assert!(
-                    self.items.get(i + 1).is_none_or(|&(q, _)| q != port),
-                    "multiple messages delivered on port {port} in one round \
-                     (CONGEST allows one message per edge per round)"
-                );
-                Some(m)
+                let copies = 1 + self.items[i + 1..]
+                    .iter()
+                    .take_while(|&&(q, _)| q == port)
+                    .count();
+                if copies > 1 {
+                    Err(DuplicateDelivery { port, copies })
+                } else {
+                    Ok(Some(m))
+                }
             }
-            _ => None,
+            _ => Ok(None),
         }
     }
 }
@@ -208,6 +263,27 @@ mod tests {
         assert_eq!(inbox.from_port(1), None);
         let ports: Vec<Port> = inbox.iter().map(|&(p, _)| p).collect();
         assert_eq!(ports, vec![0, 2]);
+    }
+
+    #[test]
+    fn from_port_absorbs_duplicates_strict_reports_them() {
+        let mut inbox: Inbox<u64> = Inbox::with_capacity(0);
+        inbox.push(1, 7);
+        inbox.push(1, 7);
+        inbox.push(3, 9);
+        inbox.finalize();
+        // Lenient accessor: deterministic first copy.
+        assert_eq!(inbox.from_port(1), Some(&7));
+        assert_eq!(inbox.from_port(3), Some(&9));
+        // Strict accessor: the duplication is surfaced, clean ports pass.
+        assert_eq!(
+            inbox.from_port_strict(1),
+            Err(DuplicateDelivery { port: 1, copies: 2 })
+        );
+        assert_eq!(inbox.from_port_strict(3), Ok(Some(&9)));
+        assert_eq!(inbox.from_port_strict(0), Ok(None));
+        let err = inbox.from_port_strict(1).unwrap_err();
+        assert!(err.to_string().contains("port 1"), "{err}");
     }
 
     #[test]

@@ -212,6 +212,49 @@ mod tests {
         assert!(barrier.poisoned.load(Ordering::SeqCst));
     }
 
+    /// A barrier with a pinned spin budget, bypassing the core-count
+    /// heuristic so both waiter paths are testable on any box.
+    fn with_spin_limit(total: usize, spin_limit: u32) -> SpinBarrier {
+        SpinBarrier {
+            spin_limit,
+            ..SpinBarrier::new(total)
+        }
+    }
+
+    /// Poisons a 2-thread barrier while the waiter sits in the given
+    /// wait path and asserts the waiter panics out of it.
+    fn poison_reaches_waiter(barrier: &SpinBarrier) {
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    barrier.wait();
+                }))
+                .is_err()
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            barrier.poison();
+            assert!(
+                h.join().expect("no double panic"),
+                "waiter must panic when the barrier is poisoned"
+            );
+        });
+    }
+
+    #[test]
+    fn poison_reaches_a_spinning_waiter() {
+        // Unbounded spin budget: the waiter is guaranteed to still be in
+        // the spin loop (never parks) when the poison lands, so this
+        // covers the spin-path check_poison exit.
+        poison_reaches_waiter(&with_spin_limit(2, u32::MAX));
+    }
+
+    #[test]
+    fn poison_reaches_a_parked_waiter() {
+        // Zero spin budget: the waiter parks on the condvar immediately,
+        // so this covers the wakeup-then-panic park path.
+        poison_reaches_waiter(&with_spin_limit(2, 0));
+    }
+
     #[test]
     fn oversubscribed_barrier_parks_instead_of_spinning() {
         // 16 workers on however few cores this box has: must still make

@@ -71,9 +71,28 @@ pub struct RunResult<S> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The protocol did not terminate within `max_rounds`.
+    ///
+    /// The watchdog fields turn a bare livelock cutoff into an actionable
+    /// diagnostic for stalled large-scale runs: which pipeline phase hung,
+    /// how many nodes were still working, and whether the run was making
+    /// progress at all when the axe fell. "Progress" means some node
+    /// changed its termination vote or some message was sent that round;
+    /// a `last_progress_round` far below the limit is a livelock (e.g.
+    /// fault-induced deadlock), one near the limit means the cutoff is
+    /// simply too tight. Both engines report bit-identical diagnostics.
     RoundLimitExceeded {
         /// The configured limit that was hit.
         limit: u64,
+        /// Label of the pipeline phase that stalled
+        /// ([`SimConfig::phase_label`](crate::SimConfig::phase_label);
+        /// empty if the caller set none).
+        phase: String,
+        /// Nodes still voting [`Status::Running`](crate::Status) when the
+        /// limit was hit.
+        live_nodes: u64,
+        /// Last round in which any node changed status or sent a message
+        /// (0 if the run never progressed).
+        last_progress_round: u64,
     },
     /// A message exceeded the bandwidth budget while `strict_bandwidth` was
     /// set.
@@ -90,8 +109,19 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::RoundLimitExceeded { limit } => {
-                write!(f, "protocol did not terminate within {limit} rounds")
+            SimError::RoundLimitExceeded {
+                limit,
+                phase,
+                live_nodes,
+                last_progress_round,
+            } => {
+                let phase = if phase.is_empty() { "unnamed" } else { phase };
+                write!(
+                    f,
+                    "protocol did not terminate within {limit} rounds \
+                     (phase `{phase}`, {live_nodes} nodes still running, \
+                     last progress at round {last_progress_round})"
+                )
             }
             SimError::Bandwidth { round, bits, limit } => {
                 write!(
@@ -240,8 +270,24 @@ mod tests {
 
     #[test]
     fn sim_error_display() {
-        let e = SimError::RoundLimitExceeded { limit: 5 };
-        assert!(e.to_string().contains('5'));
+        let e = SimError::RoundLimitExceeded {
+            limit: 5,
+            phase: "loc-iter(q=9)".into(),
+            live_nodes: 3,
+            last_progress_round: 2,
+        };
+        let text = e.to_string();
+        assert!(text.contains('5'));
+        assert!(text.contains("loc-iter(q=9)"), "{text}");
+        assert!(text.contains("3 nodes"), "{text}");
+        assert!(text.contains("round 2"), "{text}");
+        let unnamed = SimError::RoundLimitExceeded {
+            limit: 1,
+            phase: String::new(),
+            live_nodes: 0,
+            last_progress_round: 0,
+        };
+        assert!(unnamed.to_string().contains("unnamed"));
         let b = SimError::Bandwidth {
             round: 1,
             bits: 99,

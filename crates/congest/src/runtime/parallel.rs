@@ -67,6 +67,7 @@
 
 use super::barrier::SpinBarrier;
 use super::{node_rng, RunResult, SimError};
+use crate::faults::{Fate, FaultPlane};
 use crate::{
     Inbox, Message, Metrics, NetTables, NodeCtx, Outbox, Port, Protocol, SimConfig, Status,
 };
@@ -220,6 +221,21 @@ impl ParallelRuntime {
             ..Metrics::default()
         });
         let out_states: Mutex<Vec<(usize, Vec<P::State>)>> = Mutex::new(Vec::new());
+        // The fault schedule is built once, before the workers spawn, and
+        // consulted read-only: fates are pure functions of (round, node,
+        // port) and crash windows are precomputed, so every shard computes
+        // the same trace as the sequential engine (see `faults`).
+        let plane: Option<FaultPlane> = config
+            .faults
+            .as_ref()
+            .map(|f| FaultPlane::new(f, config.rng_salt, n));
+        // Watchdog aggregation for the structured round-limit diagnostic.
+        // Both quantities are shard-decomposable: global live count is the
+        // sum of per-shard live counts, global last-progress round is the
+        // max over shards. Written only on the round-limit path, where all
+        // shards exhaust the loop together.
+        let live_total = AtomicU64::new(0);
+        let progress_max = AtomicU64::new(0);
 
         // Disjoint mutable context slices, one per shard.
         let mut ctx_chunks: Vec<&mut [NodeCtx]> = ctxs.chunks_mut(chunk).collect();
@@ -238,6 +254,9 @@ impl ParallelRuntime {
                 let global_metrics = &global_metrics;
                 let out_states = &out_states;
                 let net = &net;
+                let plane = plane.as_ref();
+                let live_total = &live_total;
+                let progress_max = &progress_max;
                 scope.spawn(move || {
                     // Poison the barrier if this worker unwinds (protocol
                     // bug) so peers panic instead of spinning forever.
@@ -266,6 +285,9 @@ impl ParallelRuntime {
                         bandwidth_bits: budget,
                         ..Metrics::default()
                     };
+                    // Shard-local watchdog bookkeeping (see `live_total`).
+                    let mut prev_status: Vec<Status> = vec![Status::Running; local_n];
+                    let mut last_progress: u64 = 0;
 
                     // Number of completed synchronizations; drives the cell
                     // parity and the vote-slot rotation. Equals the round
@@ -277,8 +299,18 @@ impl ParallelRuntime {
                         let comm = round.is_multiple_of(period);
                         // ---- Phase A: step local nodes, stage messages.
                         let mut local_done = 0u64;
+                        let mut progressed = false;
                         for i in 0..local_n {
                             let v = start + i;
+                            if let Some(p) = plane {
+                                if p.is_crashed(v, round) {
+                                    // Crashed node: not stepped, votes Done
+                                    // implicitly (see `faults` module docs).
+                                    metrics.crashed_rounds += 1;
+                                    local_done += 1;
+                                    continue;
+                                }
+                            }
                             ctx_slice[i].round = round;
                             out.reset(ctx_slice[i].degree());
                             let status = protocol.round(
@@ -291,11 +323,16 @@ impl ParallelRuntime {
                             if status == Status::Done {
                                 local_done += 1;
                             }
+                            if status != prev_status[i] {
+                                prev_status[i] = status;
+                                progressed = true;
+                            }
                             assert!(
                                 comm || out.is_empty(),
                                 "protocol declared sync_period {period} but node {v} sent in silent round {round}"
                             );
                             for (port, msg) in out.drain() {
+                                progressed = true;
                                 let bits = msg.bits();
                                 metrics.record_message(bits, budget);
                                 if config.strict_bandwidth && bits > budget {
@@ -314,15 +351,47 @@ impl ParallelRuntime {
                                     abort_slots[(sync % 3) as usize]
                                         .store(true, Ordering::SeqCst);
                                 }
+                                let copies = match plane
+                                    .map_or(Fate::Deliver, |p| p.fate(round, v as u32, port))
+                                {
+                                    Fate::Drop => {
+                                        metrics.faults_dropped += 1;
+                                        0
+                                    }
+                                    Fate::Deliver => 1,
+                                    Fate::Duplicate => {
+                                        metrics.faults_duplicated += 1;
+                                        2
+                                    }
+                                };
+                                if copies == 0 {
+                                    continue;
+                                }
                                 let dest = graph.neighbors(v as u32)[port as usize] as usize;
+                                // Delivery lands at round + 1; a receiver
+                                // crashed then loses the message (and any
+                                // duplicate of it).
+                                if plane.is_some_and(|p| p.is_crashed(dest, round + 1)) {
+                                    metrics.crash_drops += 1;
+                                    continue;
+                                }
                                 let arrival = net.reverse_ports_of(v as u32)[port as usize];
                                 let ds = shard_of(dest);
                                 if ds == shard {
+                                    if copies == 2 {
+                                        next[dest - start].push(arrival, msg.clone());
+                                    }
                                     next[dest - start].push(arrival, msg);
                                 } else {
+                                    if copies == 2 {
+                                        out_bufs[ds].push((dest as u32, arrival, msg.clone()));
+                                    }
                                     out_bufs[ds].push((dest as u32, arrival, msg));
                                 }
                             }
+                        }
+                        if progressed {
+                            last_progress = round;
                         }
                         metrics.rounds = round + 1;
 
@@ -400,12 +469,21 @@ impl ParallelRuntime {
                         }
                     }
                     if !finished_ok && !saw_abort {
+                        // Contribute this shard's watchdog share; the final
+                        // live/progress fields are patched in after the
+                        // scope joins, once every shard has reported.
+                        let live = prev_status.iter().filter(|&&s| s != Status::Done).count();
+                        live_total.fetch_add(live as u64, Ordering::SeqCst);
+                        progress_max.fetch_max(last_progress, Ordering::SeqCst);
                         let mut e = first_error.lock().expect("no poisoned lock");
                         if e.is_none() {
                             *e = Some((
                                 (u64::MAX, usize::MAX),
                                 SimError::RoundLimitExceeded {
                                     limit: config.max_rounds,
+                                    phase: config.phase_label.clone(),
+                                    live_nodes: 0,
+                                    last_progress_round: 0,
                                 },
                             ));
                         }
@@ -426,7 +504,18 @@ impl ParallelRuntime {
             }
         });
 
-        if let Some((_, err)) = first_error.into_inner().expect("no poisoned lock") {
+        if let Some((_, mut err)) = first_error.into_inner().expect("no poisoned lock") {
+            // Patch the aggregated watchdog diagnostics into the
+            // round-limit error now that all shards have reported.
+            if let SimError::RoundLimitExceeded {
+                live_nodes,
+                last_progress_round,
+                ..
+            } = &mut err
+            {
+                *live_nodes = live_total.load(Ordering::SeqCst);
+                *last_progress_round = progress_max.load(Ordering::SeqCst);
+            }
             return Err(err);
         }
         let mut shards = out_states.into_inner().expect("no poisoned lock");
@@ -524,10 +613,153 @@ mod tests {
             }
         }
         let g = gen::cycle(12);
+        let cfg = SimConfig::default()
+            .with_max_rounds(5)
+            .with_phase_label("forever");
         let err = ParallelRuntime::new(3)
-            .execute(&g, &Forever, &SimConfig::default().with_max_rounds(5))
+            .execute(&g, &Forever, &cfg)
             .unwrap_err();
-        assert_eq!(err, SimError::RoundLimitExceeded { limit: 5 });
+        // The structured watchdog diagnostics must match the sequential
+        // engine's bit for bit.
+        let seq_err = super::super::SequentialRuntime
+            .execute(&g, &Forever, &cfg)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::RoundLimitExceeded {
+                limit: 5,
+                phase: "forever".into(),
+                live_nodes: 12,
+                last_progress_round: 0,
+            }
+        );
+        assert_eq!(err, seq_err);
+    }
+
+    #[test]
+    fn fault_plane_trace_is_engine_independent() {
+        use crate::faults::FaultConfig;
+        let g = gen::gnp_capped(150, 0.08, 10, 77);
+        let p = Gossip { rounds: 25 };
+        for faults in [
+            FaultConfig::seeded(7).with_drops(80_000),
+            FaultConfig::seeded(7).with_drops(50_000).with_dups(50_000),
+            FaultConfig::seeded(9)
+                .with_drops(30_000)
+                .with_crashes(120_000, 20, 5),
+        ] {
+            let cfg = SimConfig::seeded(123).with_faults(faults);
+            let seq = super::super::run(&g, &p, &cfg).unwrap();
+            assert!(
+                seq.metrics.faults_dropped > 0,
+                "fault plane must actually fire for the test to mean anything"
+            );
+            for threads in [1, 2, 3, 8] {
+                let par = ParallelRuntime::new(threads).execute(&g, &p, &cfg).unwrap();
+                assert_eq!(
+                    seq.states.iter().map(|s| s.sum).collect::<Vec<_>>(),
+                    par.states.iter().map(|s| s.sum).collect::<Vec<_>>(),
+                    "fault trace diverged with {threads} threads"
+                );
+                assert_eq!(seq.metrics, par.metrics, "metrics diverged at {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn faults_disabled_is_bit_identical_to_no_fault_field() {
+        // `faults: None` must leave the engine byte-for-byte on its
+        // fault-free path — the PR5 benchmarks depend on it.
+        let g = gen::gnp_capped(80, 0.1, 8, 3);
+        let p = Gossip { rounds: 15 };
+        let base = SimConfig::seeded(9);
+        let with_field = base.clone().without_faults();
+        let a = super::super::run(&g, &p, &base).unwrap();
+        let b = super::super::run(&g, &p, &with_field).unwrap();
+        assert_eq!(
+            a.states.iter().map(|s| s.sum).collect::<Vec<_>>(),
+            b.states.iter().map(|s| s.sum).collect::<Vec<_>>()
+        );
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics.faults_dropped, 0);
+        assert_eq!(a.metrics.crashed_rounds, 0);
+    }
+
+    #[test]
+    fn drops_shrink_delivery_and_duplicates_add_copies() {
+        use crate::faults::FaultConfig;
+        /// Counts every message copy that arrives, making delivered
+        /// (post-fault) traffic observable.
+        struct CountArrivals;
+        impl Protocol for CountArrivals {
+            type State = u64;
+            type Msg = u32;
+            fn init(&self, _: &NodeCtx, _: &mut NodeRng) -> u64 {
+                0
+            }
+            fn round(
+                &self,
+                st: &mut u64,
+                ctx: &NodeCtx,
+                _: &mut NodeRng,
+                inbox: &Inbox<u32>,
+                out: &mut Outbox<u32>,
+            ) -> Status {
+                *st += inbox.len() as u64;
+                if ctx.round < 30 {
+                    out.broadcast(1);
+                    Status::Running
+                } else {
+                    Status::Done
+                }
+            }
+        }
+        let g = gen::cycle(40);
+        let clean = super::super::run(&g, &CountArrivals, &SimConfig::seeded(4)).unwrap();
+        let dropped = super::super::run(
+            &g,
+            &CountArrivals,
+            &SimConfig::seeded(4).with_faults(FaultConfig::seeded(1).with_drops(200_000)),
+        )
+        .unwrap();
+        let duped = super::super::run(
+            &g,
+            &CountArrivals,
+            &SimConfig::seeded(4).with_faults(FaultConfig::seeded(1).with_dups(200_000)),
+        )
+        .unwrap();
+        let arrivals = |r: &RunResult<u64>| r.states.iter().sum::<u64>();
+        // Send-side accounting is fate-independent…
+        assert_eq!(clean.metrics.messages, dropped.metrics.messages);
+        assert_eq!(clean.metrics.messages, duped.metrics.messages);
+        // …but delivery reflects the injected faults exactly.
+        assert_eq!(
+            arrivals(&dropped),
+            arrivals(&clean) - dropped.metrics.faults_dropped
+        );
+        assert_eq!(
+            arrivals(&duped),
+            arrivals(&clean) + duped.metrics.faults_duplicated
+        );
+        assert!(dropped.metrics.faults_dropped > 0);
+        assert!(duped.metrics.faults_duplicated > 0);
+    }
+
+    #[test]
+    fn crashed_receiver_loses_messages() {
+        use crate::faults::FaultConfig;
+        let g = gen::cycle(30);
+        let p = Gossip { rounds: 20 };
+        // Crash probability high enough that some node crashes, window
+        // inside the active rounds.
+        let faults = FaultConfig::seeded(3).with_crashes(300_000, 10, 4);
+        let cfg = SimConfig::seeded(8).with_faults(faults);
+        let res = super::super::run(&g, &p, &cfg).unwrap();
+        assert!(res.metrics.crashed_rounds > 0, "no node ever crashed");
+        assert!(res.metrics.crash_drops > 0, "no message hit a crashed node");
+        // Parallel engine agrees on the crash trace too.
+        let par = ParallelRuntime::new(4).execute(&g, &p, &cfg).unwrap();
+        assert_eq!(res.metrics, par.metrics);
     }
 
     #[test]
@@ -639,5 +871,22 @@ mod tests {
             );
         });
         assert!(caught.is_err(), "panic must propagate, not deadlock");
+
+        // Same bomb with workers oversubscribed (more threads than cores),
+        // which zeroes the barrier's spin budget and forces every waiter
+        // onto the condvar park path — the poison wakeup must reach parked
+        // shards too. (The spin path is covered above whenever the box has
+        // ≥ 4 cores, and deterministically by the barrier unit tests.)
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        let threads = (2 * cores + 2).min(48);
+        let g = gen::cycle(4 * threads);
+        let caught = std::panic::catch_unwind(|| {
+            let _ = ParallelRuntime::new(threads).execute(
+                &g,
+                &Bomb,
+                &SimConfig::default().with_max_rounds(10),
+            );
+        });
+        assert!(caught.is_err(), "park-path panic must propagate");
     }
 }

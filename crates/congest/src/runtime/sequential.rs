@@ -1,6 +1,7 @@
 //! Deterministic single-threaded runtime.
 
 use super::{node_rng, RunResult, SimError};
+use crate::faults::{Fate, FaultPlane};
 use crate::{Inbox, Message, Metrics, NetTables, Outbox, Protocol, SimConfig, Status};
 use graphs::Graph;
 use std::sync::Arc;
@@ -89,23 +90,47 @@ impl SequentialRuntime {
             return Ok(RunResult { states, metrics });
         }
 
+        let plane = config
+            .faults
+            .as_ref()
+            .map(|f| FaultPlane::new(f, config.rng_salt, n));
+        // Watchdog bookkeeping for the structured round-limit diagnostic:
+        // last per-node status vote, and the last round any node changed
+        // its vote or sent a message.
+        let mut prev_status: Vec<Status> = vec![Status::Running; n];
+        let mut last_progress: u64 = 0;
+
         for round in 0..config.max_rounds {
             // Communication rounds carry messages and termination votes;
             // the `period - 1` rounds in between are declared-silent local
             // computation (see `Protocol::sync_period`).
             let comm = round.is_multiple_of(period);
             let mut all_done = true;
+            let mut progressed = false;
             for v in 0..n {
+                if let Some(p) = &plane {
+                    if p.is_crashed(v, round) {
+                        // Crashed node: not stepped, sends nothing, votes
+                        // Done implicitly (see `faults` module docs).
+                        metrics.crashed_rounds += 1;
+                        continue;
+                    }
+                }
                 ctxs[v].round = round;
                 out.reset(graph.degree(v as u32));
                 let status =
                     protocol.round(&mut states[v], &ctxs[v], &mut rngs[v], &cur[v], &mut out);
                 all_done &= status == Status::Done;
+                if status != prev_status[v] {
+                    prev_status[v] = status;
+                    progressed = true;
+                }
                 assert!(
                     comm || out.is_empty(),
                     "protocol declared sync_period {period} but node {v} sent in silent round {round}"
                 );
                 for (port, msg) in out.drain() {
+                    progressed = true;
                     let bits = msg.bits();
                     metrics.record_message(bits, budget);
                     if config.strict_bandwidth && bits > budget {
@@ -116,8 +141,41 @@ impl SequentialRuntime {
                         });
                     }
                     let dest = graph.neighbors(v as u32)[port as usize] as usize;
-                    next[dest].push(net.reverse_ports_of(v as u32)[port as usize], msg);
+                    let arrival = net.reverse_ports_of(v as u32)[port as usize];
+                    let copies = match plane
+                        .as_ref()
+                        .map_or(Fate::Deliver, |p| p.fate(round, v as u32, port))
+                    {
+                        Fate::Drop => {
+                            metrics.faults_dropped += 1;
+                            0
+                        }
+                        Fate::Deliver => 1,
+                        Fate::Duplicate => {
+                            metrics.faults_duplicated += 1;
+                            2
+                        }
+                    };
+                    if copies == 0 {
+                        continue;
+                    }
+                    // Delivery lands at round + 1; a receiver crashed then
+                    // loses the message (and any duplicate of it).
+                    if plane
+                        .as_ref()
+                        .is_some_and(|p| p.is_crashed(dest, round + 1))
+                    {
+                        metrics.crash_drops += 1;
+                        continue;
+                    }
+                    if copies == 2 {
+                        next[dest].push(arrival, msg.clone());
+                    }
+                    next[dest].push(arrival, msg);
                 }
+            }
+            if progressed {
+                last_progress = round;
             }
             metrics.rounds = round + 1;
             for inbox in &mut cur {
@@ -131,8 +189,12 @@ impl SequentialRuntime {
                 return Ok(RunResult { states, metrics });
             }
         }
+        let live_nodes = prev_status.iter().filter(|&&s| s != Status::Done).count() as u64;
         Err(SimError::RoundLimitExceeded {
             limit: config.max_rounds,
+            phase: config.phase_label.clone(),
+            live_nodes,
+            last_progress_round: last_progress,
         })
     }
 }
@@ -222,9 +284,25 @@ mod tests {
         }
         let g = gen::path(3);
         let err = SequentialRuntime
-            .execute(&g, &Forever, &SimConfig::default().with_max_rounds(10))
+            .execute(
+                &g,
+                &Forever,
+                &SimConfig::default()
+                    .with_max_rounds(10)
+                    .with_phase_label("forever"),
+            )
             .unwrap_err();
-        assert_eq!(err, SimError::RoundLimitExceeded { limit: 10 });
+        // Forever never sends and never changes its vote after round 0:
+        // all 3 nodes live, no progress ever.
+        assert_eq!(
+            err,
+            SimError::RoundLimitExceeded {
+                limit: 10,
+                phase: "forever".into(),
+                live_nodes: 3,
+                last_progress_round: 0,
+            }
+        );
     }
 
     #[test]

@@ -129,7 +129,14 @@ impl<'g> Driver<'g> {
         name: impl Into<String>,
         protocol: &P,
     ) -> Result<Vec<P::State>, SimError> {
-        let cfg = self.config.clone().with_salt(self.phase_counter);
+        let name = name.into();
+        // The phase name doubles as the engine's watchdog label, so a
+        // round-limit abort names the pipeline stage that stalled.
+        let cfg = self
+            .config
+            .clone()
+            .with_salt(self.phase_counter)
+            .with_phase_label(name.clone());
         self.phase_counter += 1;
         let t0 = Instant::now();
         let RunResult { states, metrics } =
@@ -137,7 +144,7 @@ impl<'g> Driver<'g> {
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         self.metrics.absorb(&metrics);
         self.phases.push(PhaseReport {
-            name: name.into(),
+            name,
             metrics,
             wall_ms,
         });

@@ -238,10 +238,18 @@ impl TrialCore {
         mut send: F,
     ) {
         // Announcements first: verdicts must reflect the newest colors.
+        // Fault-plane duplicates are absorbed here: a repeated Announce is
+        // idempotent, and a repeated Try (adjacent in the port-sorted
+        // inbox) is recorded once — answering it twice would stage two
+        // verdicts on one port and break the CONGEST send discipline.
         for &(p, ref m) in received {
             match *m {
                 TrialMsg::Announce(c) => self.nbr_colors[p as usize] = c,
-                TrialMsg::Try(c) => self.cycle_tries.push((p, c)),
+                TrialMsg::Try(c) => {
+                    if self.cycle_tries.last().is_none_or(|&(q, _)| q != p) {
+                        self.cycle_tries.push((p, c));
+                    }
+                }
                 TrialMsg::Verdict(_) => {}
             }
         }
@@ -273,22 +281,28 @@ impl TrialCore {
 
     /// Sub-round 2: tally verdicts; adopt on unanimous approval.
     ///
-    /// A successful adoption stages an announcement for the next cycle's
-    /// sub-round 0.
+    /// Adoption requires a positive verdict from **every** neighbor, each
+    /// counted once per port: a missing verdict (lost to the fault plane)
+    /// reads as a failed trial — losing a round of progress, never safety
+    /// — and a duplicated verdict is counted once. A successful adoption
+    /// stages an announcement for the next cycle's sub-round 0.
     pub fn resolve(&mut self, degree: usize, received: &[(Port, TrialMsg)]) -> TrialOutcome {
         let Some(c) = self.trying.take() else {
             return TrialOutcome::Idle;
         };
         let mut ok = 0usize;
         let mut fail = false;
-        for (_, m) in received {
+        let mut last_port = None;
+        for &(p, ref m) in received {
             if let TrialMsg::Verdict(v) = *m {
-                ok += 1;
+                if last_port != Some(p) {
+                    last_port = Some(p);
+                    ok += 1;
+                }
                 fail |= !v;
             }
         }
-        debug_assert_eq!(ok, degree, "a trying node expects one verdict per neighbor");
-        if fail {
+        if fail || ok < degree {
             TrialOutcome::Failed
         } else {
             self.color = c;
@@ -403,6 +417,48 @@ mod tests {
         let mut core = TrialCore::new(0);
         core.begin_cycle(0, Some(1), |_, _| panic!("no ports"));
         assert_eq!(core.resolve(0, &[]), TrialOutcome::Adopted(1));
+    }
+
+    #[test]
+    fn lost_verdict_fails_conservatively() {
+        // Only one of two expected verdicts arrives (the other was lost on
+        // the wire): the trial must fail, not adopt on partial approval.
+        let mut core = TrialCore::new(2);
+        core.begin_cycle(2, Some(5), |_, _| {});
+        let verdicts = vec![(0, TrialMsg::Verdict(true))];
+        assert_eq!(core.resolve(2, &verdicts), TrialOutcome::Failed);
+        assert!(core.is_live());
+    }
+
+    #[test]
+    fn duplicated_verdict_counts_once() {
+        let mut core = TrialCore::new(2);
+        core.begin_cycle(2, Some(5), |_, _| {});
+        // Port 0's verdict arrives twice, port 1's is missing: 2 messages
+        // but only 1 distinct approver — still a failure.
+        let verdicts = vec![(0, TrialMsg::Verdict(true)), (0, TrialMsg::Verdict(true))];
+        assert_eq!(core.resolve(2, &verdicts), TrialOutcome::Failed);
+        // Complete (if redundant) approval still adopts.
+        core.begin_cycle(2, Some(5), |_, _| {});
+        let verdicts = vec![
+            (0, TrialMsg::Verdict(true)),
+            (0, TrialMsg::Verdict(true)),
+            (1, TrialMsg::Verdict(true)),
+        ];
+        assert_eq!(core.resolve(2, &verdicts), TrialOutcome::Adopted(5));
+    }
+
+    #[test]
+    fn duplicated_try_answered_once() {
+        let mut core = TrialCore::new(2);
+        let mut out = Vec::new();
+        // Port 1's Try(8) arrives twice (fault-plane duplicate): exactly
+        // one verdict goes back, and the duplicate must not read as a
+        // simultaneous conflicting try.
+        core.verdict_round(&[(1, TrialMsg::Try(8)), (1, TrialMsg::Try(8))], |p, m| {
+            out.push((p, m))
+        });
+        assert_eq!(out, vec![(1, TrialMsg::Verdict(true))]);
     }
 
     #[test]

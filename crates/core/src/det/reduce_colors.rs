@@ -76,11 +76,24 @@ pub struct ReduceState {
     pub color: u32,
     counts: Vec<u32>,
     gather: Option<GatherCore>,
+    /// Ports already given a `Fwd` this round. Theorem B.2's congestion
+    /// argument guarantees one update per port per round on reliable
+    /// links, but under message loss two same-part neighbors can both
+    /// think they hold the locally largest color and recolor in the same
+    /// phase — the relay then owes the shared port two forwards. Keeping
+    /// only the first preserves CONGEST compliance; fault-free runs never
+    /// hit the guard.
+    fwd_sent: Vec<bool>,
 }
 
 impl ReduceState {
     fn bump(&mut self, old: u32, new: u32) {
-        self.counts[old as usize] -= 1;
+        // A gather or Fwd message lost to fault injection leaves the table
+        // undercounted, so a later decrement can hit zero; saturate rather
+        // than underflow. Fault-free runs always decrement a positive
+        // count, so this changes nothing on the reliable path.
+        let c = &mut self.counts[old as usize];
+        *c = c.saturating_sub(1);
         self.counts[new as usize] += 1;
     }
 }
@@ -94,6 +107,7 @@ impl Protocol for ReduceColors {
             color: self.init_colors[ctx.index as usize],
             counts: vec![0; self.k_in as usize],
             gather: None,
+            fwd_sent: vec![false; ctx.degree()],
         }
     }
 
@@ -174,6 +188,7 @@ impl Protocol for ReduceColors {
             }
         } else {
             // Apply direct updates; forward one hop with part filtering.
+            st.fwd_sent.fill(false);
             for &(p, ref m) in received {
                 if let DetMsg::Recolor { old, new } = *m {
                     let sender_part = self.nbr_parts.row(v)[p as usize];
@@ -182,7 +197,11 @@ impl Protocol for ReduceColors {
                     }
                     if self.scope.dist == Dist::Two {
                         for q in 0..ctx.degree() as Port {
-                            if q != p && self.nbr_parts.row(v)[q as usize] == sender_part {
+                            if q != p
+                                && self.nbr_parts.row(v)[q as usize] == sender_part
+                                && !st.fwd_sent[q as usize]
+                            {
+                                st.fwd_sent[q as usize] = true;
                                 out.send(q, DetMsg::Fwd { old, new });
                             }
                         }

@@ -14,6 +14,9 @@
 //! * [`baseline`] — the comparison points the paper argues against:
 //!   naive per-round `G²` relaying and the oversampled `(1+ε)∆²` palette
 //!   algorithm.
+//! * [`mod@repair`] — 2-hop local repair after graph churn: damage detection
+//!   confined to the neighborhood of changed edges plus locally-free-color
+//!   trials that recolor only the damaged region.
 //!
 //! All entry points return a [`ColoringOutcome`] carrying the coloring,
 //! round/message metrics, and a per-phase breakdown. Every outcome is
@@ -40,8 +43,10 @@ mod common;
 pub mod det;
 mod params;
 pub mod rand;
+pub mod repair;
 
 pub use common::driver::{ColoringOutcome, Driver, PhaseReport};
 pub use common::trial::{TrialCore, TrialMsg, TrialOutcome};
 pub use common::UNCOLORED;
 pub use params::Params;
+pub use repair::{find_damage, repair, RepairOutcome, RepairTrials};

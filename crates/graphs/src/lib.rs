@@ -20,6 +20,7 @@
 //! assert!(verify::is_valid_d2_coloring(&g, &coloring));
 //! ```
 
+pub mod churn;
 mod d2view;
 pub mod gen;
 mod graph;
@@ -28,6 +29,7 @@ pub mod square;
 pub mod stats;
 pub mod verify;
 
+pub use churn::{apply_batch, ChurnResult, EdgeBatch};
 pub use d2view::D2View;
 pub use graph::{Graph, GraphBuilder, GraphError, NodeId};
 

@@ -1,0 +1,320 @@
+//! The fault-plane differential harness: with a seeded [`FaultConfig`]
+//! attached, the sequential reference, the parallel runtime at several
+//! shard counts, and the auto-selecting mode must still be
+//! **observationally identical** — the same `(graph seed, fault seed)`
+//! pair yields bit-identical colorings, metrics (including the fault
+//! counters), and structured errors on every engine.
+//!
+//! Coverage is split by what each protocol tolerates (probed empirically
+//! in both build modes):
+//!
+//! * Full det/rand pipelines run under message *drops* — both survive
+//!   them by design (conservative trial verdicts, saturating reduce
+//!   counts).
+//! * Duplicates and crash faults run on the fixed-cycle trials protocol,
+//!   whose handshake absorbs duplicated arrivals and missing verdicts.
+//! * Round-limit exhaustion checks the watchdog diagnostics (phase,
+//!   live nodes, last progress) are engine-independent.
+//! * The repair-after-churn pipeline is differentially checked end to
+//!   end: same damage set, same repaired coloring, same metrics.
+
+use congest::FaultConfig;
+use d2color::prelude::*;
+use graphs::D2View;
+
+/// Parallel shard counts under differential test. `D2_THREADS=t` replaces
+/// the default sweep with `{t}` (the CI matrix sets 1 and 4).
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("D2_THREADS") {
+        Ok(s) => vec![s.parse().expect("D2_THREADS must be a thread count")],
+        Err(_) => vec![2, 4, 8],
+    }
+}
+
+fn assert_identical(label: &str, reference: &ColoringOutcome, candidate: &ColoringOutcome) {
+    assert_eq!(
+        reference.colors, candidate.colors,
+        "{label}: colorings diverged"
+    );
+    assert_eq!(
+        reference.metrics, candidate.metrics,
+        "{label}: metrics diverged"
+    );
+}
+
+/// Drop-rate sweep over both full pipelines: every engine produces the
+/// same coloring and the same fault accounting. (Validity is *not*
+/// asserted here: individual trials fail conservatively under loss, but
+/// the palette-learning phases can adopt stale knowledge at heavy drop
+/// rates — the contract under faults is determinism, and the repair
+/// pipeline is the recovery path for correctness.)
+#[test]
+fn pipelines_under_message_drops_are_engine_identical() {
+    let params = Params::practical();
+    for seed in [3u64, 17] {
+        for (name, g) in [
+            ("gnp-capped", graphs::gen::gnp_capped(130, 0.05, 7, seed)),
+            ("cycle", graphs::gen::cycle(48 + seed as usize)),
+        ] {
+            for drop_ppm in [1_000u32, 50_000] {
+                let faults = FaultConfig::seeded(11).with_drops(drop_ppm);
+                let seq_cfg = SimConfig::seeded(seed).with_faults(faults.clone());
+                let det_seq = d2core::det::small::run(&g, &params, &seq_cfg).expect("det seq");
+                let rand_seq =
+                    d2core::rand::driver::improved(&g, &params, &seq_cfg).expect("rand seq");
+                assert!(
+                    det_seq.metrics.faults_dropped > 0,
+                    "{name}/{drop_ppm}ppm: the fault plane never fired"
+                );
+                assert_eq!(
+                    rand_seq.colors.len(),
+                    g.n(),
+                    "{name}/{drop_ppm}ppm: rand pipeline must still terminate with a full \
+                     color vector"
+                );
+                for t in thread_counts() {
+                    let cfg = seq_cfg.clone().with_threads(Some(t));
+                    let det_par = d2core::det::small::run(&g, &params, &cfg).expect("det par");
+                    assert_identical(
+                        &format!("{name}/{drop_ppm}ppm/det/t{t}"),
+                        &det_seq,
+                        &det_par,
+                    );
+                    let rand_par =
+                        d2core::rand::driver::improved(&g, &params, &cfg).expect("rand par");
+                    assert_identical(
+                        &format!("{name}/{drop_ppm}ppm/rand/t{t}"),
+                        &rand_seq,
+                        &rand_par,
+                    );
+                }
+                let auto_cfg = seq_cfg.clone().auto(4);
+                let det_auto = d2core::det::small::run(&g, &params, &auto_cfg).expect("det auto");
+                assert_identical(
+                    &format!("{name}/{drop_ppm}ppm/det/auto"),
+                    &det_seq,
+                    &det_auto,
+                );
+                let rand_auto =
+                    d2core::rand::driver::improved(&g, &params, &auto_cfg).expect("rand auto");
+                assert_identical(
+                    &format!("{name}/{drop_ppm}ppm/rand/auto"),
+                    &rand_seq,
+                    &rand_auto,
+                );
+            }
+        }
+    }
+}
+
+/// Duplicates and crash/restart schedules on the fixed-cycle trials
+/// protocol: the handshake dedups duplicated arrivals and treats missing
+/// verdicts as failures, so every engine walks the identical trace —
+/// states, colors, and all four fault counters.
+#[test]
+fn duplicates_and_crashes_are_engine_identical() {
+    let fault_set = [
+        ("dup", FaultConfig::seeded(21).with_dups(40_000)),
+        ("crash", FaultConfig::seeded(22).with_crashes(80_000, 30, 6)),
+        (
+            "mix",
+            FaultConfig::seeded(23)
+                .with_drops(20_000)
+                .with_dups(15_000)
+                .with_crashes(50_000, 40, 8),
+        ),
+    ];
+    for (gname, g) in [
+        ("gnp-capped", graphs::gen::gnp_capped(130, 0.05, 7, 5)),
+        ("star", graphs::gen::star(21)),
+    ] {
+        let proto = d2core::rand::trials::RandomTrials::new(60, 12);
+        for (fname, faults) in &fault_set {
+            let cfg = SimConfig::seeded(5).with_faults(faults.clone());
+            let seq = congest::run(&g, &proto, &cfg).expect("seq");
+            let seq_colors: Vec<u32> = seq.states.iter().map(|s| s.trial.color()).collect();
+            match *fname {
+                "dup" => assert!(
+                    seq.metrics.faults_duplicated > 0,
+                    "{gname}/{fname}: no duplicate ever injected"
+                ),
+                "crash" => assert!(
+                    seq.metrics.crashed_rounds > 0,
+                    "{gname}/{fname}: no crash window ever hit"
+                ),
+                _ => {}
+            }
+            for t in thread_counts() {
+                let par = congest::run_parallel(&g, &proto, &cfg, t).expect("par");
+                let par_colors: Vec<u32> = par.states.iter().map(|s| s.trial.color()).collect();
+                assert_eq!(seq_colors, par_colors, "{gname}/{fname}/t{t}: colors");
+                assert_eq!(seq.metrics, par.metrics, "{gname}/{fname}/t{t}: metrics");
+            }
+            let auto = congest::run_with(
+                &g,
+                &proto,
+                &cfg.clone().auto(4),
+                &congest::NetTables::build(&g, &cfg),
+            )
+            .expect("auto");
+            let auto_colors: Vec<u32> = auto.states.iter().map(|s| s.trial.color()).collect();
+            assert_eq!(seq_colors, auto_colors, "{gname}/{fname}/auto: colors");
+            assert_eq!(seq.metrics, auto.metrics, "{gname}/{fname}/auto: metrics");
+        }
+    }
+}
+
+/// Watchdog diagnostics under round-limit exhaustion: a protocol that
+/// goes silent after round 0 stalls, and the structured error — phase
+/// label, live-node count, last progress round — is bit-identical on
+/// every engine.
+#[test]
+fn round_limit_diagnostics_are_engine_identical() {
+    use congest::{Inbox, NodeCtx, NodeRng, Outbox, Protocol, Status};
+
+    /// Broadcasts once in round 0, then idles forever.
+    struct GoesQuiet;
+    impl Protocol for GoesQuiet {
+        type State = ();
+        type Msg = u32;
+        fn init(&self, _: &NodeCtx, _: &mut NodeRng) {}
+        fn round(
+            &self,
+            _: &mut (),
+            ctx: &NodeCtx,
+            _: &mut NodeRng,
+            _: &Inbox<u32>,
+            out: &mut Outbox<u32>,
+        ) -> Status {
+            if ctx.round == 0 {
+                out.broadcast(7);
+            }
+            Status::Running
+        }
+    }
+
+    let g = graphs::gen::gnp_capped(64, 0.08, 5, 2);
+    let cfg = SimConfig::seeded(2)
+        .with_max_rounds(40)
+        .with_phase_label("stall");
+    let seq_err = congest::run(&g, &GoesQuiet, &cfg).unwrap_err();
+    assert_eq!(
+        seq_err,
+        SimError::RoundLimitExceeded {
+            limit: 40,
+            phase: "stall".into(),
+            live_nodes: g.n() as u64,
+            last_progress_round: 0,
+        }
+    );
+    for t in thread_counts() {
+        let err = congest::run_parallel(&g, &GoesQuiet, &cfg, t).unwrap_err();
+        assert_eq!(err, seq_err, "t{t}: watchdog diagnostics diverged");
+    }
+    let auto_err = congest::run_with(
+        &g,
+        &GoesQuiet,
+        &cfg.clone().auto(4),
+        &congest::NetTables::build(&g, &cfg),
+    )
+    .unwrap_err();
+    assert_eq!(auto_err, seq_err, "auto: watchdog diagnostics diverged");
+}
+
+/// An attached-but-inert fault plane (all rates zero) must be bit-exact
+/// with a config that never mentions faults, and `without_faults` must
+/// fully strip an active plane — on both pipelines.
+#[test]
+fn disabled_fault_plane_matches_no_fault_config() {
+    let g = graphs::gen::gnp_capped(130, 0.05, 7, 3);
+    let params = Params::practical();
+    let plain = SimConfig::seeded(3);
+    let inert = SimConfig::seeded(3).with_faults(FaultConfig::seeded(99));
+    let stripped = SimConfig::seeded(3)
+        .with_faults(FaultConfig::seeded(99).with_drops(250_000))
+        .without_faults();
+    let det_ref = d2core::det::small::run(&g, &params, &plain).expect("det plain");
+    let rand_ref = d2core::rand::driver::improved(&g, &params, &plain).expect("rand plain");
+    for (label, cfg) in [("inert", &inert), ("stripped", &stripped)] {
+        let det = d2core::det::small::run(&g, &params, cfg).expect("det");
+        assert_identical(&format!("{label}/det"), &det_ref, &det);
+        assert_eq!(det.metrics.faults_dropped, 0, "{label}: plane fired");
+        let rand = d2core::rand::driver::improved(&g, &params, cfg).expect("rand");
+        assert_identical(&format!("{label}/rand"), &rand_ref, &rand);
+    }
+}
+
+/// End-to-end churn → damage detection → local repair, differentially
+/// across engines: the same edge batch yields the same damage set, the
+/// same repaired (and valid) coloring, and the same repair traffic.
+#[test]
+fn repair_after_churn_is_engine_identical() {
+    let g = graphs::gen::gnp_capped(200, 0.03, 6, 11);
+    let params = Params::practical();
+    let colors = d2core::det::small::run(&g, &params, &SimConfig::seeded(11))
+        .expect("base coloring")
+        .colors;
+
+    let mut batch = graphs::EdgeBatch::new();
+    for k in 0..8u32 {
+        batch.insert(k * 11, k * 17 + 53);
+    }
+    batch.delete(0, 1).delete(3, 4);
+    let churned = graphs::apply_batch(&g, &batch).expect("churn");
+    assert!(!churned.touched.is_empty(), "batch must change the graph");
+    let view = D2View::build(&churned.graph);
+
+    let seq_cfg = SimConfig::seeded(31);
+    let seq = d2core::repair(&churned.graph, &view, &colors, &churned.touched, &seq_cfg)
+        .expect("seq repair");
+    assert!(
+        graphs::verify::is_valid_d2_coloring_with(&view, &seq.colors),
+        "sequential repair left conflicts"
+    );
+    for t in thread_counts() {
+        let cfg = seq_cfg.clone().with_threads(Some(t));
+        let par = d2core::repair(&churned.graph, &view, &colors, &churned.touched, &cfg)
+            .expect("par repair");
+        assert_eq!(seq.damaged, par.damaged, "t{t}: damage sets diverged");
+        assert_eq!(seq.colors, par.colors, "t{t}: repaired colorings diverged");
+        assert_eq!(seq.metrics, par.metrics, "t{t}: repair metrics diverged");
+        assert_eq!(seq.palette_drift(), par.palette_drift(), "t{t}: drift");
+    }
+    let auto_cfg = seq_cfg.clone().auto(4);
+    let auto = d2core::repair(&churned.graph, &view, &colors, &churned.touched, &auto_cfg)
+        .expect("auto repair");
+    assert_eq!(seq.colors, auto.colors, "auto: repaired colorings diverged");
+    assert_eq!(seq.metrics, auto.metrics, "auto: repair metrics diverged");
+}
+
+/// Repair runs on the *post-fault* recovery path: even when the config
+/// carries an aggressive fault plane, `repair` strips it, so the outcome
+/// matches a fault-free config bit for bit.
+#[test]
+fn repair_is_fault_free_even_with_a_plane_attached() {
+    let g = graphs::gen::gnp_capped(120, 0.05, 6, 7);
+    let params = Params::practical();
+    let colors = d2core::det::small::run(&g, &params, &SimConfig::seeded(7))
+        .expect("base coloring")
+        .colors;
+    let mut batch = graphs::EdgeBatch::new();
+    batch.insert(2, 90).insert(5, 77).insert(14, 101);
+    let churned = graphs::apply_batch(&g, &batch).expect("churn");
+    let view = D2View::build(&churned.graph);
+
+    let clean_cfg = SimConfig::seeded(13);
+    let noisy_cfg = SimConfig::seeded(13).with_faults(
+        FaultConfig::seeded(1)
+            .with_drops(200_000)
+            .with_dups(100_000)
+            .with_crashes(100_000, 20, 5),
+    );
+    let clean = d2core::repair(&churned.graph, &view, &colors, &churned.touched, &clean_cfg)
+        .expect("clean repair");
+    let noisy = d2core::repair(&churned.graph, &view, &colors, &churned.touched, &noisy_cfg)
+        .expect("noisy repair");
+    assert_eq!(clean.colors, noisy.colors);
+    assert_eq!(clean.metrics, noisy.metrics);
+    assert_eq!(noisy.metrics.faults_dropped, 0);
+    assert_eq!(noisy.metrics.crashed_rounds, 0);
+}
