@@ -33,6 +33,17 @@ checked-in baselines on machine-portable invariants only:
   firing, and all model metrics (fresh run, per-batch repair, chaos
   cells) must be bit-exact with the recording — the entire matrix is
   seeded, so any drift is an engine or protocol change.
+* ``pr7``: validates a freshly emitted ``BENCH_PR7.json`` (active-set
+  frontier economics) against the checked-in BENCH_PR7, BENCH_PR6 and
+  BENCH_PR5 reports: the straggler cell must be schedule-identical
+  (active-set vs always-step colorings and model metrics bit-equal),
+  step >= PR7_STEP_REDUCTION x fewer nodes than the always-step
+  reference with a steady-state frontier <= PR7_STEPPED_ROUND_FRACTION
+  of n, and reproduce BENCH_PR6's fresh-cell rounds/messages/palette
+  bit for bit; the scale cell must reproduce BENCH_PR5's stressed
+  n = 10^6 cell the same way. Stepped-node counts are seeded and
+  engine-deterministic, so they too must be bit-exact with the
+  recording.
 
 Usage:
     python3 ci/bench_gate.py pr2 BENCH_PR2.json BENCH_PR1.json
@@ -40,6 +51,7 @@ Usage:
     python3 ci/bench_gate.py pr4 BENCH_PR4.json BENCH_PR4.recorded.json
     python3 ci/bench_gate.py pr5 BENCH_PR5.json BENCH_PR5.recorded.json BENCH_PR4.json
     python3 ci/bench_gate.py pr6 BENCH_PR6.json BENCH_PR6.recorded.json
+    python3 ci/bench_gate.py pr7 BENCH_PR7.json BENCH_PR7.recorded.json BENCH_PR6.json BENCH_PR5.json
 
 Importable for unit tests (``ci/test_bench_gate.py``): every check is a
 pure function over parsed documents that raises ``GateError`` with a
@@ -140,6 +152,28 @@ PR6_REPAIR_FACTOR = 10.0
 # edges (the acceptance criterion is "~1% edge churn"; Poisson batch
 # sizes get a little slack below the nominal 1%).
 PR6_MIN_CHURN_FRACTION = 0.009
+
+
+PR7_STRAGGLER_KEYS = {
+    "graph", "n", "m", "delta", "algo", "runtime", "build_ms", "wall_ms",
+    "rounds", "messages", "palette", "valid", "stepped_nodes",
+    "stepped_per_round", "wall_ms_reference", "stepped_nodes_reference",
+    "steps_ratio", "reference_identical",
+}
+
+PR7_SCALE_KEYS = {
+    "graph", "n", "m", "delta", "algo", "runtime", "build_ms", "wall_ms",
+    "rounds", "messages", "palette", "valid", "stepped_nodes",
+    "stepped_per_round",
+}
+
+# Acceptance factors for the PR7 active-set engine (ISSUE 7): the
+# straggler det-small n = 10^5 cell must step >= 5x fewer nodes under
+# active-set scheduling than under the always-step reference, and its
+# steady-state frontier (stepped nodes per round) must sit at or below
+# 5% of n.
+PR7_STEP_REDUCTION = 5.0
+PR7_STEPPED_ROUND_FRACTION = 0.05
 
 
 class GateError(AssertionError):
@@ -593,6 +627,97 @@ def validate_pr6(fresh, recorded, log=print):
         f"all model metrics bit-exact with the recording")
 
 
+def check_pr7_shape(pr7):
+    """Structural + acceptance validity of one BENCH_PR7 document."""
+    require(pr7.get("bench") == "BENCH_PR7",
+            f"not a BENCH_PR7 document: {pr7.get('bench')!r}")
+    s = pr7["straggler"]
+    missing = PR7_STRAGGLER_KEYS - s.keys()
+    require(not missing, f"straggler cell missing {missing}")
+    require(s["valid"] is True, "straggler coloring invalid")
+    require(s["rounds"] > 0 and s["messages"] > 0,
+            "straggler cell ran 0 rounds")
+    require(s["n"] >= 100_000,
+            f"straggler cell below the 10^5 tier: n = {s['n']}")
+    require(s["reference_identical"] is True,
+            "active-set and always-step schedules diverged on the "
+            "straggler cell")
+    require(s["steps_ratio"] >= PR7_STEP_REDUCTION,
+            f"straggler frontier stepped only {s['steps_ratio']:.1f}x "
+            f"fewer nodes than always-step (needs >= {PR7_STEP_REDUCTION}x)")
+    bound = PR7_STEPPED_ROUND_FRACTION * s["n"]
+    require(s["stepped_per_round"] <= bound,
+            f"straggler steady-state frontier {s['stepped_per_round']:.1f} "
+            f"nodes/round exceeds {PR7_STEPPED_ROUND_FRACTION:.0%} of "
+            f"n = {s['n']} ({bound:.0f})")
+    c = pr7["scale"]
+    missing = PR7_SCALE_KEYS - c.keys()
+    require(not missing, f"scale cell missing {missing}")
+    require(c["valid"] is True, "scale coloring invalid")
+    require(c["rounds"] > 0 and c["messages"] > 0, "scale cell ran 0 rounds")
+    require(c["n"] >= 1_000_000,
+            f"scale cell below the 10^6 tier: n = {c['n']}")
+
+
+def check_pr7_pr6_continuity(pr7, pr6):
+    """The active-set engine is a scheduling change only, so the
+    straggler cell must reproduce BENCH_PR6's fresh recording of the
+    same workload bit for bit."""
+    s, fresh = pr7["straggler"], pr6["fresh"]
+    require(s["graph"] == fresh["graph"],
+            f"straggler workload {s['graph']!r} is not BENCH_PR6's fresh "
+            f"cell {fresh['graph']!r}")
+    for k in ("n", "m", "delta", "rounds", "messages", "palette"):
+        require(s[k] == fresh[k],
+                f"straggler {k} drifted from the PR6 recording: "
+                f"{fresh[k]} -> {s[k]}")
+
+
+def check_pr7_pr5_continuity(pr7, pr5):
+    """The scale cell must reproduce BENCH_PR5's stressed n = 10^6
+    rand-improved recording bit for bit."""
+    c = pr7["scale"]
+    old = [x for x in pr5["cells"] if x["graph"] == c["graph"]]
+    require(old, f"BENCH_PR5 has no cell for workload {c['graph']!r}")
+    require(len(old) == 1, f"BENCH_PR5 has duplicate {c['graph']!r} cells")
+    for k in ("n", "m", "delta", "rounds", "messages", "palette"):
+        require(c[k] == old[0][k],
+                f"scale cell {k} drifted from the PR5 recording: "
+                f"{old[0][k]} -> {c[k]}")
+
+
+def check_pr7_bit_exact(recorded, fresh):
+    """Stepped-node counts are a pure function of (seed, schedule,
+    engine), so fresh runs must reproduce the recorded model metrics
+    and frontier sizes exactly."""
+    for section in ("straggler", "scale"):
+        r, f = recorded[section], fresh[section]
+        keys = ("rounds", "messages", "palette", "stepped_nodes")
+        if section == "straggler":
+            keys += ("stepped_nodes_reference",)
+        for k in keys:
+            require(f[k] == r[k],
+                    f"{section}: {k} drifted {r[k]} -> {f[k]}")
+
+
+def validate_pr7(fresh, recorded, pr6, pr5, log=print):
+    """The full PR7 gate: shape + acceptance on both documents,
+    continuity with the PR6 and PR5 recordings, then bit-exact model
+    metrics and stepped-node counts between fresh run and recording."""
+    check_pr7_shape(fresh)
+    check_pr7_shape(recorded)
+    check_pr7_pr6_continuity(recorded, pr6)
+    check_pr7_pr6_continuity(fresh, pr6)
+    check_pr7_pr5_continuity(recorded, pr5)
+    check_pr7_pr5_continuity(fresh, pr5)
+    check_pr7_bit_exact(recorded, fresh)
+    s = fresh["straggler"]
+    log(f"BENCH_PR7.json OK: straggler frontier {s['stepped_per_round']:.1f} "
+        f"nodes/round ({s['steps_ratio']:.1f}x below always-step, bound "
+        f"{PR7_STEP_REDUCTION}x), schedules bit-identical; straggler and "
+        f"scale cells bit-exact with the PR6/PR5 recordings")
+
+
 def load(path):
     with open(path) as f:
         return json.load(f)
@@ -635,9 +760,17 @@ def main(argv):
                       "BENCH_PR6.recorded.json", file=sys.stderr)
                 return 2
             validate_pr6(load(argv[2]), load(argv[3]))
+        elif gate == "pr7":
+            if len(argv) != 6:
+                print("usage: bench_gate.py pr7 BENCH_PR7.json "
+                      "BENCH_PR7.recorded.json BENCH_PR6.json BENCH_PR5.json",
+                      file=sys.stderr)
+                return 2
+            validate_pr7(load(argv[2]), load(argv[3]), load(argv[4]),
+                         load(argv[5]))
         else:
-            print(f"unknown gate {gate!r}; available: pr2, pr3, pr4, pr5, pr6",
-                  file=sys.stderr)
+            print(f"unknown gate {gate!r}; available: pr2, pr3, pr4, pr5, "
+                  "pr6, pr7", file=sys.stderr)
             return 2
     except GateError as e:
         print(f"BENCH GATE FAILED: {e}", file=sys.stderr)

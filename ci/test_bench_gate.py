@@ -628,6 +628,141 @@ class Pr6GateTests(unittest.TestCase):
         self._validate(fresh, rec)
 
 
+def pr7_doc():
+    """Straggler cell matching pr6_doc's fresh recording, scale cell
+    matching pr5_doc's 1e6 recording; frontier 20x under always-step
+    and well below 5% of n."""
+    return {
+        "bench": "BENCH_PR7",
+        "description": "active-set frontier economics",
+        "straggler": {
+            "graph": "random_regular-d8-n100000", "n": 100_000, "m": 400_000,
+            "delta": 8, "algo": "det-small(T1.2)", "runtime": "sequential",
+            "build_ms": 300.0, "wall_ms": 9_000.0, "rounds": 1170,
+            "messages": 1_000_000, "palette": 65, "valid": True,
+            "stepped_nodes": 5_850_000, "stepped_per_round": 5000.0,
+            "wall_ms_reference": 21_000.0,
+            "stepped_nodes_reference": 117_000_000, "steps_ratio": 20.0,
+            "reference_identical": True,
+        },
+        "scale": {
+            "graph": "random_regular-d8-n1000000-stressed-c0-1",
+            "n": 1_000_000, "m": 8_000_000, "delta": 8,
+            "algo": "rand-improved(T1.1)", "runtime": "sequential",
+            "build_ms": 3_000.0, "wall_ms": 120_000.0, "rounds": 646,
+            "messages": 128_000_000, "palette": 257, "valid": True,
+            "stepped_nodes": 200_000_000, "stepped_per_round": 309_597.5,
+        },
+    }
+
+
+class Pr7GateTests(unittest.TestCase):
+    def _validate(self, fresh, recorded):
+        bench_gate.validate_pr7(fresh, recorded, pr6_doc(), pr5_doc(),
+                                log=lambda *_: None)
+
+    def test_valid_doc_passes(self):
+        doc = pr7_doc()
+        self._validate(copy.deepcopy(doc), doc)
+
+    def test_wrong_bench_tag_fails(self):
+        doc = pr7_doc()
+        doc["bench"] = "BENCH_PR6"
+        with self.assertRaisesRegex(GateError, "not a BENCH_PR7"):
+            bench_gate.check_pr7_shape(doc)
+
+    def test_missing_straggler_key_fails(self):
+        doc = pr7_doc()
+        del doc["straggler"]["steps_ratio"]
+        with self.assertRaisesRegex(GateError, "straggler cell missing"):
+            bench_gate.check_pr7_shape(doc)
+
+    def test_missing_scale_key_fails(self):
+        doc = pr7_doc()
+        del doc["scale"]["stepped_per_round"]
+        with self.assertRaisesRegex(GateError, "scale cell missing"):
+            bench_gate.check_pr7_shape(doc)
+
+    def test_schedule_divergence_fails(self):
+        doc = pr7_doc()
+        doc["straggler"]["reference_identical"] = False
+        with self.assertRaisesRegex(GateError, "schedules diverged"):
+            bench_gate.check_pr7_shape(doc)
+
+    def test_insufficient_step_reduction_fails(self):
+        doc = pr7_doc()
+        doc["straggler"]["steps_ratio"] = 4.9
+        with self.assertRaisesRegex(GateError, "fewer nodes"):
+            bench_gate.check_pr7_shape(doc)
+
+    def test_exact_step_reduction_passes(self):
+        doc = pr7_doc()
+        doc["straggler"]["steps_ratio"] = bench_gate.PR7_STEP_REDUCTION
+        bench_gate.check_pr7_shape(doc)
+
+    def test_oversized_frontier_fails(self):
+        doc = pr7_doc()
+        doc["straggler"]["stepped_per_round"] = 5001.0
+        with self.assertRaisesRegex(GateError, "steady-state frontier"):
+            bench_gate.check_pr7_shape(doc)
+
+    def test_exact_frontier_bound_passes(self):
+        doc = pr7_doc()
+        doc["straggler"]["stepped_per_round"] = (
+            bench_gate.PR7_STEPPED_ROUND_FRACTION
+            * doc["straggler"]["n"])
+        bench_gate.check_pr7_shape(doc)
+
+    def test_invalid_straggler_coloring_fails(self):
+        doc = pr7_doc()
+        doc["straggler"]["valid"] = False
+        with self.assertRaisesRegex(GateError, "straggler coloring invalid"):
+            bench_gate.check_pr7_shape(doc)
+
+    def test_scale_below_tier_fails(self):
+        doc = pr7_doc()
+        doc["scale"]["n"] = 999_999
+        with self.assertRaisesRegex(GateError, "below the 10\\^6 tier"):
+            bench_gate.check_pr7_shape(doc)
+
+    def test_pr6_continuity_rounds_drift_fails(self):
+        fresh, rec = pr7_doc(), pr7_doc()
+        fresh["straggler"]["rounds"] = 1171
+        with self.assertRaisesRegex(GateError, "drifted from the PR6"):
+            self._validate(fresh, rec)
+
+    def test_pr6_continuity_workload_mismatch_fails(self):
+        doc = pr7_doc()
+        doc["straggler"]["graph"] = "random_regular-d16-n100000"
+        with self.assertRaisesRegex(GateError, "not BENCH_PR6's fresh"):
+            bench_gate.check_pr7_pr6_continuity(doc, pr6_doc())
+
+    def test_pr5_continuity_messages_drift_fails(self):
+        doc = pr7_doc()
+        doc["scale"]["messages"] += 1
+        with self.assertRaisesRegex(GateError, "drifted from the PR5"):
+            bench_gate.check_pr7_pr5_continuity(doc, pr5_doc())
+
+    def test_pr5_missing_workload_fails(self):
+        doc = pr7_doc()
+        doc["scale"]["graph"] = "random_regular-d8-n2000000-stressed-c0-1"
+        with self.assertRaisesRegex(GateError, "no cell for workload"):
+            bench_gate.check_pr7_pr5_continuity(doc, pr5_doc())
+
+    def test_fresh_vs_recorded_stepped_drift_fails(self):
+        fresh, rec = pr7_doc(), pr7_doc()
+        fresh["straggler"]["stepped_nodes"] += 1
+        with self.assertRaisesRegex(GateError, "stepped_nodes drifted"):
+            bench_gate.check_pr7_bit_exact(rec, fresh)
+
+    def test_wall_clock_drift_is_tolerated(self):
+        fresh, rec = pr7_doc(), pr7_doc()
+        fresh["straggler"]["wall_ms"] *= 3.0
+        fresh["straggler"]["wall_ms_reference"] *= 2.0
+        fresh["scale"]["wall_ms"] *= 0.5
+        self._validate(fresh, rec)
+
+
 class CliTests(unittest.TestCase):
     def test_unknown_gate_is_usage_error(self):
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr9"]), 2)
@@ -638,6 +773,7 @@ class CliTests(unittest.TestCase):
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr3"]), 2)
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr4", "x"]), 2)
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr5", "x", "y"]), 2)
+        self.assertEqual(bench_gate.main(["bench_gate.py", "pr7", "x", "y"]), 2)
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr6", "x"]), 2)
 
 

@@ -10,6 +10,7 @@
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr4 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr5 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr6 [out.json]
+//! cargo run --release -p d2color-bench --bin harness -- bench-pr7 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- chaos-smoke
 //! cargo run --release -p d2color-bench --bin harness -- scale-smoke
 //! cargo run --release -p d2color-bench --bin harness -- scale-coloring-1e6
@@ -553,6 +554,62 @@ fn bench_pr6() {
     );
 }
 
+/// Runs the BENCH_PR7 matrix (active-set frontier economics: the
+/// straggler det-small n = 10⁵ cell under active vs always-step
+/// scheduling, plus the stressed rand n = 10⁶ cell) and writes the JSON
+/// report (default path: `BENCH_PR7.json`). The acceptance criteria are
+/// asserted here so a violating report can never be recorded.
+fn bench_pr7() {
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_PR7.json".into());
+    let r = benchkit::pr7::run_matrix();
+    let s = &r.straggler;
+    println!(
+        "straggler {:<26} wall {:>9.1} ms (ref {:>9.1} ms)  rounds {:>5}  \
+         stepped {:>11} (ref {:>11}, ratio {:>6.1}x, {:>8.1}/round)  \
+         identical {}  valid {}",
+        s.graph,
+        s.wall_ms,
+        s.wall_ms_reference,
+        s.rounds,
+        s.stepped_nodes,
+        s.stepped_nodes_reference,
+        s.steps_ratio,
+        s.stepped_per_round,
+        s.reference_identical,
+        s.valid
+    );
+    assert!(s.valid, "straggler cell produced an invalid coloring");
+    assert!(
+        s.reference_identical,
+        "active-set and always-step schedules diverged on the straggler cell"
+    );
+    assert!(
+        s.steps_ratio >= benchkit::pr7::STEP_REDUCTION_FACTOR,
+        "frontier stepped only {:.1}x fewer nodes, need >= {}x",
+        s.steps_ratio,
+        benchkit::pr7::STEP_REDUCTION_FACTOR
+    );
+    assert!(
+        s.stepped_per_round <= benchkit::pr7::STEPPED_ROUND_FRACTION * s.n as f64,
+        "steady-state frontier {:.1}/round exceeds {}% of n = {}",
+        s.stepped_per_round,
+        benchkit::pr7::STEPPED_ROUND_FRACTION * 100.0,
+        s.n
+    );
+    let c = &r.scale;
+    println!(
+        "scale     {:<42} wall {:>9.1} ms  rounds {:>5}  stepped {:>11} \
+         ({:>9.1}/round)  valid {}",
+        c.graph, c.wall_ms, c.rounds, c.stepped_nodes, c.stepped_per_round, c.valid
+    );
+    assert!(c.valid, "scale cell produced an invalid coloring");
+    let doc = benchkit::pr7::to_json(&r);
+    std::fs::write(&out_path, doc).expect("write BENCH_PR7.json");
+    println!("\nwrote straggler + scale cells to {out_path}");
+}
+
 /// CI chaos-smoke: the fault-seed differential matrix alone — both full
 /// pipelines under three seeded drop rates, sequential vs parallel —
 /// exits nonzero if any cell's engines diverge or no fault ever fires.
@@ -702,6 +759,10 @@ fn main() {
         bench_pr6();
         return;
     }
+    if arg == "bench-pr7" {
+        bench_pr7();
+        return;
+    }
     if arg == "chaos-smoke" {
         chaos_smoke();
         return;
@@ -730,7 +791,7 @@ fn main() {
             Some((_, f)) => f(),
             None => {
                 eprintln!(
-                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, bench-pr4, bench-pr5, bench-pr6, chaos-smoke, scale-smoke, scale-coloring-1e6, scale-rand-1e6"
+                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, bench-pr4, bench-pr5, bench-pr6, bench-pr7, chaos-smoke, scale-smoke, scale-coloring-1e6, scale-rand-1e6"
                 );
                 std::process::exit(2);
             }

@@ -1,0 +1,402 @@
+//! `BENCH_PR7.json`: the active-set engine's frontier economics.
+//!
+//! PR 7 rebuilds both engines around an active set (see the
+//! `congest::runtime` module docs): a node is stepped only when it has
+//! inbox traffic, asked to run via [`congest::Wake`], or sits on a
+//! fault-plane crash/recovery edge. This matrix records what the
+//! frontier buys on the two workloads ROADMAP item 1 named:
+//!
+//! * the **straggler ReduceColors cell** — BENCH_PR6's fresh workload
+//!   (`random_regular` d = 8, n = 10⁵, det-small, sequential), whose
+//!   long ReduceColors tail steps every node every round under the old
+//!   engine even though almost none recolor. The cell runs once under
+//!   the default [`Scheduling::ActiveSet`] and once under the
+//!   [`Scheduling::AlwaysStep`] reference, records
+//!   [`Metrics::stepped_nodes`](congest::Metrics::stepped_nodes) and
+//!   wall for both, and requires colorings and model metrics (rounds,
+//!   messages, fault counters — everything except `stepped_nodes`)
+//!   bit-identical across the two schedules. Acceptance: the active
+//!   run steps ≥ [`STEP_REDUCTION_FACTOR`]× fewer nodes, and its
+//!   steady-state stepped/round sits at or below
+//!   [`STEPPED_ROUND_FRACTION`] of n — both re-checked by
+//!   `ci/bench_gate.py pr7`, which also diffs rounds/messages against
+//!   the checked-in BENCH_PR6 recording (the frontier must not move
+//!   the model).
+//!
+//! * the **rand n = 10⁶ scale cell** — BENCH_PR5's stressed
+//!   rand-improved workload, identical label/seed/parameters, active
+//!   scheduling only (the reference would double a ~2-minute cell for
+//!   a number the straggler cell already pins down). The gate diffs
+//!   its rounds/messages against the checked-in BENCH_PR5 recording.
+//!
+//! Everything is seeded, so rounds, messages, palettes, **and stepped
+//! node counts** are bit-exact across machines and reruns for a fixed
+//! scheduling mode.
+
+use crate::json::Json;
+use crate::Algo;
+use congest::{RuntimeMode, Scheduling, SimConfig};
+use d2core::Params;
+use graphs::D2View;
+use std::time::Instant;
+
+/// Seed shared with BENCH_PR5/PR6 so the workloads are bit-identical.
+const SEED: u64 = 42;
+/// Acceptance: the straggler cell must step at least this many times
+/// fewer nodes under active-set scheduling than under always-step.
+pub const STEP_REDUCTION_FACTOR: f64 = 5.0;
+/// Acceptance: the straggler cell's steady-state stepped-nodes per
+/// round must sit at or below this fraction of n.
+pub const STEPPED_ROUND_FRACTION: f64 = 0.05;
+
+/// The straggler ReduceColors cell: BENCH_PR6's fresh workload under
+/// both schedules.
+#[derive(Debug, Clone)]
+pub struct Pr7Straggler {
+    /// Workload label (matches BENCH_PR6's fresh cell).
+    pub graph: String,
+    /// Nodes.
+    pub n: usize,
+    /// Undirected edges.
+    pub m: usize,
+    /// Maximum degree.
+    pub delta: usize,
+    /// Algorithm name.
+    pub algo: String,
+    /// Runtime label.
+    pub runtime: String,
+    /// Wall-clock milliseconds to generate the graph and build its CSR.
+    pub build_ms: f64,
+    /// Wall-clock milliseconds of the active-set coloring run.
+    pub wall_ms: f64,
+    /// Rounds to completion (identical across schedules by contract).
+    pub rounds: u64,
+    /// Total messages delivered (identical across schedules).
+    pub messages: u64,
+    /// Palette certificate.
+    pub palette: usize,
+    /// Active-set coloring verified against the `D2View` oracle.
+    pub valid: bool,
+    /// `Protocol::round` calls under active-set scheduling.
+    pub stepped_nodes: u64,
+    /// `stepped_nodes / rounds` — the mean frontier size.
+    pub stepped_per_round: f64,
+    /// Wall-clock milliseconds of the always-step reference run.
+    pub wall_ms_reference: f64,
+    /// `Protocol::round` calls under the always-step reference
+    /// (`rounds × n` when nothing crashes).
+    pub stepped_nodes_reference: u64,
+    /// `stepped_nodes_reference / stepped_nodes` — the frontier win.
+    pub steps_ratio: f64,
+    /// Colorings and full metrics (minus `stepped_nodes`) bit-identical
+    /// across the two schedules.
+    pub reference_identical: bool,
+}
+
+/// The rand n = 10⁶ scale cell: BENCH_PR5's stressed workload under
+/// active-set scheduling.
+#[derive(Debug, Clone)]
+pub struct Pr7Scale {
+    /// Workload label (matches BENCH_PR5's n = 10⁶ cell).
+    pub graph: String,
+    /// Nodes.
+    pub n: usize,
+    /// Undirected edges.
+    pub m: usize,
+    /// Maximum degree.
+    pub delta: usize,
+    /// Algorithm name.
+    pub algo: String,
+    /// Runtime label.
+    pub runtime: String,
+    /// Wall-clock milliseconds to generate the graph and build its CSR.
+    pub build_ms: f64,
+    /// Wall-clock milliseconds of the coloring pipeline.
+    pub wall_ms: f64,
+    /// Rounds to completion.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Palette certificate.
+    pub palette: usize,
+    /// Coloring verified against the `D2View` oracle.
+    pub valid: bool,
+    /// `Protocol::round` calls under active-set scheduling.
+    pub stepped_nodes: u64,
+    /// `stepped_nodes / rounds` — the mean frontier size.
+    pub stepped_per_round: f64,
+}
+
+/// The full PR 7 report.
+#[derive(Debug, Clone)]
+pub struct Pr7Report {
+    /// The straggler ReduceColors cell.
+    pub straggler: Pr7Straggler,
+    /// The rand n = 10⁶ scale cell.
+    pub scale: Pr7Scale,
+}
+
+/// BENCH_PR5's stressed profile: `c₀ = 1` so the trials phase leaves
+/// live stragglers and the whole tail actually runs at scale.
+fn stressed_params() -> Params {
+    Params {
+        c0_initial_rounds: 1.0,
+        ..Params::practical()
+    }
+}
+
+/// Metrics equality modulo `stepped_nodes`, which is the one field the
+/// scheduling mode is allowed to change.
+fn metrics_identical(a: &congest::Metrics, b: &congest::Metrics) -> bool {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    a.stepped_nodes = 0;
+    b.stepped_nodes = 0;
+    a == b
+}
+
+/// Runs the straggler cell under both schedules and records the diff.
+#[must_use]
+pub fn run_straggler() -> Pr7Straggler {
+    let t0 = Instant::now();
+    let g = graphs::gen::random_regular(100_000, 8, SEED);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let params = Params::practical();
+    let active_cfg = SimConfig::at_scale(SEED, g.n()).with_runtime(RuntimeMode::Sequential);
+    let reference_cfg = active_cfg.clone().with_scheduling(Scheduling::AlwaysStep);
+
+    let t1 = Instant::now();
+    let active = Algo::DetSmall
+        .run(&g, &params, &active_cfg)
+        .expect("straggler active cell failed");
+    let wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let t2 = Instant::now();
+    let reference = Algo::DetSmall
+        .run(&g, &params, &reference_cfg)
+        .expect("straggler reference cell failed");
+    let wall_ms_reference = t2.elapsed().as_secs_f64() * 1e3;
+
+    let view = D2View::build(&g);
+    let rounds = active.rounds();
+    Pr7Straggler {
+        graph: format!("random_regular-d8-n{}", g.n()),
+        n: g.n(),
+        m: g.m(),
+        delta: g.max_degree(),
+        algo: Algo::DetSmall.name().to_string(),
+        runtime: "sequential".into(),
+        build_ms,
+        wall_ms,
+        rounds,
+        messages: active.metrics.messages,
+        palette: active.palette_bound(),
+        valid: graphs::verify::is_valid_d2_coloring_with(&view, &active.colors),
+        stepped_nodes: active.metrics.stepped_nodes,
+        stepped_per_round: active.metrics.stepped_nodes as f64 / rounds.max(1) as f64,
+        wall_ms_reference,
+        stepped_nodes_reference: reference.metrics.stepped_nodes,
+        steps_ratio: reference.metrics.stepped_nodes as f64
+            / active.metrics.stepped_nodes.max(1) as f64,
+        reference_identical: active.colors == reference.colors
+            && metrics_identical(&active.metrics, &reference.metrics),
+    }
+}
+
+/// Runs the rand n = 10⁶ cell under active-set scheduling.
+#[must_use]
+pub fn run_scale() -> Pr7Scale {
+    let t0 = Instant::now();
+    let g = graphs::gen::random_regular(1_000_000, 8, SEED);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cfg = SimConfig::at_scale(SEED, g.n()).with_runtime(RuntimeMode::Sequential);
+    let t1 = Instant::now();
+    let out = Algo::RandImproved
+        .run(&g, &stressed_params(), &cfg)
+        .expect("scale cell failed");
+    let wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let view = D2View::build(&g);
+    let rounds = out.rounds();
+    Pr7Scale {
+        graph: format!("random_regular-d8-n{}-stressed-c0-1", g.n()),
+        n: g.n(),
+        m: g.m(),
+        delta: g.max_degree(),
+        algo: Algo::RandImproved.name().to_string(),
+        runtime: "sequential".into(),
+        build_ms,
+        wall_ms,
+        rounds,
+        messages: out.metrics.messages,
+        palette: out.palette_bound(),
+        valid: graphs::verify::is_valid_d2_coloring_with(&view, &out.colors),
+        stepped_nodes: out.metrics.stepped_nodes,
+        stepped_per_round: out.metrics.stepped_nodes as f64 / rounds.max(1) as f64,
+    }
+}
+
+/// Runs the full PR 7 matrix, smallest footprint first.
+#[must_use]
+pub fn run_matrix() -> Pr7Report {
+    Pr7Report {
+        straggler: run_straggler(),
+        scale: run_scale(),
+    }
+}
+
+fn ms(x: f64) -> Json {
+    Json::Num((x * 1000.0).round() / 1000.0)
+}
+
+/// Serializes the report into the `BENCH_PR7.json` document.
+#[must_use]
+pub fn to_json(r: &Pr7Report) -> String {
+    let s = &r.straggler;
+    let straggler = Json::obj(vec![
+        ("graph", Json::str(&s.graph)),
+        ("n", Json::int(s.n as u64)),
+        ("m", Json::int(s.m as u64)),
+        ("delta", Json::int(s.delta as u64)),
+        ("algo", Json::str(&s.algo)),
+        ("runtime", Json::str(&s.runtime)),
+        ("build_ms", ms(s.build_ms)),
+        ("wall_ms", ms(s.wall_ms)),
+        ("rounds", Json::int(s.rounds)),
+        ("messages", Json::int(s.messages)),
+        ("palette", Json::int(s.palette as u64)),
+        ("valid", Json::Bool(s.valid)),
+        ("stepped_nodes", Json::int(s.stepped_nodes)),
+        ("stepped_per_round", ms(s.stepped_per_round)),
+        ("wall_ms_reference", ms(s.wall_ms_reference)),
+        (
+            "stepped_nodes_reference",
+            Json::int(s.stepped_nodes_reference),
+        ),
+        ("steps_ratio", ms(s.steps_ratio)),
+        ("reference_identical", Json::Bool(s.reference_identical)),
+    ]);
+    let c = &r.scale;
+    let scale = Json::obj(vec![
+        ("graph", Json::str(&c.graph)),
+        ("n", Json::int(c.n as u64)),
+        ("m", Json::int(c.m as u64)),
+        ("delta", Json::int(c.delta as u64)),
+        ("algo", Json::str(&c.algo)),
+        ("runtime", Json::str(&c.runtime)),
+        ("build_ms", ms(c.build_ms)),
+        ("wall_ms", ms(c.wall_ms)),
+        ("rounds", Json::int(c.rounds)),
+        ("messages", Json::int(c.messages)),
+        ("palette", Json::int(c.palette as u64)),
+        ("valid", Json::Bool(c.valid)),
+        ("stepped_nodes", Json::int(c.stepped_nodes)),
+        ("stepped_per_round", ms(c.stepped_per_round)),
+    ]);
+    Json::obj(vec![
+        ("bench", Json::str("BENCH_PR7")),
+        (
+            "description",
+            Json::str(
+                "Active-set engine: stepped-node economics of the frontier \
+                 on the straggler det-small n = 1e5 cell (active vs \
+                 always-step reference, bit-identical colorings and model \
+                 metrics, >= 5x fewer node steps, steady-state frontier \
+                 <= 5% of n) and the stressed rand-improved n = 1e6 cell",
+            ),
+        ),
+        ("straggler", straggler),
+        ("scale", scale),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Pr7Report {
+        Pr7Report {
+            straggler: Pr7Straggler {
+                graph: "random_regular-d8-n100000".into(),
+                n: 100_000,
+                m: 400_000,
+                delta: 8,
+                algo: "det-small(T1.2)".into(),
+                runtime: "sequential".into(),
+                build_ms: 300.0,
+                wall_ms: 9_000.0,
+                rounds: 1170,
+                messages: 11_428_368,
+                palette: 65,
+                valid: true,
+                stepped_nodes: 3_000_000,
+                stepped_per_round: 2564.1,
+                wall_ms_reference: 21_000.0,
+                stepped_nodes_reference: 117_000_000,
+                steps_ratio: 39.0,
+                reference_identical: true,
+            },
+            scale: Pr7Scale {
+                graph: "random_regular-d8-n1000000-stressed-c0-1".into(),
+                n: 1_000_000,
+                m: 4_000_000,
+                delta: 8,
+                algo: "rand-improved(T1.1)".into(),
+                runtime: "sequential".into(),
+                build_ms: 3_000.0,
+                wall_ms: 120_000.0,
+                rounds: 646,
+                messages: 128_200_000,
+                palette: 257,
+                valid: true,
+                stepped_nodes: 200_000_000,
+                stepped_per_round: 309_597.5,
+            },
+        }
+    }
+
+    #[test]
+    fn serializes_required_sections() {
+        let s = to_json(&sample_report());
+        for key in [
+            "\"bench\": \"BENCH_PR7\"",
+            "\"straggler\"",
+            "\"scale\"",
+            "\"stepped_nodes\": 3000000",
+            "\"stepped_nodes_reference\": 117000000",
+            "\"steps_ratio\": 39",
+            "\"reference_identical\": true",
+            "\"graph\": \"random_regular-d8-n1000000-stressed-c0-1\"",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn stressed_params_only_cut_the_warmup() {
+        let p = stressed_params();
+        let q = Params::practical();
+        assert_eq!(p.c0_initial_rounds, 1.0);
+        assert_eq!(p.list_sync_period, q.list_sync_period);
+    }
+
+    #[test]
+    fn metrics_identity_ignores_stepped_nodes_only() {
+        let mut a = congest::Metrics::default();
+        let mut b = congest::Metrics::default();
+        a.stepped_nodes = 7;
+        b.stepped_nodes = 9_000;
+        assert!(metrics_identical(&a, &b));
+        b.messages = 1;
+        assert!(!metrics_identical(&a, &b));
+    }
+
+    #[test]
+    fn straggler_labels_match_the_pr6_fresh_cell() {
+        // The gate diffs rounds/messages against BENCH_PR6's fresh cell;
+        // the workload label is the join key, so it must not drift.
+        let r = sample_report();
+        assert_eq!(r.straggler.graph, "random_regular-d8-n100000");
+        assert_eq!(r.scale.graph, "random_regular-d8-n1000000-stressed-c0-1");
+    }
+}

@@ -31,6 +31,27 @@ pub enum RuntimeMode {
     Auto(usize),
 }
 
+/// How the engines decide which nodes to step each round. Both policies
+/// are bit-identical in every observable (colorings, messages, rounds,
+/// errors, fault counters) except [`Metrics::stepped_nodes`]; see
+/// [`crate::runtime`] for the scheduling contract.
+///
+/// [`Metrics::stepped_nodes`]: crate::Metrics::stepped_nodes
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// Step only woken nodes: non-empty inbox, a [`Wake`](crate::Wake)
+    /// request from the node's last step, or an engine-scheduled wake
+    /// (round 0, crash recovery). The default — round cost is
+    /// O(active + messages).
+    #[default]
+    ActiveSet,
+    /// Step every non-crashed node every round (the classic reference
+    /// schedule). [`Protocol::next_wake`](crate::Protocol::next_wake) is
+    /// never called. The differential harnesses run this against
+    /// [`Scheduling::ActiveSet`] to prove the frontier sound.
+    AlwaysStep,
+}
+
 /// Per-round work threshold (in units of `n + 2m`) above which
 /// [`RuntimeMode::Auto`] selects the parallel engine (given more than one
 /// core — see [`RuntimeMode::resolve_for`]).
@@ -160,6 +181,10 @@ pub struct SimConfig {
     /// this only selects the execution strategy, so experiment harnesses
     /// can sweep the runtime dimension through configuration alone.
     pub runtime: RuntimeMode,
+    /// Node-stepping policy (see [`Scheduling`]). [`Scheduling::ActiveSet`]
+    /// by default; [`Scheduling::AlwaysStep`] forces the classic
+    /// every-node-every-round reference schedule.
+    pub scheduling: Scheduling,
     /// Optional fault injection: seeded message drops/duplicates and node
     /// crash/restart schedules (see [`crate::faults`]). `None` (the
     /// default) is the flawless network of the paper; every metric is then
@@ -245,6 +270,13 @@ impl SimConfig {
         self.with_runtime(RuntimeMode::Auto(threads))
     }
 
+    /// Returns `self` with the node-stepping policy replaced.
+    #[must_use]
+    pub fn with_scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
     /// Returns `self` with the given fault model installed.
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
@@ -287,6 +319,7 @@ impl Default for SimConfig {
             max_rounds: 5_000_000,
             ids: IdAssignment::Permuted,
             runtime: RuntimeMode::Sequential,
+            scheduling: Scheduling::ActiveSet,
             faults: None,
             phase_label: String::new(),
         }
@@ -329,6 +362,13 @@ mod tests {
             RuntimeMode::Sequential
         );
         assert_eq!(SimConfig::default().auto(4).runtime, RuntimeMode::Auto(4));
+        assert_eq!(SimConfig::default().scheduling, Scheduling::ActiveSet);
+        assert_eq!(
+            SimConfig::default()
+                .with_scheduling(Scheduling::AlwaysStep)
+                .scheduling,
+            Scheduling::AlwaysStep
+        );
     }
 
     #[test]

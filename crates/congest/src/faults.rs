@@ -255,6 +255,19 @@ impl FaultPlane {
     pub fn has_crashes(&self) -> bool {
         self.any_crashes
     }
+
+    /// The crash window `[start, end)` scheduled for node `v`, or `None`
+    /// if the node never crashes (`end == u64::MAX` means it never
+    /// restarts). Engines use this to build crash/recovery event lists for
+    /// active-set scheduling and to count crashed node-rounds analytically.
+    #[must_use]
+    pub fn crash_window(&self, v: usize) -> Option<(u64, u64)> {
+        if !self.any_crashes {
+            return None;
+        }
+        let (start, end) = self.crash_windows[v];
+        (start != u64::MAX).then_some((start, end))
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +348,24 @@ mod tests {
         for v in 0..4 {
             assert!(plane.is_crashed(v, 1 << 40), "node {v} must stay down");
         }
+    }
+
+    #[test]
+    fn crash_window_accessor_matches_is_crashed() {
+        let cfg = FaultConfig::seeded(9).with_crashes(500_000, 30, 10);
+        let plane = FaultPlane::new(&cfg, 2, 200);
+        for v in 0..200 {
+            match plane.crash_window(v) {
+                Some((start, end)) => {
+                    assert!(plane.is_crashed(v, start));
+                    assert!(!plane.is_crashed(v, end));
+                    assert!(start > 0 || plane.is_crashed(v, 0));
+                }
+                None => assert!((0..60).all(|r| !plane.is_crashed(v, r))),
+            }
+        }
+        let clean = FaultPlane::new(&FaultConfig::seeded(3), 0, 10);
+        assert_eq!(clean.crash_window(0), None);
     }
 
     #[test]

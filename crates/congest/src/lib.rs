@@ -82,7 +82,8 @@ mod protocol;
 pub mod runtime;
 
 pub use config::{
-    auto_work_estimate, IdAssignment, RuntimeMode, ScalePreset, SimConfig, AUTO_WORK_THRESHOLD,
+    auto_work_estimate, IdAssignment, RuntimeMode, ScalePreset, Scheduling, SimConfig,
+    AUTO_WORK_THRESHOLD,
 };
 pub use faults::{Fate, FaultConfig, FaultPlane, PER_MILLION};
 pub use message::{BitCost, Message, SmallIds};
@@ -90,7 +91,7 @@ pub use metrics::Metrics;
 pub use net::NetTables;
 pub use node::{NodeCtx, NodeRng, Port};
 pub use outbox::{DuplicateDelivery, Inbox, Outbox};
-pub use protocol::{Protocol, Status};
+pub use protocol::{Protocol, Status, Wake};
 pub use runtime::{
     assigned_idents, run, run_parallel, run_with, ParallelRuntime, RunResult, SequentialRuntime,
     SimError,

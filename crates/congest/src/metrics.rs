@@ -30,6 +30,13 @@ pub struct Metrics {
     /// Node-rounds spent crashed (nodes skipped by the engine because
     /// their crash window covered the round).
     pub crashed_rounds: u64,
+    /// Number of `Protocol::round` calls executed — the active-set
+    /// engine's work unit. Under always-step scheduling this is
+    /// `rounds × (n − crashed)`; under active-set scheduling it is the
+    /// quantity the frontier saves. Identical across engines for a fixed
+    /// scheduling mode, but *not* across scheduling modes — mode-vs-mode
+    /// bit-identity comparisons must exclude it.
+    pub stepped_nodes: u64,
 }
 
 impl Metrics {
@@ -46,6 +53,7 @@ impl Metrics {
         self.faults_duplicated += other.faults_duplicated;
         self.crash_drops += other.crash_drops;
         self.crashed_rounds += other.crashed_rounds;
+        self.stepped_nodes += other.stepped_nodes;
     }
 
     /// Record one delivered message of `bits` bits against budget `budget`.
@@ -106,6 +114,7 @@ mod tests {
             faults_duplicated: 3,
             crash_drops: 2,
             crashed_rounds: 7,
+            stepped_nodes: 9,
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
@@ -117,5 +126,6 @@ mod tests {
         assert_eq!(a.faults_duplicated, 3);
         assert_eq!(a.crash_drops, 2);
         assert_eq!(a.crashed_rounds, 7);
+        assert_eq!(a.stepped_nodes, 9);
     }
 }

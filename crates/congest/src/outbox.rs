@@ -42,13 +42,28 @@ pub struct Inbox<M> {
 }
 
 impl<M> Inbox<M> {
-    /// An inbox pre-sized to the node's degree — the most a round can
-    /// deliver. One up-front allocation instead of `log₂ degree` growth
-    /// doublings on the first busy rounds (the engines reuse the buffer
-    /// for the whole run, so this is the inbox's only allocation ever).
+    /// An inbox pre-sized to the most a round can deliver: the node's
+    /// degree, or **twice** the degree when a duplicating fault plane is
+    /// active (every port can carry the original plus one injected copy —
+    /// see [`crate::faults::Fate::Duplicate`]). The engines pass the right
+    /// bound via [`Inbox::round_capacity`]; one up-front allocation instead
+    /// of `log₂ degree` growth doublings on the first busy rounds (the
+    /// engines reuse the buffer for the whole run, so this is the inbox's
+    /// only allocation ever).
     pub(crate) fn with_capacity(degree: usize) -> Self {
         Inbox {
             items: Vec::with_capacity(degree),
+        }
+    }
+
+    /// The worst-case number of deliveries in one round for a node of
+    /// `degree` under a plane that duplicates iff `dups` — the capacity
+    /// that keeps the steady state allocation-free.
+    pub(crate) fn round_capacity(degree: usize, dups: bool) -> usize {
+        if dups {
+            degree * 2
+        } else {
+            degree
         }
     }
 

@@ -14,6 +14,26 @@ pub enum Status {
     Done,
 }
 
+/// A node's scheduling request for the rounds after the one it just ran,
+/// returned by [`Protocol::next_wake`]. Under active-set scheduling
+/// (see [`crate::runtime`]) the engines step a node only when it is
+/// *woken*; `Wake` is the node's own contribution to that decision —
+/// message arrivals always wake the destination regardless of the value
+/// returned here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// Step me again next round unconditionally (the classic schedule, and
+    /// the default). Always safe: a protocol that never overrides
+    /// [`Protocol::next_wake`] runs exactly as before.
+    Next,
+    /// Park me until round `r` (absolute round number); a message arriving
+    /// earlier still wakes me at its arrival round. Values `≤` the next
+    /// round degrade to [`Wake::Next`].
+    At(u64),
+    /// Park me indefinitely; only a message arrival wakes me.
+    Message,
+}
+
 /// A CONGEST node program, instantiated identically at every node.
 ///
 /// The same `Protocol` value is shared (read-only) by all nodes; per-node
@@ -73,5 +93,44 @@ pub trait Protocol: Sync {
     /// communicate, termination is evaluated every round.
     fn sync_period(&self) -> u64 {
         1
+    }
+
+    /// Declares when this node next needs to be stepped, given the `status`
+    /// it just voted. Called by the engines immediately after each
+    /// [`Protocol::round`] call when active-set scheduling is enabled (the
+    /// default — see [`crate::runtime`] for the full contract); never
+    /// called under the always-step reference schedule.
+    ///
+    /// **Parking contract.** A protocol override must guarantee that a
+    /// parked node, were it stepped anyway with an *empty* inbox, would
+    /// (1) make no observable change: no sends, no RNG draws, no state
+    /// mutation that can later affect messages or outputs; and (2) not
+    /// change the termination outcome: the engines treat the last
+    /// communication-round vote as *sticky* while a node is parked and
+    /// evaluate unanimous-`Done` termination over sticky votes, so at every
+    /// communication round of the parked interval at which the run could
+    /// otherwise terminate (every other node voting or holding `Done`), the
+    /// parked node's sticky vote must equal the vote it would cast if
+    /// stepped. Concretely: parking with sticky `Done` while the would-be
+    /// vote is `Running` is fine at rounds where unanimity is impossible
+    /// anyway (e.g. the non-resolve sub-rounds of a trial cycle, where
+    /// every node votes `Running`); and a node whose sticky vote is
+    /// `Running` must arrange — via [`Wake::At`] — to be stepped and vote
+    /// `Done` no later than the earliest round global unanimity could
+    /// occur, or it delays termination past the reference schedule.
+    /// Violating (1) or (2) desynchronizes active-set runs from the
+    /// always-step reference — the differential harnesses catch this as a
+    /// bit-identity failure.
+    ///
+    /// Message arrivals *always* wake the destination for the arrival
+    /// round, whatever this returns; `Wake::At(r)` additionally schedules a
+    /// spontaneous wake at round `r`. Nodes crashed by the fault plane are
+    /// skipped while down and woken at their recovery round.
+    ///
+    /// The default, [`Wake::Next`], reproduces the classic every-round
+    /// schedule exactly.
+    fn next_wake(&self, state: &Self::State, ctx: &NodeCtx, status: Status) -> Wake {
+        let _ = (state, ctx, status);
+        Wake::Next
     }
 }

@@ -16,6 +16,51 @@
 //! differential harness (`tests/runtime_equivalence.rs`) and the transport
 //! property tests assert this equivalence over full coloring pipelines.
 //!
+//! # Active-set scheduling
+//!
+//! By default ([`Scheduling::ActiveSet`](crate::Scheduling)) the engines
+//! step only the **live frontier** each round instead of all `n` nodes. A
+//! node is stepped in round `r` exactly when it is *woken* for `r`, which
+//! happens iff
+//!
+//! 1. a message addressed to it arrives in round `r` (deliveries always
+//!    wake their destination — staged at `r − 1`, stamped for `r`);
+//! 2. its own [`Protocol::next_wake`] asked for it: [`Wake::Next`](crate::Wake::Next) after
+//!    its round-`r − 1` step, or a matured [`Wake::At(r)`](crate::Wake)
+//!    request; or
+//! 3. the fault plane recovers it in round `r` (crash-window end).
+//!
+//! Round 0 wakes every node. Nodes the plane has crashed are skipped
+//! while down without rescheduling. Per round the frontier is traversed
+//! by a `Sweep`: index-ordered flag scan when dense (≥ `n/4`), sorted
+//! sparse list otherwise — either way nodes step in index order, so the
+//! sequential observables are unchanged. The parallel engine keeps one
+//! frontier per shard over shard-local indices and carries wakes for
+//! remote nodes inside the same epoch-stamped mailbox handshake it uses
+//! for messages, so no extra barrier is paid.
+//!
+//! **Termination** under parking uses *sticky votes*: each node's latest
+//! communication-round vote stands in for it while parked (the parking
+//! contract on [`Protocol::next_wake`] makes this exact — see its docs),
+//! and the run ends at the first communication round where no non-crashed
+//! node's sticky vote is `Running`. Two fault-plane escape hatches keep
+//! the crash semantics identical to the reference:
+//!
+//! * when a crash removes the last sticky-`Running` vote, the engine
+//!   **latches** back to stepping every node with the classic unanimity
+//!   check, permanently (the parallel engine pre-publishes a one-round
+//!   projection of the running count so every shard latches on the same
+//!   round);
+//! * parking is disabled outright when crash faults meet a
+//!   [`Protocol::sync_period`] `> 1` — a crash inside a silent window
+//!   could flip unanimity between rounds the engines never compare votes
+//!   at.
+//!
+//! [`Scheduling::AlwaysStep`](crate::Scheduling) forces the classic
+//! every-node schedule ([`Protocol::next_wake`] is never called); the
+//! differential harnesses hold active-set runs bit-identical to it with
+//! only [`Metrics::stepped_nodes`](crate::Metrics) allowed to shrink.
+//!
 //! # Engine selection
 //!
 //! [`SimConfig::runtime`] picks the engine per run:
@@ -198,6 +243,29 @@ pub fn run_with<P: Protocol>(
 #[must_use]
 pub fn assigned_idents(graph: &Graph, config: &SimConfig) -> Vec<u64> {
     crate::net::ident_assignment(graph.n(), config)
+}
+
+/// How one round's step set is traversed under active-set scheduling.
+/// Shared by both engines (the parallel engine applies it per shard over
+/// local indices).
+pub(crate) enum Sweep {
+    /// Step every node `0..n` (always-step reference, or a latched probe).
+    All,
+    /// Step the sorted sparse frontier.
+    Sparse,
+    /// Scan `0..n` against the frontier membership flags — preserves index
+    /// order without sorting when the frontier is a large fraction of `n`.
+    Dense,
+}
+
+/// Marks `v` as scheduled for round `t`, deduplicating via the stamp array
+/// (`stamp[v] == t` ⇔ already queued for `t`).
+#[inline]
+pub(crate) fn wake(stamp: &mut [u64], queue: &mut Vec<u32>, v: usize, t: u64) {
+    if stamp[v] != t {
+        stamp[v] = t;
+        queue.push(v as u32);
+    }
 }
 
 /// Derives the private RNG stream of node `index` for run seed `seed`.

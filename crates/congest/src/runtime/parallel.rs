@@ -55,6 +55,22 @@
 //! between communication rounds entirely locally — no publish, no barrier,
 //! no drain — and synchronizes once per `p` simulator rounds.
 //!
+//! # Active-set scheduling
+//!
+//! Under the default active-set schedule (see the [module docs](super))
+//! each shard keeps a wake frontier over its *local* indices; wakes for
+//! nodes in other shards ride in the same epoch-stamped mail cells as the
+//! messages that cause them (a drained delivery wakes its destination for
+//! the next round in phase B), so parking adds no synchronization beyond
+//! the existing barrier. The sticky-vote unanimity check uses two extra
+//! epoch-rotated slot arrays with the same `sync % 3` discipline as the
+//! done counters: `running_slots` accumulates per-shard sticky-`Running`
+//! totals (a zero sum is exactly the reference's unanimity), and
+//! `proj_slots` carries a one-round-ahead projection of the running count
+//! under the plane's scheduled crash/recovery events, so that when a
+//! crash removes the last `Running` vote every shard latches back to
+//! always-stepping on the same round.
+//!
 //! # Determinism
 //!
 //! Per-node RNG streams depend only on `(seed, index)`, at most one
@@ -66,12 +82,15 @@
 //! harness and the transport property tests).
 
 use super::barrier::SpinBarrier;
-use super::{node_rng, RunResult, SimError};
+use super::{node_rng, wake, RunResult, SimError, Sweep};
 use crate::faults::{Fate, FaultPlane};
 use crate::{
-    Inbox, Message, Metrics, NetTables, NodeCtx, Outbox, Port, Protocol, SimConfig, Status,
+    Inbox, Message, Metrics, NetTables, NodeCtx, Outbox, Port, Protocol, Scheduling, SimConfig,
+    Status, Wake,
 };
 use graphs::Graph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -205,6 +224,15 @@ impl ParallelRuntime {
         // breaker never reaches. Slot rotation pins every flag to the sync
         // it was raised in, so all shards break at the same sync.
         let done_slots = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+        // Active-set termination counters, rotated like `done_slots`: each
+        // shard adds its count of non-crashed nodes whose sticky vote is
+        // Running (`running_slots`, zero total ⇔ the always-step reference
+        // would see unanimity this round) and its *projection* of that
+        // count for the next round given the statically-known crash and
+        // recovery events there (`proj_slots` — a zero total latches the
+        // probe; see the module docs).
+        let running_slots = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+        let proj_slots = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
         let abort_slots = [
             AtomicBool::new(false),
             AtomicBool::new(false),
@@ -249,6 +277,8 @@ impl ParallelRuntime {
                 let mailboxes = &mailboxes;
                 let barrier = &barrier;
                 let done_slots = &done_slots;
+                let running_slots = &running_slots;
+                let proj_slots = &proj_slots;
                 let abort_slots = &abort_slots;
                 let first_error = &first_error;
                 let global_metrics = &global_metrics;
@@ -270,11 +300,25 @@ impl ParallelRuntime {
                         .zip(rngs.iter_mut())
                         .map(|(c, r)| protocol.init(c, r))
                         .collect();
+                    // A duplicating plane can deliver two copies per port in
+                    // one round; size inboxes for it so the steady state
+                    // stays allocation-free.
+                    let dups = config.faults.as_ref().is_some_and(|f| f.dup_per_million > 0);
                     let mut cur: Vec<Inbox<P::Msg>> = (0..local_n)
-                        .map(|i| Inbox::with_capacity(graph.degree((start + i) as u32)))
+                        .map(|i| {
+                            Inbox::with_capacity(Inbox::<P::Msg>::round_capacity(
+                                graph.degree((start + i) as u32),
+                                dups,
+                            ))
+                        })
                         .collect();
                     let mut next: Vec<Inbox<P::Msg>> = (0..local_n)
-                        .map(|i| Inbox::with_capacity(graph.degree((start + i) as u32)))
+                        .map(|i| {
+                            Inbox::with_capacity(Inbox::<P::Msg>::round_capacity(
+                                graph.degree((start + i) as u32),
+                                dups,
+                            ))
+                        })
                         .collect();
                     let mut out: Outbox<P::Msg> = Outbox::new(0);
                     // Private outgoing batch per destination shard, reused
@@ -285,9 +329,53 @@ impl ParallelRuntime {
                         bandwidth_bits: budget,
                         ..Metrics::default()
                     };
-                    // Shard-local watchdog bookkeeping (see `live_total`).
-                    let mut prev_status: Vec<Status> = vec![Status::Running; local_n];
+                    let has_crashes = plane.is_some_and(FaultPlane::has_crashes);
+                    // Active-set scheduling, gated exactly as in the
+                    // sequential engine; every shard computes the same
+                    // value and all later transitions (the probe latch) are
+                    // driven by barrier-shared totals, so the shards always
+                    // agree on the mode.
+                    let mut active = config.scheduling == Scheduling::ActiveSet
+                        && !(has_crashes && period > 1);
+                    // Sticky votes over local nodes (see the sequential
+                    // engine): `local_running` counts non-crashed local
+                    // nodes whose latest communication-round vote was
+                    // Running; the global termination signal is the
+                    // barrier-summed total.
+                    let mut sticky: Vec<Status> = vec![Status::Running; local_n];
+                    let mut local_running: u64 = local_n as u64;
                     let mut last_progress: u64 = 0;
+
+                    // Per-shard frontier machinery over local indices
+                    // (mirrors the sequential engine; see module docs).
+                    let mut frontier: Vec<u32> = Vec::new();
+                    let mut next_frontier: Vec<u32> = Vec::new();
+                    let mut stamp: Vec<u64> = Vec::new();
+                    let mut in_cur: Vec<bool> = Vec::new();
+                    let mut heap: BinaryHeap<(Reverse<u64>, u32)> = BinaryHeap::new();
+                    let mut heap_round: Vec<u64> = Vec::new();
+                    let mut crash_events: Vec<(u64, u32)> = Vec::new();
+                    let mut recovery_events: Vec<(u64, u32)> = Vec::new();
+                    let (mut ci, mut ri) = (0usize, 0usize);
+                    if active {
+                        frontier = (0..local_n as u32).collect();
+                        next_frontier = Vec::with_capacity(local_n);
+                        stamp = vec![0; local_n];
+                        in_cur = vec![false; local_n];
+                        heap_round = vec![u64::MAX; local_n];
+                        if let Some(p) = plane {
+                            for i in 0..local_n {
+                                if let Some((s, e)) = p.crash_window(start + i) {
+                                    crash_events.push((s, i as u32));
+                                    if e != u64::MAX {
+                                        recovery_events.push((e, i as u32));
+                                    }
+                                }
+                            }
+                            crash_events.sort_unstable();
+                            recovery_events.sort_unstable();
+                        }
+                    }
 
                     // Number of completed synchronizations; drives the cell
                     // parity and the vote-slot rotation. Equals the round
@@ -297,22 +385,82 @@ impl ParallelRuntime {
                     let mut saw_abort = false;
                     for round in 0..config.max_rounds {
                         let comm = round.is_multiple_of(period);
-                        // ---- Phase A: step local nodes, stage messages.
+                        if active {
+                            // Assemble this round's local frontier: matured
+                            // `Wake::At` requests and fault-plane events.
+                            while let Some(&(Reverse(tt), i)) = heap.peek() {
+                                if tt > round {
+                                    break;
+                                }
+                                heap.pop();
+                                if tt == round && heap_round[i as usize] == tt {
+                                    heap_round[i as usize] = u64::MAX;
+                                    wake(&mut stamp, &mut frontier, i as usize, round);
+                                }
+                            }
+                            while ci < crash_events.len() && crash_events[ci].0 == round {
+                                let i = crash_events[ci].1 as usize;
+                                ci += 1;
+                                if sticky[i] == Status::Running {
+                                    local_running -= 1;
+                                }
+                            }
+                            while ri < recovery_events.len() && recovery_events[ri].0 == round {
+                                let i = recovery_events[ri].1 as usize;
+                                ri += 1;
+                                if sticky[i] == Status::Running {
+                                    local_running += 1;
+                                }
+                                wake(&mut stamp, &mut frontier, i, round);
+                            }
+                        }
+                        let stepping_all = !active;
+                        // ---- Phase A: step woken local nodes, stage
+                        // messages.
                         let mut local_done = 0u64;
                         let mut progressed = false;
-                        for i in 0..local_n {
+                        let sweep = if stepping_all {
+                            Sweep::All
+                        } else if frontier.len() * 4 >= local_n {
+                            for &i in &frontier {
+                                in_cur[i as usize] = true;
+                            }
+                            Sweep::Dense
+                        } else {
+                            frontier.sort_unstable();
+                            Sweep::Sparse
+                        };
+                        let count = match sweep {
+                            Sweep::All | Sweep::Dense => local_n,
+                            Sweep::Sparse => frontier.len(),
+                        };
+                        for s in 0..count {
+                            let i = match sweep {
+                                Sweep::All => s,
+                                Sweep::Sparse => frontier[s] as usize,
+                                Sweep::Dense => {
+                                    if !in_cur[s] {
+                                        continue;
+                                    }
+                                    in_cur[s] = false;
+                                    s
+                                }
+                            };
                             let v = start + i;
                             if let Some(p) = plane {
                                 if p.is_crashed(v, round) {
                                     // Crashed node: not stepped, votes Done
-                                    // implicitly (see `faults` module docs).
-                                    metrics.crashed_rounds += 1;
+                                    // implicitly (see `faults` module docs);
+                                    // crashed node-rounds are counted
+                                    // analytically at termination.
                                     local_done += 1;
                                     continue;
                                 }
                             }
                             ctx_slice[i].round = round;
+                            cur[i].finalize();
                             out.reset(ctx_slice[i].degree());
+                            metrics.stepped_nodes += 1;
                             let status = protocol.round(
                                 &mut states[i],
                                 &ctx_slice[i],
@@ -320,12 +468,30 @@ impl ParallelRuntime {
                                 &cur[i],
                                 &mut out,
                             );
+                            cur[i].clear();
                             if status == Status::Done {
                                 local_done += 1;
                             }
-                            if status != prev_status[i] {
-                                prev_status[i] = status;
+                            if comm && status != sticky[i] {
+                                match status {
+                                    Status::Done => local_running -= 1,
+                                    Status::Running => local_running += 1,
+                                }
+                                sticky[i] = status;
                                 progressed = true;
+                            }
+                            if active {
+                                heap_round[i] = u64::MAX;
+                                match protocol.next_wake(&states[i], &ctx_slice[i], status) {
+                                    Wake::At(tt) if tt > round + 1 => {
+                                        heap_round[i] = tt;
+                                        heap.push((Reverse(tt), i as u32));
+                                    }
+                                    Wake::Next | Wake::At(_) => {
+                                        wake(&mut stamp, &mut next_frontier, i, round + 1);
+                                    }
+                                    Wake::Message => {}
+                                }
                             }
                             assert!(
                                 comm || out.is_empty(),
@@ -378,10 +544,16 @@ impl ParallelRuntime {
                                 let arrival = net.reverse_ports_of(v as u32)[port as usize];
                                 let ds = shard_of(dest);
                                 if ds == shard {
+                                    let li = dest - start;
                                     if copies == 2 {
-                                        next[dest - start].push(arrival, msg.clone());
+                                        next[li].push(arrival, msg.clone());
                                     }
-                                    next[dest - start].push(arrival, msg);
+                                    next[li].push(arrival, msg);
+                                    if active {
+                                        // Message arrivals always wake their
+                                        // destination.
+                                        wake(&mut stamp, &mut next_frontier, li, round + 1);
+                                    }
                                 } else {
                                     if copies == 2 {
                                         out_bufs[ds].push((dest as u32, arrival, msg.clone()));
@@ -397,12 +569,16 @@ impl ParallelRuntime {
 
                         if !comm {
                             // Silent round: no messages in flight anywhere,
-                            // so just rotate inboxes locally and move on —
-                            // no publish, no barrier, no drain.
-                            for inbox in &mut cur {
-                                inbox.clear();
-                            }
+                            // so just rotate buffers locally and move on —
+                            // no publish, no barrier, no drain. Stepped
+                            // nodes cleared their inboxes at their step and
+                            // parked ones hold empty inboxes, so the swap
+                            // alone readies both buffers.
                             std::mem::swap(&mut cur, &mut next);
+                            if active {
+                                std::mem::swap(&mut frontier, &mut next_frontier);
+                                next_frontier.clear();
+                            }
                             continue;
                         }
 
@@ -424,55 +600,151 @@ impl ParallelRuntime {
                                 cell.epochs[parity].store(sync + 1, Ordering::SeqCst);
                             }
                         }
-                        done_slots[(sync % 3) as usize].fetch_add(local_done, Ordering::SeqCst);
+                        if stepping_all {
+                            done_slots[(sync % 3) as usize]
+                                .fetch_add(local_done, Ordering::SeqCst);
+                        } else {
+                            running_slots[(sync % 3) as usize]
+                                .fetch_add(local_running, Ordering::SeqCst);
+                            if has_crashes {
+                                // Project this shard's running count at
+                                // round + 1: the sequential engine latches
+                                // its probe when round-start crash events
+                                // zero the global count, and the only way
+                                // every shard can see that before stepping
+                                // round + 1 is to sum the projections at
+                                // *this* round's barrier. Peek the event
+                                // cursors without advancing them — the top
+                                // of round + 1 will consume the same events
+                                // for real. (`active` under crashes forces
+                                // period == 1, so every round passes here.)
+                                let mut proj = local_running;
+                                let mut cj = ci;
+                                while cj < crash_events.len()
+                                    && crash_events[cj].0 == round + 1
+                                {
+                                    let i = crash_events[cj].1 as usize;
+                                    cj += 1;
+                                    if sticky[i] == Status::Running {
+                                        proj -= 1;
+                                    }
+                                }
+                                let mut rj = ri;
+                                while rj < recovery_events.len()
+                                    && recovery_events[rj].0 == round + 1
+                                {
+                                    let i = recovery_events[rj].1 as usize;
+                                    rj += 1;
+                                    if sticky[i] == Status::Running {
+                                        proj += 1;
+                                    }
+                                }
+                                proj_slots[(sync % 3) as usize]
+                                    .fetch_add(proj, Ordering::SeqCst);
+                            }
+                        }
 
                         barrier.wait();
 
                         // ---- Phase B: drain the inbound column, rotate
-                        // inboxes, evaluate termination.
+                        // inboxes, evaluate termination. Cross-shard
+                        // arrivals wake their destinations here — this is
+                        // where the peer shards' wake lists merge into the
+                        // local frontier. No clear/finalize sweeps: stepped
+                        // nodes cleared their inboxes at their step, parked
+                        // ones hold empty inboxes, and finalize is lazy
+                        // (just before a woken node steps).
                         for row in mailboxes.iter() {
                             let cell = &row[shard];
                             if cell.epochs[parity].load(Ordering::SeqCst) == sync + 1 {
                                 let mut slot = cell.bufs[parity].lock().expect("no poisoned lock");
                                 for (dest, port, msg) in slot.drain(..) {
-                                    next[dest as usize - start].push(port, msg);
+                                    let li = dest as usize - start;
+                                    next[li].push(port, msg);
+                                    if active {
+                                        wake(&mut stamp, &mut next_frontier, li, round + 1);
+                                    }
                                 }
                             }
                         }
-                        for inbox in &mut cur {
-                            inbox.clear();
-                        }
                         std::mem::swap(&mut cur, &mut next);
-                        for inbox in &mut cur {
-                            inbox.finalize();
+                        if active {
+                            std::mem::swap(&mut frontier, &mut next_frontier);
+                            next_frontier.clear();
                         }
-                        let all_done =
-                            done_slots[(sync % 3) as usize].load(Ordering::SeqCst) == n as u64;
-                        let aborted = abort_slots[(sync % 3) as usize].load(Ordering::SeqCst);
+                        let slot = (sync % 3) as usize;
+                        let terminate = if stepping_all {
+                            done_slots[slot].load(Ordering::SeqCst) == n as u64
+                        } else {
+                            // Zero sticky-Running votes globally ⇔ the
+                            // always-step reference would see unanimity.
+                            running_slots[slot].load(Ordering::SeqCst) == 0
+                        };
+                        let aborted = abort_slots[slot].load(Ordering::SeqCst);
+                        // A zero projected running count for round + 1 can
+                        // only come from crash events there; latch the probe
+                        // (permanently step everyone, classic unanimity) in
+                        // lockstep across shards — see the sequential
+                        // engine's round-start latch.
+                        let latch = !stepping_all
+                            && has_crashes
+                            && proj_slots[slot].load(Ordering::SeqCst) == 0;
                         if shard == 0 {
                             // Reset the slots for sync + 2: their last
                             // readers finished in phase B of sync - 1,
                             // which happens-before this phase B; their next
                             // writers start in phase A of sync + 2, which
                             // happens-after (module docs).
-                            done_slots[((sync + 2) % 3) as usize].store(0, Ordering::SeqCst);
-                            abort_slots[((sync + 2) % 3) as usize].store(false, Ordering::SeqCst);
+                            let reset = ((sync + 2) % 3) as usize;
+                            done_slots[reset].store(0, Ordering::SeqCst);
+                            running_slots[reset].store(0, Ordering::SeqCst);
+                            proj_slots[reset].store(0, Ordering::SeqCst);
+                            abort_slots[reset].store(false, Ordering::SeqCst);
                         }
                         sync += 1;
                         if aborted {
                             saw_abort = true;
                             break;
                         }
-                        if all_done {
+                        if terminate {
                             finished_ok = true;
                             break;
+                        }
+                        if latch {
+                            active = false;
+                        }
+                    }
+                    if finished_ok {
+                        // Crashed node-rounds, analytically: the engine
+                        // never scans crashed nodes, so count each local
+                        // crash window's overlap with the rounds actually
+                        // executed (every shard broke at the same round, so
+                        // `metrics.rounds` is still the global count here).
+                        if let Some(p) = plane {
+                            let r = metrics.rounds;
+                            for i in 0..local_n {
+                                if let Some((s, e)) = p.crash_window(start + i) {
+                                    metrics.crashed_rounds += e.min(r) - s.min(r);
+                                }
+                            }
                         }
                     }
                     if !finished_ok && !saw_abort {
                         // Contribute this shard's watchdog share; the final
                         // live/progress fields are patched in after the
-                        // scope joins, once every shard has reported.
-                        let live = prev_status.iter().filter(|&&s| s != Status::Done).count();
+                        // scope joins, once every shard has reported. Live
+                        // nodes are those still voting Running per their
+                        // sticky communication-round vote, excluding nodes
+                        // the plane had crashed when the limit hit —
+                        // crashed nodes vote Done implicitly and must not
+                        // be reported as live work.
+                        let last = config.max_rounds.saturating_sub(1);
+                        let live = (0..local_n)
+                            .filter(|&i| {
+                                sticky[i] == Status::Running
+                                    && !plane.is_some_and(|p| p.is_crashed(start + i, last))
+                            })
+                            .count();
                         live_total.fetch_add(live as u64, Ordering::SeqCst);
                         progress_max.fetch_max(last_progress, Ordering::SeqCst);
                         let mut e = first_error.lock().expect("no poisoned lock");

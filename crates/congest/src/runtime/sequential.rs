@@ -1,12 +1,19 @@
 //! Deterministic single-threaded runtime.
 
-use super::{node_rng, RunResult, SimError};
+use super::{node_rng, wake, RunResult, SimError, Sweep};
 use crate::faults::{Fate, FaultPlane};
-use crate::{Inbox, Message, Metrics, NetTables, Outbox, Protocol, SimConfig, Status};
+use crate::{
+    Inbox, Message, Metrics, NetTables, Outbox, Protocol, Scheduling, SimConfig, Status, Wake,
+};
 use graphs::Graph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-/// Single-threaded engine: nodes are stepped in index order each round.
+/// Single-threaded engine: woken nodes are stepped in index order each
+/// round (see the [module docs](crate::runtime) for the active-set
+/// scheduling contract; [`Scheduling::AlwaysStep`] forces the classic
+/// every-node schedule).
 ///
 /// This is the reference implementation; the parallel runtime is validated
 /// against it. It honors the same [`Protocol::sync_period`] communication
@@ -78,11 +85,27 @@ impl SequentialRuntime {
             .map(|(c, r)| protocol.init(c, r))
             .collect();
 
+        // A duplicating plane can deliver two copies per port in one round;
+        // size inboxes for it so the steady state stays allocation-free.
+        let dups = config
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.dup_per_million > 0);
         let mut cur: Vec<Inbox<P::Msg>> = (0..n)
-            .map(|v| Inbox::with_capacity(graph.degree(v as u32)))
+            .map(|v| {
+                Inbox::with_capacity(Inbox::<P::Msg>::round_capacity(
+                    graph.degree(v as u32),
+                    dups,
+                ))
+            })
             .collect();
         let mut next: Vec<Inbox<P::Msg>> = (0..n)
-            .map(|v| Inbox::with_capacity(graph.degree(v as u32)))
+            .map(|v| {
+                Inbox::with_capacity(Inbox::<P::Msg>::round_capacity(
+                    graph.degree(v as u32),
+                    dups,
+                ))
+            })
             .collect();
         let mut out: Outbox<P::Msg> = Outbox::new(0);
 
@@ -94,36 +117,170 @@ impl SequentialRuntime {
             .faults
             .as_ref()
             .map(|f| FaultPlane::new(f, config.rng_salt, n));
-        // Watchdog bookkeeping for the structured round-limit diagnostic:
-        // last per-node status vote, and the last round any node changed
-        // its vote or sent a message.
-        let mut prev_status: Vec<Status> = vec![Status::Running; n];
+        let has_crashes = plane.as_ref().is_some_and(FaultPlane::has_crashes);
+        // Active-set scheduling. Parking is disabled when crashes meet
+        // round batching: a crash landing in a silent window could flip the
+        // unanimity outcome between rounds the engines never compare votes
+        // at, and no in-repo workload combines the two (see module docs).
+        let mut active = config.scheduling == Scheduling::ActiveSet && !(has_crashes && period > 1);
+
+        // Sticky votes: each node's latest communication-round vote. While
+        // a node is parked its sticky vote stands in for it (the parking
+        // contract on `Protocol::next_wake` makes that exact), so
+        // `running` — non-crashed nodes whose sticky vote is Running — is
+        // zero exactly when the always-step reference would see unanimity.
+        let mut sticky: Vec<Status> = vec![Status::Running; n];
+        let mut running: u64 = n as u64;
         let mut last_progress: u64 = 0;
 
+        // Frontier machinery (untouched when `!active`): `frontier` holds
+        // this round's wakes, `next_frontier` the next round's, `stamp`
+        // deduplicates insertions, `heap` carries `Wake::At` requests with
+        // `heap_round[v]` = the latest requested target (stale entries are
+        // skipped on pop), and the crash/recovery event lists feed the
+        // plane's edges into the running count and the wake queue.
+        let mut frontier: Vec<u32> = Vec::new();
+        let mut next_frontier: Vec<u32> = Vec::new();
+        let mut stamp: Vec<u64> = Vec::new();
+        let mut in_cur: Vec<bool> = Vec::new();
+        let mut heap: BinaryHeap<(Reverse<u64>, u32)> = BinaryHeap::new();
+        let mut heap_round: Vec<u64> = Vec::new();
+        let mut crash_events: Vec<(u64, u32)> = Vec::new();
+        let mut recovery_events: Vec<(u64, u32)> = Vec::new();
+        let (mut ci, mut ri) = (0usize, 0usize);
+        if active {
+            frontier = (0..n as u32).collect(); // round 0 wakes everyone
+            next_frontier = Vec::with_capacity(n);
+            stamp = vec![0; n];
+            in_cur = vec![false; n];
+            heap_round = vec![u64::MAX; n];
+            if let Some(p) = &plane {
+                for v in 0..n {
+                    if let Some((s, e)) = p.crash_window(v) {
+                        crash_events.push((s, v as u32));
+                        if e != u64::MAX {
+                            recovery_events.push((e, v as u32));
+                        }
+                    }
+                }
+                crash_events.sort_unstable();
+                recovery_events.sort_unstable();
+            }
+        }
+
+        let mut terminated = false;
         for round in 0..config.max_rounds {
             // Communication rounds carry messages and termination votes;
             // the `period - 1` rounds in between are declared-silent local
             // computation (see `Protocol::sync_period`).
             let comm = round.is_multiple_of(period);
+            if active {
+                // Assemble this round's frontier: last round's wakes are
+                // already in `frontier`; add matured `Wake::At` requests
+                // and fault-plane crash/recovery edges.
+                while let Some(&(Reverse(t), v)) = heap.peek() {
+                    if t > round {
+                        break;
+                    }
+                    heap.pop();
+                    if t == round && heap_round[v as usize] == t {
+                        heap_round[v as usize] = u64::MAX;
+                        wake(&mut stamp, &mut frontier, v as usize, round);
+                    }
+                }
+                while ci < crash_events.len() && crash_events[ci].0 == round {
+                    let v = crash_events[ci].1 as usize;
+                    ci += 1;
+                    if sticky[v] == Status::Running {
+                        running -= 1;
+                    }
+                }
+                while ri < recovery_events.len() && recovery_events[ri].0 == round {
+                    let v = recovery_events[ri].1 as usize;
+                    ri += 1;
+                    if sticky[v] == Status::Running {
+                        running += 1;
+                    }
+                    wake(&mut stamp, &mut frontier, v, round);
+                }
+                // A crash just removed the last sticky Running vote. From
+                // here on a parked node's sticky vote may disagree with
+                // what it would vote in any given round (the contract only
+                // pins votes at rounds where unanimity is otherwise
+                // possible), so latch a probe: step every node every round
+                // and use the classic unanimity check, permanently.
+                if running == 0 {
+                    active = false;
+                }
+            }
+            let stepping_all = !active;
             let mut all_done = true;
             let mut progressed = false;
-            for v in 0..n {
+
+            let sweep = if stepping_all {
+                Sweep::All
+            } else if frontier.len() * 4 >= n {
+                for &v in &frontier {
+                    in_cur[v as usize] = true;
+                }
+                Sweep::Dense
+            } else {
+                frontier.sort_unstable();
+                Sweep::Sparse
+            };
+            let count = match sweep {
+                Sweep::All | Sweep::Dense => n,
+                Sweep::Sparse => frontier.len(),
+            };
+            for i in 0..count {
+                let v = match sweep {
+                    Sweep::All => i,
+                    Sweep::Sparse => frontier[i] as usize,
+                    Sweep::Dense => {
+                        if !in_cur[i] {
+                            continue;
+                        }
+                        in_cur[i] = false;
+                        i
+                    }
+                };
                 if let Some(p) = &plane {
                     if p.is_crashed(v, round) {
                         // Crashed node: not stepped, sends nothing, votes
-                        // Done implicitly (see `faults` module docs).
-                        metrics.crashed_rounds += 1;
+                        // Done implicitly (see `faults` module docs). Its
+                        // crashed node-rounds are counted analytically at
+                        // termination.
                         continue;
                     }
                 }
                 ctxs[v].round = round;
+                cur[v].finalize();
                 out.reset(graph.degree(v as u32));
+                metrics.stepped_nodes += 1;
                 let status =
                     protocol.round(&mut states[v], &ctxs[v], &mut rngs[v], &cur[v], &mut out);
+                cur[v].clear();
                 all_done &= status == Status::Done;
-                if status != prev_status[v] {
-                    prev_status[v] = status;
+                if comm && status != sticky[v] {
+                    match status {
+                        Status::Done => running -= 1,
+                        Status::Running => running += 1,
+                    }
+                    sticky[v] = status;
                     progressed = true;
+                }
+                if active {
+                    heap_round[v] = u64::MAX; // cancel any stale At request
+                    match protocol.next_wake(&states[v], &ctxs[v], status) {
+                        Wake::At(t) if t > round + 1 => {
+                            heap_round[v] = t;
+                            heap.push((Reverse(t), v as u32));
+                        }
+                        Wake::Next | Wake::At(_) => {
+                            wake(&mut stamp, &mut next_frontier, v, round + 1);
+                        }
+                        Wake::Message => {}
+                    }
                 }
                 assert!(
                     comm || out.is_empty(),
@@ -172,24 +329,56 @@ impl SequentialRuntime {
                         next[dest].push(arrival, msg.clone());
                     }
                     next[dest].push(arrival, msg);
+                    if active {
+                        // Message arrivals always wake their destination.
+                        wake(&mut stamp, &mut next_frontier, dest, round + 1);
+                    }
                 }
             }
             if progressed {
                 last_progress = round;
             }
             metrics.rounds = round + 1;
-            for inbox in &mut cur {
-                inbox.clear();
-            }
+            // Every stepped node cleared its inbox right after its step and
+            // parked nodes hold empty inboxes (every delivery wakes its
+            // destination; crashed-destination deliveries are dropped at
+            // staging), so the swap alone readies both buffers — no O(n)
+            // clear/finalize sweeps.
             std::mem::swap(&mut cur, &mut next);
-            for inbox in &mut cur {
-                inbox.finalize();
+            if active {
+                std::mem::swap(&mut frontier, &mut next_frontier);
+                next_frontier.clear();
             }
-            if comm && all_done {
-                return Ok(RunResult { states, metrics });
+            if comm && if stepping_all { all_done } else { running == 0 } {
+                terminated = true;
+                break;
             }
         }
-        let live_nodes = prev_status.iter().filter(|&&s| s != Status::Done).count() as u64;
+        if terminated {
+            // Crashed node-rounds, analytically: the engine never scans
+            // crashed nodes, so count each crash window's overlap with the
+            // rounds actually executed.
+            if let Some(p) = &plane {
+                let r = metrics.rounds;
+                for v in 0..n {
+                    if let Some((s, e)) = p.crash_window(v) {
+                        metrics.crashed_rounds += e.min(r) - s.min(r);
+                    }
+                }
+            }
+            return Ok(RunResult { states, metrics });
+        }
+        // Live nodes: still voting Running per their latest (sticky)
+        // communication-round vote, excluding nodes the plane had crashed
+        // when the limit hit — crashed nodes vote Done implicitly and must
+        // not be reported as live work.
+        let last = config.max_rounds.saturating_sub(1);
+        let live_nodes = (0..n)
+            .filter(|&v| {
+                sticky[v] == Status::Running
+                    && !plane.as_ref().is_some_and(|p| p.is_crashed(v, last))
+            })
+            .count() as u64;
         Err(SimError::RoundLimitExceeded {
             limit: config.max_rounds,
             phase: config.phase_label.clone(),
@@ -439,6 +628,122 @@ mod tests {
         assert_eq!(res.metrics.rounds, 13);
         // 4 pulses × 8 nodes × degree 2.
         assert_eq!(res.metrics.messages, 64);
+    }
+
+    /// Parking exercise: the hub parks to round 2 and pings; the leaves —
+    /// parked on `Message` — wake only for the ping.
+    struct WakeOnPing;
+
+    impl Protocol for WakeOnPing {
+        type State = ();
+        type Msg = u32;
+        fn init(&self, _: &NodeCtx, _: &mut NodeRng) {}
+        fn round(
+            &self,
+            _: &mut (),
+            ctx: &NodeCtx,
+            _: &mut NodeRng,
+            inbox: &Inbox<u32>,
+            out: &mut Outbox<u32>,
+        ) -> Status {
+            if ctx.degree() > 1 {
+                // Hub: ping everyone at round 2, then done.
+                if ctx.round == 2 {
+                    out.broadcast(7);
+                }
+                if ctx.round >= 2 {
+                    Status::Done
+                } else {
+                    Status::Running
+                }
+            } else if inbox.is_empty() {
+                Status::Running
+            } else {
+                Status::Done
+            }
+        }
+        fn next_wake(&self, _: &(), ctx: &NodeCtx, status: Status) -> Wake {
+            if status == Status::Done {
+                Wake::Message
+            } else if ctx.degree() > 1 {
+                Wake::At(2)
+            } else {
+                Wake::Message
+            }
+        }
+    }
+
+    #[test]
+    fn parking_steps_only_the_frontier() {
+        let g = gen::star(4); // hub + 4 leaves
+        let active = SequentialRuntime
+            .execute(&g, &WakeOnPing, &SimConfig::default())
+            .unwrap();
+        let reference = SequentialRuntime
+            .execute(
+                &g,
+                &WakeOnPing,
+                &SimConfig {
+                    scheduling: Scheduling::AlwaysStep,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap();
+        // Identical observables: terminate at round 3 (leaves' Done lands
+        // one round after the ping), one ping per leaf.
+        assert_eq!(active.metrics.rounds, 4);
+        assert_eq!(reference.metrics.rounds, 4);
+        assert_eq!(active.metrics.messages, 4);
+        assert_eq!(reference.metrics.messages, 4);
+        // Reference steps all 5 nodes all 4 rounds; active steps round 0
+        // (everyone), round 2 (hub wake), round 3 (the pinged leaves).
+        assert_eq!(reference.metrics.stepped_nodes, 20);
+        assert_eq!(active.metrics.stepped_nodes, 10);
+    }
+
+    #[test]
+    fn round_limit_live_nodes_excludes_crashed() {
+        /// A protocol that never terminates (and never sends).
+        struct Forever;
+        impl Protocol for Forever {
+            type State = ();
+            type Msg = ();
+            fn init(&self, _: &NodeCtx, _: &mut NodeRng) {}
+            fn round(
+                &self,
+                _: &mut (),
+                _: &NodeCtx,
+                _: &mut NodeRng,
+                _: &Inbox<()>,
+                _: &mut Outbox<()>,
+            ) -> Status {
+                Status::Running
+            }
+        }
+        let n = 40;
+        let g = gen::path(n);
+        let fc = crate::FaultConfig::seeded(5).with_crashes(400_000, 6, u64::MAX);
+        let cfg = SimConfig::default()
+            .with_faults(fc.clone())
+            .with_max_rounds(10);
+        // Nodes the plane has down when the limit hits vote Done implicitly
+        // and must not be reported as live work.
+        let plane = FaultPlane::new(&fc, cfg.rng_salt, n);
+        let crashed = (0..n).filter(|&v| plane.is_crashed(v, 9)).count();
+        assert!(crashed > 0, "plane must crash someone for this test");
+        let err = SequentialRuntime.execute(&g, &Forever, &cfg).unwrap_err();
+        let expect = SimError::RoundLimitExceeded {
+            limit: 10,
+            phase: String::new(),
+            live_nodes: (n - crashed) as u64,
+            last_progress_round: 0,
+        };
+        assert_eq!(err, expect);
+        // Engine-identical diagnostic.
+        let perr = crate::runtime::ParallelRuntime::new(4)
+            .execute(&g, &Forever, &cfg)
+            .unwrap_err();
+        assert_eq!(perr, expect);
     }
 
     #[test]

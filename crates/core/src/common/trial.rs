@@ -329,6 +329,21 @@ impl TrialCore {
     }
 }
 
+/// The next resolve sub-round (round `≡ 2 mod 3`) strictly after `round`.
+///
+/// Trial-shaped protocols vote [`congest::Status::Done`] only at resolve
+/// sub-rounds, so this is the earliest future round at which unanimous
+/// termination is possible — the natural [`congest::Wake::At`] target for
+/// a settled node whose sticky vote is still `Running`.
+#[must_use]
+pub(crate) fn next_resolve(round: u64) -> u64 {
+    match round % 3 {
+        0 => round + 2,
+        1 => round + 1,
+        _ => round + 3,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

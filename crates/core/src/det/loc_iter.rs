@@ -19,7 +19,7 @@
 use super::{Scope, NO_PART};
 use crate::common::next_prime;
 use crate::{TrialCore, TrialMsg, UNCOLORED};
-use congest::{Inbox, NodeCtx, NodeRng, Outbox, Protocol, Status};
+use congest::{Inbox, NodeCtx, NodeRng, Outbox, Protocol, Status, Wake};
 use graphs::Graph;
 
 /// Chooses the phase count / output palette: the smallest prime `q` with
@@ -153,6 +153,27 @@ impl Protocol for LocIter {
         } else {
             Status::Running
         }
+    }
+
+    fn next_wake(&self, st: &LocIterState, ctx: &NodeCtx, status: Status) -> Wake {
+        if status == Status::Done {
+            return Wake::Message;
+        }
+        if st.trial.has_pending_announce() {
+            return Wake::Next;
+        }
+        let active = self.scope.part[ctx.index as usize] != NO_PART;
+        if active && st.trial.is_live() {
+            return Wake::Next;
+        }
+        // Settled with the announcement flushed: an empty-inbox step is a
+        // no-op (`begin_cycle(None)` sends nothing, verdicts/resolves only
+        // react to arrivals), and no node's Done vote exists before the
+        // flush deadline `phase > q + 1`, so the run cannot terminate
+        // before round `3(q + 2)`. Park until the first vote of that
+        // phase; live neighbors' trial messages wake the node for its
+        // verdict-giver duties in between.
+        Wake::At(3 * (self.q + 2))
     }
 }
 

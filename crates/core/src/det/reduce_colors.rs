@@ -20,7 +20,7 @@
 //! without any deduplication.
 
 use super::{gather::DetMsg, Dist, GatherCore, Scope};
-use congest::{Inbox, NodeCtx, NodeRng, Outbox, Port, Protocol, Status};
+use congest::{Inbox, NodeCtx, NodeRng, Outbox, Port, Protocol, Status, Wake};
 use graphs::Graph;
 
 /// The color-reduction protocol.
@@ -214,6 +214,30 @@ impl Protocol for ReduceColors {
         } else {
             Status::Running
         }
+    }
+
+    fn next_wake(&self, _st: &ReduceState, ctx: &NodeCtx, status: Status) -> Wake {
+        if status == Status::Done {
+            return Wake::Message;
+        }
+        let g_rounds = self.gather_rounds(ctx.max_degree);
+        if ctx.round < g_rounds {
+            // The pipelined gather needs every node every round.
+            return Wake::Next;
+        }
+        if !(ctx.round - g_rounds).is_multiple_of(2) {
+            // Apply/forward sub-round: folded updates may have changed the
+            // count table, so the next decide sub-round must re-evaluate.
+            return Wake::Next;
+        }
+        // Decide sub-round, still `Running`: the recolor decision is a pure
+        // function of the count table, which changes only on arrivals (and
+        // arrivals always wake — both the direct `Recolor` at odd rounds
+        // and the relayed `Fwd` at even rounds). Park to the terminal
+        // round `gather + 2·phases`, where every node first votes `Done`.
+        // This is what turns the one-straggler tail of a reduction from
+        // `O(n)` stepped nodes per round into `O(straggler neighborhood)`.
+        Wake::At(g_rounds + 2 * self.phases())
     }
 }
 

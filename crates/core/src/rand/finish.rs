@@ -15,10 +15,11 @@
 //! against a stale palette merely wastes the cycle (the handshake rejects
 //! it); validity is never at risk.
 
+use crate::common::trial::next_resolve;
 #[cfg(test)]
 use crate::UNCOLORED;
 use crate::{TrialCore, TrialMsg};
-use congest::{BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, Status};
+use congest::{BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, Status, Wake};
 use rand::prelude::*;
 
 /// Messages: the trial handshake plus one-hop adoption forwarding.
@@ -159,6 +160,21 @@ impl Protocol for FinishColoring {
         } else {
             Status::Running
         }
+    }
+
+    fn next_wake(&self, st: &FinState, ctx: &NodeCtx, status: Status) -> Wake {
+        if status == Status::Done {
+            return Wake::Message;
+        }
+        if st.trial.is_live() || st.trial.has_pending_announce() || !st.fwd_queue.is_empty() {
+            return Wake::Next;
+        }
+        // Settled with nothing queued: coin flips are gated on liveness, so
+        // empty-inbox steps touch neither the RNG nor any state. Park to
+        // the next round a `Done` vote is possible (resolve sub-round, but
+        // never before round 5 — the `round >= 3` gate above means every
+        // node votes `Running` through round 4).
+        Wake::At(next_resolve(ctx.round).max(5))
     }
 }
 

@@ -29,7 +29,7 @@
 use super::similarity::SimilarityKnowledge;
 use crate::{Params, UNCOLORED};
 use congest::{
-    BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, SmallIds, Status,
+    BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, SmallIds, Status, Wake,
 };
 use rand::prelude::*;
 use std::collections::HashMap;
@@ -681,6 +681,19 @@ impl Protocol for LearnPalette {
             Status::Done
         } else {
             Status::Running
+        }
+    }
+
+    fn next_wake(&self, _st: &LpState, _ctx: &NodeCtx, status: Status) -> Wake {
+        // A `Done` node has finished its own pass and drained every relay
+        // queue; all remaining duties (list relay, step-7 replies, gossip)
+        // begin with an arrival, and the `Done` vote is stable under
+        // empty-inbox steps. Anything short of `Done` keeps local work
+        // (window schedules, queue draining) that is not message-driven.
+        if status == Status::Done {
+            Wake::Message
+        } else {
+            Wake::Next
         }
     }
 }

@@ -27,7 +27,7 @@
 use super::sampling::{RelayTarget, SampMsg, SamplerCore, SlotRoute};
 use super::similarity::SimilarityKnowledge;
 use crate::{Params, TrialCore, TrialMsg, UNCOLORED};
-use congest::{BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, Status};
+use congest::{BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, Status, Wake};
 use rand::prelude::*;
 
 /// Messages of the `Reduce` protocol.
@@ -677,6 +677,27 @@ impl Protocol for Reduce {
         }
         st.intents.flush(rng, out);
         Status::Running
+    }
+
+    fn next_wake(&self, st: &ReduceState, ctx: &NodeCtx, status: Status) -> Wake {
+        if status == Status::Done {
+            return Wake::Message;
+        }
+        let samp_window = SamplerCore::rounds(self.rho);
+        // Park exactly the settled fast-path set (minus the empty-inbox
+        // condition, which parking subsumes): for those nodes an unwoken
+        // round and a stepped round are literally the same no-op. Every
+        // helper/relay duty is message-triggered, and the first possible
+        // `Done` vote — everyone's — is the round after the tail flush.
+        if ctx.round >= samp_window
+            && !st.trial.is_live()
+            && !st.trial.has_pending_announce()
+            && st.flow.is_empty()
+        {
+            let phases_end = samp_window + u64::from(self.rho) * Self::PERIOD;
+            return Wake::At(phases_end + 1);
+        }
+        Wake::Next
     }
 }
 

@@ -7,8 +7,9 @@
 //! oversampled algorithm of §2.1 that finishes in `O(log_{1/ε} n)` cycles
 //! — our baseline E6.
 
+use crate::common::trial::next_resolve;
 use crate::{TrialCore, TrialMsg};
-use congest::{Inbox, NodeCtx, NodeRng, Outbox, Protocol, Status};
+use congest::{Inbox, NodeCtx, NodeRng, Outbox, Protocol, Status, Wake};
 use rand::Rng;
 
 /// The random-trials protocol.
@@ -118,6 +119,34 @@ impl Protocol for RandomTrials {
             }
         }
         Status::Running
+    }
+
+    fn next_wake(&self, st: &TrialsState, ctx: &NodeCtx, status: Status) -> Wake {
+        if status == Status::Done {
+            // Settled and flushed: only a neighbor's Try can oblige this
+            // node to act (verdict duty), and arrivals always wake.
+            return Wake::Message;
+        }
+        if st.trial.has_pending_announce() {
+            // The adoption announcement goes out at the next sub-round 0.
+            return Wake::Next;
+        }
+        let trying = st.trial.is_live() && (self.run_to_completion || ctx.round / 3 < self.cycles);
+        if trying {
+            return Wake::Next;
+        }
+        // Not trying and nothing pending: the node's empty-inbox steps are
+        // no-ops (no RNG draw, no sends). Its sticky vote is `Running`,
+        // so park only up to the earliest round unanimity is possible —
+        // the next resolve sub-round in to-completion mode, the first
+        // past-budget resolve round `3 * cycles + 2` in budget mode —
+        // where it will vote `Done`.
+        let target = if self.run_to_completion {
+            next_resolve(ctx.round)
+        } else {
+            next_resolve(ctx.round).max(3 * self.cycles + 2)
+        };
+        Wake::At(target)
     }
 }
 

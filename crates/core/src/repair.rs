@@ -30,9 +30,12 @@
 //! already large enough. Repair itself runs fault-free — it *is* the
 //! recovery path — so any fault plane on the config is stripped.
 
+use crate::common::trial::next_resolve;
 use crate::common::UNCOLORED;
 use crate::{Driver, TrialCore, TrialMsg};
-use congest::{Inbox, Metrics, NodeCtx, NodeRng, Outbox, Protocol, SimConfig, SimError, Status};
+use congest::{
+    Inbox, Metrics, NodeCtx, NodeRng, Outbox, Protocol, SimConfig, SimError, Status, Wake,
+};
 use graphs::{verify, D2View, Graph, NodeId};
 use rand::Rng;
 
@@ -152,6 +155,21 @@ impl Protocol for RepairTrials {
         } else {
             Status::Running
         }
+    }
+
+    fn next_wake(&self, st: &RepairState, ctx: &NodeCtx, status: Status) -> Wake {
+        // Same schedule as to-completion `RandomTrials`: colored, flushed
+        // nodes only answer verdicts (message-triggered); a colored node
+        // still voting `Running` parks to the next resolve sub-round,
+        // where it votes `Done`. This is what confines repair *stepping*
+        // to the damaged region, matching its confined message traffic.
+        if status == Status::Done {
+            return Wake::Message;
+        }
+        if st.trial.is_live() || st.trial.has_pending_announce() {
+            return Wake::Next;
+        }
+        Wake::At(next_resolve(ctx.round))
     }
 }
 

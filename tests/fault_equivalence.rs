@@ -287,6 +287,62 @@ fn repair_after_churn_is_engine_identical() {
     assert_eq!(seq.metrics, auto.metrics, "auto: repair metrics diverged");
 }
 
+/// Churn + repair with an *active* drop plane riding on the config, at
+/// parallel shard counts 2 and 4. The conflicts are injected directly
+/// (same-colored nodes wired together), so damage is guaranteed; repair
+/// strips the plane — it *is* the recovery path — and every engine must
+/// find the same damage set and produce the same valid repaired coloring
+/// with zero fault counters burned.
+#[test]
+fn churn_repair_under_drop_plane_is_engine_identical() {
+    let g = graphs::gen::gnp_capped(160, 0.04, 6, 19);
+    let params = Params::practical();
+    let colors = d2core::det::small::run(&g, &params, &SimConfig::seeded(19))
+        .expect("base coloring")
+        .colors;
+
+    // Wire together up to four same-colored pairs currently beyond
+    // distance 2: each inserted edge is a guaranteed new conflict.
+    let mut batch = graphs::EdgeBatch::new();
+    let mut found = 0u32;
+    'outer: for u in 0..g.n() as u32 {
+        for v in (u + 1)..g.n() as u32 {
+            if colors[u as usize] == colors[v as usize] && !g.are_d2_neighbors(u, v) {
+                batch.insert(u, v);
+                found += 1;
+                if found == 4 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(found > 0, "some color must repeat outside distance 2");
+    let churned = graphs::apply_batch(&g, &batch).expect("churn");
+    let view = D2View::build(&churned.graph);
+
+    let drop_cfg = SimConfig::seeded(41).with_faults(FaultConfig::seeded(8).with_drops(120_000));
+    let seq = d2core::repair(&churned.graph, &view, &colors, &churned.touched, &drop_cfg)
+        .expect("seq repair");
+    assert!(seq.damaged >= 2, "injected conflicts must be detected");
+    assert!(
+        graphs::verify::is_valid_d2_coloring_with(&view, &seq.colors),
+        "sequential repair left conflicts"
+    );
+    assert_eq!(seq.metrics.faults_dropped, 0, "repair must strip the plane");
+    for t in [2, 4] {
+        let cfg = drop_cfg.clone().with_threads(Some(t));
+        let par = d2core::repair(&churned.graph, &view, &colors, &churned.touched, &cfg)
+            .expect("par repair");
+        assert_eq!(seq.damaged, par.damaged, "t{t}: damage sets diverged");
+        assert_eq!(seq.colors, par.colors, "t{t}: repaired colorings diverged");
+        assert_eq!(seq.metrics, par.metrics, "t{t}: repair metrics diverged");
+        assert!(
+            graphs::verify::is_valid_d2_coloring_with(&view, &par.colors),
+            "t{t}: parallel repair left conflicts"
+        );
+    }
+}
+
 /// Repair runs on the *post-fault* recovery path: even when the config
 /// carries an aggressive fault plane, `repair` strips it, so the outcome
 /// matches a fault-free config bit for bit.

@@ -106,6 +106,70 @@ fn differential_sweep_det_and_rand_pipelines() {
     }
 }
 
+/// Active-set scheduling against the always-step reference: for every
+/// family × pipeline cell, parking must change *nothing observable* —
+/// same colorings, same rounds/messages/bits/fault counters — while
+/// `stepped_nodes` (the one metric the refactor exists to shrink) may
+/// only go down. Sequential and parallel active-set runs are both held
+/// against the sequential always-step reference.
+#[test]
+fn active_set_matches_always_step_reference() {
+    use congest::Scheduling;
+    let params = Params::practical();
+    for (name, g) in families(13) {
+        let ref_cfg = SimConfig::seeded(13).with_scheduling(Scheduling::AlwaysStep);
+        let act_cfg = SimConfig::seeded(13);
+        let det_ref = d2core::det::small::run(&g, &params, &ref_cfg).expect("det ref");
+        let rand_ref = d2core::rand::driver::improved(&g, &params, &ref_cfg).expect("rand ref");
+        let mut cells = vec![
+            (
+                "det/seq",
+                det_ref.clone(),
+                d2core::det::small::run(&g, &params, &act_cfg).expect("det act"),
+            ),
+            (
+                "rand/seq",
+                rand_ref.clone(),
+                d2core::rand::driver::improved(&g, &params, &act_cfg).expect("rand act"),
+            ),
+        ];
+        for t in thread_counts() {
+            let cfg = act_cfg.clone().with_threads(Some(t));
+            cells.push((
+                "det/par",
+                det_ref.clone(),
+                d2core::det::small::run(&g, &params, &cfg).expect("det act par"),
+            ));
+            cells.push((
+                "rand/par",
+                rand_ref.clone(),
+                d2core::rand::driver::improved(&g, &params, &cfg).expect("rand act par"),
+            ));
+        }
+        for (label, reference, active) in &cells {
+            assert_eq!(
+                reference.colors, active.colors,
+                "{name}/{label}: active-set changed the coloring"
+            );
+            assert!(
+                active.metrics.stepped_nodes <= reference.metrics.stepped_nodes,
+                "{name}/{label}: active-set stepped more nodes ({} > {})",
+                active.metrics.stepped_nodes,
+                reference.metrics.stepped_nodes
+            );
+            // Every other observable must be bit-identical.
+            let mut a = active.metrics.clone();
+            let mut r = reference.metrics.clone();
+            a.stepped_nodes = 0;
+            r.stepped_nodes = 0;
+            assert_eq!(
+                r, a,
+                "{name}/{label}: metrics diverged beyond stepped_nodes"
+            );
+        }
+    }
+}
+
 /// A network large enough for auto mode to resolve to the *parallel*
 /// engine on a multicore host (the sweep above only exercises auto's
 /// sequential resolution — those graphs are small). The policy decision is
