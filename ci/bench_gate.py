@@ -44,6 +44,15 @@ checked-in baselines on machine-portable invariants only:
   n = 10^6 cell the same way. Stepped-node counts are seeded and
   engine-deterministic, so they too must be bit-exact with the
   recording.
+* ``pr8``: validates a freshly emitted ``BENCH_PR8.json`` (netplane
+  multi-process equivalence matrix) against the checked-in report:
+  every (workload, process count) cell must report the distributed
+  coloring bit-identical to the sequential reference (``identical``)
+  and valid against the d2 oracle, both pipelines and both graph
+  families must appear, every workload must be exercised at 2 and 4
+  processes, and all model metrics (rounds, messages, total bits,
+  palette) must be bit-exact with the recording — the transport must
+  be unobservable at the model level.
 
 Usage:
     python3 ci/bench_gate.py pr2 BENCH_PR2.json BENCH_PR1.json
@@ -52,6 +61,7 @@ Usage:
     python3 ci/bench_gate.py pr5 BENCH_PR5.json BENCH_PR5.recorded.json BENCH_PR4.json
     python3 ci/bench_gate.py pr6 BENCH_PR6.json BENCH_PR6.recorded.json
     python3 ci/bench_gate.py pr7 BENCH_PR7.json BENCH_PR7.recorded.json BENCH_PR6.json BENCH_PR5.json
+    python3 ci/bench_gate.py pr8 BENCH_PR8.json BENCH_PR8.recorded.json
 
 Importable for unit tests (``ci/test_bench_gate.py``): every check is a
 pure function over parsed documents that raises ``GateError`` with a
@@ -174,6 +184,21 @@ PR7_SCALE_KEYS = {
 # 5% of n.
 PR7_STEP_REDUCTION = 5.0
 PR7_STEPPED_ROUND_FRACTION = 0.05
+
+
+PR8_CELL_KEYS = {
+    "graph", "algo", "n", "delta", "processes", "wall_ms_sequential",
+    "wall_ms_net", "rounds", "messages", "total_bits", "palette",
+    "identical", "valid",
+}
+
+# Shard process counts every PR8 workload must be exercised at
+# (mirrors benchkit::pr8::SHARD_COUNTS).
+PR8_PROCESS_COUNTS = {2, 4}
+
+# Model metrics that must survive the transport swap bit for bit.
+PR8_MODEL_KEYS = ("n", "delta", "rounds", "messages", "total_bits",
+                  "palette")
 
 
 class GateError(AssertionError):
@@ -718,6 +743,71 @@ def validate_pr7(fresh, recorded, pr6, pr5, log=print):
         f"scale cells bit-exact with the PR6/PR5 recordings")
 
 
+def check_pr8_shape(pr8):
+    """Structural + acceptance validity of one BENCH_PR8 document."""
+    require(pr8.get("bench") == "BENCH_PR8",
+            f"not a BENCH_PR8 document: {pr8.get('bench')!r}")
+    cells = pr8["cells"]
+    require(cells, "no cells in BENCH_PR8 report")
+    for c in cells:
+        missing = PR8_CELL_KEYS - c.keys()
+        require(not missing, f"cell {c.get('graph')!r} missing {missing}")
+        key = f"{c['graph']} x{c['processes']}"
+        require(c["identical"] is True,
+                f"{key}: distributed run diverged from the sequential "
+                "reference (colorings or metrics not bit-identical)")
+        require(c["valid"] is True, f"{key}: coloring invalid")
+        require(c["rounds"] > 0 and c["messages"] > 0,
+                f"{key}: ran 0 rounds")
+        require(c["processes"] in PR8_PROCESS_COUNTS,
+                f"{key}: unexpected process count {c['processes']}")
+    algos = {c["algo"] for c in cells}
+    require({"det-small", "rand-improved"} <= algos,
+            f"matrix must cover both pipelines, got {sorted(algos)}")
+    for fam in ("gnp", "regular"):
+        require(any(f"-{fam}-" in c["graph"] for c in cells),
+                f"matrix has no {fam} workload")
+    for graph in {c["graph"] for c in cells}:
+        have = {c["processes"] for c in cells if c["graph"] == graph}
+        missing = PR8_PROCESS_COUNTS - have
+        require(not missing,
+                f"{graph}: not exercised at process counts {missing}")
+
+
+def check_pr8_bit_exact(recorded, fresh):
+    """Everything is seeded and the transport is contractually
+    unobservable, so fresh model metrics must reproduce the recording
+    exactly, cell for cell."""
+    rec = {(c["graph"], c["processes"]): c for c in recorded["cells"]}
+    require(len(rec) == len(recorded["cells"]),
+            "recorded report has duplicate (graph, processes) cells")
+    for c in fresh["cells"]:
+        key = (c["graph"], c["processes"])
+        require(key in rec,
+                f"fresh cell {c['graph']} x{c['processes']} has no "
+                "recorded counterpart")
+        for k in PR8_MODEL_KEYS:
+            require(c[k] == rec[key][k],
+                    f"{c['graph']} x{c['processes']}: {k} drifted "
+                    f"{rec[key][k]} -> {c[k]}")
+    require(len(fresh["cells"]) == len(recorded["cells"]),
+            f"cell count drifted {len(recorded['cells'])} -> "
+            f"{len(fresh['cells'])}")
+
+
+def validate_pr8(fresh, recorded, log=print):
+    """The full PR8 gate: shape + acceptance on both documents, then
+    bit-exact model metrics between fresh run and recording."""
+    check_pr8_shape(fresh)
+    check_pr8_shape(recorded)
+    check_pr8_bit_exact(recorded, fresh)
+    workloads = {c["graph"] for c in fresh["cells"]}
+    log(f"BENCH_PR8.json OK: {len(fresh['cells'])} cells across "
+        f"{len(workloads)} workloads x processes {sorted(PR8_PROCESS_COUNTS)}"
+        f", all distributed runs bit-identical to the sequential reference "
+        f"and bit-exact with the recording")
+
+
 def load(path):
     with open(path) as f:
         return json.load(f)
@@ -768,9 +858,15 @@ def main(argv):
                 return 2
             validate_pr7(load(argv[2]), load(argv[3]), load(argv[4]),
                          load(argv[5]))
+        elif gate == "pr8":
+            if len(argv) != 4:
+                print("usage: bench_gate.py pr8 BENCH_PR8.json "
+                      "BENCH_PR8.recorded.json", file=sys.stderr)
+                return 2
+            validate_pr8(load(argv[2]), load(argv[3]))
         else:
             print(f"unknown gate {gate!r}; available: pr2, pr3, pr4, pr5, "
-                  "pr6, pr7", file=sys.stderr)
+                  "pr6, pr7, pr8", file=sys.stderr)
             return 2
     except GateError as e:
         print(f"BENCH GATE FAILED: {e}", file=sys.stderr)

@@ -763,6 +763,128 @@ class Pr7GateTests(unittest.TestCase):
         self._validate(fresh, rec)
 
 
+def pr8_cell(graph="det-small-gnp-n200-d5-g11-s42", algo="det-small",
+             processes=2, rounds=465, messages=8190, total_bits=70_000,
+             palette=26):
+    return {
+        "graph": graph, "algo": algo, "n": 200, "delta": 5,
+        "processes": processes, "wall_ms_sequential": 12.0,
+        "wall_ms_net": 40.0, "rounds": rounds, "messages": messages,
+        "total_bits": total_bits, "palette": palette,
+        "identical": True, "valid": True,
+    }
+
+
+def pr8_doc():
+    """Both pipelines on both families, each at 2 and 4 processes."""
+    cells = []
+    for graph, algo in [
+        ("det-small-gnp-n200-d5-g11-s42", "det-small"),
+        ("det-small-regular-n160-d4-g12-s42", "det-small"),
+        ("rand-improved-gnp-n200-d6-g13-s42", "rand-improved"),
+        ("rand-improved-regular-n160-d6-g14-s42", "rand-improved"),
+    ]:
+        for k in (2, 4):
+            cells.append(pr8_cell(graph=graph, algo=algo, processes=k))
+    return {
+        "bench": "BENCH_PR8",
+        "description": "netplane multi-process equivalence",
+        "cells": cells,
+    }
+
+
+class Pr8GateTests(unittest.TestCase):
+    def _validate(self, fresh, recorded):
+        bench_gate.validate_pr8(fresh, recorded, log=lambda *_: None)
+
+    def test_valid_doc_passes(self):
+        doc = pr8_doc()
+        self._validate(copy.deepcopy(doc), doc)
+
+    def test_wrong_bench_tag_fails(self):
+        doc = pr8_doc()
+        doc["bench"] = "BENCH_PR7"
+        with self.assertRaisesRegex(GateError, "not a BENCH_PR8"):
+            bench_gate.check_pr8_shape(doc)
+
+    def test_empty_report_fails(self):
+        doc = pr8_doc()
+        doc["cells"] = []
+        with self.assertRaisesRegex(GateError, "no cells"):
+            bench_gate.check_pr8_shape(doc)
+
+    def test_missing_key_fails(self):
+        doc = pr8_doc()
+        del doc["cells"][0]["total_bits"]
+        with self.assertRaisesRegex(GateError, "missing"):
+            bench_gate.check_pr8_shape(doc)
+
+    def test_divergent_cell_fails(self):
+        doc = pr8_doc()
+        doc["cells"][3]["identical"] = False
+        with self.assertRaisesRegex(GateError, "diverged from the "
+                                    "sequential reference"):
+            bench_gate.check_pr8_shape(doc)
+
+    def test_invalid_coloring_fails(self):
+        doc = pr8_doc()
+        doc["cells"][5]["valid"] = False
+        with self.assertRaisesRegex(GateError, "coloring invalid"):
+            bench_gate.check_pr8_shape(doc)
+
+    def test_zero_round_cell_fails(self):
+        doc = pr8_doc()
+        doc["cells"][0]["rounds"] = 0
+        with self.assertRaisesRegex(GateError, "ran 0 rounds"):
+            bench_gate.check_pr8_shape(doc)
+
+    def test_missing_pipeline_fails(self):
+        doc = pr8_doc()
+        doc["cells"] = [c for c in doc["cells"]
+                        if c["algo"] != "rand-improved"]
+        with self.assertRaisesRegex(GateError, "both pipelines"):
+            bench_gate.check_pr8_shape(doc)
+
+    def test_missing_family_fails(self):
+        doc = pr8_doc()
+        doc["cells"] = [c for c in doc["cells"] if "-gnp-" in c["graph"]]
+        with self.assertRaisesRegex(GateError, "no regular workload"):
+            bench_gate.check_pr8_shape(doc)
+
+    def test_missing_process_count_fails(self):
+        doc = pr8_doc()
+        doc["cells"] = [c for c in doc["cells"]
+                        if not (c["processes"] == 4
+                                and c["algo"] == "det-small")]
+        with self.assertRaisesRegex(GateError, "not exercised at"):
+            bench_gate.check_pr8_shape(doc)
+
+    def test_rounds_drift_fails(self):
+        fresh, rec = pr8_doc(), pr8_doc()
+        fresh["cells"][2]["rounds"] += 1
+        with self.assertRaisesRegex(GateError, "rounds drifted"):
+            bench_gate.check_pr8_bit_exact(rec, fresh)
+
+    def test_message_drift_fails(self):
+        fresh, rec = pr8_doc(), pr8_doc()
+        fresh["cells"][6]["messages"] -= 1
+        with self.assertRaisesRegex(GateError, "messages drifted"):
+            bench_gate.check_pr8_bit_exact(rec, fresh)
+
+    def test_unrecorded_cell_fails(self):
+        fresh, rec = pr8_doc(), pr8_doc()
+        fresh["cells"][1]["graph"] = "det-small-gnp-n300-d5-g11-s42"
+        with self.assertRaisesRegex(GateError, "no .*recorded counterpart"):
+            bench_gate.check_pr8_bit_exact(rec, fresh)
+
+    def test_wall_clock_drift_is_tolerated(self):
+        fresh, rec = pr8_doc(), pr8_doc()
+        for c in fresh["cells"]:
+            c["wall_ms_sequential"] *= 3.0
+            c["wall_ms_net"] *= 0.25
+        self._validate(fresh, rec)
+
+
 class CliTests(unittest.TestCase):
     def test_unknown_gate_is_usage_error(self):
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr9"]), 2)
@@ -775,6 +897,7 @@ class CliTests(unittest.TestCase):
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr5", "x", "y"]), 2)
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr7", "x", "y"]), 2)
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr6", "x"]), 2)
+        self.assertEqual(bench_gate.main(["bench_gate.py", "pr8", "x"]), 2)
 
 
 if __name__ == "__main__":

@@ -11,6 +11,9 @@
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr5 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr6 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr7 [out.json]
+//! cargo run --release -p d2color-bench --bin harness -- bench-pr8 [out.json]
+//! cargo run --release -p d2color-bench --bin harness -- net-run <k> <algo> <family> <n> <degree> <gseed> <rseed>
+//! cargo run --release -p d2color-bench --bin harness -- net-shard <coordinator> <algo> <family> <n> <degree> <gseed> <rseed>
 //! cargo run --release -p d2color-bench --bin harness -- chaos-smoke
 //! cargo run --release -p d2color-bench --bin harness -- scale-smoke
 //! cargo run --release -p d2color-bench --bin harness -- scale-coloring-1e6
@@ -610,6 +613,95 @@ fn bench_pr7() {
     println!("\nwrote straggler + scale cells to {out_path}");
 }
 
+/// Runs the BENCH_PR8 netplane equivalence matrix (both pipelines,
+/// both graph families, 2 and 4 OS processes over localhost TCP) and
+/// writes the JSON report (default path: `BENCH_PR8.json`). Shards are
+/// this binary re-exec'd through the `net-shard` subcommand.
+fn bench_pr8() {
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_PR8.json".into());
+    let cmd = d2color::netharness::ShardCommand::current_exe("net-shard");
+    let cells = benchkit::pr8::run_matrix(&cmd);
+    for c in &cells {
+        println!(
+            "{:<34} x{} procs  seq {:>8.1} ms  net {:>8.1} ms  rounds {:>5}  \
+             messages {:>9}  identical {}  valid {}",
+            c.graph,
+            c.processes,
+            c.wall_ms_sequential,
+            c.wall_ms_net,
+            c.rounds,
+            c.messages,
+            c.identical,
+            c.valid
+        );
+        assert!(
+            c.identical,
+            "{}: sharded run diverged from sequential",
+            c.graph
+        );
+        assert!(c.valid, "{}: sharded coloring failed validation", c.graph);
+    }
+    let doc = benchkit::pr8::to_json(&cells);
+    std::fs::write(&out_path, doc).expect("write BENCH_PR8.json");
+    println!("\nwrote {} cells to {out_path}", cells.len());
+}
+
+/// One netplane shard process (spawned by `net-run` / `bench-pr8`):
+/// `harness net-shard <coordinator> <algo> <family> <n> <degree> <gseed> <rseed>`.
+fn net_shard() {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let Some((addr, spec_args)) = args.split_first() else {
+        eprintln!(
+            "usage: harness net-shard <coordinator> <algo> <family> <n> <degree> <gseed> <rseed>"
+        );
+        std::process::exit(2);
+    };
+    let addr = addr.parse().expect("coordinator address");
+    let spec = d2color::netharness::NetSpec::parse_args(spec_args).expect("shard spec");
+    d2color::netharness::shard_main(addr, &spec).expect("shard transport failure");
+}
+
+/// One interactive distributed run:
+/// `harness net-run <k> <algo> <family> <n> <degree> <gseed> <rseed>`.
+/// Runs the spec sequentially and across `k` processes, prints both, and
+/// exits nonzero on any divergence.
+fn net_run() {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let (k, spec) = match args.split_first() {
+        Some((k, rest)) => (
+            k.parse::<u32>().expect("process count"),
+            d2color::netharness::NetSpec::parse_args(rest).expect("run spec"),
+        ),
+        None => {
+            eprintln!(
+                "usage: harness net-run <k> <algo> <family> <n> <degree> <gseed> <rseed>\n\
+                 e.g.:  harness net-run 4 rand-improved gnp 200 6 13 42"
+            );
+            std::process::exit(2);
+        }
+    };
+    let seq = d2color::netharness::run_sequential(&spec);
+    let cmd = d2color::netharness::ShardCommand::current_exe("net-shard");
+    let net = d2color::netharness::run_distributed(&spec, k, &cmd);
+    let g = spec.build_graph();
+    let valid = graphs::verify::is_valid_d2_coloring(&g, &net.colors);
+    let identical = net.colors == seq.colors && net.metrics == seq.metrics;
+    println!(
+        "{} across {k} processes: rounds {} messages {} bits {} — identical {identical}, valid {valid}",
+        spec.label(),
+        net.metrics.rounds,
+        net.metrics.messages,
+        net.metrics.total_bits
+    );
+    assert!(
+        identical,
+        "sharded run diverged from the sequential reference"
+    );
+    assert!(valid, "sharded coloring failed validation");
+}
+
 /// CI chaos-smoke: the fault-seed differential matrix alone — both full
 /// pipelines under three seeded drop rates, sequential vs parallel —
 /// exits nonzero if any cell's engines diverge or no fault ever fires.
@@ -763,6 +855,18 @@ fn main() {
         bench_pr7();
         return;
     }
+    if arg == "bench-pr8" {
+        bench_pr8();
+        return;
+    }
+    if arg == "net-shard" {
+        net_shard();
+        return;
+    }
+    if arg == "net-run" {
+        net_run();
+        return;
+    }
     if arg == "chaos-smoke" {
         chaos_smoke();
         return;
@@ -791,7 +895,7 @@ fn main() {
             Some((_, f)) => f(),
             None => {
                 eprintln!(
-                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, bench-pr4, bench-pr5, bench-pr6, bench-pr7, chaos-smoke, scale-smoke, scale-coloring-1e6, scale-rand-1e6"
+                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, bench-pr4, bench-pr5, bench-pr6, bench-pr7, bench-pr8, net-run, net-shard, chaos-smoke, scale-smoke, scale-coloring-1e6, scale-rand-1e6"
                 );
                 std::process::exit(2);
             }

@@ -1,0 +1,253 @@
+//! `BENCH_PR8.json`: the netplane's multi-process equivalence matrix.
+//!
+//! PR 8 adds the process-per-shard network transport
+//! ([`congest::netplane`]): round traffic over localhost TCP, one OS
+//! process per shard, with the round barrier as the flush point. This
+//! matrix is the CI-facing witness that the transport is *unobservable*
+//! at the model level: for every `(algorithm, graph family)` workload it
+//! runs the pipeline sequentially and sharded across 2 and 4 processes,
+//! and records whether colorings, rounds, messages, and bit totals came
+//! back bit-identical (`identical`), along with the wall costs of both
+//! sides.
+//!
+//! Everything is seeded, so rounds, messages, and palettes are bit-exact
+//! across machines and reruns; `ci/bench_gate.py pr8` additionally diffs
+//! the fresh model numbers against the checked-in recording.
+
+use crate::json::Json;
+use d2color::netharness::{
+    run_distributed, run_sequential, NetAlgo, NetGraph, NetSpec, ShardCommand,
+};
+use std::time::Instant;
+
+/// Shard process counts every workload is exercised at.
+pub const SHARD_COUNTS: [u32; 2] = [2, 4];
+
+/// One `(workload, shard count)` cell.
+#[derive(Debug, Clone)]
+pub struct Pr8Cell {
+    /// Workload label (spec round-trip key).
+    pub graph: String,
+    /// Algorithm name.
+    pub algo: String,
+    /// Nodes.
+    pub n: usize,
+    /// Maximum degree.
+    pub delta: usize,
+    /// OS processes the run was sharded across.
+    pub processes: u32,
+    /// Wall-clock milliseconds of the sequential reference.
+    pub wall_ms_sequential: f64,
+    /// Wall-clock milliseconds of the distributed run (spawn to stitch).
+    pub wall_ms_net: f64,
+    /// Rounds to completion (identical across transports by contract).
+    pub rounds: u64,
+    /// Total messages delivered (identical across transports).
+    pub messages: u64,
+    /// Total payload bits (identical across transports).
+    pub total_bits: u64,
+    /// Palette certificate.
+    pub palette: usize,
+    /// Colorings and full metrics bit-identical to the reference.
+    pub identical: bool,
+    /// Distributed coloring verified against the d2 oracle.
+    pub valid: bool,
+}
+
+/// The PR 8 workloads: both pipelines on both graph families, sized for
+/// a CI smoke budget (whole matrix in seconds, not minutes).
+#[must_use]
+pub fn specs() -> Vec<NetSpec> {
+    vec![
+        NetSpec {
+            algo: NetAlgo::DetSmall,
+            family: NetGraph::GnpCapped,
+            n: 200,
+            degree: 5,
+            graph_seed: 11,
+            run_seed: 42,
+        },
+        NetSpec {
+            algo: NetAlgo::DetSmall,
+            family: NetGraph::RandomRegular,
+            n: 160,
+            degree: 4,
+            graph_seed: 12,
+            run_seed: 42,
+        },
+        NetSpec {
+            algo: NetAlgo::RandImproved,
+            family: NetGraph::GnpCapped,
+            n: 200,
+            degree: 6,
+            graph_seed: 13,
+            run_seed: 42,
+        },
+        NetSpec {
+            algo: NetAlgo::RandImproved,
+            family: NetGraph::RandomRegular,
+            n: 160,
+            degree: 6,
+            graph_seed: 14,
+            run_seed: 42,
+        },
+    ]
+}
+
+/// Runs the full matrix: every workload sequentially once, then at each
+/// shard count in [`SHARD_COUNTS`], spawning shards via `cmd`.
+#[must_use]
+pub fn run_matrix(cmd: &ShardCommand) -> Vec<Pr8Cell> {
+    let mut cells = Vec::new();
+    for spec in specs() {
+        let g = spec.build_graph();
+        let view = graphs::D2View::build(&g);
+        let t0 = Instant::now();
+        let seq = run_sequential(&spec);
+        let wall_ms_sequential = t0.elapsed().as_secs_f64() * 1e3;
+        for &k in &SHARD_COUNTS {
+            let t1 = Instant::now();
+            let net = run_distributed(&spec, k, cmd);
+            let wall_ms_net = t1.elapsed().as_secs_f64() * 1e3;
+            let palette = net
+                .colors
+                .iter()
+                .filter(|&&c| c != u32::MAX)
+                .map(|&c| c as usize + 1)
+                .max()
+                .unwrap_or(0);
+            cells.push(Pr8Cell {
+                graph: spec.label(),
+                algo: spec.algo.token().into(),
+                n: g.n(),
+                delta: g.max_degree(),
+                processes: k,
+                wall_ms_sequential,
+                wall_ms_net,
+                rounds: net.metrics.rounds,
+                messages: net.metrics.messages,
+                total_bits: net.metrics.total_bits,
+                palette,
+                identical: net.colors == seq.colors && net.metrics == seq.metrics,
+                valid: graphs::verify::is_valid_d2_coloring_with(&view, &net.colors),
+            });
+        }
+    }
+    cells
+}
+
+fn ms(x: f64) -> Json {
+    Json::Num((x * 1000.0).round() / 1000.0)
+}
+
+/// Serializes the cells into the `BENCH_PR8.json` document.
+#[must_use]
+pub fn to_json(cells: &[Pr8Cell]) -> String {
+    let rows = cells
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("graph", Json::str(&c.graph)),
+                ("algo", Json::str(&c.algo)),
+                ("n", Json::int(c.n as u64)),
+                ("delta", Json::int(c.delta as u64)),
+                ("processes", Json::int(u64::from(c.processes))),
+                ("wall_ms_sequential", ms(c.wall_ms_sequential)),
+                ("wall_ms_net", ms(c.wall_ms_net)),
+                ("rounds", Json::int(c.rounds)),
+                ("messages", Json::int(c.messages)),
+                ("total_bits", Json::int(c.total_bits)),
+                ("palette", Json::int(c.palette as u64)),
+                ("identical", Json::Bool(c.identical)),
+                ("valid", Json::Bool(c.valid)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("bench", Json::str("BENCH_PR8")),
+        (
+            "description",
+            Json::str(
+                "Netplane multi-process equivalence: det-small and \
+                 rand-improved served over localhost TCP across 2 and 4 \
+                 OS processes, with colorings, rounds, messages, and bit \
+                 totals required bit-identical to the sequential \
+                 reference per (graph seed, config)",
+            ),
+        ),
+        ("cells", Json::Arr(rows)),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cells() -> Vec<Pr8Cell> {
+        SHARD_COUNTS
+            .iter()
+            .map(|&k| Pr8Cell {
+                graph: "det-small-gnp-n200-d5-g11-s42".into(),
+                algo: "det-small".into(),
+                n: 200,
+                delta: 5,
+                processes: k,
+                wall_ms_sequential: 120.0,
+                wall_ms_net: 350.0,
+                rounds: 96,
+                messages: 54_321,
+                total_bits: 987_654,
+                palette: 24,
+                identical: true,
+                valid: true,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serializes_required_fields() {
+        let s = to_json(&sample_cells());
+        for key in [
+            "\"bench\": \"BENCH_PR8\"",
+            "\"cells\"",
+            "\"graph\": \"det-small-gnp-n200-d5-g11-s42\"",
+            "\"processes\": 2",
+            "\"processes\": 4",
+            "\"identical\": true",
+            "\"valid\": true",
+            "\"total_bits\": 987654",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn matrix_covers_both_pipelines_both_families_both_counts() {
+        let specs = specs();
+        assert!(specs
+            .iter()
+            .any(|s| s.algo == NetAlgo::DetSmall && s.family == NetGraph::GnpCapped));
+        assert!(specs
+            .iter()
+            .any(|s| s.algo == NetAlgo::DetSmall && s.family == NetGraph::RandomRegular));
+        assert!(specs
+            .iter()
+            .any(|s| s.algo == NetAlgo::RandImproved && s.family == NetGraph::GnpCapped));
+        assert!(specs
+            .iter()
+            .any(|s| s.algo == NetAlgo::RandImproved && s.family == NetGraph::RandomRegular));
+        assert_eq!(SHARD_COUNTS, [2, 4]);
+        // CI smoke budget: everything stays small.
+        assert!(specs.iter().all(|s| s.n <= 200));
+    }
+
+    #[test]
+    fn spec_labels_are_distinct_join_keys() {
+        let labels: Vec<String> = specs().iter().map(NetSpec::label).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "duplicate workload labels");
+    }
+}

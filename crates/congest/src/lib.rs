@@ -76,6 +76,7 @@ pub mod faults;
 mod message;
 mod metrics;
 mod net;
+pub mod netplane;
 mod node;
 mod outbox;
 mod protocol;

@@ -1,0 +1,337 @@
+//! Length-prefixed frames: the unit of transmission between shard
+//! processes.
+//!
+//! # Wire format
+//!
+//! ```text
+//! ┌────────┬────────┬──────────────┬─────────────────┐
+//! │ magic  │ kind   │ len (u32 LE) │ payload (len B) │
+//! │ 1 byte │ 1 byte │ 4 bytes      │                 │
+//! └────────┴────────┴──────────────┴─────────────────┘
+//! ```
+//!
+//! The magic byte (`0xC6`) lets a receiver reject a stream that is not a
+//! netplane peer (or that desynchronized) with a structured
+//! [`FrameError::BadMagic`] instead of misinterpreting garbage as a
+//! length. The length is capped at [`MAX_FRAME_LEN`]; a prefix above the
+//! cap is [`FrameError::TooLarge`] — corrupt input can never trigger a
+//! multi-gigabyte allocation.
+//!
+//! Two decoders cover the two consumption patterns:
+//!
+//! * [`read_frame`] — blocking, over any [`Read`]; used by the per-peer
+//!   reader threads.
+//! * [`FrameReader`] — incremental; bytes are fed in arbitrary splits and
+//!   complete frames pop out. The property tests drive it with frames
+//!   torn at every byte boundary.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// First byte of every frame.
+pub const MAGIC: u8 = 0xC6;
+
+/// Upper bound on a frame payload (64 MiB). Far above any real round
+/// batch; exists so a corrupt length prefix fails structurally instead of
+/// attempting a huge allocation.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Frame kinds. A `u8` namespace shared by membership and the round loop.
+pub mod kind {
+    /// Shard → coordinator: "my mesh listener is on this port".
+    pub const HELLO: u8 = 1;
+    /// Coordinator → shard: shard index, world size, peer table.
+    pub const ASSIGN: u8 = 2;
+    /// Dialing shard → accepting shard: "I am shard `from`".
+    pub const JOIN: u8 = 3;
+    /// Restarted shard → surviving shard: "I am shard `from`, I have
+    /// acked syncs `≤ have_sync`; replay the rest".
+    pub const REJOIN: u8 = 4;
+    /// One communication round's batch + control flags (peer ↔ peer).
+    pub const ROUND: u8 = 5;
+    /// One allreduce contribution (peer ↔ peer).
+    pub const REDUCE: u8 = 6;
+    /// End-of-phase stats exchange (peer ↔ peer).
+    pub const STATS: u8 = 7;
+    /// Shard → coordinator: final colors + metrics of the owned range.
+    pub const RESULT: u8 = 8;
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Discriminator from [`kind`].
+    pub kind: u8,
+    /// Opaque payload; interpreted by the layer owning `kind` via
+    /// [`Wire`](super::Wire).
+    pub payload: Vec<u8>,
+}
+
+/// A structured framing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The stream closed cleanly at a frame boundary.
+    Closed,
+    /// The stream closed mid-frame.
+    UnexpectedEof,
+    /// The first byte of a frame was not [`MAGIC`].
+    BadMagic(u8),
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    TooLarge {
+        /// The claimed payload length.
+        len: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// An underlying I/O error (message only, for comparability).
+    Io(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "peer closed the stream"),
+            FrameError::UnexpectedEof => write!(f, "stream closed mid-frame"),
+            FrameError::BadMagic(b) => {
+                write!(f, "bad frame magic {b:#04x} (expected {MAGIC:#04x})")
+            }
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte cap")
+            }
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e.to_string())
+    }
+}
+
+/// Writes one frame. The caller flushes (the round loop batches all
+/// per-peer frames of a communication round into one flush — the round
+/// barrier *is* the flush point).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`] — outbound frames are
+/// engine-constructed, so an oversized one is a bug, not wire input.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("payload length fits u32");
+    assert!(len <= MAX_FRAME_LEN, "outbound frame exceeds MAX_FRAME_LEN");
+    w.write_all(&[MAGIC, kind])?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads exactly one frame, blocking.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on clean EOF at a frame boundary; the other
+/// variants on malformed or truncated input.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut header = [0u8; 6];
+    // Distinguish clean close (0 bytes) from mid-frame close by reading
+    // the first byte separately.
+    match r.read(&mut header[..1]) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(_) => {}
+        Err(e) => return Err(e.into()),
+    }
+    read_exact_or_eof(r, &mut header[1..])?;
+    parse_header(&header)?;
+    let len = u32::from_le_bytes(header[2..6].try_into().expect("4 bytes")) as usize;
+    let mut payload = vec![0u8; len];
+    read_exact_or_eof(r, &mut payload)?;
+    Ok(Frame {
+        kind: header[1],
+        payload,
+    })
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::UnexpectedEof
+        } else {
+            e.into()
+        }
+    })
+}
+
+/// Validates a 6-byte header: magic and length cap.
+fn parse_header(header: &[u8; 6]) -> Result<u32, FrameError> {
+    if header[0] != MAGIC {
+        return Err(FrameError::BadMagic(header[0]));
+    }
+    let len = u32::from_le_bytes(header[2..6].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    Ok(len)
+}
+
+/// Incremental frame decoder: bytes in (arbitrary splits), frames out.
+///
+/// After any error the reader is *poisoned* — a framing error means the
+/// byte stream can no longer be trusted to realign, so every later call
+/// returns the same error.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    poisoned: Option<FrameError>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends raw bytes from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, if the buffer holds one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structured [`FrameError`] for malformed input; the
+    /// reader stays poisoned with it afterwards.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        if self.buf.len() < 6 {
+            // Not even a header yet — but a wrong magic byte is already
+            // diagnosable from the first byte alone.
+            if let Some(&b) = self.buf.first() {
+                if b != MAGIC {
+                    let e = FrameError::BadMagic(b);
+                    self.poisoned = Some(e.clone());
+                    return Err(e);
+                }
+            }
+            return Ok(None);
+        }
+        let header: [u8; 6] = self.buf[..6].try_into().expect("6 bytes");
+        let len = match parse_header(&header) {
+            Ok(len) => len as usize,
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
+        };
+        if self.buf.len() < 6 + len {
+            return Ok(None);
+        }
+        let payload = self.buf[6..6 + len].to_vec();
+        let kind = header[1];
+        self.buf.drain(..6 + len);
+        Ok(Some(Frame { kind, payload }))
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, kind::ROUND, b"hello").unwrap();
+        write_frame(&mut buf, kind::STATS, b"").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let f1 = read_frame(&mut cursor).unwrap();
+        assert_eq!(
+            (f1.kind, f1.payload.as_slice()),
+            (kind::ROUND, &b"hello"[..])
+        );
+        let f2 = read_frame(&mut cursor).unwrap();
+        assert_eq!((f2.kind, f2.payload.as_slice()), (kind::STATS, &b""[..]));
+        assert_eq!(read_frame(&mut cursor), Err(FrameError::Closed));
+    }
+
+    #[test]
+    fn blocking_reader_rejects_garbage_and_truncation() {
+        let mut cursor = io::Cursor::new(vec![0x00u8, 1, 2, 3, 4, 5]);
+        assert_eq!(read_frame(&mut cursor), Err(FrameError::BadMagic(0x00)));
+        // Truncated mid-header.
+        let mut cursor = io::Cursor::new(vec![MAGIC, kind::ROUND, 9]);
+        assert_eq!(read_frame(&mut cursor), Err(FrameError::UnexpectedEof));
+        // Truncated mid-payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, kind::ROUND, b"abcdef").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor), Err(FrameError::UnexpectedEof));
+        // Oversized length prefix.
+        let mut buf = vec![MAGIC, kind::ROUND];
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn incremental_reader_handles_torn_input() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, kind::ROUND, b"abc").unwrap();
+        write_frame(&mut stream, kind::REDUCE, &[1, 2, 3, 4, 5, 6, 7]).unwrap();
+        // Feed one byte at a time; frames must pop exactly twice.
+        let mut r = FrameReader::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            r.feed(&[b]);
+            while let Some(f) = r.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, b"abc");
+        assert_eq!(got[1].kind, kind::REDUCE);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn incremental_reader_poisons_on_bad_magic() {
+        let mut r = FrameReader::new();
+        r.feed(&[0x42]);
+        assert_eq!(r.next_frame(), Err(FrameError::BadMagic(0x42)));
+        // Stays poisoned even if valid bytes follow.
+        r.feed(&[MAGIC, 0, 0, 0, 0, 0]);
+        assert_eq!(r.next_frame(), Err(FrameError::BadMagic(0x42)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(FrameError::BadMagic(7).to_string().contains("0x07"));
+        assert!(FrameError::TooLarge { len: 9, max: 1 }
+            .to_string()
+            .contains('9'));
+        assert!(FrameError::Closed.to_string().contains("closed"));
+        let io_err: FrameError = io::Error::other("boom").into();
+        assert!(io_err.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,529 @@
+//! Membership: how shard processes find each other and survive a restart.
+//!
+//! The topology is a star for control plus a full mesh for data:
+//!
+//! 1. A [`Coordinator`] binds an ephemeral localhost port. Every shard
+//!    process dials it, sends [`Hello`] naming its own mesh-listener
+//!    port, and blocks.
+//! 2. Once all `k` shards have checked in, the coordinator assigns shard
+//!    indices in connection order and sends each an [`Assign`] carrying
+//!    the full peer table. The control stream stays open; shards ship
+//!    their final result frames back over it.
+//! 3. Shard `i` dials every shard `j < i` (sending [`Join`]) and accepts
+//!    a connection from every `j > i` — every pair gets exactly one
+//!    full-duplex [`Link`]. Listeners are bound before `Hello` is sent
+//!    and nobody dials before `Assign` arrives, so the mesh cannot race.
+//!
+//! # Reconnect
+//!
+//! A [`Link`] retains the sync-tagged frames of the **last two syncs**
+//! (mirroring the parity double-buffered mailboxes: at any instant the
+//! peer can be at most one sync behind). A restarted peer dials back and
+//! sends [`Rejoin`] with the highest sync it has fully applied; the
+//! survivor answers via [`Link::resume`], replaying every retained frame
+//! with a newer sync. Replay is deterministic — the frames are
+//! byte-identical to the originals — so the rejoined peer observes the
+//! exact stream it would have seen without the restart.
+
+use super::frame::{kind, read_frame, write_frame, Frame, FrameError};
+use super::wire::{Reader, Wire, WireError};
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Write as _};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::thread;
+
+/// Shard → coordinator: "my mesh listener is on this localhost port".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Port of the shard's mesh `TcpListener` on 127.0.0.1.
+    pub listen_port: u16,
+}
+
+impl Wire for Hello {
+    fn put(&self, buf: &mut Vec<u8>) {
+        self.listen_port.put(buf);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Hello {
+            listen_port: u16::take(r)?,
+        })
+    }
+}
+
+/// Coordinator → shard: your index, the world size, and where everyone
+/// listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assign {
+    /// This shard's index in `0..n_shards`.
+    pub shard: u32,
+    /// Total number of shards.
+    pub n_shards: u32,
+    /// `(shard index, mesh port)` for every shard, self included.
+    pub peers: Vec<(u32, u16)>,
+}
+
+impl Wire for Assign {
+    fn put(&self, buf: &mut Vec<u8>) {
+        self.shard.put(buf);
+        self.n_shards.put(buf);
+        self.peers.put(buf);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Assign {
+            shard: u32::take(r)?,
+            n_shards: u32::take(r)?,
+            peers: Vec::take(r)?,
+        })
+    }
+}
+
+/// First frame on a freshly dialed mesh connection: who is calling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Join {
+    /// The dialing shard's index.
+    pub from: u32,
+}
+
+impl Wire for Join {
+    fn put(&self, buf: &mut Vec<u8>) {
+        self.from.put(buf);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Join {
+            from: u32::take(r)?,
+        })
+    }
+}
+
+/// First frame after a restart: who is calling and how far they got.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejoin {
+    /// The rejoining shard's index.
+    pub from: u32,
+    /// Highest sync the rejoiner has fully applied; the survivor replays
+    /// every retained frame with a strictly newer sync.
+    pub have_sync: u64,
+}
+
+impl Wire for Rejoin {
+    fn put(&self, buf: &mut Vec<u8>) {
+        self.from.put(buf);
+        self.have_sync.put(buf);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Rejoin {
+            from: u32::take(r)?,
+            have_sync: u64::take(r)?,
+        })
+    }
+}
+
+/// How many trailing syncs a link retains for replay. Two, because the
+/// parity double-buffer means a live peer is never more than one sync
+/// behind the sender.
+const RETAINED_SYNCS: u64 = 2;
+
+/// One full-duplex connection to a peer shard.
+///
+/// Writes go through a [`BufWriter`]; the engine batches every frame of a
+/// communication round and calls [`Link::flush`] once — the round barrier
+/// *is* the flush point. Reads happen on a dedicated thread per peer
+/// (sender and receiver can both be mid-`write_all` without deadlock)
+/// feeding an in-process channel drained by [`Link::recv`].
+#[derive(Debug)]
+pub struct Link {
+    /// The peer shard's index.
+    pub peer: u32,
+    writer: BufWriter<TcpStream>,
+    rx: mpsc::Receiver<Result<Frame, FrameError>>,
+    /// Sync-tagged frames of the last [`RETAINED_SYNCS`] syncs, oldest
+    /// first, for replay after a peer restart.
+    retained: VecDeque<(u64, u8, Vec<u8>)>,
+}
+
+fn spawn_reader(stream: TcpStream) -> mpsc::Receiver<Result<Frame, FrameError>> {
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let mut stream = stream;
+        loop {
+            match read_frame(&mut stream) {
+                Ok(frame) => {
+                    if tx.send(Ok(frame)).is_err() {
+                        return; // link dropped locally
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        }
+    });
+    rx
+}
+
+impl Link {
+    /// Wraps an established connection to `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream cannot be cloned for the reader thread.
+    pub fn new(peer: u32, stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        let rx = spawn_reader(stream.try_clone()?);
+        Ok(Link {
+            peer,
+            writer: BufWriter::new(stream),
+            rx,
+            retained: VecDeque::new(),
+        })
+    }
+
+    /// Queues a frame that is *not* replayed on reconnect (membership and
+    /// result traffic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn send(&mut self, frame_kind: u8, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.writer, frame_kind, payload)
+    }
+
+    /// Queues a sync-tagged frame and retains it for replay. Frames of
+    /// syncs older than `sync - 1` are pruned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn send_retained(&mut self, sync: u64, frame_kind: u8, payload: &[u8]) -> io::Result<()> {
+        while let Some(&(s, _, _)) = self.retained.front() {
+            if s + RETAINED_SYNCS > sync {
+                break;
+            }
+            self.retained.pop_front();
+        }
+        self.retained
+            .push_back((sync, frame_kind, payload.to_vec()));
+        write_frame(&mut self.writer, frame_kind, payload)
+    }
+
+    /// Flushes everything queued since the last barrier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Blocks for the next inbound frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns the reader thread's [`FrameError`]; a vanished reader
+    /// reports as [`FrameError::Closed`].
+    pub fn recv(&mut self) -> Result<Frame, FrameError> {
+        self.rx.recv().unwrap_or(Err(FrameError::Closed))
+    }
+
+    /// Re-arms the link over a fresh connection after the peer restarted,
+    /// replaying every retained frame with sync > `have_sync` (in
+    /// original order) and flushing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clone/write errors on the new stream.
+    pub fn resume(&mut self, stream: TcpStream, have_sync: u64) -> io::Result<()> {
+        stream.set_nodelay(true)?;
+        self.rx = spawn_reader(stream.try_clone()?);
+        self.writer = BufWriter::new(stream);
+        for (sync, frame_kind, payload) in &self.retained {
+            if *sync > have_sync {
+                write_frame(&mut self.writer, *frame_kind, payload)?;
+            }
+        }
+        self.writer.flush()
+    }
+}
+
+/// The rendezvous point: hands out shard assignments and collects
+/// results.
+#[derive(Debug)]
+pub struct Coordinator {
+    listener: TcpListener,
+}
+
+impl Coordinator {
+    /// Binds an ephemeral localhost port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind() -> io::Result<Self> {
+        Ok(Coordinator {
+            listener: TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?,
+        })
+    }
+
+    /// The port shards must dial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the freshly bound listener has no local address (cannot
+    /// happen for a successful bind).
+    #[must_use]
+    pub fn port(&self) -> u16 {
+        self.listener.local_addr().expect("bound listener").port()
+    }
+
+    /// Accepts exactly `n_shards` [`Hello`]s, assigns indices in
+    /// connection order, sends every shard its [`Assign`], and returns
+    /// the control streams in shard order (for result collection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept/handshake I/O errors; a malformed `Hello` frame
+    /// surfaces as [`io::ErrorKind::InvalidData`].
+    pub fn assign(&self, n_shards: u32) -> io::Result<Vec<TcpStream>> {
+        let mut streams = Vec::with_capacity(n_shards as usize);
+        let mut peers = Vec::with_capacity(n_shards as usize);
+        for shard in 0..n_shards {
+            let (stream, _) = self.listener.accept()?;
+            stream.set_nodelay(true)?;
+            let mut stream = stream;
+            let hello: Hello = expect_payload(&mut stream, kind::HELLO)?;
+            peers.push((shard, hello.listen_port));
+            streams.push(stream);
+        }
+        for (shard, stream) in streams.iter_mut().enumerate() {
+            let assign = Assign {
+                shard: shard as u32,
+                n_shards,
+                peers: peers.clone(),
+            };
+            write_frame(stream, kind::ASSIGN, &assign.to_wire())?;
+            stream.flush()?;
+        }
+        Ok(streams)
+    }
+}
+
+/// Reads one frame, asserts its kind, and decodes the payload.
+pub(super) fn expect_payload<T: Wire>(stream: &mut TcpStream, want: u8) -> io::Result<T> {
+    let frame = read_frame(stream).map_err(invalid_data)?;
+    if frame.kind != want {
+        return Err(invalid_data(format!(
+            "expected frame kind {want}, got {}",
+            frame.kind
+        )));
+    }
+    T::from_wire(&frame.payload).map_err(invalid_data)
+}
+
+fn invalid_data(e: impl ToString) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// A shard's membership handle after joining: its assignment, the open
+/// control stream back to the coordinator, and its own mesh listener.
+#[derive(Debug)]
+pub struct Membership {
+    /// The coordinator's assignment (index, world size, peer table).
+    pub assign: Assign,
+    /// Control stream to the coordinator; the shard ships its `RESULT`
+    /// frame back over it at the end of the run.
+    pub control: TcpStream,
+    /// This shard's mesh listener; kept open for the lifetime of the run
+    /// so a restarted peer can always dial back in.
+    pub listener: TcpListener,
+}
+
+/// Dials the coordinator, checks in, and blocks until assigned.
+///
+/// # Errors
+///
+/// Propagates connect/handshake I/O errors.
+pub fn join(coordinator: SocketAddr) -> io::Result<Membership> {
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+    let listen_port = listener.local_addr()?.port();
+    let mut control = TcpStream::connect(coordinator)?;
+    control.set_nodelay(true)?;
+    write_frame(&mut control, kind::HELLO, &Hello { listen_port }.to_wire())?;
+    control.flush()?;
+    let assign: Assign = expect_payload(&mut control, kind::ASSIGN)?;
+    Ok(Membership {
+        assign,
+        control,
+        listener,
+    })
+}
+
+/// Builds the full mesh: one [`Link`] per peer, indexed by peer shard.
+/// Shard `i` dials every `j < i` and accepts from every `j > i`.
+///
+/// # Errors
+///
+/// Propagates connect/accept/handshake I/O errors.
+pub fn connect_mesh(membership: &Membership) -> io::Result<Vec<Link>> {
+    let me = membership.assign.shard;
+    let n = membership.assign.n_shards;
+    let mut links: Vec<Option<Link>> = (0..n).map(|_| None).collect();
+    // Dial the lower-indexed peers.
+    for &(peer, port) in &membership.assign.peers {
+        if peer >= me {
+            continue;
+        }
+        let mut stream = TcpStream::connect((Ipv4Addr::LOCALHOST, port))?;
+        stream.set_nodelay(true)?;
+        write_frame(&mut stream, kind::JOIN, &Join { from: me }.to_wire())?;
+        stream.flush()?;
+        links[peer as usize] = Some(Link::new(peer, stream)?);
+    }
+    // Accept the higher-indexed peers (in whatever order they dial).
+    for _ in me + 1..n {
+        let (mut stream, _) = membership.listener.accept()?;
+        let joiner: Join = expect_payload(&mut stream, kind::JOIN)?;
+        if joiner.from <= me || joiner.from >= n || links[joiner.from as usize].is_some() {
+            return Err(invalid_data(format!(
+                "unexpected join from {}",
+                joiner.from
+            )));
+        }
+        links[joiner.from as usize] = Some(Link::new(joiner.from, stream)?);
+    }
+    Ok(links.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_payloads_roundtrip() {
+        let assign = Assign {
+            shard: 1,
+            n_shards: 4,
+            peers: vec![(0, 1000), (1, 1001), (2, 1002), (3, 1003)],
+        };
+        assert_eq!(Assign::from_wire(&assign.to_wire()).unwrap(), assign);
+        let hello = Hello { listen_port: 777 };
+        assert_eq!(Hello::from_wire(&hello.to_wire()).unwrap(), hello);
+        let join = Join { from: 3 };
+        assert_eq!(Join::from_wire(&join.to_wire()).unwrap(), join);
+        let rejoin = Rejoin {
+            from: 2,
+            have_sync: 41,
+        };
+        assert_eq!(Rejoin::from_wire(&rejoin.to_wire()).unwrap(), rejoin);
+    }
+
+    /// Coordinator + three shards rendezvous and build the mesh; each
+    /// pair exchanges a ping tagged with the sender's index.
+    #[test]
+    fn mesh_forms_and_exchanges() {
+        let coordinator = Coordinator::bind().unwrap();
+        let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, coordinator.port()));
+        let coord_thread = thread::spawn(move || coordinator.assign(3).unwrap());
+        let shards: Vec<_> = (0..3)
+            .map(|_| {
+                thread::spawn(move || {
+                    let membership = join(addr).unwrap();
+                    let me = membership.assign.shard;
+                    let mut links = connect_mesh(&membership).unwrap();
+                    assert_eq!(links.len(), 2);
+                    for link in &mut links {
+                        link.send(kind::ROUND, &me.to_wire()).unwrap();
+                        link.flush().unwrap();
+                    }
+                    for link in &mut links {
+                        let frame = link.recv().unwrap();
+                        assert_eq!(frame.kind, kind::ROUND);
+                        assert_eq!(u32::from_wire(&frame.payload).unwrap(), link.peer);
+                    }
+                    me
+                })
+            })
+            .collect();
+        let mut ids: Vec<u32> = shards.into_iter().map(|h| h.join().unwrap()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(coord_thread.join().unwrap().len(), 3);
+    }
+
+    /// The reconnect path: a peer "restarts" (drops its connection
+    /// mid-phase), dials back with `Rejoin`, and the survivor replays
+    /// exactly the unacked syncs.
+    #[test]
+    fn link_replays_unacked_syncs_on_resume() {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let port = listener.local_addr().unwrap().port();
+
+        // Survivor side: accept, send three sync-tagged rounds, then
+        // service a rejoin that acked only sync 1.
+        let survivor = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut link = Link::new(1, stream).unwrap();
+            for sync in 1u64..=3 {
+                link.send_retained(sync, kind::ROUND, &sync.to_wire())
+                    .unwrap();
+            }
+            link.flush().unwrap();
+            // Peer restarts and dials back in.
+            let (mut stream, _) = listener.accept().unwrap();
+            let rejoin: Rejoin = expect_payload(&mut stream, kind::REJOIN).unwrap();
+            assert_eq!(
+                rejoin,
+                Rejoin {
+                    from: 1,
+                    have_sync: 1
+                }
+            );
+            link.resume(stream, rejoin.have_sync).unwrap();
+            // The resumed link keeps working for new syncs.
+            link.send_retained(4, kind::ROUND, &4u64.to_wire()).unwrap();
+            link.flush().unwrap();
+        });
+
+        // First incarnation: read sync 1, then "crash" (drop the stream).
+        let stream = TcpStream::connect((Ipv4Addr::LOCALHOST, port)).unwrap();
+        let mut link = Link::new(0, stream).unwrap();
+        let first = link.recv().unwrap();
+        assert_eq!(u64::from_wire(&first.payload).unwrap(), 1);
+        drop(link);
+
+        // Second incarnation: rejoin claiming sync 1; syncs 2, 3 must be
+        // replayed, then 4 arrives live.
+        let mut stream = TcpStream::connect((Ipv4Addr::LOCALHOST, port)).unwrap();
+        let rejoin = Rejoin {
+            from: 1,
+            have_sync: 1,
+        };
+        write_frame(&mut stream, kind::REJOIN, &rejoin.to_wire()).unwrap();
+        stream.flush().unwrap();
+        let mut link = Link::new(0, stream).unwrap();
+        for expect in 2u64..=4 {
+            let frame = link.recv().unwrap();
+            assert_eq!(frame.kind, kind::ROUND);
+            assert_eq!(u64::from_wire(&frame.payload).unwrap(), expect);
+        }
+        survivor.join().unwrap();
+    }
+
+    /// Retention is bounded: only the last two syncs stay replayable.
+    #[test]
+    fn retention_prunes_old_syncs() {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let dial = thread::spawn(move || TcpStream::connect((Ipv4Addr::LOCALHOST, port)).unwrap());
+        let (stream, _) = listener.accept().unwrap();
+        let _far = dial.join().unwrap();
+        let mut link = Link::new(1, stream).unwrap();
+        for sync in 1u64..=10 {
+            link.send_retained(sync, kind::ROUND, &sync.to_wire())
+                .unwrap();
+        }
+        let kept: Vec<u64> = link.retained.iter().map(|(s, _, _)| *s).collect();
+        assert_eq!(kept, vec![9, 10]);
+    }
+}

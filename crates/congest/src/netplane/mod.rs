@@ -1,0 +1,94 @@
+//! Process-per-shard network transport: CONGEST over real sockets.
+//!
+//! Everything before this module simulates the CONGEST model inside one
+//! address space. The netplane splits a run across OS processes — one
+//! *shard* per process, each owning a contiguous slice of the node set —
+//! with round traffic carried over localhost TCP. The defining property
+//! is inherited from the rest of the repo: **a sharded run is
+//! bit-identical to the sequential reference** per `(graph, seed,
+//! config)`, and `tests/net_equivalence.rs` proves it on every CI run.
+//!
+//! # Wire format
+//!
+//! Every transmission is a frame (see [`frame`]):
+//!
+//! ```text
+//! [0xC6][kind: u8][len: u32 LE][payload: len bytes]
+//! ```
+//!
+//! Payloads are encoded by the hand-rolled [`Wire`] codec ([`wire`]):
+//! fixed-width little-endian integers, one-byte bools/tags, `f64` as
+//! IEEE-754 bits, length-prefixed sequences, and [`SmallIds`] batches by
+//! contents. There are no external serialization dependencies. Decoding
+//! is total — malformed bytes produce structured [`WireError`] /
+//! [`FrameError`] values, never panics.
+//!
+//! # Barrier / flush contract
+//!
+//! The engine ([`NetPlane::execute_with`]) steps its owned nodes each
+//! round exactly like the sequential engine's always-step sweep. At
+//! every **communication round** (per
+//! [`Protocol::sync_period`](crate::Protocol::sync_period)) it writes
+//! one `ROUND` frame per peer —
+//! carrying all cross-shard messages plus the shard's local termination,
+//! progress, and strict-bandwidth flags — and flushes once. It then
+//! blocks for exactly one `ROUND` frame from each peer. That exchange
+//! *is* the round barrier: buffered writes are flushed only there, and no
+//! shard enters round `r + 1` before every shard finished round `r`.
+//! Declared-silent rounds (periods > 1) touch the wire not at all.
+//!
+//! # Bit-identity guarantee
+//!
+//! The sequential engine's observables are reproduced exactly:
+//!
+//! * **States** — every shard rebuilds the full deterministic world
+//!   (identifiers, per-node RNG streams, init states) from the shared
+//!   seed and steps its own nodes in index order with the same inbox
+//!   contents (inboxes sort by arrival port, so delivery interleaving is
+//!   unobservable). Owned rows therefore equal the sequential rows;
+//!   un-owned ("ghost") rows stay at their init values and pipeline
+//!   drivers re-authorize anything derived from them via [`sync_rows`].
+//! * **Rounds** — termination is the same global unanimity check,
+//!   computed by AND-ing per-shard vote flags at each barrier.
+//! * **Messages / bits** — counted at the sender, exactly as the
+//!   sequential sweep does; end-of-phase `STATS` frames merge per-shard
+//!   metrics into one global record identical in every shard.
+//! * **Errors** — [`SimError::Bandwidth`](crate::SimError::Bandwidth)
+//!   aborts carry the globally first violation (minimum node index in the
+//!   violating round), and round-limit diagnostics sum live votes across
+//!   shards, so every process returns the very error the sequential
+//!   engine would.
+//!
+//! Fault injection is *not* supported here (the chaos plane needs an
+//!   omniscient scheduler); the engine rejects faulted configs.
+//!
+//! # Membership and restarts
+//!
+//! A coordinator process hands out shard assignments; peers dial each
+//! other into a full mesh ([`membership`]). Links retain the frames of
+//! the last two communication rounds (mirroring the parity
+//! double-buffered mailboxes), so a peer that restarts mid-phase can
+//! redial, announce the last sync it applied ([`Rejoin`]), and have the
+//! survivor replay exactly the unacked frames ([`NetPlane::recover`]) —
+//! deterministic replay makes the rejoined stream byte-identical to an
+//! uninterrupted one.
+
+pub mod frame;
+pub mod membership;
+mod runtime;
+pub mod wire;
+
+pub use frame::{
+    kind, read_frame, write_frame, Frame, FrameError, FrameReader, MAGIC, MAX_FRAME_LEN,
+};
+pub use membership::{
+    connect_mesh, join, Assign, Coordinator, Hello, Join, Link, Membership, Rejoin,
+};
+pub use runtime::{
+    allreduce_and, coordinator, install, is_active, join_mesh, local_range, run_phase, shard_range,
+    sync_rows, uninstall, NetPlane,
+};
+pub use wire::{Reader, Wire, WireError};
+
+#[allow(unused_imports)]
+use crate::SmallIds; // doc link

@@ -1,0 +1,941 @@
+//! The SPMD net engine: one OS process per shard, bit-identical to the
+//! sequential reference.
+//!
+//! Every shard process rebuilds the *entire* deterministic world — graph,
+//! [`NetTables`], per-node RNG streams, initial states — from the shared
+//! `(graph, seed, config)` and then steps only its contiguous slice of
+//! nodes `[lo, hi)`. Each communication round, messages whose destination
+//! lives on another shard travel as one [`kind::ROUND`] frame per peer
+//! (flushed once — the round barrier is the flush point), together with
+//! the shard's local termination/progress flags. Combining the flags
+//! reproduces the sequential engine's global unanimity check, progress
+//! watermark, and strict-bandwidth first-violation exactly; see the
+//! [module docs](super) for the full bit-identity argument.
+//!
+//! The engine always steps every local node each round (the classic
+//! schedule — [`Scheduling::AlwaysStep`] semantics) and rejects fault
+//! injection; transport failures are process-fatal panics rather than
+//! [`SimError`]s, so the error enum stays identical across engines.
+
+use super::frame::{kind, Frame};
+use super::membership::{Coordinator, Link, Membership, Rejoin};
+use super::wire::{Reader, Wire, WireError};
+use crate::runtime::{node_rng, RunResult, SimError};
+use crate::{Inbox, Message, Metrics, NetTables, Outbox, Protocol, SimConfig, Status};
+use graphs::Graph;
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+
+/// The node range shard `s` of `k` owns on an `n`-node graph: contiguous
+/// `⌈n/k⌉`-sized chunks, last one ragged.
+#[must_use]
+pub fn shard_range(n: usize, n_shards: usize, shard: usize) -> (usize, usize) {
+    let chunk = n.div_ceil(n_shards.max(1));
+    let lo = (shard * chunk).min(n);
+    (lo, (lo + chunk).min(n))
+}
+
+/// Which shard owns node `v`.
+fn shard_of(n: usize, n_shards: usize, v: usize) -> usize {
+    v / n.div_ceil(n_shards.max(1))
+}
+
+/// One communication round's traffic to a single peer: the sender's local
+/// control flags plus every message destined for that peer's nodes.
+struct RoundEnvelope<M> {
+    /// Communication-round counter (1-based), for lockstep/replay checks.
+    sync: u64,
+    /// AND of the sender's local termination votes this round.
+    all_done: bool,
+    /// OR of the sender's local progress (sends + vote flips) this round.
+    progressed: bool,
+    /// The sender's first strict-bandwidth violation this round, as
+    /// `(node index, message bits)` — `None` outside strict mode.
+    violation: Option<(u32, u64)>,
+    /// `(destination node, arrival port, message)` triples.
+    msgs: Vec<(u32, u32, M)>,
+}
+
+impl<M: Wire> Wire for RoundEnvelope<M> {
+    fn put(&self, buf: &mut Vec<u8>) {
+        self.sync.put(buf);
+        self.all_done.put(buf);
+        self.progressed.put(buf);
+        self.violation.put(buf);
+        self.msgs.put(buf);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RoundEnvelope {
+            sync: u64::take(r)?,
+            all_done: bool::take(r)?,
+            progressed: bool::take(r)?,
+            violation: <Option<(u32, u64)> as Wire>::take(r)?,
+            msgs: Vec::take(r)?,
+        })
+    }
+}
+
+/// A shard's handle on the running mesh: its assignment, one [`Link`] per
+/// peer, the listener (kept open for rejoins), and the coordinator
+/// control stream.
+#[derive(Debug)]
+pub struct NetPlane {
+    /// This shard's index.
+    pub shard: u32,
+    /// Total number of shards.
+    pub n_shards: u32,
+    /// `(shard, mesh port)` of every shard, self included.
+    pub peers: Vec<(u32, u16)>,
+    links: Vec<Link>,
+    listener: std::net::TcpListener,
+    control: TcpStream,
+    /// Collective-operation counter, checked in lockstep by all shards.
+    epoch: u64,
+}
+
+impl NetPlane {
+    /// Builds the full mesh from a completed membership handshake.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/accept I/O errors from the mesh build.
+    pub fn connect(membership: Membership) -> io::Result<Self> {
+        let links = super::membership::connect_mesh(&membership)?;
+        Ok(NetPlane {
+            shard: membership.assign.shard,
+            n_shards: membership.assign.n_shards,
+            peers: membership.assign.peers,
+            links,
+            listener: membership.listener,
+            control: membership.control,
+            epoch: 0,
+        })
+    }
+
+    /// The node range this shard owns on an `n`-node graph.
+    #[must_use]
+    pub fn local_range(&self, n: usize) -> (usize, usize) {
+        shard_range(n, self.n_shards as usize, self.shard as usize)
+    }
+
+    fn link_index(&self, peer_shard: usize) -> usize {
+        if peer_shard < self.shard as usize {
+            peer_shard
+        } else {
+            peer_shard - 1
+        }
+    }
+
+    fn recv_expect(link: &mut Link, want: u8) -> Frame {
+        match link.recv() {
+            Ok(frame) => {
+                assert_eq!(
+                    frame.kind, want,
+                    "netplane: expected frame kind {want} from shard {}, got {}",
+                    link.peer, frame.kind
+                );
+                frame
+            }
+            Err(e) => panic!("netplane: lost link to shard {}: {e}", link.peer),
+        }
+    }
+
+    fn send_all(&mut self, frame_kind: u8, payload: &[u8]) {
+        for link in &mut self.links {
+            link.send(frame_kind, payload)
+                .and_then(|()| link.flush())
+                .unwrap_or_else(|e| panic!("netplane: lost link to shard {}: {e}", link.peer));
+        }
+    }
+
+    /// One lockstep all-to-all exchange: broadcasts `body` under `epoch`
+    /// and returns every peer's body as `(peer shard, bytes)`.
+    fn collective(&mut self, frame_kind: u8, body: &[u8]) -> Vec<(u32, Vec<u8>)> {
+        self.epoch += 1;
+        let payload = (self.epoch, body.to_vec()).to_wire();
+        self.send_all(frame_kind, &payload);
+        let epoch = self.epoch;
+        self.links
+            .iter_mut()
+            .map(|link| {
+                let frame = Self::recv_expect(link, frame_kind);
+                let (peer_epoch, body) = <(u64, Vec<u8>)>::from_wire(&frame.payload)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "netplane: malformed collective from shard {}: {e}",
+                            link.peer
+                        )
+                    });
+                assert_eq!(
+                    peer_epoch, epoch,
+                    "netplane: shard {} is at collective epoch {peer_epoch}, expected {epoch}",
+                    link.peer
+                );
+                (link.peer, body)
+            })
+            .collect()
+    }
+
+    /// Global AND over one boolean per shard.
+    pub fn allreduce_and(&mut self, local: bool) -> bool {
+        self.collective(kind::REDUCE, &[u8::from(local)])
+            .iter()
+            .all(|(_, body)| body == &[1]) // peer contributions
+            && local
+    }
+
+    /// Global sum over one `u64` per shard.
+    pub fn allreduce_sum(&mut self, local: u64) -> u64 {
+        self.collective(kind::REDUCE, &local.to_wire())
+            .iter()
+            .map(|(peer, body)| {
+                u64::from_wire(body).unwrap_or_else(|e| {
+                    panic!("netplane: malformed sum contribution from shard {peer}: {e}")
+                })
+            })
+            .sum::<u64>()
+            + local
+    }
+
+    /// Makes a per-node vector globally authoritative: each shard
+    /// broadcasts its own rows `[lo, hi)` and overwrites every other range
+    /// with the owning shard's values. Pipeline drivers call this (via
+    /// [`sync_rows`](super::sync_rows)) on every vector they derive from
+    /// final phase states, because ghost rows — nodes this shard never
+    /// stepped — hold stale init-time values.
+    pub fn sync_rows<T: Wire>(&mut self, rows: &mut [T]) {
+        let n = rows.len();
+        let (lo, hi) = self.local_range(n);
+        let mut body = Vec::new();
+        for row in &rows[lo..hi] {
+            row.put(&mut body);
+        }
+        for (peer, body) in self.collective(kind::REDUCE, &body) {
+            let (plo, phi) = shard_range(n, self.n_shards as usize, peer as usize);
+            let mut r = Reader::new(&body);
+            for row in &mut rows[plo..phi] {
+                *row = T::take(&mut r).unwrap_or_else(|e| {
+                    panic!("netplane: malformed row sync from shard {peer}: {e}")
+                });
+            }
+            r.finish().unwrap_or_else(|e| {
+                panic!("netplane: trailing bytes in row sync from shard {peer}: {e}")
+            });
+        }
+    }
+
+    /// Ships this shard's final result payload to the coordinator as a
+    /// [`kind::RESULT`] frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors on the control stream.
+    pub fn send_result(&mut self, payload: &[u8]) -> io::Result<()> {
+        super::frame::write_frame(&mut self.control, kind::RESULT, payload)?;
+        self.control.flush()
+    }
+
+    /// Services one peer restart: accepts the pending redial on the mesh
+    /// listener, reads its [`Rejoin`], and resumes that peer's link —
+    /// replaying every retained round frame the rejoiner has not acked.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept/handshake I/O errors; an unknown rejoiner
+    /// surfaces as [`io::ErrorKind::InvalidData`].
+    pub fn recover(&mut self) -> io::Result<u32> {
+        let (mut stream, _) = self.listener.accept()?;
+        let rejoin: Rejoin = super::membership::expect_payload(&mut stream, kind::REJOIN)?;
+        let link = self
+            .links
+            .iter_mut()
+            .find(|l| l.peer == rejoin.from)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("rejoin from unknown shard {}", rejoin.from),
+                )
+            })?;
+        link.resume(stream, rejoin.have_sync)?;
+        Ok(rejoin.from)
+    }
+
+    /// Runs one protocol phase across the mesh, stepping only this
+    /// shard's nodes, and returns a result bit-identical (on all
+    /// observables: states of owned nodes, merged metrics, errors) to
+    /// [`SequentialRuntime`](crate::runtime::SequentialRuntime) under
+    /// [`Scheduling::AlwaysStep`](crate::Scheduling::AlwaysStep).
+    ///
+    /// States of nodes this shard does **not** own are left at their
+    /// deterministic init values; callers must [`NetPlane::sync_rows`]
+    /// anything they derive from them.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the sequential engine's errors — [`SimError::Bandwidth`]
+    /// (the globally first violation, identical in every shard) and
+    /// [`SimError::RoundLimitExceeded`] (with globally summed
+    /// `live_nodes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on fault-injection configs (unsupported on the net plane),
+    /// on transport failures, and on the same protocol bugs the
+    /// sequential engine rejects (silent-round sends).
+    #[allow(clippy::too_many_lines)]
+    pub fn execute_with<P: Protocol>(
+        &mut self,
+        graph: &Graph,
+        protocol: &P,
+        config: &SimConfig,
+        net: &Arc<NetTables>,
+    ) -> Result<RunResult<P::State>, SimError>
+    where
+        P::Msg: Wire,
+    {
+        assert!(net.matches(graph), "NetTables built for a different graph");
+        assert!(
+            config.faults.is_none(),
+            "netplane does not support fault injection (run the in-process engines for chaos)"
+        );
+        let n = graph.n();
+        let k = self.n_shards as usize;
+        let (lo, hi) = self.local_range(n);
+        let period = protocol.sync_period().max(1);
+        let budget = config.bandwidth_bits(n).saturating_mul(period);
+        let mut metrics = Metrics {
+            bandwidth_bits: budget,
+            ..Metrics::default()
+        };
+        let mut ctxs = net.contexts();
+        // Full deterministic world: every shard inits all n nodes (so
+        // state/RNG indices line up), then steps only [lo, hi).
+        let mut rngs: Vec<_> = (0..n as u32)
+            .map(|v| node_rng(config.rng_seed(), v))
+            .collect();
+        let mut states: Vec<P::State> = ctxs
+            .iter()
+            .zip(rngs.iter_mut())
+            .map(|(c, r)| protocol.init(c, r))
+            .collect();
+        let local = lo..hi;
+        let mut cur: Vec<Inbox<P::Msg>> = (0..n)
+            .map(|v| {
+                let cap = if local.contains(&v) {
+                    Inbox::<P::Msg>::round_capacity(graph.degree(v as u32), false)
+                } else {
+                    0
+                };
+                Inbox::with_capacity(cap)
+            })
+            .collect();
+        let mut next: Vec<Inbox<P::Msg>> = (0..n)
+            .map(|v| {
+                let cap = if local.contains(&v) {
+                    Inbox::<P::Msg>::round_capacity(graph.degree(v as u32), false)
+                } else {
+                    0
+                };
+                Inbox::with_capacity(cap)
+            })
+            .collect();
+        let mut out: Outbox<P::Msg> = Outbox::new(0);
+
+        if n == 0 {
+            return Ok(RunResult { states, metrics });
+        }
+
+        // Sticky votes for owned nodes only: the latest communication-round
+        // vote, feeding the round-limit diagnostic's global live count.
+        let mut sticky: Vec<Status> = vec![Status::Running; hi - lo];
+        let mut last_progress: u64 = 0;
+        let mut sync: u64 = 0;
+        // Staged cross-shard messages, one buffer per link (same order).
+        let mut outgoing: Vec<Vec<(u32, u32, P::Msg)>> =
+            (0..self.links.len()).map(|_| Vec::new()).collect();
+
+        let mut terminated = false;
+        for round in 0..config.max_rounds {
+            let comm = round.is_multiple_of(period);
+            let mut all_done = true;
+            let mut progressed = false;
+            let mut violation: Option<(u32, u64)> = None;
+            for v in lo..hi {
+                ctxs[v].round = round;
+                cur[v].finalize();
+                out.reset(graph.degree(v as u32));
+                metrics.stepped_nodes += 1;
+                let status =
+                    protocol.round(&mut states[v], &ctxs[v], &mut rngs[v], &cur[v], &mut out);
+                cur[v].clear();
+                all_done &= status == Status::Done;
+                if comm && status != sticky[v - lo] {
+                    sticky[v - lo] = status;
+                    progressed = true;
+                }
+                assert!(
+                    comm || out.is_empty(),
+                    "protocol declared sync_period {period} but node {v} sent in silent round {round}"
+                );
+                for (port, msg) in out.drain() {
+                    progressed = true;
+                    let bits = msg.bits();
+                    metrics.record_message(bits, budget);
+                    if config.strict_bandwidth && bits > budget && violation.is_none() {
+                        violation = Some((v as u32, bits));
+                    }
+                    let dest = graph.neighbors(v as u32)[port as usize] as usize;
+                    let arrival = net.reverse_ports_of(v as u32)[port as usize];
+                    if local.contains(&dest) {
+                        next[dest].push(arrival, msg);
+                    } else {
+                        let owner = shard_of(n, k, dest);
+                        let slot = self.link_index(owner);
+                        outgoing[slot].push((dest as u32, arrival, msg));
+                    }
+                }
+            }
+            if comm {
+                // The barrier: one ROUND frame per peer, one flush, then
+                // one ROUND frame from each peer. Flags merge into the
+                // global unanimity/progress/violation the sequential
+                // engine computes in one address space.
+                sync += 1;
+                for (slot, link) in self.links.iter_mut().enumerate() {
+                    let envelope = RoundEnvelope {
+                        sync,
+                        all_done,
+                        progressed,
+                        violation,
+                        msgs: std::mem::take(&mut outgoing[slot]),
+                    };
+                    link.send_retained(sync, kind::ROUND, &envelope.to_wire())
+                        .and_then(|()| link.flush())
+                        .unwrap_or_else(|e| {
+                            panic!("netplane: lost link to shard {}: {e}", link.peer)
+                        });
+                }
+                for link in &mut self.links {
+                    let frame = Self::recv_expect(link, kind::ROUND);
+                    let envelope = RoundEnvelope::<P::Msg>::from_wire(&frame.payload)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "netplane: malformed round frame from shard {}: {e}",
+                                link.peer
+                            )
+                        });
+                    assert_eq!(
+                        envelope.sync, sync,
+                        "netplane: shard {} is at sync {}, expected {sync}",
+                        link.peer, envelope.sync
+                    );
+                    all_done &= envelope.all_done;
+                    progressed |= envelope.progressed;
+                    violation = match (violation, envelope.violation) {
+                        (Some(a), Some(b)) => Some(if a.0 <= b.0 { a } else { b }),
+                        (a, b) => a.or(b),
+                    };
+                    for (dest, arrival, msg) in envelope.msgs {
+                        debug_assert!(local.contains(&(dest as usize)));
+                        next[dest as usize].push(arrival, msg);
+                    }
+                }
+                if let Some((_, bits)) = violation {
+                    // Globally-first violating message: lowest node index
+                    // across shards this round — the message the
+                    // sequential sweep would have aborted at.
+                    return Err(SimError::Bandwidth {
+                        round,
+                        bits,
+                        limit: budget,
+                    });
+                }
+            }
+            if progressed {
+                last_progress = round;
+            }
+            metrics.rounds = round + 1;
+            std::mem::swap(&mut cur, &mut next);
+            if comm && all_done {
+                terminated = true;
+                break;
+            }
+        }
+        if terminated {
+            // Merge metrics so every shard returns the identical global
+            // record (and driver-level absorption stays engine-agnostic).
+            let peers = self.collective(kind::STATS, &metrics.to_wire());
+            for (peer, body) in peers {
+                let theirs = Metrics::from_wire(&body)
+                    .unwrap_or_else(|e| panic!("netplane: malformed stats from shard {peer}: {e}"));
+                assert_eq!(
+                    theirs.rounds, metrics.rounds,
+                    "netplane: shard {peer} disagrees on round count"
+                );
+                metrics.messages += theirs.messages;
+                metrics.total_bits += theirs.total_bits;
+                metrics.max_message_bits = metrics.max_message_bits.max(theirs.max_message_bits);
+                metrics.bandwidth_violations += theirs.bandwidth_violations;
+                metrics.stepped_nodes += theirs.stepped_nodes;
+            }
+            return Ok(RunResult { states, metrics });
+        }
+        let live = sticky.iter().filter(|&&s| s == Status::Running).count() as u64;
+        Err(SimError::RoundLimitExceeded {
+            limit: config.max_rounds,
+            phase: config.phase_label.clone(),
+            live_nodes: self.allreduce_sum(live),
+            last_progress_round: last_progress,
+        })
+    }
+}
+
+/// The process-wide netplane registry. A shard process installs its
+/// [`NetPlane`] once after the mesh handshake; pipeline drivers then
+/// transparently route phases and row syncs through it. Non-shard
+/// processes (every in-process run, every unit test) never install one
+/// and pay only a mutex check.
+static ACTIVE: Mutex<Option<NetPlane>> = Mutex::new(None);
+
+fn registry() -> std::sync::MutexGuard<'static, Option<NetPlane>> {
+    ACTIVE.lock().expect("netplane registry poisoned")
+}
+
+/// Installs `plane` as this process's transport. Panics if one is
+/// already installed.
+pub fn install(plane: NetPlane) {
+    let mut guard = registry();
+    assert!(guard.is_none(), "a netplane is already installed");
+    *guard = Some(plane);
+}
+
+/// Removes and returns the installed plane (for result shipping and
+/// clean shutdown).
+pub fn uninstall() -> Option<NetPlane> {
+    registry().take()
+}
+
+/// Whether this process runs behind a netplane.
+#[must_use]
+pub fn is_active() -> bool {
+    registry().is_some()
+}
+
+/// The installed plane's node range on an `n`-node graph, or `None`
+/// without a plane.
+#[must_use]
+pub fn local_range(n: usize) -> Option<(usize, usize)> {
+    registry().as_ref().map(|p| p.local_range(n))
+}
+
+/// Global AND across shards; identity without a plane.
+#[must_use]
+pub fn allreduce_and(local: bool) -> bool {
+    match registry().as_mut() {
+        Some(plane) => plane.allreduce_and(local),
+        None => local,
+    }
+}
+
+/// Makes a states-derived per-node vector globally authoritative (see
+/// [`NetPlane::sync_rows`]); no-op without a plane.
+pub fn sync_rows<T: Wire>(rows: &mut [T]) {
+    if let Some(plane) = registry().as_mut() {
+        plane.sync_rows(rows);
+    }
+}
+
+/// Runs one phase through the installed plane, or returns `None` when no
+/// plane is installed (callers fall back to the in-process engines).
+///
+/// # Errors
+///
+/// Inner result: the engine's [`SimError`]s, bit-identical to sequential.
+pub fn run_phase<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    config: &SimConfig,
+    net: &Arc<NetTables>,
+) -> Option<Result<RunResult<P::State>, SimError>>
+where
+    P::Msg: Wire,
+{
+    registry()
+        .as_mut()
+        .map(|plane| plane.execute_with(graph, protocol, config, net))
+}
+
+/// Convenience for shard drivers: full membership handshake against a
+/// coordinator at `coordinator`, then mesh build.
+///
+/// # Errors
+///
+/// Propagates handshake and mesh I/O errors.
+pub fn join_mesh(coordinator: SocketAddr) -> io::Result<NetPlane> {
+    NetPlane::connect(super::membership::join(coordinator)?)
+}
+
+/// Convenience for orchestrators: a bound coordinator on an ephemeral
+/// localhost port.
+///
+/// # Errors
+///
+/// Propagates bind errors.
+pub fn coordinator() -> io::Result<Coordinator> {
+    Coordinator::bind()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::SequentialRuntime;
+    use crate::{NodeCtx, NodeRng, Scheduling};
+    use graphs::gen;
+    use std::net::Ipv4Addr;
+    use std::thread;
+
+    /// Runs `f` once per shard on a fresh `k`-way localhost mesh (threads
+    /// standing in for processes) and returns the results in shard order.
+    fn with_mesh<R, F>(k: u32, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(NetPlane) -> R + Send + Sync + 'static,
+    {
+        let coordinator = Coordinator::bind().unwrap();
+        let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, coordinator.port()));
+        let coord = thread::spawn(move || coordinator.assign(k).unwrap());
+        let f = Arc::new(f);
+        let handles: Vec<_> = (0..k)
+            .map(|_| {
+                let f = Arc::clone(&f);
+                thread::spawn(move || {
+                    let membership = super::super::membership::join(addr).unwrap();
+                    let shard = membership.assign.shard;
+                    let plane = NetPlane::connect(membership).unwrap();
+                    (shard, f(plane))
+                })
+            })
+            .collect();
+        let mut results: Vec<(u32, R)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort_by_key(|&(s, _)| s);
+        coord.join().unwrap();
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+
+    #[test]
+    fn shard_ranges_partition() {
+        for (n, k) in [(10, 2), (10, 3), (7, 4), (1, 4), (100, 1)] {
+            let mut covered = 0;
+            for s in 0..k {
+                let (lo, hi) = shard_range(n, k, s);
+                assert_eq!(lo, covered);
+                covered = hi;
+                for v in lo..hi {
+                    assert_eq!(shard_of(n, k, v), s);
+                }
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    /// Max-ident flood: every round's traffic crosses shard boundaries.
+    struct Flood;
+
+    impl Protocol for Flood {
+        type State = (u64, bool);
+        type Msg = u64;
+        fn init(&self, ctx: &NodeCtx, _: &mut NodeRng) -> (u64, bool) {
+            (ctx.ident, true)
+        }
+        fn round(
+            &self,
+            st: &mut (u64, bool),
+            _: &NodeCtx,
+            _: &mut NodeRng,
+            inbox: &Inbox<u64>,
+            out: &mut Outbox<u64>,
+        ) -> Status {
+            for &(_, id) in inbox {
+                if id > st.0 {
+                    *st = (id, true);
+                }
+            }
+            if st.1 {
+                st.1 = false;
+                out.broadcast(st.0);
+                Status::Running
+            } else {
+                Status::Done
+            }
+        }
+    }
+
+    fn reference_cfg(seed: u64) -> SimConfig {
+        SimConfig::seeded(seed).with_scheduling(Scheduling::AlwaysStep)
+    }
+
+    #[test]
+    fn flood_matches_sequential_across_2_and_4_shards() {
+        for k in [2u32, 4] {
+            let g = gen::gnp_capped(40, 0.15, 6, 7);
+            let cfg = reference_cfg(3);
+            let seq = SequentialRuntime.execute(&g, &Flood, &cfg).unwrap();
+            let outs = with_mesh(k, move |mut plane| {
+                let g = gen::gnp_capped(40, 0.15, 6, 7);
+                let cfg = reference_cfg(3);
+                let net = NetTables::build(&g, &cfg);
+                let range = plane.local_range(g.n());
+                (range, plane.execute_with(&g, &Flood, &cfg, &net).unwrap())
+            });
+            for ((lo, hi), res) in outs {
+                // Metrics are globally merged: identical in every shard
+                // and equal to the sequential record.
+                assert_eq!(res.metrics, seq.metrics);
+                // Owned states match the reference row-for-row.
+                assert_eq!(res.states[lo..hi], seq.states[lo..hi]);
+            }
+        }
+    }
+
+    /// A periodic protocol (sync_period 3): silent rounds must stay
+    /// silent on the wire and termination must land on a comm round.
+    struct Pulse;
+
+    impl Protocol for Pulse {
+        type State = u64;
+        type Msg = u64;
+        fn init(&self, _: &NodeCtx, _: &mut NodeRng) -> u64 {
+            0
+        }
+        fn round(
+            &self,
+            st: &mut u64,
+            ctx: &NodeCtx,
+            _: &mut NodeRng,
+            inbox: &Inbox<u64>,
+            out: &mut Outbox<u64>,
+        ) -> Status {
+            for &(p, x) in inbox {
+                *st = st.wrapping_add(x ^ u64::from(p));
+            }
+            let pulse = ctx.round / 3;
+            if ctx.round.is_multiple_of(3) && pulse < 4 {
+                out.broadcast(ctx.ident + pulse);
+                Status::Running
+            } else if pulse < 4 {
+                Status::Running
+            } else {
+                Status::Done
+            }
+        }
+        fn sync_period(&self) -> u64 {
+            3
+        }
+    }
+
+    #[test]
+    fn periodic_protocol_matches_sequential() {
+        let g = gen::cycle(8);
+        let cfg = reference_cfg(2);
+        let seq = SequentialRuntime.execute(&g, &Pulse, &cfg).unwrap();
+        assert_eq!(seq.metrics.rounds, 13);
+        let outs = with_mesh(2, move |mut plane| {
+            let g = gen::cycle(8);
+            let cfg = reference_cfg(2);
+            let net = NetTables::build(&g, &cfg);
+            let range = plane.local_range(g.n());
+            (range, plane.execute_with(&g, &Pulse, &cfg, &net).unwrap())
+        });
+        for ((lo, hi), res) in outs {
+            assert_eq!(res.metrics, seq.metrics);
+            assert_eq!(res.states[lo..hi], seq.states[lo..hi]);
+        }
+    }
+
+    /// Never terminates, never sends: exercises the round-limit error.
+    struct Forever;
+
+    impl Protocol for Forever {
+        type State = ();
+        type Msg = ();
+        fn init(&self, _: &NodeCtx, _: &mut NodeRng) {}
+        fn round(
+            &self,
+            _: &mut (),
+            _: &NodeCtx,
+            _: &mut NodeRng,
+            _: &Inbox<()>,
+            _: &mut Outbox<()>,
+        ) -> Status {
+            Status::Running
+        }
+    }
+
+    #[test]
+    fn round_limit_error_is_global_and_identical() {
+        let g = gen::path(9);
+        let cfg = reference_cfg(0)
+            .with_max_rounds(10)
+            .with_phase_label("forever");
+        let seq_err = SequentialRuntime.execute(&g, &Forever, &cfg).unwrap_err();
+        let errs = with_mesh(3, move |mut plane| {
+            let g = gen::path(9);
+            let cfg = reference_cfg(0)
+                .with_max_rounds(10)
+                .with_phase_label("forever");
+            let net = NetTables::build(&g, &cfg);
+            plane.execute_with(&g, &Forever, &cfg, &net).unwrap_err()
+        });
+        for err in errs {
+            // live_nodes sums across shards to the sequential count.
+            assert_eq!(err, seq_err);
+        }
+    }
+
+    /// One oversized message from node 0: exercises the strict-bandwidth
+    /// abort, whose error value must be globally agreed.
+    struct Fat;
+
+    #[derive(Debug, Clone)]
+    struct Huge;
+    impl Message for Huge {
+        fn bits(&self) -> u64 {
+            1 << 20
+        }
+    }
+    impl Wire for Huge {
+        fn put(&self, _: &mut Vec<u8>) {}
+        fn take(_: &mut Reader<'_>) -> Result<Self, WireError> {
+            Ok(Huge)
+        }
+    }
+
+    impl Protocol for Fat {
+        type State = ();
+        type Msg = Huge;
+        fn init(&self, _: &NodeCtx, _: &mut NodeRng) {}
+        fn round(
+            &self,
+            _: &mut (),
+            ctx: &NodeCtx,
+            _: &mut NodeRng,
+            _: &Inbox<Huge>,
+            out: &mut Outbox<Huge>,
+        ) -> Status {
+            if ctx.round == 0 {
+                out.broadcast(Huge);
+                Status::Running
+            } else {
+                Status::Done
+            }
+        }
+    }
+
+    #[test]
+    fn strict_bandwidth_error_is_global_and_identical() {
+        let g = gen::path(6);
+        let cfg = reference_cfg(0).strict();
+        let seq_err = SequentialRuntime.execute(&g, &Fat, &cfg).unwrap_err();
+        let errs = with_mesh(2, move |mut plane| {
+            let g = gen::path(6);
+            let cfg = reference_cfg(0).strict();
+            let net = NetTables::build(&g, &cfg);
+            plane.execute_with(&g, &Fat, &cfg, &net).unwrap_err()
+        });
+        for err in errs {
+            assert_eq!(err, seq_err);
+        }
+    }
+
+    #[test]
+    fn collectives_agree_across_shards() {
+        let outs = with_mesh(3, |mut plane| {
+            let me = plane.shard;
+            // AND: true only when every shard contributes true.
+            let all_true = plane.allreduce_and(true);
+            let not_all = plane.allreduce_and(me != 1);
+            // Sum of shard indices.
+            let sum = plane.allreduce_sum(u64::from(me));
+            // Row sync: each shard authoritatively owns 2 of 6 rows.
+            let mut rows: Vec<u64> = (0..6)
+                .map(|v| {
+                    let (lo, hi) = plane.local_range(6);
+                    if (lo..hi).contains(&v) {
+                        100 + v as u64
+                    } else {
+                        999 // stale ghost row
+                    }
+                })
+                .collect();
+            plane.sync_rows(&mut rows);
+            (all_true, not_all, sum, rows)
+        });
+        for (all_true, not_all, sum, rows) in outs {
+            assert!(all_true);
+            assert!(!not_all);
+            assert_eq!(sum, 3);
+            assert_eq!(rows, vec![100, 101, 102, 103, 104, 105]);
+        }
+    }
+
+    /// A peer "restarts" mid-stream; `recover` replays the unacked syncs.
+    #[test]
+    fn recover_replays_unacked_round_frames() {
+        let outs = with_mesh(2, |mut plane| {
+            if plane.shard == 0 {
+                let link = &mut plane.links[0];
+                for sync in 1u64..=3 {
+                    link.send_retained(sync, kind::ROUND, &sync.to_wire())
+                        .unwrap();
+                    link.flush().unwrap();
+                }
+                let rejoined = plane.recover().unwrap();
+                assert_eq!(rejoined, 1);
+                plane.links[0]
+                    .send_retained(4, kind::ROUND, &4u64.to_wire())
+                    .unwrap();
+                plane.links[0].flush().unwrap();
+                vec![]
+            } else {
+                // Apply sync 1, then crash: drop the link mid-phase.
+                let first = plane.links[0].recv().unwrap();
+                let have = u64::from_wire(&first.payload).unwrap();
+                assert_eq!(have, 1);
+                let peer_port = plane.peers[0].1;
+                let me = plane.shard;
+                drop(plane);
+                // Restarted incarnation redials and announces its ack.
+                let mut stream = TcpStream::connect((Ipv4Addr::LOCALHOST, peer_port)).unwrap();
+                super::super::frame::write_frame(
+                    &mut stream,
+                    kind::REJOIN,
+                    &Rejoin {
+                        from: me,
+                        have_sync: have,
+                    }
+                    .to_wire(),
+                )
+                .unwrap();
+                stream.flush().unwrap();
+                let mut link = Link::new(0, stream).unwrap();
+                (2u64..=4)
+                    .map(|_| u64::from_wire(&link.recv().unwrap().payload).unwrap())
+                    .collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(outs[1], vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn registry_roundtrip_is_inert_without_plane() {
+        assert!(!is_active());
+        assert_eq!(local_range(100), None);
+        assert!(allreduce_and(true));
+        assert!(!allreduce_and(false));
+        let mut rows = vec![1u64, 2, 3];
+        sync_rows(&mut rows);
+        assert_eq!(rows, vec![1, 2, 3]);
+        assert!(uninstall().is_none());
+    }
+}

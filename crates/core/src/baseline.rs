@@ -13,6 +13,7 @@
 
 use crate::rand::trials::{self, RandomTrials};
 use crate::{ColoringOutcome, Driver, TrialCore, TrialMsg};
+use congest::netplane::{Reader, Wire, WireError};
 use congest::{
     BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, SimConfig, SimError, Status,
 };
@@ -37,7 +38,7 @@ pub fn oversampled(g: &Graph, epsilon: f64, cfg: &SimConfig) -> Result<ColoringO
 }
 
 /// Messages of the naive-relay baseline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RelayMsg {
     /// Embedded trial handshake.
     Trial(TrialMsg),
@@ -51,6 +52,34 @@ impl Message for RelayMsg {
             RelayMsg::Trial(t) => 1 + t.bits(),
             RelayMsg::Fwd(c) => 1 + BitCost::uint(u64::from(*c)),
         }
+    }
+}
+
+impl Wire for RelayMsg {
+    fn put(&self, buf: &mut Vec<u8>) {
+        match self {
+            RelayMsg::Trial(t) => {
+                buf.push(0);
+                t.put(buf);
+            }
+            RelayMsg::Fwd(c) => {
+                buf.push(1);
+                c.put(buf);
+            }
+        }
+    }
+
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::take(r)? {
+            0 => RelayMsg::Trial(TrialMsg::take(r)?),
+            1 => RelayMsg::Fwd(u32::take(r)?),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "RelayMsg",
+                    tag,
+                })
+            }
+        })
     }
 }
 

@@ -128,7 +128,10 @@ impl<'g> Driver<'g> {
         &mut self,
         name: impl Into<String>,
         protocol: &P,
-    ) -> Result<Vec<P::State>, SimError> {
+    ) -> Result<Vec<P::State>, SimError>
+    where
+        P::Msg: congest::netplane::Wire,
+    {
         let name = name.into();
         // The phase name doubles as the engine's watchdog label, so a
         // round-limit abort names the pipeline stage that stalled.
@@ -139,8 +142,13 @@ impl<'g> Driver<'g> {
             .with_phase_label(name.clone());
         self.phase_counter += 1;
         let t0 = Instant::now();
+        // In a shard process (netplane installed) the phase runs over the
+        // socket mesh; otherwise it falls through to the in-process engines.
         let RunResult { states, metrics } =
-            congest::run_with(self.graph, protocol, &cfg, &self.net)?;
+            match congest::netplane::run_phase(self.graph, protocol, &cfg, &self.net) {
+                Some(sharded) => sharded?,
+                None => congest::run_with(self.graph, protocol, &cfg, &self.net)?,
+            };
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         self.metrics.absorb(&metrics);
         self.phases.push(PhaseReport {

@@ -29,7 +29,7 @@ pub mod splitting;
 
 mod gather;
 
-pub use gather::GatherCore;
+pub use gather::{DetMsg, GatherCore};
 
 /// Sentinel part id for nodes that are inactive (relay-only) in a scope.
 pub const NO_PART: u32 = u32::MAX;

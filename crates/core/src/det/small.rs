@@ -56,7 +56,7 @@ pub fn pipeline(driver: &mut Driver<'_>, scope: &Scope) -> Result<Vec<u32>, SimE
     // Stage 1: Linial, if it makes progress from the ID space.
     let lin = linial::Linial::new(g, scope.clone(), None, k0, budget);
     let k_after = lin.output_k(k0);
-    let psi: Vec<u32> = if k_after < k0 {
+    let mut psi: Vec<u32> = if k_after < k0 {
         let states = driver.run_phase("linial", &lin)?;
         states.iter().map(linial::LinialState::color_u32).collect()
     } else {
@@ -66,17 +66,22 @@ pub fn pipeline(driver: &mut Driver<'_>, scope: &Scope) -> Result<Vec<u32>, SimE
         let states = driver.run_phase("linial(skip)", &lin)?;
         states.iter().map(linial::LinialState::color_u32).collect()
     };
+    // Inter-phase vectors feed the next protocol's constructor, which reads
+    // *all* rows; under the netplane each shard only stepped its own nodes,
+    // so re-authorize the full vector (no-op in-process).
+    congest::netplane::sync_rows(&mut psi);
 
     // Stage 2: locally-iterative to q = O(∆_c) colors.
     let li = loc_iter::LocIter::new(g, scope.clone(), psi, k_after);
     let q = li.q;
     let states = driver.run_phase(format!("loc-iter(q={q})"), &li)?;
-    let colors: Vec<u32> = states.iter().map(loc_iter::LocIterState::color).collect();
+    let mut colors: Vec<u32> = states.iter().map(loc_iter::LocIterState::color).collect();
+    congest::netplane::sync_rows(&mut colors);
 
     // Stage 3: reduce q → ∆_c + 1.
     let rc = reduce_colors::ReduceColors::new(g, scope.clone(), colors, q, budget);
     let states = driver.run_phase(format!("color-reduce({q}->{})", scope.delta_c + 1), &rc)?;
-    Ok(states
+    let mut out: Vec<u32> = states
         .iter()
         .enumerate()
         .map(|(v, s)| {
@@ -86,7 +91,9 @@ pub fn pipeline(driver: &mut Driver<'_>, scope: &Scope) -> Result<Vec<u32>, SimE
                 UNCOLORED
             }
         })
-        .collect())
+        .collect();
+    congest::netplane::sync_rows(&mut out);
+    Ok(out)
 }
 
 #[cfg(test)]

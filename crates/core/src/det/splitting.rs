@@ -25,6 +25,7 @@
 //! round cost charged analytically.
 
 use crate::{Driver, Params};
+use congest::netplane::{Reader, Wire, WireError};
 use congest::{
     BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, SimError, Status,
 };
@@ -104,7 +105,7 @@ impl Protocol for RandomizedSplit {
 }
 
 /// Messages of the derandomized splitting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SplitMsg {
     /// "It is my turn to fix my coin next round."
     Turn,
@@ -123,6 +124,37 @@ impl Message for SplitMsg {
             SplitMsg::Cond(_, _) => BitCost::tag(3) + 48,
             SplitMsg::Side(_) => BitCost::tag(3) + 1,
         }
+    }
+}
+
+impl Wire for SplitMsg {
+    fn put(&self, buf: &mut Vec<u8>) {
+        match self {
+            SplitMsg::Turn => buf.push(0),
+            SplitMsg::Cond(red, blue) => {
+                buf.push(1);
+                red.put(buf);
+                blue.put(buf);
+            }
+            SplitMsg::Side(side) => {
+                buf.push(2);
+                side.put(buf);
+            }
+        }
+    }
+
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::take(r)? {
+            0 => SplitMsg::Turn,
+            1 => SplitMsg::Cond(f64::take(r)?, f64::take(r)?),
+            2 => SplitMsg::Side(bool::take(r)?),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "SplitMsg",
+                    tag,
+                })
+            }
+        })
     }
 }
 

@@ -89,6 +89,13 @@ pub fn run(
         &RandomTrials::new(palette, cycles),
     )?;
     let mut know = trials::knowledge(&st);
+    // Knowledge vectors feed subsequent protocol constructors (and the
+    // vacuous-phase checkpoints below), which read *all* rows; under the
+    // netplane each shard only stepped its own nodes, so every
+    // states-derived vector is re-authorized across shards (no-op
+    // in-process). The synced rows also make the checkpoints globally
+    // correct in every shard without a separate vote.
+    congest::netplane::sync_rows(&mut know);
 
     // Vacuous-phase skip: every later phase exists to color *live* nodes
     // (similarity graphs are only ever queried by Reduce / LearnPalette on
@@ -108,7 +115,7 @@ pub fn run(
     // and every later phase reads it, so it is Arc-shared across the
     // whole cascade instead of cloned per `Reduce` call.
     let budget = cfg.bandwidth_bits(n);
-    let sim: Vec<SimilarityKnowledge> = if dc <= params.exact_similarity_threshold {
+    let mut sim: Vec<SimilarityKnowledge> = if dc <= params.exact_similarity_threshold {
         let proto = ExactSimilarity::new(budget).with_period(params.list_sync_period);
         driver
             .run_phase("similarity(exact)", &proto)?
@@ -124,6 +131,7 @@ pub fn run(
             .map(|s| s.knowledge)
             .collect()
     };
+    congest::netplane::sync_rows(&mut sim);
     let sim = std::sync::Arc::new(sim);
 
     // Step 3: the Reduce cascade.
@@ -133,6 +141,7 @@ pub fn run(
         let proto = Reduce::new(params, n, palette, 2.0 * tau, tau, know, sim.clone());
         let st = driver.run_phase(format!("reduce({:.0},{:.0})", 2.0 * tau, tau), &proto)?;
         know = reduce::knowledge(&st);
+        congest::netplane::sync_rows(&mut know);
         tau /= 2.0;
         if all_colored(&know) {
             return Ok(driver.finish(know.into_iter().map(|(c, _)| c).collect()));
@@ -146,19 +155,23 @@ pub fn run(
             let proto = Reduce::new(params, n, palette, phi, 1.0, know, sim);
             let st = driver.run_phase(format!("reduce({phi:.0},1)"), &proto)?;
             know = reduce::knowledge(&st);
+            congest::netplane::sync_rows(&mut know);
             if know.iter().any(|(c, _)| *c == UNCOLORED) {
                 let proto = RandomTrials::to_completion(palette).resuming(know);
                 let st = driver.run_phase("backstop-trials", &proto)?;
                 know = trials::knowledge(&st);
+                congest::netplane::sync_rows(&mut know);
             }
         }
         Variant::Improved => {
             let lp = LearnPalette::new(params, g, palette, budget, know.clone(), sim);
             let st = driver.run_phase("learn-palette", &lp)?;
-            let free: Vec<Vec<u32>> = st.iter().map(|s| s.free_palette.clone()).collect();
+            let mut free: Vec<Vec<u32>> = st.iter().map(|s| s.free_palette.clone()).collect();
+            congest::netplane::sync_rows(&mut free);
             let fin = FinishColoring::new(palette, know, free);
             let st = driver.run_phase("finish-coloring", &fin)?;
             know = finish::knowledge(&st);
+            congest::netplane::sync_rows(&mut know);
         }
     }
     Ok(driver.finish(know.into_iter().map(|(c, _)| c).collect()))

@@ -36,6 +36,7 @@
 //! is untouched; the dead broadcasts simply never happen.
 
 use super::similarity::SimilarityKnowledge;
+use congest::netplane::{Reader, Wire, WireError};
 use congest::{BitCost, Message, NodeCtx, NodeRng, Port};
 use rand::Rng;
 use std::collections::HashMap;
@@ -74,6 +75,46 @@ impl Message for SampMsg {
             SampMsg::MinReply { value, .. } => tag + 8 + BitCost::uint(*value),
             SampMsg::Demand => tag,
         }
+    }
+}
+
+impl Wire for SampMsg {
+    fn put(&self, buf: &mut Vec<u8>) {
+        match self {
+            SampMsg::Slot { slot, r, b } => {
+                buf.push(0);
+                slot.put(buf);
+                r.put(buf);
+                b.put(buf);
+            }
+            SampMsg::MinReply { slot, value } => {
+                buf.push(1);
+                slot.put(buf);
+                value.put(buf);
+            }
+            SampMsg::Demand => buf.push(2),
+        }
+    }
+
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::take(r)? {
+            0 => SampMsg::Slot {
+                slot: u32::take(r)?,
+                r: u64::take(r)?,
+                b: u64::take(r)?,
+            },
+            1 => SampMsg::MinReply {
+                slot: u32::take(r)?,
+                value: u64::take(r)?,
+            },
+            2 => SampMsg::Demand,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "SampMsg",
+                    tag,
+                })
+            }
+        })
     }
 }
 

@@ -61,6 +61,7 @@
 //! `tests/similarity_reference.rs`, which keeps the buffered fold alive
 //! in the test tree).
 
+use congest::netplane::{Reader, Wire, WireError};
 use congest::{
     BitCost, Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Protocol, SmallIds, Status,
 };
@@ -199,7 +200,7 @@ impl SimilarityKnowledge {
 /// allocation-free, and a boxed batch would reintroduce the per-message
 /// heap traffic this type exists to remove.
 #[allow(clippy::large_enum_variant)]
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimMsg {
     /// "I am in the sample `S`."
     InS,
@@ -218,6 +219,59 @@ impl Message for SimMsg {
                 tag + 8 + ids.iter().map(|&x| BitCost::uint(x).max(1)).sum::<u64>()
             }
         }
+    }
+}
+
+impl Wire for SimMsg {
+    fn put(&self, buf: &mut Vec<u8>) {
+        match self {
+            SimMsg::InS => buf.push(0),
+            SimMsg::Batch(ids) => {
+                buf.push(1);
+                ids.put(buf);
+            }
+            SimMsg::End => buf.push(2),
+        }
+    }
+
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::take(r)? {
+            0 => SimMsg::InS,
+            1 => SimMsg::Batch(IdBatch::take(r)?),
+            2 => SimMsg::End,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "SimMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// Crossed between shards when pipeline drivers re-authorize the
+/// knowledge vector ([`congest::netplane::sync_rows`]); the flag words are
+/// shipped verbatim and re-validated against `k` on decode.
+impl Wire for SimilarityKnowledge {
+    fn put(&self, buf: &mut Vec<u8>) {
+        (self.k as u64).put(buf);
+        self.h.put(buf);
+        self.hhat.put(buf);
+    }
+
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let k = usize::try_from(u64::take(r)?).unwrap_or(usize::MAX);
+        let words = k.div_ceil(64);
+        let h = Vec::<u64>::take(r)?;
+        let hhat = Vec::<u64>::take(r)?;
+        let expect = k.checked_mul(words);
+        if expect != Some(h.len()) || expect != Some(hhat.len()) {
+            return Err(WireError::BadLength {
+                claimed: k,
+                available: h.len().min(hhat.len()),
+            });
+        }
+        Ok(SimilarityKnowledge { k, words, h, hhat })
     }
 }
 

@@ -41,6 +41,8 @@ pub use d2core;
 pub use decomp;
 pub use graphs;
 
+pub mod netharness;
+
 /// Common imports for examples and downstream users.
 pub mod prelude {
     pub use congest::{Metrics, SimConfig, SimError};

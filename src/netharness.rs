@@ -1,0 +1,426 @@
+//! Multi-process shard driver for the netplane.
+//!
+//! [`congest::netplane`] provides the transport (frames, membership,
+//! round barrier); this module provides the *orchestration*: spawning one
+//! OS process per shard, handing each the same `(graph, seed, config)`
+//! recipe over `argv`, collecting per-shard `RESULT` frames over the
+//! coordinator control streams, and stitching them into a single
+//! [`NetOutcome`] that must be bit-identical to the sequential reference
+//! (`tests/net_equivalence.rs` asserts exactly that; the `harness
+//! net-run` subcommand does the same interactively).
+//!
+//! The process tree looks like:
+//!
+//! ```text
+//! orchestrator (run_distributed)
+//! ├── binds the coordinator listener, learns its port
+//! ├── spawns k shard processes:  <program> [prefix..] <addr> <spec..>
+//! │     each: join_mesh(addr) → install → run the pipeline → RESULT
+//! └── assign(k) → reads one RESULT frame per control stream → stitch
+//! ```
+//!
+//! Every shard rebuilds the identical world from the spec — graphs are
+//! generated, never shipped — so the only bytes on the wire are round
+//! messages, barrier flags, and the final per-shard color slices.
+
+use congest::netplane::{self, kind, read_frame, Reader, Wire, WireError};
+use congest::{Metrics, Scheduling, SimConfig};
+use d2core::{ColoringOutcome, Params};
+use graphs::Graph;
+use std::io;
+use std::net::SocketAddr;
+use std::process::{Child, Command};
+
+/// Pipelines the harness can serve over sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetAlgo {
+    /// Theorem 1.2 (deterministic `∆²+1`).
+    DetSmall,
+    /// Theorem 1.1 (randomized, improved final phase).
+    RandImproved,
+}
+
+impl NetAlgo {
+    /// Stable `argv` token.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            NetAlgo::DetSmall => "det-small",
+            NetAlgo::RandImproved => "rand-improved",
+        }
+    }
+
+    /// Parses an `argv` token.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "det-small" => Some(NetAlgo::DetSmall),
+            "rand-improved" => Some(NetAlgo::RandImproved),
+            _ => None,
+        }
+    }
+}
+
+/// Graph families in the equivalence matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetGraph {
+    /// `gnp_capped(n, deg/n, deg, graph_seed)`: sparse G(n, p) with a
+    /// degree cap.
+    GnpCapped,
+    /// `random_regular(n, deg, graph_seed)`.
+    RandomRegular,
+}
+
+impl NetGraph {
+    /// Stable `argv` token.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            NetGraph::GnpCapped => "gnp",
+            NetGraph::RandomRegular => "regular",
+        }
+    }
+
+    /// Parses an `argv` token.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "gnp" => Some(NetGraph::GnpCapped),
+            "regular" => Some(NetGraph::RandomRegular),
+            _ => None,
+        }
+    }
+}
+
+/// A complete run recipe: every shard (and the sequential reference)
+/// rebuilds the same world from these six values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetSpec {
+    /// Pipeline to run.
+    pub algo: NetAlgo,
+    /// Graph family.
+    pub family: NetGraph,
+    /// Nodes.
+    pub n: usize,
+    /// Degree parameter (cap for `gnp`, d for `regular`).
+    pub degree: usize,
+    /// Graph-generation seed.
+    pub graph_seed: u64,
+    /// Simulation seed.
+    pub run_seed: u64,
+}
+
+impl NetSpec {
+    /// Serializes the spec as shard-process arguments.
+    #[must_use]
+    pub fn to_args(&self) -> Vec<String> {
+        vec![
+            self.algo.token().into(),
+            self.family.token().into(),
+            self.n.to_string(),
+            self.degree.to_string(),
+            self.graph_seed.to_string(),
+            self.run_seed.to_string(),
+        ]
+    }
+
+    /// Parses the six positional arguments produced by [`Self::to_args`].
+    #[must_use]
+    pub fn parse_args(args: &[String]) -> Option<Self> {
+        let [algo, family, n, degree, graph_seed, run_seed] = args else {
+            return None;
+        };
+        Some(NetSpec {
+            algo: NetAlgo::parse(algo)?,
+            family: NetGraph::parse(family)?,
+            n: n.parse().ok()?,
+            degree: degree.parse().ok()?,
+            graph_seed: graph_seed.parse().ok()?,
+            run_seed: run_seed.parse().ok()?,
+        })
+    }
+
+    /// Regenerates the workload graph.
+    #[must_use]
+    pub fn build_graph(&self) -> Graph {
+        match self.family {
+            NetGraph::GnpCapped => graphs::gen::gnp_capped(
+                self.n,
+                self.degree as f64 / self.n.max(1) as f64,
+                self.degree,
+                self.graph_seed,
+            ),
+            NetGraph::RandomRegular => {
+                graphs::gen::random_regular(self.n, self.degree, self.graph_seed)
+            }
+        }
+    }
+
+    /// The simulation config both sides run under. The netplane engine
+    /// always steps every owned node, so the sequential reference pins
+    /// [`Scheduling::AlwaysStep`] to keep `stepped_nodes` comparable.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        SimConfig::seeded(self.run_seed).with_scheduling(Scheduling::AlwaysStep)
+    }
+
+    /// Short display label for tables and logs.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{}-n{}-d{}-g{}-s{}",
+            self.algo.token(),
+            self.family.token(),
+            self.n,
+            self.degree,
+            self.graph_seed,
+            self.run_seed
+        )
+    }
+}
+
+/// Runs the spec's pipeline in-process (used by both the sequential
+/// reference and, with a netplane installed, the shard body).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_pipeline(spec: &NetSpec, g: &Graph) -> Result<ColoringOutcome, congest::SimError> {
+    let cfg = spec.config();
+    let params = Params::practical();
+    match spec.algo {
+        NetAlgo::DetSmall => d2core::det::small::run(g, &params, &cfg),
+        NetAlgo::RandImproved => d2core::rand::driver::improved(g, &params, &cfg),
+    }
+}
+
+/// Runs the sequential reference for a spec.
+#[must_use]
+pub fn run_sequential(spec: &NetSpec) -> NetOutcome {
+    let g = spec.build_graph();
+    let out = run_pipeline(spec, &g).expect("sequential reference failed");
+    NetOutcome {
+        colors: out.colors,
+        metrics: out.metrics,
+    }
+}
+
+/// What one shard reports back on its control stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ShardResult {
+    shard: u32,
+    lo: u64,
+    hi: u64,
+    metrics: Metrics,
+    colors: Vec<u32>,
+}
+
+impl Wire for ShardResult {
+    fn put(&self, buf: &mut Vec<u8>) {
+        self.shard.put(buf);
+        self.lo.put(buf);
+        self.hi.put(buf);
+        self.metrics.put(buf);
+        self.colors.put(buf);
+    }
+
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ShardResult {
+            shard: u32::take(r)?,
+            lo: u64::take(r)?,
+            hi: u64::take(r)?,
+            metrics: Metrics::take(r)?,
+            colors: Vec::<u32>::take(r)?,
+        })
+    }
+}
+
+/// A stitched distributed run: the full coloring plus the (globally
+/// merged, shard-identical) metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetOutcome {
+    /// Color of each node, indexed by node index.
+    pub colors: Vec<u32>,
+    /// Global metrics (every shard reports the same merged record).
+    pub metrics: Metrics,
+}
+
+/// The body of one shard process: full membership handshake, pipeline
+/// run with the netplane installed, `RESULT` report.
+///
+/// # Errors
+///
+/// Returns transport errors; pipeline failures abort the process (they
+/// indicate an engine bug, not recoverable I/O).
+pub fn shard_main(coordinator: SocketAddr, spec: &NetSpec) -> io::Result<()> {
+    let plane = netplane::join_mesh(coordinator)?;
+    let shard = plane.shard;
+    netplane::install(plane);
+    let g = spec.build_graph();
+    let out = run_pipeline(spec, &g).expect("sharded pipeline failed");
+    let mut plane = netplane::uninstall().expect("netplane vanished mid-run");
+    let (lo, hi) = plane.local_range(g.n());
+    let result = ShardResult {
+        shard,
+        lo: lo as u64,
+        hi: hi as u64,
+        metrics: out.metrics,
+        colors: out.colors[lo..hi].to_vec(),
+    };
+    plane.send_result(&result.to_wire())
+}
+
+/// How to launch one shard process.
+#[derive(Debug, Clone)]
+pub struct ShardCommand {
+    /// Executable path.
+    pub program: String,
+    /// Arguments inserted before the coordinator address (e.g.
+    /// `["net-shard"]` when the harness re-execs itself).
+    pub prefix_args: Vec<String>,
+}
+
+impl ShardCommand {
+    /// The current executable re-entering through a subcommand.
+    #[must_use]
+    pub fn current_exe(subcommand: &str) -> Self {
+        ShardCommand {
+            program: std::env::current_exe()
+                .expect("current_exe")
+                .to_string_lossy()
+                .into_owned(),
+            prefix_args: vec![subcommand.into()],
+        }
+    }
+}
+
+/// Orchestrates a full distributed run: coordinator, `k` shard
+/// processes, result stitching.
+///
+/// Panics on any shard failure — the harness and tests both want a loud
+/// abort, never a silently partial coloring.
+#[must_use]
+pub fn run_distributed(spec: &NetSpec, k: u32, cmd: &ShardCommand) -> NetOutcome {
+    assert!(k >= 1, "need at least one shard");
+    let coord = netplane::coordinator().expect("bind coordinator listener");
+    let addr = format!("127.0.0.1:{}", coord.port());
+
+    let mut children: Vec<Child> = (0..k)
+        .map(|i| {
+            Command::new(&cmd.program)
+                .args(&cmd.prefix_args)
+                .arg(&addr)
+                .args(spec.to_args())
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawn shard {i} ({}): {e}", cmd.program))
+        })
+        .collect();
+
+    let controls = coord.assign(k).expect("shard membership handshake");
+    let n = spec.n;
+    let mut results: Vec<Option<ShardResult>> = (0..k).map(|_| None).collect();
+    for mut stream in controls {
+        let frame = read_frame(&mut stream).expect("shard RESULT frame");
+        assert_eq!(frame.kind, kind::RESULT, "unexpected control frame");
+        let r = ShardResult::from_wire(&frame.payload).expect("RESULT payload");
+        let slot = r.shard as usize;
+        assert!(
+            results[slot].is_none(),
+            "duplicate RESULT from shard {slot}"
+        );
+        results[slot] = Some(r);
+    }
+    for (i, child) in children.iter_mut().enumerate() {
+        let status = child.wait().expect("wait on shard");
+        assert!(status.success(), "shard {i} exited with {status}");
+    }
+
+    let results: Vec<ShardResult> = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("no RESULT from shard {i}")))
+        .collect();
+    let mut colors = vec![u32::MAX; n];
+    let mut covered = 0usize;
+    for r in &results {
+        let (lo, hi) = (r.lo as usize, r.hi as usize);
+        assert_eq!(
+            (lo, hi),
+            netplane::shard_range(n, k as usize, r.shard as usize),
+            "shard {} reported a foreign range",
+            r.shard
+        );
+        assert_eq!(r.colors.len(), hi - lo, "shard {} slice length", r.shard);
+        colors[lo..hi].copy_from_slice(&r.colors);
+        covered += hi - lo;
+        assert_eq!(
+            r.metrics, results[0].metrics,
+            "shard {} disagrees on global metrics",
+            r.shard
+        );
+    }
+    assert_eq!(covered, n, "shard ranges do not tile the node set");
+    NetOutcome {
+        colors,
+        metrics: results.into_iter().next().expect("k >= 1").metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_argv_roundtrip() {
+        let spec = NetSpec {
+            algo: NetAlgo::RandImproved,
+            family: NetGraph::GnpCapped,
+            n: 160,
+            degree: 5,
+            graph_seed: 7,
+            run_seed: 42,
+        };
+        let args = spec.to_args();
+        assert_eq!(NetSpec::parse_args(&args), Some(spec));
+        assert!(NetSpec::parse_args(&args[..5]).is_none());
+        let mut bad = args.clone();
+        bad[0] = "quantum".into();
+        assert!(NetSpec::parse_args(&bad).is_none());
+    }
+
+    #[test]
+    fn shard_result_wire_roundtrip() {
+        let r = ShardResult {
+            shard: 3,
+            lo: 100,
+            hi: 150,
+            metrics: Metrics {
+                rounds: 17,
+                messages: 900,
+                ..Metrics::default()
+            },
+            colors: vec![1, 2, 3, u32::MAX],
+        };
+        let back = ShardResult::from_wire(&r.to_wire()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn graphs_regenerate_identically() {
+        let spec = NetSpec {
+            algo: NetAlgo::DetSmall,
+            family: NetGraph::RandomRegular,
+            n: 80,
+            degree: 4,
+            graph_seed: 3,
+            run_seed: 1,
+        };
+        let a = spec.build_graph();
+        let b = spec.build_graph();
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.m(), b.m());
+        for v in 0..a.n() as u32 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+}

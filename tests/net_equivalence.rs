@@ -1,0 +1,119 @@
+//! Multi-process equivalence: the netplane serves the same coloring.
+//!
+//! For every `(algorithm, graph family, seed)` cell, runs the pipeline
+//! once sequentially and once sharded across 2 and 4 OS processes on
+//! localhost (real TCP, the production `net_shard` binary), and asserts
+//! the colorings, rounds, messages, and bit totals are identical. This
+//! is the netplane's contract test: the socket transport must be
+//! unobservable in every model-level number.
+
+use d2color::netharness::{
+    run_distributed, run_sequential, NetAlgo, NetGraph, NetSpec, ShardCommand,
+};
+
+fn shard_cmd() -> ShardCommand {
+    ShardCommand {
+        program: env!("CARGO_BIN_EXE_net_shard").into(),
+        prefix_args: Vec::new(),
+    }
+}
+
+fn check_spec(spec: NetSpec) {
+    let seq = run_sequential(&spec);
+    let g = spec.build_graph();
+    assert!(
+        graphs::verify::is_valid_d2_coloring(&g, &seq.colors),
+        "sequential reference invalid for {}",
+        spec.label()
+    );
+    for k in [2u32, 4] {
+        let net = run_distributed(&spec, k, &shard_cmd());
+        assert_eq!(
+            net.colors,
+            seq.colors,
+            "colors diverge at k={k} for {}",
+            spec.label()
+        );
+        assert_eq!(
+            net.metrics.rounds,
+            seq.metrics.rounds,
+            "rounds diverge at k={k} for {}",
+            spec.label()
+        );
+        assert_eq!(
+            net.metrics.messages,
+            seq.metrics.messages,
+            "messages diverge at k={k} for {}",
+            spec.label()
+        );
+        assert_eq!(
+            net.metrics.total_bits,
+            seq.metrics.total_bits,
+            "bit totals diverge at k={k} for {}",
+            spec.label()
+        );
+        assert_eq!(
+            net.metrics,
+            seq.metrics,
+            "full metrics diverge at k={k} for {}",
+            spec.label()
+        );
+    }
+}
+
+fn spec(algo: NetAlgo, family: NetGraph, n: usize, degree: usize, seed: u64) -> NetSpec {
+    NetSpec {
+        algo,
+        family,
+        n,
+        degree,
+        graph_seed: seed,
+        run_seed: seed.wrapping_mul(31).wrapping_add(7),
+    }
+}
+
+#[test]
+fn det_small_gnp_matches_over_sockets() {
+    for seed in [1u64, 2] {
+        check_spec(spec(NetAlgo::DetSmall, NetGraph::GnpCapped, 120, 5, seed));
+    }
+}
+
+#[test]
+fn det_small_regular_matches_over_sockets() {
+    for seed in [3u64, 4] {
+        check_spec(spec(
+            NetAlgo::DetSmall,
+            NetGraph::RandomRegular,
+            96,
+            4,
+            seed,
+        ));
+    }
+}
+
+#[test]
+fn rand_improved_gnp_matches_over_sockets() {
+    for seed in [5u64, 6] {
+        check_spec(spec(
+            NetAlgo::RandImproved,
+            NetGraph::GnpCapped,
+            150,
+            6,
+            seed,
+        ));
+    }
+}
+
+#[test]
+fn rand_improved_regular_matches_over_sockets() {
+    for seed in [7u64, 8] {
+        check_spec(spec(
+            NetAlgo::RandImproved,
+            NetGraph::RandomRegular,
+            120,
+            6,
+            seed,
+        ));
+    }
+}
