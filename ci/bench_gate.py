@@ -53,6 +53,16 @@ checked-in baselines on machine-portable invariants only:
   processes, and all model metrics (rounds, messages, total bits,
   palette) must be bit-exact with the recording — the transport must
   be unobservable at the model level.
+* ``pr9``: validates a freshly emitted ``BENCH_PR9.json`` (netplane
+  chaos recovery) against the checked-in recording *and* the checked-in
+  ``BENCH_PR8.json``: every workload must carry a control cell (clean
+  4-process run) and a chaos cell (one shard killed mid-phase by the
+  seeded schedule, respawned by the supervisor, recovered via
+  rejoin-with-replay), both bit-identical to the sequential reference;
+  chaos and control model metrics must be equal (recovery is
+  unobservable), control cells must be bit-exact with BENCH_PR8's
+  4-process cells, and model metrics plus the seeded kill schedule
+  (victim, sync) must be bit-exact with the recording.
 
 Usage:
     python3 ci/bench_gate.py pr2 BENCH_PR2.json BENCH_PR1.json
@@ -62,6 +72,7 @@ Usage:
     python3 ci/bench_gate.py pr6 BENCH_PR6.json BENCH_PR6.recorded.json
     python3 ci/bench_gate.py pr7 BENCH_PR7.json BENCH_PR7.recorded.json BENCH_PR6.json BENCH_PR5.json
     python3 ci/bench_gate.py pr8 BENCH_PR8.json BENCH_PR8.recorded.json
+    python3 ci/bench_gate.py pr9 BENCH_PR9.json BENCH_PR9.recorded.json BENCH_PR8.json
 
 Importable for unit tests (``ci/test_bench_gate.py``): every check is a
 pure function over parsed documents that raises ``GateError`` with a
@@ -199,6 +210,23 @@ PR8_PROCESS_COUNTS = {2, 4}
 # Model metrics that must survive the transport swap bit for bit.
 PR8_MODEL_KEYS = ("n", "delta", "rounds", "messages", "total_bits",
                   "palette")
+
+# PR9 chaos-recovery cells: the PR8 columns plus the kill-schedule
+# provenance (mirrors benchkit::pr9::Pr9Cell).
+PR9_CELL_KEYS = PR8_CELL_KEYS | {
+    "chaos", "chaos_seed", "killed_shard", "kill_sync", "respawned",
+}
+
+# Every PR9 cell runs at this shard count (mirrors
+# benchkit::pr9::PROCESSES).
+PR9_PROCESSES = 4
+
+# Model metrics that must survive a shard kill bit for bit — identical
+# to PR8's: recovery must be unobservable too.
+PR9_MODEL_KEYS = PR8_MODEL_KEYS
+
+# Kill-schedule facts that are seeded and therefore reproducible.
+PR9_SCHEDULE_KEYS = ("chaos_seed", "killed_shard", "kill_sync")
 
 
 class GateError(AssertionError):
@@ -808,6 +836,116 @@ def validate_pr8(fresh, recorded, log=print):
         f"and bit-exact with the recording")
 
 
+def check_pr9_shape(pr9):
+    """Structural + acceptance validity of one BENCH_PR9 document."""
+    require(pr9.get("bench") == "BENCH_PR9",
+            f"not a BENCH_PR9 document: {pr9.get('bench')!r}")
+    cells = pr9["cells"]
+    require(cells, "no cells in BENCH_PR9 report")
+    for c in cells:
+        missing = PR9_CELL_KEYS - c.keys()
+        require(not missing, f"cell {c.get('graph')!r} missing {missing}")
+        key = f"{c['graph']} chaos={c['chaos']}"
+        require(c["processes"] == PR9_PROCESSES,
+                f"{key}: unexpected process count {c['processes']}")
+        require(c["identical"] is True,
+                f"{key}: run diverged from the sequential reference "
+                "(colorings or metrics not bit-identical)")
+        require(c["valid"] is True, f"{key}: coloring invalid")
+        require(c["rounds"] > 0 and c["messages"] > 0,
+                f"{key}: ran 0 rounds")
+        if c["chaos"]:
+            require(c["respawned"] is True,
+                    f"{key}: the kill never fired — no recovery exercised")
+            require(0 <= c["killed_shard"] < PR9_PROCESSES,
+                    f"{key}: killed_shard {c['killed_shard']} out of range")
+            require(c["kill_sync"] > 0, f"{key}: kill_sync must be > 0")
+        else:
+            require(c["respawned"] is False and c["chaos_seed"] == 0
+                    and c["killed_shard"] == 0 and c["kill_sync"] == 0,
+                    f"{key}: control cell carries chaos provenance")
+    algos = {c["algo"] for c in cells}
+    require({"det-small", "rand-improved"} <= algos,
+            f"matrix must cover both pipelines, got {sorted(algos)}")
+    for graph in {c["graph"] for c in cells}:
+        have = {c["chaos"] for c in cells if c["graph"] == graph}
+        require(have == {False, True},
+                f"{graph}: needs both a control and a chaos cell, "
+                f"got chaos={sorted(have)}")
+
+
+def check_pr9_chaos_vs_control(pr9):
+    """Losing and recovering a shard must be unobservable: per workload,
+    the chaos cell's model metrics equal the control cell's exactly."""
+    by_key = {}
+    for c in pr9["cells"]:
+        key = (c["graph"], c["chaos"])
+        require(key not in by_key,
+                f"duplicate cell {c['graph']} chaos={c['chaos']}")
+        by_key[key] = c
+    for graph in {c["graph"] for c in pr9["cells"]}:
+        control, chaos = by_key[(graph, False)], by_key[(graph, True)]
+        for k in PR9_MODEL_KEYS:
+            require(chaos[k] == control[k],
+                    f"{graph}: {k} differs between chaos and control "
+                    f"({chaos[k]} vs {control[k]}) — recovery is observable")
+
+
+def check_pr9_against_pr8(pr9, pr8):
+    """The control cells rerun PR8 workloads at 4 processes, so their
+    model metrics must be bit-exact with the checked-in BENCH_PR8."""
+    rec = {(c["graph"], c["processes"]): c for c in pr8["cells"]}
+    for c in pr9["cells"]:
+        if c["chaos"]:
+            continue
+        key = (c["graph"], PR9_PROCESSES)
+        require(key in rec,
+                f"control cell {c['graph']} has no BENCH_PR8 counterpart "
+                "at 4 processes")
+        for k in PR9_MODEL_KEYS:
+            require(c[k] == rec[key][k],
+                    f"{c['graph']}: {k} drifted from BENCH_PR8 "
+                    f"{rec[key][k]} -> {c[k]}")
+
+
+def check_pr9_bit_exact(recorded, fresh):
+    """Workloads and the kill schedule are both seeded, so fresh model
+    metrics *and* schedule facts must reproduce the recording exactly."""
+    rec = {(c["graph"], c["chaos"]): c for c in recorded["cells"]}
+    require(len(rec) == len(recorded["cells"]),
+            "recorded report has duplicate (graph, chaos) cells")
+    for c in fresh["cells"]:
+        key = (c["graph"], c["chaos"])
+        require(key in rec,
+                f"fresh cell {c['graph']} chaos={c['chaos']} has no "
+                "recorded counterpart")
+        for k in PR9_MODEL_KEYS + PR9_SCHEDULE_KEYS:
+            require(c[k] == rec[key][k],
+                    f"{c['graph']} chaos={c['chaos']}: {k} drifted "
+                    f"{rec[key][k]} -> {c[k]}")
+    require(len(fresh["cells"]) == len(recorded["cells"]),
+            f"cell count drifted {len(recorded['cells'])} -> "
+            f"{len(fresh['cells'])}")
+
+
+def validate_pr9(fresh, recorded, pr8, log=print):
+    """The full PR9 gate: shape + acceptance on both documents,
+    chaos-vs-control equality, control cells bit-exact with the
+    checked-in BENCH_PR8, and fresh bit-exact with the recording."""
+    check_pr9_shape(fresh)
+    check_pr9_shape(recorded)
+    check_pr9_chaos_vs_control(fresh)
+    check_pr9_against_pr8(fresh, pr8)
+    check_pr9_bit_exact(recorded, fresh)
+    kills = {(c["killed_shard"], c["kill_sync"])
+             for c in fresh["cells"] if c["chaos"]}
+    log(f"BENCH_PR9.json OK: {len(fresh['cells'])} cells, every chaos run "
+        f"lost a shard mid-phase (kills at {sorted(kills)}), respawned, and "
+        f"finished bit-identical to the sequential reference, controls "
+        f"bit-exact with BENCH_PR8 and everything bit-exact with the "
+        f"recording")
+
+
 def load(path):
     with open(path) as f:
         return json.load(f)
@@ -858,6 +996,13 @@ def main(argv):
                 return 2
             validate_pr7(load(argv[2]), load(argv[3]), load(argv[4]),
                          load(argv[5]))
+        elif gate == "pr9":
+            if len(argv) != 5:
+                print("usage: bench_gate.py pr9 BENCH_PR9.json "
+                      "BENCH_PR9.recorded.json BENCH_PR8.json",
+                      file=sys.stderr)
+                return 2
+            validate_pr9(load(argv[2]), load(argv[3]), load(argv[4]))
         elif gate == "pr8":
             if len(argv) != 4:
                 print("usage: bench_gate.py pr8 BENCH_PR8.json "
@@ -866,7 +1011,7 @@ def main(argv):
             validate_pr8(load(argv[2]), load(argv[3]))
         else:
             print(f"unknown gate {gate!r}; available: pr2, pr3, pr4, pr5, "
-                  "pr6, pr7, pr8", file=sys.stderr)
+                  "pr6, pr7, pr8, pr9", file=sys.stderr)
             return 2
     except GateError as e:
         print(f"BENCH GATE FAILED: {e}", file=sys.stderr)

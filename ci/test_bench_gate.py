@@ -885,6 +885,135 @@ class Pr8GateTests(unittest.TestCase):
         self._validate(fresh, rec)
 
 
+def pr9_cell(graph="det-small-gnp-n200-d5-g11-s42", algo="det-small",
+             chaos=False, rounds=465, messages=8190, total_bits=70_000,
+             palette=26):
+    return {
+        "graph": graph, "algo": algo, "n": 200, "delta": 5,
+        "processes": 4, "wall_ms_sequential": 12.0,
+        "wall_ms_net": 80.0, "rounds": rounds, "messages": messages,
+        "total_bits": total_bits, "palette": palette,
+        "identical": True, "valid": True,
+        "chaos": chaos,
+        "chaos_seed": 29 if chaos else 0,
+        "killed_shard": 2 if chaos else 0,
+        "kill_sync": 5 if chaos else 0,
+        "respawned": chaos,
+    }
+
+
+def pr9_doc():
+    """One workload per pipeline, each with a control and a chaos cell."""
+    cells = []
+    for graph, algo in [
+        ("det-small-gnp-n200-d5-g11-s42", "det-small"),
+        ("rand-improved-regular-n160-d6-g14-s42", "rand-improved"),
+    ]:
+        for chaos in (False, True):
+            cells.append(pr9_cell(graph=graph, algo=algo, chaos=chaos))
+    return {
+        "bench": "BENCH_PR9",
+        "description": "netplane chaos recovery",
+        "cells": cells,
+    }
+
+
+def pr9_pr8_doc():
+    """A BENCH_PR8 recording whose 4-process cells match pr9_doc's
+    controls (pr8_cell and pr9_cell share the same model numbers)."""
+    return pr8_doc()
+
+
+class Pr9GateTests(unittest.TestCase):
+    def _validate(self, fresh, recorded, pr8=None):
+        bench_gate.validate_pr9(fresh, recorded, pr8 or pr9_pr8_doc(),
+                                log=lambda *_: None)
+
+    def test_valid_doc_passes(self):
+        doc = pr9_doc()
+        self._validate(copy.deepcopy(doc), doc)
+
+    def test_wrong_bench_tag_fails(self):
+        doc = pr9_doc()
+        doc["bench"] = "BENCH_PR8"
+        with self.assertRaisesRegex(GateError, "not a BENCH_PR9"):
+            bench_gate.check_pr9_shape(doc)
+
+    def test_missing_chaos_key_fails(self):
+        doc = pr9_doc()
+        del doc["cells"][1]["respawned"]
+        with self.assertRaisesRegex(GateError, "missing"):
+            bench_gate.check_pr9_shape(doc)
+
+    def test_divergent_chaos_cell_fails(self):
+        doc = pr9_doc()
+        doc["cells"][1]["identical"] = False
+        with self.assertRaisesRegex(GateError, "diverged"):
+            bench_gate.check_pr9_shape(doc)
+
+    def test_unfired_kill_fails(self):
+        doc = pr9_doc()
+        doc["cells"][1]["respawned"] = False
+        with self.assertRaisesRegex(GateError, "kill never fired"):
+            bench_gate.check_pr9_shape(doc)
+
+    def test_control_with_chaos_provenance_fails(self):
+        doc = pr9_doc()
+        doc["cells"][0]["killed_shard"] = 1
+        with self.assertRaisesRegex(GateError, "control cell carries"):
+            bench_gate.check_pr9_shape(doc)
+
+    def test_wrong_process_count_fails(self):
+        doc = pr9_doc()
+        doc["cells"][2]["processes"] = 2
+        with self.assertRaisesRegex(GateError, "unexpected process count"):
+            bench_gate.check_pr9_shape(doc)
+
+    def test_workload_without_control_fails(self):
+        doc = pr9_doc()
+        doc["cells"] = [c for c in doc["cells"]
+                        if c["chaos"] or c["algo"] != "det-small"]
+        with self.assertRaisesRegex(GateError, "both a control and a "
+                                    "chaos cell"):
+            bench_gate.check_pr9_shape(doc)
+
+    def test_chaos_control_metric_mismatch_fails(self):
+        doc = pr9_doc()
+        doc["cells"][1]["messages"] += 1
+        with self.assertRaisesRegex(GateError, "recovery is observable"):
+            bench_gate.check_pr9_chaos_vs_control(doc)
+
+    def test_control_drift_from_pr8_fails(self):
+        doc = pr9_doc()
+        doc["cells"][0]["rounds"] += 1
+        with self.assertRaisesRegex(GateError, "drifted from BENCH_PR8"):
+            bench_gate.check_pr9_against_pr8(doc, pr9_pr8_doc())
+
+    def test_control_without_pr8_counterpart_fails(self):
+        doc = pr9_doc()
+        doc["cells"][0]["graph"] = "det-small-gnp-n999-d5-g11-s42"
+        with self.assertRaisesRegex(GateError, "no BENCH_PR8 counterpart"):
+            bench_gate.check_pr9_against_pr8(doc, pr9_pr8_doc())
+
+    def test_schedule_drift_fails(self):
+        fresh, rec = pr9_doc(), pr9_doc()
+        fresh["cells"][1]["kill_sync"] += 1
+        with self.assertRaisesRegex(GateError, "kill_sync drifted"):
+            bench_gate.check_pr9_bit_exact(rec, fresh)
+
+    def test_model_drift_fails(self):
+        fresh, rec = pr9_doc(), pr9_doc()
+        fresh["cells"][3]["total_bits"] -= 1
+        with self.assertRaisesRegex(GateError, "total_bits drifted"):
+            bench_gate.check_pr9_bit_exact(rec, fresh)
+
+    def test_wall_clock_drift_is_tolerated(self):
+        fresh, rec = pr9_doc(), pr9_doc()
+        for c in fresh["cells"]:
+            c["wall_ms_net"] *= 4.0
+        self._validate(fresh, rec)
+
+
 class CliTests(unittest.TestCase):
     def test_unknown_gate_is_usage_error(self):
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr9"]), 2)

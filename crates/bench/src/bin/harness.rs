@@ -12,8 +12,9 @@
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr6 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr7 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr8 [out.json]
-//! cargo run --release -p d2color-bench --bin harness -- net-run <k> <algo> <family> <n> <degree> <gseed> <rseed>
-//! cargo run --release -p d2color-bench --bin harness -- net-shard <coordinator> <algo> <family> <n> <degree> <gseed> <rseed>
+//! cargo run --release -p d2color-bench --bin harness -- bench-pr9 [out.json]
+//! cargo run --release -p d2color-bench --bin harness -- net-run <k> <algo> <family> <n> <degree> <gseed> <rseed> [--chaos <seed>]
+//! cargo run --release -p d2color-bench --bin harness -- net-shard <coordinator> <algo> <family> <n> <degree> <gseed> <rseed> [--chaos <seed>] [--rejoin <shard> <ports-csv>]
 //! cargo run --release -p d2color-bench --bin harness -- chaos-smoke
 //! cargo run --release -p d2color-bench --bin harness -- scale-smoke
 //! cargo run --release -p d2color-bench --bin harness -- scale-coloring-1e6
@@ -648,27 +649,83 @@ fn bench_pr8() {
     println!("\nwrote {} cells to {out_path}", cells.len());
 }
 
-/// One netplane shard process (spawned by `net-run` / `bench-pr8`):
-/// `harness net-shard <coordinator> <algo> <family> <n> <degree> <gseed> <rseed>`.
+/// Runs the BENCH_PR9 chaos-recovery matrix (4-process control + a
+/// supervised run that loses one shard mid-phase per workload) and
+/// writes the JSON report (default path: `BENCH_PR9.json`).
+fn bench_pr9() {
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_PR9.json".into());
+    let cmd = d2color::netharness::ShardCommand::current_exe("net-shard");
+    let cells = benchkit::pr9::run_matrix(&cmd);
+    for c in &cells {
+        println!(
+            "{:<34} x{} procs  chaos {:<5}  net {:>8.1} ms  rounds {:>5}  \
+             messages {:>9}  killed {}  respawned {:<5}  identical {}  valid {}",
+            c.graph,
+            c.processes,
+            c.chaos,
+            c.wall_ms_net,
+            c.rounds,
+            c.messages,
+            c.killed_shard,
+            c.respawned,
+            c.identical,
+            c.valid
+        );
+        assert!(
+            c.identical,
+            "{} (chaos={}): run diverged from sequential",
+            c.graph, c.chaos
+        );
+        assert!(c.valid, "{}: coloring failed validation", c.graph);
+        assert_eq!(
+            c.chaos, c.respawned,
+            "{}: chaos cells must observe a kill and respawn (and controls must not)",
+            c.graph
+        );
+    }
+    let doc = benchkit::pr9::to_json(&cells);
+    std::fs::write(&out_path, doc).expect("write BENCH_PR9.json");
+    println!("\nwrote {} cells to {out_path}", cells.len());
+}
+
+/// One netplane shard process (spawned by `net-run` / `bench-pr8` /
+/// `bench-pr9`): `harness net-shard <coordinator> <algo> <family> <n>
+/// <degree> <gseed> <rseed> [--chaos <seed>] [--rejoin <shard>
+/// <ports-csv>]`.
 fn net_shard() {
     let args: Vec<String> = std::env::args().skip(2).collect();
-    let Some((addr, spec_args)) = args.split_first() else {
+    let Some((addr, spec, opts)) = d2color::netharness::parse_shard_argv(&args) else {
         eprintln!(
-            "usage: harness net-shard <coordinator> <algo> <family> <n> <degree> <gseed> <rseed>"
+            "usage: harness net-shard <coordinator> <algo> <family> <n> <degree> <gseed> <rseed> \
+             [--chaos <seed>] [--rejoin <shard> <ports-csv>]"
         );
         std::process::exit(2);
     };
-    let addr = addr.parse().expect("coordinator address");
-    let spec = d2color::netharness::NetSpec::parse_args(spec_args).expect("shard spec");
-    d2color::netharness::shard_main(addr, &spec).expect("shard transport failure");
+    d2color::netharness::shard_main(addr, &spec, &opts).expect("shard transport failure");
 }
 
 /// One interactive distributed run:
-/// `harness net-run <k> <algo> <family> <n> <degree> <gseed> <rseed>`.
-/// Runs the spec sequentially and across `k` processes, prints both, and
-/// exits nonzero on any divergence.
+/// `harness net-run <k> <algo> <family> <n> <degree> <gseed> <rseed>
+/// [--chaos <seed>]`. Runs the spec sequentially and across `k`
+/// processes, prints both, and exits nonzero on any divergence. With
+/// `--chaos` the mesh runs supervised under the seeded kill schedule:
+/// one shard dies mid-phase, is respawned with rejoin, and the stitched
+/// result must still match the sequential reference bit-for-bit.
 fn net_run() {
-    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut args: Vec<String> = std::env::args().skip(2).collect();
+    let chaos_seed = match args.iter().position(|a| a == "--chaos") {
+        Some(i) => {
+            let seed = args
+                .get(i + 1)
+                .and_then(|s| s.parse::<u64>().ok())
+                .expect("--chaos <seed>");
+            args.drain(i..i + 2);
+            Some(seed)
+        }
+        None => None,
+    };
     let (k, spec) = match args.split_first() {
         Some((k, rest)) => (
             k.parse::<u32>().expect("process count"),
@@ -676,15 +733,30 @@ fn net_run() {
         ),
         None => {
             eprintln!(
-                "usage: harness net-run <k> <algo> <family> <n> <degree> <gseed> <rseed>\n\
-                 e.g.:  harness net-run 4 rand-improved gnp 200 6 13 42"
+                "usage: harness net-run <k> <algo> <family> <n> <degree> <gseed> <rseed> \
+                 [--chaos <seed>]\n\
+                 e.g.:  harness net-run 4 rand-improved gnp 200 6 13 42 --chaos 29"
             );
             std::process::exit(2);
         }
     };
     let seq = d2color::netharness::run_sequential(&spec);
     let cmd = d2color::netharness::ShardCommand::current_exe("net-shard");
-    let net = d2color::netharness::run_distributed(&spec, k, &cmd);
+    let net = match chaos_seed {
+        Some(seed) => {
+            let (net, report) = d2color::netharness::run_supervised(&spec, k, &cmd, seed);
+            println!(
+                "chaos seed {seed}: killed shard {} at sync {} — respawned {}",
+                report.killed_shard, report.kill_sync, report.respawned
+            );
+            assert!(
+                report.respawned,
+                "chaos schedule never fired; no recovery was exercised"
+            );
+            net
+        }
+        None => d2color::netharness::run_distributed(&spec, k, &cmd),
+    };
     let g = spec.build_graph();
     let valid = graphs::verify::is_valid_d2_coloring(&g, &net.colors);
     let identical = net.colors == seq.colors && net.metrics == seq.metrics;
@@ -859,6 +931,10 @@ fn main() {
         bench_pr8();
         return;
     }
+    if arg == "bench-pr9" {
+        bench_pr9();
+        return;
+    }
     if arg == "net-shard" {
         net_shard();
         return;
@@ -895,7 +971,7 @@ fn main() {
             Some((_, f)) => f(),
             None => {
                 eprintln!(
-                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, bench-pr4, bench-pr5, bench-pr6, bench-pr7, bench-pr8, net-run, net-shard, chaos-smoke, scale-smoke, scale-coloring-1e6, scale-rand-1e6"
+                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, bench-pr4, bench-pr5, bench-pr6, bench-pr7, bench-pr8, bench-pr9, net-run, net-shard, chaos-smoke, scale-smoke, scale-coloring-1e6, scale-rand-1e6"
                 );
                 std::process::exit(2);
             }

@@ -16,6 +16,7 @@ pub mod pr5;
 pub mod pr6;
 pub mod pr7;
 pub mod pr8;
+pub mod pr9;
 
 /// The algorithms under measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,296 @@
+//! `BENCH_PR9.json`: chaos-recovery cells — shard death mid-phase,
+//! supervised respawn, bit-identical finish.
+//!
+//! PR 8 proved the netplane transport is unobservable when nothing
+//! fails; PR 9 proves the *failure path* is just as unobservable. For
+//! each workload this matrix runs the 4-process mesh twice: once clean
+//! (the control — it must still match the checked-in `BENCH_PR8.json`
+//! numbers) and once under a seeded chaos schedule that kills one shard
+//! mid-phase. The supervisor detects the death, respawns the victim with
+//! `--rejoin`, the replacement replays the survivors' retained history —
+//! and the stitched coloring, rounds, messages, and bit totals must come
+//! back bit-identical to the sequential reference anyway.
+//!
+//! Everything is seeded (including the kill schedule), so every column
+//! is bit-exact across machines and reruns; `ci/bench_gate.py pr9` diffs
+//! fresh numbers against the recording and the control cells against
+//! `BENCH_PR8.json`.
+
+use crate::json::Json;
+use crate::pr8;
+use d2color::netharness::{
+    run_distributed, run_sequential, run_supervised, NetOutcome, NetSpec, ShardCommand,
+};
+use std::time::Instant;
+
+/// Shard process count for every chaos cell (the kill leaves a
+/// 3-survivor mesh, the smallest interesting recovery).
+pub const PROCESSES: u32 = 4;
+
+/// The seeded kill schedule every chaos cell runs under. Fixed so the
+/// victim and kill sync are part of the recorded benchmark: with four
+/// shards this seed kills shard `kill_plan(CHAOS_SEED, 4).victim` at an
+/// early barrier, well inside every workload's run.
+pub const CHAOS_SEED: u64 = 29;
+
+/// One `(workload, chaos on/off)` cell.
+#[derive(Debug, Clone)]
+pub struct Pr9Cell {
+    /// Workload label (spec round-trip key).
+    pub graph: String,
+    /// Algorithm name.
+    pub algo: String,
+    /// Nodes.
+    pub n: usize,
+    /// Maximum degree.
+    pub delta: usize,
+    /// OS processes the run was sharded across.
+    pub processes: u32,
+    /// Wall-clock milliseconds of the sequential reference.
+    pub wall_ms_sequential: f64,
+    /// Wall-clock milliseconds of the distributed run (spawn to stitch).
+    pub wall_ms_net: f64,
+    /// Rounds to completion (identical across transports by contract).
+    pub rounds: u64,
+    /// Total messages delivered (identical across transports).
+    pub messages: u64,
+    /// Total payload bits (identical across transports).
+    pub total_bits: u64,
+    /// Palette certificate.
+    pub palette: usize,
+    /// Colorings and full metrics bit-identical to the reference.
+    pub identical: bool,
+    /// Distributed coloring verified against the d2 oracle.
+    pub valid: bool,
+    /// Whether this cell ran under the chaos schedule.
+    pub chaos: bool,
+    /// Chaos schedule seed (0 on control cells).
+    pub chaos_seed: u64,
+    /// The shard the schedule killed (0 on control cells).
+    pub killed_shard: u32,
+    /// Plane sync the kill was scheduled at (0 on control cells).
+    pub kill_sync: u64,
+    /// Whether the supervisor observed the death and respawned (false on
+    /// control cells).
+    pub respawned: bool,
+}
+
+/// The PR 9 workloads: one per pipeline, drawn verbatim from the PR 8
+/// matrix so the control cells have checked-in numbers to diff against.
+#[must_use]
+pub fn specs() -> Vec<NetSpec> {
+    let all = pr8::specs();
+    vec![all[0], all[3]]
+}
+
+fn cell(spec: &NetSpec, seq: &NetOutcome, wall_seq: f64) -> Pr9Cell {
+    let g = spec.build_graph();
+    Pr9Cell {
+        graph: spec.label(),
+        algo: spec.algo.token().into(),
+        n: g.n(),
+        delta: g.max_degree(),
+        processes: PROCESSES,
+        wall_ms_sequential: wall_seq,
+        wall_ms_net: 0.0,
+        rounds: seq.metrics.rounds,
+        messages: seq.metrics.messages,
+        total_bits: seq.metrics.total_bits,
+        palette: 0,
+        identical: false,
+        valid: false,
+        chaos: false,
+        chaos_seed: 0,
+        killed_shard: 0,
+        kill_sync: 0,
+        respawned: false,
+    }
+}
+
+fn finish(
+    mut c: Pr9Cell,
+    spec: &NetSpec,
+    seq: &NetOutcome,
+    net: &NetOutcome,
+    wall_ms_net: f64,
+) -> Pr9Cell {
+    let g = spec.build_graph();
+    let view = graphs::D2View::build(&g);
+    c.wall_ms_net = wall_ms_net;
+    c.rounds = net.metrics.rounds;
+    c.messages = net.metrics.messages;
+    c.total_bits = net.metrics.total_bits;
+    c.palette = net
+        .colors
+        .iter()
+        .filter(|&&col| col != u32::MAX)
+        .map(|&col| col as usize + 1)
+        .max()
+        .unwrap_or(0);
+    c.identical = net.colors == seq.colors && net.metrics == seq.metrics;
+    c.valid = graphs::verify::is_valid_d2_coloring_with(&view, &net.colors);
+    c
+}
+
+/// Runs the chaos-recovery matrix: per workload, the sequential
+/// reference, a clean 4-process control run, and a supervised 4-process
+/// run that loses one shard mid-phase and recovers.
+#[must_use]
+pub fn run_matrix(cmd: &ShardCommand) -> Vec<Pr9Cell> {
+    let mut cells = Vec::new();
+    for spec in specs() {
+        let t0 = Instant::now();
+        let seq = run_sequential(&spec);
+        let wall_seq = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let control = run_distributed(&spec, PROCESSES, cmd);
+        let control_cell = finish(
+            cell(&spec, &seq, wall_seq),
+            &spec,
+            &seq,
+            &control,
+            t1.elapsed().as_secs_f64() * 1e3,
+        );
+        cells.push(control_cell);
+
+        let t2 = Instant::now();
+        let (net, report) = run_supervised(&spec, PROCESSES, cmd, CHAOS_SEED);
+        let mut chaos_cell = finish(
+            cell(&spec, &seq, wall_seq),
+            &spec,
+            &seq,
+            &net,
+            t2.elapsed().as_secs_f64() * 1e3,
+        );
+        chaos_cell.chaos = true;
+        chaos_cell.chaos_seed = report.chaos_seed;
+        chaos_cell.killed_shard = report.killed_shard;
+        chaos_cell.kill_sync = report.kill_sync;
+        chaos_cell.respawned = report.respawned;
+        cells.push(chaos_cell);
+    }
+    cells
+}
+
+fn ms(x: f64) -> Json {
+    Json::Num((x * 1000.0).round() / 1000.0)
+}
+
+/// Serializes the cells into the `BENCH_PR9.json` document.
+#[must_use]
+pub fn to_json(cells: &[Pr9Cell]) -> String {
+    let rows = cells
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("graph", Json::str(&c.graph)),
+                ("algo", Json::str(&c.algo)),
+                ("n", Json::int(c.n as u64)),
+                ("delta", Json::int(c.delta as u64)),
+                ("processes", Json::int(u64::from(c.processes))),
+                ("wall_ms_sequential", ms(c.wall_ms_sequential)),
+                ("wall_ms_net", ms(c.wall_ms_net)),
+                ("rounds", Json::int(c.rounds)),
+                ("messages", Json::int(c.messages)),
+                ("total_bits", Json::int(c.total_bits)),
+                ("palette", Json::int(c.palette as u64)),
+                ("identical", Json::Bool(c.identical)),
+                ("valid", Json::Bool(c.valid)),
+                ("chaos", Json::Bool(c.chaos)),
+                ("chaos_seed", Json::int(c.chaos_seed)),
+                ("killed_shard", Json::int(u64::from(c.killed_shard))),
+                ("kill_sync", Json::int(c.kill_sync)),
+                ("respawned", Json::Bool(c.respawned)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("bench", Json::str("BENCH_PR9")),
+        (
+            "description",
+            Json::str(
+                "Netplane chaos recovery: det-small and rand-improved \
+                 across 4 OS processes, once clean (control) and once \
+                 losing one shard to a seeded mid-phase kill with \
+                 supervised rejoin-with-replay — all observables \
+                 required bit-identical to the sequential reference",
+            ),
+        ),
+        ("cells", Json::Arr(rows)),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::netplane::chaos::kill_plan;
+
+    fn sample_cells() -> Vec<Pr9Cell> {
+        [false, true]
+            .iter()
+            .map(|&chaos| Pr9Cell {
+                graph: "det-small-gnp-n200-d5-g11-s42".into(),
+                algo: "det-small".into(),
+                n: 200,
+                delta: 5,
+                processes: PROCESSES,
+                wall_ms_sequential: 120.0,
+                wall_ms_net: 350.0,
+                rounds: 96,
+                messages: 54_321,
+                total_bits: 987_654,
+                palette: 24,
+                identical: true,
+                valid: true,
+                chaos,
+                chaos_seed: if chaos { CHAOS_SEED } else { 0 },
+                killed_shard: if chaos { 2 } else { 0 },
+                kill_sync: if chaos { 5 } else { 0 },
+                respawned: chaos,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serializes_required_fields() {
+        let s = to_json(&sample_cells());
+        for key in [
+            "\"bench\": \"BENCH_PR9\"",
+            "\"cells\"",
+            "\"graph\": \"det-small-gnp-n200-d5-g11-s42\"",
+            "\"processes\": 4",
+            "\"chaos\": false",
+            "\"chaos\": true",
+            "\"respawned\": true",
+            "\"killed_shard\": 2",
+            "\"kill_sync\": 5",
+            "\"identical\": true",
+            "\"valid\": true",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn workloads_are_drawn_from_the_pr8_matrix() {
+        // Control cells are only diffable against BENCH_PR8.json if the
+        // specs (and hence labels) match exactly.
+        let pr8_labels: Vec<String> = pr8::specs().iter().map(NetSpec::label).collect();
+        let ours = specs();
+        assert_eq!(ours.len(), 2, "one workload per pipeline");
+        assert!(ours.iter().all(|s| pr8_labels.contains(&s.label())));
+        let algos: Vec<&str> = ours.iter().map(|s| s.algo.token()).collect();
+        assert!(algos.contains(&"det-small") && algos.contains(&"rand-improved"));
+    }
+
+    #[test]
+    fn chaos_seed_kills_a_real_shard_at_an_early_barrier() {
+        let plan = kill_plan(CHAOS_SEED, PROCESSES);
+        assert!(plan.victim < PROCESSES);
+        // Early enough that every workload is still mid-phase: the
+        // shortest run in the matrix takes far more than ten barriers.
+        assert!((3..=10).contains(&plan.sync));
+    }
+}

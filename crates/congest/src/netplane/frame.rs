@@ -131,6 +131,33 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<(
     w.write_all(payload)
 }
 
+/// Writes only the first `keep` bytes of what [`write_frame`] would emit
+/// — a *torn* frame. The chaos plane uses this to model a sender dying
+/// mid-`write_all`: the receiver must surface a structured
+/// [`FrameError::UnexpectedEof`] (or [`FrameError::BadMagic`] on the next
+/// read, if the tear lands between frames), never a decoded partial
+/// payload.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`] (same contract as
+/// [`write_frame`]).
+pub fn write_torn_frame(
+    w: &mut impl Write,
+    kind: u8,
+    payload: &[u8],
+    keep: usize,
+) -> io::Result<()> {
+    let mut full = Vec::with_capacity(6 + payload.len());
+    write_frame(&mut full, kind, payload)?;
+    let keep = keep.min(full.len());
+    w.write_all(&full[..keep])
+}
+
 /// Reads exactly one frame, blocking.
 ///
 /// # Errors
@@ -292,6 +319,22 @@ mod tests {
             read_frame(&mut cursor),
             Err(FrameError::TooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn torn_frame_truncates_at_the_requested_byte() {
+        let mut full = Vec::new();
+        write_frame(&mut full, kind::ROUND, b"abcdef").unwrap();
+        // Tear mid-payload: a blocking reader sees a structured EOF.
+        let mut torn = Vec::new();
+        write_torn_frame(&mut torn, kind::ROUND, b"abcdef", 9).unwrap();
+        assert_eq!(torn, full[..9]);
+        let mut cursor = io::Cursor::new(torn);
+        assert_eq!(read_frame(&mut cursor), Err(FrameError::UnexpectedEof));
+        // `keep` past the end is the whole frame.
+        let mut whole = Vec::new();
+        write_torn_frame(&mut whole, kind::ROUND, b"abcdef", 999).unwrap();
+        assert_eq!(whole, full);
     }
 
     #[test]

@@ -59,34 +59,79 @@
 //!   shards, so every process returns the very error the sequential
 //!   engine would.
 //!
-//! Fault injection is *not* supported here (the chaos plane needs an
-//!   omniscient scheduler); the engine rejects faulted configs.
+//! Fault injection of the *simulated* network is not supported here
+//! ([`crate::faults`] needs an omniscient scheduler); the engine rejects
+//! faulted configs. Faults of the *real* network are the [`chaos`]
+//! plane's job.
 //!
 //! # Membership and restarts
 //!
 //! A coordinator process hands out shard assignments; peers dial each
-//! other into a full mesh ([`membership`]). Links retain the frames of
-//! the last two communication rounds (mirroring the parity
-//! double-buffered mailboxes), so a peer that restarts mid-phase can
-//! redial, announce the last sync it applied ([`Rejoin`]), and have the
-//! survivor replay exactly the unacked frames ([`NetPlane::recover`]) —
-//! deterministic replay makes the rejoined stream byte-identical to an
-//! uninterrupted one.
+//! other into a full mesh ([`membership`]). Every blocking call on the
+//! path — dials, accepts, handshake and barrier reads — runs under a
+//! [`NetConfig`] deadline, and dials retry with bounded exponential
+//! backoff, so a dead or silent peer surfaces as a structured
+//! [`NetError`] instead of an infinite block. Links retain their
+//! sync-tagged frames for a configurable trailing window
+//! ([`NetConfig::retained_syncs`]; supervised runs retain everything), so
+//! a peer that restarts mid-phase can redial, announce the last sync it
+//! applied ([`Rejoin`]), and have the survivor replay exactly the unacked
+//! frames ([`NetPlane::recover`]) — deterministic replay makes the
+//! rejoined stream byte-identical to an uninterrupted one.
+//!
+//! # Failure model
+//!
+//! What a supervised run ([`NetConfig::supervised`] + the `netharness`
+//! supervisor) survives, and what it does not:
+//!
+//! * **Survivable: one shard death at a time, within retention.** When a
+//!   shard process dies (crash, or a seeded [`chaos`] kill — including
+//!   mid-frame), every survivor notices the dead link at its next mesh
+//!   read and parks at the barrier under [`NetConfig::rejoin_timeout`].
+//!   The supervisor respawns the shard; the replacement rebuilds the
+//!   seeded SPMD world from scratch, dials every survivor with
+//!   [`Rejoin`]` { have_sync: 0 }` ([`rejoin_mesh`]), and re-executes the
+//!   run with every mesh read satisfied from the survivors' replayed
+//!   history until it reaches the live frontier. Survivors discard the
+//!   re-sent duplicates by sequence number. Observables stay
+//!   bit-identical to the sequential engine — `tests/net_chaos.rs` and
+//!   the PR 9 bench gate prove it.
+//! * **Survivable: a dropped-and-redialed link.** A connection torn
+//!   between two live shards (seeded
+//!   [`ChaosConfig::drop_link`](chaos::ChaosConfig)) recovers without
+//!   re-execution: the dialer announces its live frontier and the peer
+//!   replays only the in-flight frames.
+//! * **Not survivable: coordinator death.** The coordinator holds the
+//!   control streams and the respawn logic; if it dies, the kill-on-drop
+//!   guards in `netharness` reap every shard — no orphans, no result.
+//! * **Not survivable: concurrent shard loss.** Recovery replays from
+//!   *surviving* peers; if two shards die in overlapping windows, each
+//!   replacement needs frames the other lost. Survivors surface the
+//!   second loss as a structured error within their deadlines.
+//! * **Not survivable: a rejoin beyond retention.** A rejoiner whose
+//!   acked sync was already pruned gets [`NetError::ReplayGap`] — exact
+//!   recovery is refused rather than approximated (supervised runs
+//!   retain everything precisely to keep `have_sync = 0` inside the
+//!   window).
 
+pub mod chaos;
 pub mod frame;
 pub mod membership;
 mod runtime;
 pub mod wire;
 
+pub use chaos::ChaosConfig;
 pub use frame::{
-    kind, read_frame, write_frame, Frame, FrameError, FrameReader, MAGIC, MAX_FRAME_LEN,
+    kind, read_frame, write_frame, write_torn_frame, Frame, FrameError, FrameReader, MAGIC,
+    MAX_FRAME_LEN,
 };
 pub use membership::{
-    connect_mesh, join, Assign, Coordinator, Hello, Join, Link, Membership, Rejoin,
+    connect_mesh, join, Assign, Assignment, Coordinator, Hello, Join, Link, Membership, NetConfig,
+    NetError, RecvFailure, Rejoin,
 };
 pub use runtime::{
-    allreduce_and, coordinator, install, is_active, join_mesh, local_range, run_phase, shard_range,
-    sync_rows, uninstall, NetPlane,
+    allreduce_and, coordinator, install, is_active, join_mesh, local_range, rejoin_mesh, run_phase,
+    shard_range, sync_rows, uninstall, NetPlane,
 };
 pub use wire::{Reader, Wire, WireError};
 

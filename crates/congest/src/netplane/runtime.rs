@@ -14,18 +14,46 @@
 //!
 //! The engine always steps every local node each round (the classic
 //! schedule — [`Scheduling::AlwaysStep`] semantics) and rejects fault
-//! injection; transport failures are process-fatal panics rather than
-//! [`SimError`]s, so the error enum stays identical across engines.
+//! injection *of the simulated network* ([`crate::faults`] needs an
+//! omniscient scheduler); faults of the *real* network are the chaos
+//! plane's job ([`super::chaos`]).
+//!
+//! # The plane sequence number
+//!
+//! Every mesh exchange — ROUND barriers *and* collectives
+//! (REDUCE/STATS) — increments one plane-level counter, `seq`, and every
+//! mesh frame carries its `seq` as the first `u64` of its payload. That
+//! single monotone sequence is what makes recovery exact:
+//!
+//! * frames are retained per link keyed by `seq`
+//!   ([`Link::send_retained`]), so a surviving peer can replay precisely
+//!   the suffix a rejoiner has not applied;
+//! * a rejoined peer that restarted from scratch re-executes the run and
+//!   re-sends frames for syncs the survivors already processed —
+//!   survivors discard anything with `seq` below the one they are
+//!   waiting on;
+//! * a peer at the wrong `seq` (lockstep broken) is a structured
+//!   [`NetError::Desync`], never silent divergence.
+//!
+//! Transport failures that cannot be recovered are process-fatal panics
+//! rather than [`SimError`]s, so the error enum stays identical across
+//! engines; recoverable ones (a dead peer inside the rejoin window) park
+//! the survivor at the barrier until the supervisor's replacement dials
+//! back in ([`NetPlane`]'s `await_rejoin`).
 
+use super::chaos::{ChaosConfig, ChaosState};
 use super::frame::{kind, Frame};
-use super::membership::{Coordinator, Link, Membership, Rejoin};
+use super::membership::{
+    self, Coordinator, Link, Membership, NetConfig, NetError, RecvFailure, Rejoin,
+};
 use super::wire::{Reader, Wire, WireError};
 use crate::runtime::{node_rng, RunResult, SimError};
 use crate::{Inbox, Message, Metrics, NetTables, Outbox, Protocol, SimConfig, Status};
 use graphs::Graph;
 use std::io::{self, Write as _};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// The node range shard `s` of `k` owns on an `n`-node graph: contiguous
 /// `⌈n/k⌉`-sized chunks, last one ragged.
@@ -44,7 +72,8 @@ fn shard_of(n: usize, n_shards: usize, v: usize) -> usize {
 /// One communication round's traffic to a single peer: the sender's local
 /// control flags plus every message destined for that peer's nodes.
 struct RoundEnvelope<M> {
-    /// Communication-round counter (1-based), for lockstep/replay checks.
+    /// Plane sequence number — serialized *first*, so the generic mesh
+    /// receive path can read it without knowing the payload type.
     sync: u64,
     /// AND of the sender's local termination votes this round.
     all_done: bool,
@@ -76,6 +105,15 @@ impl<M: Wire> Wire for RoundEnvelope<M> {
     }
 }
 
+/// The leading `u64` of a mesh payload: its plane sequence number. Every
+/// mesh frame type puts it first ([`RoundEnvelope`]; collectives encode
+/// `(seq, body)`), so the receive path can dedup and lockstep-check
+/// generically.
+fn payload_seq(payload: &[u8]) -> u64 {
+    let mut r = Reader::new(payload);
+    u64::take(&mut r).unwrap_or(0)
+}
+
 /// A shard's handle on the running mesh: its assignment, one [`Link`] per
 /// peer, the listener (kept open for rejoins), and the coordinator
 /// control stream.
@@ -88,20 +126,30 @@ pub struct NetPlane {
     /// `(shard, mesh port)` of every shard, self included.
     pub peers: Vec<(u32, u16)>,
     links: Vec<Link>,
-    listener: std::net::TcpListener,
+    listener: TcpListener,
     control: TcpStream,
-    /// Collective-operation counter, checked in lockstep by all shards.
-    epoch: u64,
+    /// Plane sequence number: bumped once per mesh exchange (ROUND
+    /// barrier or collective), checked in lockstep by all shards.
+    seq: u64,
+    config: NetConfig,
+    chaos: Option<ChaosState>,
 }
 
 impl NetPlane {
-    /// Builds the full mesh from a completed membership handshake.
+    /// Builds the full mesh from a completed membership handshake, under
+    /// `config`'s deadlines, optionally carrying a seeded chaos schedule.
     ///
     /// # Errors
     ///
-    /// Propagates connect/accept I/O errors from the mesh build.
-    pub fn connect(membership: Membership) -> io::Result<Self> {
-        let links = super::membership::connect_mesh(&membership)?;
+    /// Structured [`NetError`]s from the mesh build.
+    pub fn connect(
+        membership: Membership,
+        config: NetConfig,
+        chaos: Option<ChaosConfig>,
+    ) -> Result<Self, NetError> {
+        let links = membership::connect_mesh(&membership, &config)?;
+        let chaos =
+            chaos.map(|c| ChaosState::new(c, membership.assign.shard, membership.assign.n_shards));
         Ok(NetPlane {
             shard: membership.assign.shard,
             n_shards: membership.assign.n_shards,
@@ -109,7 +157,9 @@ impl NetPlane {
             links,
             listener: membership.listener,
             control: membership.control,
-            epoch: 0,
+            seq: 0,
+            config,
+            chaos,
         })
     }
 
@@ -127,67 +177,171 @@ impl NetPlane {
         }
     }
 
-    fn recv_expect(link: &mut Link, want: u8) -> Frame {
-        match link.recv() {
-            Ok(frame) => {
-                assert_eq!(
-                    frame.kind, want,
-                    "netplane: expected frame kind {want} from shard {}, got {}",
-                    link.peer, frame.kind
-                );
-                frame
+    /// Queues one mesh frame on `slot`, stamped and retained under the
+    /// current `seq`. A write failure only marks the link down — the
+    /// frame is retained regardless, so it is replayed once the peer
+    /// rejoins.
+    fn send_mesh(&mut self, slot: usize, frame_kind: u8, payload: &[u8]) {
+        let seq = self.seq;
+        let link = &mut self.links[slot];
+        if link.send_retained(seq, frame_kind, payload).is_err() {
+            link.alive = false;
+        }
+    }
+
+    /// Flushes `slot`, applying the chaos plane's seeded flush jitter
+    /// first. A flush failure marks the link down.
+    fn flush_mesh(&mut self, slot: usize, sync: u64) {
+        if let Some(chaos) = &self.chaos {
+            if let Some(delay) = chaos.flush_delay(sync, self.links[slot].peer) {
+                std::thread::sleep(delay);
             }
-            Err(e) => panic!("netplane: lost link to shard {}: {e}", link.peer),
+        }
+        let link = &mut self.links[slot];
+        if link.flush().is_err() {
+            link.alive = false;
         }
     }
 
-    fn send_all(&mut self, frame_kind: u8, payload: &[u8]) {
-        for link in &mut self.links {
-            link.send(frame_kind, payload)
-                .and_then(|()| link.flush())
-                .unwrap_or_else(|e| panic!("netplane: lost link to shard {}: {e}", link.peer));
-        }
-    }
-
-    /// One lockstep all-to-all exchange: broadcasts `body` under `epoch`
-    /// and returns every peer's body as `(peer shard, bytes)`.
-    fn collective(&mut self, frame_kind: u8, body: &[u8]) -> Vec<(u32, Vec<u8>)> {
-        self.epoch += 1;
-        let payload = (self.epoch, body.to_vec()).to_wire();
-        self.send_all(frame_kind, &payload);
-        let epoch = self.epoch;
-        self.links
-            .iter_mut()
-            .map(|link| {
-                let frame = Self::recv_expect(link, frame_kind);
-                let (peer_epoch, body) = <(u64, Vec<u8>)>::from_wire(&frame.payload)
-                    .unwrap_or_else(|e| {
-                        panic!(
-                            "netplane: malformed collective from shard {}: {e}",
-                            link.peer
-                        )
+    /// Receives the mesh frame for `want_seq` from `slot` under the read
+    /// deadline. Frames with an older `seq` are stale duplicates from a
+    /// rejoined peer re-executing already-processed syncs and are
+    /// discarded. A dead link parks in `await_rejoin` first.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::PeerTimeout`] when the peer stays silent past the
+    /// budget, [`NetError::PeerLost`] when the link died and recovery is
+    /// disabled, [`NetError::Desync`] on a lockstep violation.
+    fn recv_mesh(&mut self, slot: usize, want_kind: u8, want_seq: u64) -> Result<Frame, NetError> {
+        loop {
+            if !self.links[slot].alive {
+                self.await_rejoin(slot, want_seq)?;
+            }
+            let timeout = self.config.read_timeout;
+            let link = &mut self.links[slot];
+            match link.recv_deadline(timeout) {
+                Ok(frame) => {
+                    let got = payload_seq(&frame.payload);
+                    if got < want_seq {
+                        continue; // stale duplicate from a rejoined peer
+                    }
+                    if frame.kind != want_kind || got != want_seq {
+                        return Err(NetError::Desync {
+                            shard: link.peer,
+                            frame_kind: frame.kind,
+                            want_sync: want_seq,
+                            got_sync: got,
+                        });
+                    }
+                    return Ok(frame);
+                }
+                Err(RecvFailure::Timeout) => {
+                    return Err(NetError::PeerTimeout {
+                        shard: link.peer,
+                        sync: want_seq,
                     });
-                assert_eq!(
-                    peer_epoch, epoch,
-                    "netplane: shard {} is at collective epoch {peer_epoch}, expected {epoch}",
-                    link.peer
-                );
-                (link.peer, body)
-            })
-            .collect()
+                }
+                Err(RecvFailure::Lost(_)) => {
+                    link.alive = false;
+                }
+            }
+        }
+    }
+
+    /// Parks at the barrier until the dead link at `slot` is resumed by
+    /// a rejoining peer (any peer's rejoin is serviced while waiting).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::PeerLost`] when recovery is disabled,
+    /// [`NetError::PeerTimeout`] when the rejoin window expires,
+    /// [`NetError::ReplayGap`] when the rejoiner acked a pruned sync.
+    fn await_rejoin(&mut self, slot: usize, want_seq: u64) -> Result<(), NetError> {
+        let peer = self.links[slot].peer;
+        let Some(budget) = self.config.rejoin_timeout else {
+            return Err(NetError::PeerLost {
+                shard: peer,
+                sync: want_seq,
+                cause: "connection lost and recovery is disabled".into(),
+            });
+        };
+        let start = Instant::now();
+        while !self.links[slot].alive {
+            let remaining = budget
+                .checked_sub(start.elapsed())
+                .ok_or(NetError::PeerTimeout {
+                    shard: peer,
+                    sync: want_seq,
+                })?;
+            let mut stream =
+                membership::accept_deadline(&self.listener, remaining).map_err(|e| match e {
+                    NetError::AcceptTimeout { .. } => NetError::PeerTimeout {
+                        shard: peer,
+                        sync: want_seq,
+                    },
+                    other => other,
+                })?;
+            let rejoin: Rejoin =
+                membership::expect_payload(&mut stream, kind::REJOIN, self.config.read_timeout)?;
+            let link = self
+                .links
+                .iter_mut()
+                .find(|l| l.peer == rejoin.from)
+                .ok_or_else(|| {
+                    NetError::Handshake(format!("rejoin from unknown shard {}", rejoin.from))
+                })?;
+            link.resume(stream, rejoin.have_sync)?;
+        }
+        Ok(())
+    }
+
+    /// One lockstep all-to-all exchange: bumps `seq`, broadcasts `body`
+    /// stamped with it, and returns every peer's body as
+    /// `(peer shard, bytes)`.
+    fn collective(&mut self, frame_kind: u8, body: &[u8]) -> Result<Vec<(u32, Vec<u8>)>, NetError> {
+        self.seq += 1;
+        let want = self.seq;
+        let payload = (want, body.to_vec()).to_wire();
+        for slot in 0..self.links.len() {
+            self.send_mesh(slot, frame_kind, &payload);
+            self.flush_mesh(slot, want);
+        }
+        let mut out = Vec::with_capacity(self.links.len());
+        for slot in 0..self.links.len() {
+            let frame = self.recv_mesh(slot, frame_kind, want)?;
+            let peer = self.links[slot].peer;
+            let (_, body) = <(u64, Vec<u8>)>::from_wire(&frame.payload).map_err(|e| {
+                NetError::Handshake(format!("malformed collective from shard {peer}: {e}"))
+            })?;
+            out.push((peer, body));
+        }
+        Ok(out)
     }
 
     /// Global AND over one boolean per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unrecoverable transport failure (structured
+    /// [`NetError`] in the message).
     pub fn allreduce_and(&mut self, local: bool) -> bool {
         self.collective(kind::REDUCE, &[u8::from(local)])
+            .unwrap_or_else(|e| panic!("netplane: {e}"))
             .iter()
             .all(|(_, body)| body == &[1]) // peer contributions
             && local
     }
 
     /// Global sum over one `u64` per shard.
-    pub fn allreduce_sum(&mut self, local: u64) -> u64 {
-        self.collective(kind::REDUCE, &local.to_wire())
+    ///
+    /// # Errors
+    ///
+    /// Structured [`NetError`]s — notably [`NetError::PeerTimeout`] when
+    /// a peer stays silent past the read deadline.
+    pub fn try_allreduce_sum(&mut self, local: u64) -> Result<u64, NetError> {
+        Ok(self
+            .collective(kind::REDUCE, &local.to_wire())?
             .iter()
             .map(|(peer, body)| {
                 u64::from_wire(body).unwrap_or_else(|e| {
@@ -195,7 +349,17 @@ impl NetPlane {
                 })
             })
             .sum::<u64>()
-            + local
+            + local)
+    }
+
+    /// Global sum over one `u64` per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unrecoverable transport failure.
+    pub fn allreduce_sum(&mut self, local: u64) -> u64 {
+        self.try_allreduce_sum(local)
+            .unwrap_or_else(|e| panic!("netplane: {e}"))
     }
 
     /// Makes a per-node vector globally authoritative: each shard
@@ -204,6 +368,10 @@ impl NetPlane {
     /// [`sync_rows`](super::sync_rows)) on every vector they derive from
     /// final phase states, because ghost rows — nodes this shard never
     /// stepped — hold stale init-time values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unrecoverable transport failure or malformed peer rows.
     pub fn sync_rows<T: Wire>(&mut self, rows: &mut [T]) {
         let n = rows.len();
         let (lo, hi) = self.local_range(n);
@@ -211,7 +379,10 @@ impl NetPlane {
         for row in &rows[lo..hi] {
             row.put(&mut body);
         }
-        for (peer, body) in self.collective(kind::REDUCE, &body) {
+        let peers = self
+            .collective(kind::REDUCE, &body)
+            .unwrap_or_else(|e| panic!("netplane: {e}"));
+        for (peer, body) in peers {
             let (plo, phi) = shard_range(n, self.n_shards as usize, peer as usize);
             let mut r = Reader::new(&body);
             for row in &mut rows[plo..phi] {
@@ -237,28 +408,66 @@ impl NetPlane {
     }
 
     /// Services one peer restart: accepts the pending redial on the mesh
-    /// listener, reads its [`Rejoin`], and resumes that peer's link —
-    /// replaying every retained round frame the rejoiner has not acked.
+    /// listener (under the read deadline), reads its [`Rejoin`], and
+    /// resumes that peer's link — replaying every retained frame the
+    /// rejoiner has not acked.
     ///
     /// # Errors
     ///
-    /// Propagates accept/handshake I/O errors; an unknown rejoiner
-    /// surfaces as [`io::ErrorKind::InvalidData`].
-    pub fn recover(&mut self) -> io::Result<u32> {
-        let (mut stream, _) = self.listener.accept()?;
-        let rejoin: Rejoin = super::membership::expect_payload(&mut stream, kind::REJOIN)?;
+    /// Structured [`NetError`]s: accept timeout, malformed handshake,
+    /// unknown rejoiner, or [`NetError::ReplayGap`].
+    pub fn recover(&mut self) -> Result<u32, NetError> {
+        let mut stream = membership::accept_deadline(&self.listener, self.config.read_timeout)?;
+        let rejoin: Rejoin =
+            membership::expect_payload(&mut stream, kind::REJOIN, self.config.read_timeout)?;
         let link = self
             .links
             .iter_mut()
             .find(|l| l.peer == rejoin.from)
             .ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("rejoin from unknown shard {}", rejoin.from),
-                )
+                NetError::Handshake(format!("rejoin from unknown shard {}", rejoin.from))
             })?;
         link.resume(stream, rejoin.have_sync)?;
         Ok(rejoin.from)
+    }
+
+    /// The chaos link-drop: force-close the link to `dst`, then
+    /// immediately redial with a [`Rejoin`] carrying this shard's live
+    /// frontier. The peer replays anything newer (its in-flight frames of
+    /// the next barrier); nothing is lost, nothing re-executes.
+    fn drop_and_redial(&mut self, dst: u32) -> Result<(), NetError> {
+        let slot = self.link_index(dst as usize);
+        let port = self
+            .peers
+            .iter()
+            .find(|&&(p, _)| p == dst)
+            .expect("chaos drop target in roster")
+            .1;
+        self.links[slot].force_close();
+        let mut stream =
+            membership::dial_retry(SocketAddr::from((Ipv4Addr::LOCALHOST, port)), &self.config)?;
+        let rejoin = Rejoin {
+            from: self.shard,
+            have_sync: self.seq,
+        };
+        super::frame::write_frame(&mut stream, kind::REJOIN, &rejoin.to_wire())?;
+        stream.flush().map_err(NetError::from)?;
+        self.links[slot].reconnect(stream)
+    }
+
+    /// The chaos kill: optionally tear a frame mid-write (modeling death
+    /// inside `write_all`), then die the way `SIGKILL` looks to peers.
+    fn chaos_abort(&mut self, sync: u64, mid_frame: bool) -> ! {
+        if mid_frame && !self.links.is_empty() {
+            // Header plus a few payload bytes of a 24-byte frame: the
+            // peer's reader surfaces a structured UnexpectedEof.
+            let _ = self.links[0].send_torn(kind::ROUND, &[0xAB; 24], 9);
+        }
+        eprintln!(
+            "netplane-chaos: shard {} aborting at sync {sync}",
+            self.shard
+        );
+        std::process::abort();
     }
 
     /// Runs one protocol phase across the mesh, stepping only this
@@ -281,8 +490,9 @@ impl NetPlane {
     /// # Panics
     ///
     /// Panics on fault-injection configs (unsupported on the net plane),
-    /// on transport failures, and on the same protocol bugs the
-    /// sequential engine rejects (silent-round sends).
+    /// on unrecoverable transport failures (structured [`NetError`] in
+    /// the message), and on the same protocol bugs the sequential engine
+    /// rejects (silent-round sends).
     #[allow(clippy::too_many_lines)]
     pub fn execute_with<P: Protocol>(
         &mut self,
@@ -350,7 +560,6 @@ impl NetPlane {
         // vote, feeding the round-limit diagnostic's global live count.
         let mut sticky: Vec<Status> = vec![Status::Running; hi - lo];
         let mut last_progress: u64 = 0;
-        let mut sync: u64 = 0;
         // Staged cross-shard messages, one buffer per link (same order).
         let mut outgoing: Vec<Vec<(u32, u32, P::Msg)>> =
             (0..self.links.len()).map(|_| Vec::new()).collect();
@@ -401,35 +610,32 @@ impl NetPlane {
                 // one ROUND frame from each peer. Flags merge into the
                 // global unanimity/progress/violation the sequential
                 // engine computes in one address space.
-                sync += 1;
-                for (slot, link) in self.links.iter_mut().enumerate() {
+                self.seq += 1;
+                let sync = self.seq;
+                if let Some(mid_frame) = self.chaos.as_ref().and_then(|c| c.kill_action(sync)) {
+                    self.chaos_abort(sync, mid_frame);
+                }
+                for (slot, out) in outgoing.iter_mut().enumerate() {
                     let envelope = RoundEnvelope {
                         sync,
                         all_done,
                         progressed,
                         violation,
-                        msgs: std::mem::take(&mut outgoing[slot]),
+                        msgs: std::mem::take(out),
                     };
-                    link.send_retained(sync, kind::ROUND, &envelope.to_wire())
-                        .and_then(|()| link.flush())
-                        .unwrap_or_else(|e| {
-                            panic!("netplane: lost link to shard {}: {e}", link.peer)
-                        });
+                    self.send_mesh(slot, kind::ROUND, &envelope.to_wire());
+                    self.flush_mesh(slot, sync);
                 }
-                for link in &mut self.links {
-                    let frame = Self::recv_expect(link, kind::ROUND);
+                for slot in 0..self.links.len() {
+                    let frame = self
+                        .recv_mesh(slot, kind::ROUND, sync)
+                        .unwrap_or_else(|e| panic!("netplane: {e}"));
+                    let peer = self.links[slot].peer;
                     let envelope = RoundEnvelope::<P::Msg>::from_wire(&frame.payload)
                         .unwrap_or_else(|e| {
-                            panic!(
-                                "netplane: malformed round frame from shard {}: {e}",
-                                link.peer
-                            )
+                            panic!("netplane: malformed round frame from shard {peer}: {e}")
                         });
-                    assert_eq!(
-                        envelope.sync, sync,
-                        "netplane: shard {} is at sync {}, expected {sync}",
-                        link.peer, envelope.sync
-                    );
+                    debug_assert_eq!(envelope.sync, sync);
                     all_done &= envelope.all_done;
                     progressed |= envelope.progressed;
                     violation = match (violation, envelope.violation) {
@@ -440,6 +646,10 @@ impl NetPlane {
                         debug_assert!(local.contains(&(dest as usize)));
                         next[dest as usize].push(arrival, msg);
                     }
+                }
+                if let Some(dst) = self.chaos.as_mut().and_then(|c| c.take_drop_action(sync)) {
+                    self.drop_and_redial(dst)
+                        .unwrap_or_else(|e| panic!("netplane: {e}"));
                 }
                 if let Some((_, bits)) = violation {
                     // Globally-first violating message: lowest node index
@@ -465,7 +675,9 @@ impl NetPlane {
         if terminated {
             // Merge metrics so every shard returns the identical global
             // record (and driver-level absorption stays engine-agnostic).
-            let peers = self.collective(kind::STATS, &metrics.to_wire());
+            let peers = self
+                .collective(kind::STATS, &metrics.to_wire())
+                .unwrap_or_else(|e| panic!("netplane: {e}"));
             for (peer, body) in peers {
                 let theirs = Metrics::from_wire(&body)
                     .unwrap_or_else(|e| panic!("netplane: malformed stats from shard {peer}: {e}"));
@@ -489,6 +701,64 @@ impl NetPlane {
             last_progress_round: last_progress,
         })
     }
+}
+
+/// Rebuilds a [`NetPlane`] for a shard restarted from scratch by the
+/// supervisor. The replacement binds a fresh (unused) mesh listener,
+/// dials the coordinator for a new control stream (the supervisor accepts
+/// it via [`Coordinator::accept_control`]), and dials every surviving
+/// peer's *original* mesh port with `Rejoin { have_sync: 0 }` — each
+/// survivor replays its full retained history while the replacement
+/// re-executes the run, so every mesh read is satisfied and the rejoiner
+/// reaches the live frontier deterministically.
+///
+/// `peer_ports[s]` is shard `s`'s mesh port from the original
+/// [`Assignment`](membership::Assignment); the entry at `shard` itself is
+/// ignored.
+///
+/// # Errors
+///
+/// Structured [`NetError`]s from the dials and handshakes.
+pub fn rejoin_mesh(
+    coordinator: SocketAddr,
+    shard: u32,
+    peer_ports: &[u16],
+    config: NetConfig,
+) -> Result<NetPlane, NetError> {
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).map_err(NetError::from)?;
+    let control = membership::dial_retry(coordinator, &config)?;
+    let n_shards = peer_ports.len() as u32;
+    let peers: Vec<(u32, u16)> = peer_ports
+        .iter()
+        .enumerate()
+        .map(|(s, &port)| (s as u32, port))
+        .collect();
+    let mut links = Vec::with_capacity(peer_ports.len().saturating_sub(1));
+    for &(peer, port) in &peers {
+        if peer == shard {
+            continue;
+        }
+        let mut stream =
+            membership::dial_retry(SocketAddr::from((Ipv4Addr::LOCALHOST, port)), &config)?;
+        let rejoin = Rejoin {
+            from: shard,
+            have_sync: 0,
+        };
+        super::frame::write_frame(&mut stream, kind::REJOIN, &rejoin.to_wire())?;
+        stream.flush().map_err(NetError::from)?;
+        links.push(Link::new(peer, stream, config.retained_syncs)?);
+    }
+    Ok(NetPlane {
+        shard,
+        n_shards,
+        peers,
+        links,
+        listener,
+        control,
+        seq: 0,
+        config,
+        chaos: None,
+    })
 }
 
 /// The process-wide netplane registry. A shard process installs its
@@ -567,13 +837,18 @@ where
 }
 
 /// Convenience for shard drivers: full membership handshake against a
-/// coordinator at `coordinator`, then mesh build.
+/// coordinator at `coordinator` under `config`'s deadlines, then mesh
+/// build, optionally carrying a seeded chaos schedule.
 ///
 /// # Errors
 ///
-/// Propagates handshake and mesh I/O errors.
-pub fn join_mesh(coordinator: SocketAddr) -> io::Result<NetPlane> {
-    NetPlane::connect(super::membership::join(coordinator)?)
+/// Structured [`NetError`]s from handshake and mesh build.
+pub fn join_mesh(
+    coordinator: SocketAddr,
+    config: NetConfig,
+    chaos: Option<ChaosConfig>,
+) -> Result<NetPlane, NetError> {
+    NetPlane::connect(membership::join(coordinator, &config)?, config, chaos)
 }
 
 /// Convenience for orchestrators: a bound coordinator on an ephemeral
@@ -592,27 +867,29 @@ mod tests {
     use crate::runtime::SequentialRuntime;
     use crate::{NodeCtx, NodeRng, Scheduling};
     use graphs::gen;
-    use std::net::Ipv4Addr;
     use std::thread;
+    use std::time::Duration;
 
     /// Runs `f` once per shard on a fresh `k`-way localhost mesh (threads
     /// standing in for processes) and returns the results in shard order.
-    fn with_mesh<R, F>(k: u32, f: F) -> Vec<R>
+    fn with_mesh_cfg<R, F>(k: u32, config: NetConfig, chaos: Option<ChaosConfig>, f: F) -> Vec<R>
     where
         R: Send + 'static,
         F: Fn(NetPlane) -> R + Send + Sync + 'static,
     {
         let coordinator = Coordinator::bind().unwrap();
         let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, coordinator.port()));
-        let coord = thread::spawn(move || coordinator.assign(k).unwrap());
+        let coord_cfg = config.clone();
+        let coord = thread::spawn(move || coordinator.assign(k, &coord_cfg).unwrap());
         let f = Arc::new(f);
         let handles: Vec<_> = (0..k)
             .map(|_| {
                 let f = Arc::clone(&f);
+                let config = config.clone();
                 thread::spawn(move || {
-                    let membership = super::super::membership::join(addr).unwrap();
+                    let membership = membership::join(addr, &config).unwrap();
                     let shard = membership.assign.shard;
-                    let plane = NetPlane::connect(membership).unwrap();
+                    let plane = NetPlane::connect(membership, config, chaos).unwrap();
                     (shard, f(plane))
                 })
             })
@@ -621,6 +898,14 @@ mod tests {
         results.sort_by_key(|&(s, _)| s);
         coord.join().unwrap();
         results.into_iter().map(|(_, r)| r).collect()
+    }
+
+    fn with_mesh<R, F>(k: u32, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(NetPlane) -> R + Send + Sync + 'static,
+    {
+        with_mesh_cfg(k, NetConfig::default(), None, f)
     }
 
     #[test]
@@ -918,13 +1203,98 @@ mod tests {
                 )
                 .unwrap();
                 stream.flush().unwrap();
-                let mut link = Link::new(0, stream).unwrap();
+                let mut link = Link::new(0, stream, 2).unwrap();
                 (2u64..=4)
                     .map(|_| u64::from_wire(&link.recv().unwrap().payload).unwrap())
                     .collect::<Vec<_>>()
             }
         });
         assert_eq!(outs[1], vec![2, 3, 4]);
+    }
+
+    /// The acceptance check for "no unbounded blocking on the hot path":
+    /// a peer that is alive but silent surfaces as a structured
+    /// `PeerTimeout` within the configured budget.
+    #[test]
+    fn silent_peer_yields_peer_timeout_within_budget() {
+        let config = NetConfig::default().with_read_timeout(Duration::from_millis(300));
+        let outs = with_mesh_cfg(2, config, None, |mut plane| {
+            if plane.shard == 0 {
+                let start = Instant::now();
+                let err = plane.try_allreduce_sum(1).unwrap_err();
+                Some((err, start.elapsed()))
+            } else {
+                // Alive but silent: hold the plane open without ever
+                // answering the collective.
+                thread::sleep(Duration::from_millis(900));
+                None
+            }
+        });
+        let (err, elapsed) = outs[0].clone().expect("shard 0 reports");
+        assert_eq!(err, NetError::PeerTimeout { shard: 1, sync: 1 });
+        assert!(
+            elapsed < Duration::from_millis(800),
+            "timeout not bounded by the budget: {elapsed:?}"
+        );
+    }
+
+    /// A lost link with recovery disabled is a structured `PeerLost`,
+    /// not a hang or a panic deep in the transport.
+    #[test]
+    fn lost_peer_without_rejoin_window_is_structured() {
+        let outs = with_mesh(2, |mut plane| {
+            if plane.shard == 0 {
+                Some(plane.try_allreduce_sum(1).unwrap_err())
+            } else {
+                drop(plane); // peer dies outright
+                None
+            }
+        });
+        match outs[0].clone().expect("shard 0 reports") {
+            NetError::PeerLost {
+                shard: 1, sync: 1, ..
+            } => {}
+            // The send may land before the peer's close is visible, in
+            // which case the loss surfaces at the recv instead — but it
+            // must still be PeerLost, never a hang.
+            other => panic!("expected PeerLost, got {other:?}"),
+        }
+    }
+
+    /// Seeded chaos link-drop mid-run: the source force-closes and
+    /// redials, the destination replays its in-flight frames, and the
+    /// result stays bit-identical to sequential.
+    #[test]
+    fn seeded_link_drop_recovers_bit_identically() {
+        // Pick a seed whose drop fires early enough to land mid-run.
+        let seed = (0..64u64)
+            .find(|&s| super::super::chaos::drop_plan(s, 2).sync <= 3)
+            .expect("some seed drops early");
+        let chaos = ChaosConfig {
+            seed,
+            kill: false,
+            drop_link: true,
+            flush_delay: false,
+        };
+        let config = NetConfig::default().with_rejoin_timeout(Some(Duration::from_secs(10)));
+        let g = gen::gnp_capped(40, 0.15, 6, 7);
+        let cfg = reference_cfg(3);
+        let seq = SequentialRuntime.execute(&g, &Flood, &cfg).unwrap();
+        assert!(
+            seq.metrics.rounds >= 4,
+            "workload too short to exercise the drop"
+        );
+        let outs = with_mesh_cfg(2, config, Some(chaos), move |mut plane| {
+            let g = gen::gnp_capped(40, 0.15, 6, 7);
+            let cfg = reference_cfg(3);
+            let net = NetTables::build(&g, &cfg);
+            let range = plane.local_range(g.n());
+            (range, plane.execute_with(&g, &Flood, &cfg, &net).unwrap())
+        });
+        for ((lo, hi), res) in outs {
+            assert_eq!(res.metrics, seq.metrics);
+            assert_eq!(res.states[lo..hi], seq.states[lo..hi]);
+        }
     }
 
     #[test]

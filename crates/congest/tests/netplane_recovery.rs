@@ -1,0 +1,148 @@
+//! Property tests for rejoin-with-replay at the retention boundary.
+//!
+//! The recovery contract (PR 9): a rejoiner that announces `have_sync`
+//! gets **exactly** the retained frames with newer syncs replayed, in
+//! original order — or a structured [`NetError::ReplayGap`] when its ack
+//! predates the retained window. Never a silently gapped stream. A frame
+//! torn mid-replay (the survivor dying while replaying) must surface as a
+//! structured [`FrameError`], never as a decoded partial payload.
+
+use congest::netplane::{
+    kind, read_frame, write_frame, write_torn_frame, FrameError, Link, NetError, Rejoin, Wire,
+};
+use std::io::Write as _;
+use std::net::{Ipv4Addr, TcpListener, TcpStream};
+use std::thread;
+
+/// A connected localhost socket pair.
+fn pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    let port = listener.local_addr().unwrap().port();
+    let dial = thread::spawn(move || TcpStream::connect((Ipv4Addr::LOCALHOST, port)).unwrap());
+    let (near, _) = listener.accept().unwrap();
+    (near, dial.join().unwrap())
+}
+
+/// Drives one scenario: send `total` syncs under `window`, then resume a
+/// fresh connection with `have_sync`. Returns the replayed sync values,
+/// or the structured error.
+fn replay_after(total: u64, window: u64, have_sync: u64) -> Result<Vec<u64>, NetError> {
+    let (near, _far) = pair();
+    let mut link = Link::new(7, near, window).unwrap();
+    for sync in 1..=total {
+        link.send_retained(sync, kind::ROUND, &sync.to_wire())
+            .unwrap();
+    }
+    link.flush().unwrap();
+    let (fresh_near, fresh_far) = pair();
+    link.resume(fresh_near, have_sync)?;
+    // Close the write side so the reader sees a clean end after the
+    // replayed frames.
+    drop(link);
+    let mut far = fresh_far;
+    let mut got = Vec::new();
+    loop {
+        match read_frame(&mut far) {
+            Ok(frame) => {
+                assert_eq!(frame.kind, kind::ROUND);
+                got.push(u64::from_wire(&frame.payload).unwrap());
+            }
+            Err(FrameError::Closed) => break,
+            Err(e) => panic!("replay stream must end cleanly, got {e}"),
+        }
+    }
+    Ok(got)
+}
+
+/// Sweeping every (total, window, have_sync) combination in a small box:
+/// the replay is exact — `(have_sync, total]` — whenever `have_sync` is
+/// at or above the prune watermark, and a structured `ReplayGap` below
+/// it. The boundary case `have_sync == pruned_through` must recover
+/// exactly, not error.
+#[test]
+fn replay_is_exact_or_refused_across_the_retention_boundary() {
+    for total in [3u64, 5, 8, 12] {
+        for window in [1u64, 2, 3, 7, u64::MAX] {
+            // The prune watermark after `total` sends under `window`:
+            // everything at or below it is gone.
+            let pruned_through = if window == u64::MAX {
+                0
+            } else {
+                total.saturating_sub(window)
+            };
+            for have_sync in 0..=total {
+                let case = format!(
+                    "total={total} window={window} have_sync={have_sync} \
+                     pruned_through={pruned_through}"
+                );
+                match replay_after(total, window, have_sync) {
+                    Ok(got) => {
+                        assert!(have_sync >= pruned_through, "gapped replay allowed: {case}");
+                        let want: Vec<u64> = (have_sync + 1..=total).collect();
+                        assert_eq!(got, want, "inexact replay: {case}");
+                    }
+                    Err(NetError::ReplayGap {
+                        shard,
+                        have_sync: h,
+                        pruned_through: p,
+                    }) => {
+                        assert!(have_sync < pruned_through, "spurious refusal: {case}");
+                        assert_eq!(
+                            (shard, h, p),
+                            (7, have_sync, pruned_through),
+                            "wrong gap diagnostics: {case}"
+                        );
+                    }
+                    Err(e) => panic!("unexpected error {e}: {case}"),
+                }
+            }
+        }
+    }
+}
+
+/// A survivor dying mid-replay tears a frame on the wire; the rejoiner's
+/// decoder must surface a structured mid-frame EOF, never a partial
+/// payload decoded as data.
+#[test]
+fn torn_frame_mid_replay_is_a_structured_error() {
+    // Replay three frames; tear the middle one at every possible byte
+    // boundary (header and payload).
+    let payloads: Vec<Vec<u8>> = (1u64..=3).map(|s| s.to_wire()).collect();
+    let frame_len = 6 + payloads[1].len();
+    for tear_at in 0..frame_len {
+        let (mut near, far) = pair();
+        let reader = thread::spawn(move || {
+            let mut far = far;
+            let mut got = Vec::new();
+            let err = loop {
+                match read_frame(&mut far) {
+                    Ok(frame) => got.push(u64::from_wire(&frame.payload).unwrap()),
+                    Err(e) => break e,
+                }
+            };
+            (got, err)
+        });
+        write_frame(&mut near, kind::ROUND, &payloads[0]).unwrap();
+        write_torn_frame(&mut near, kind::ROUND, &payloads[1], tear_at).unwrap();
+        near.flush().unwrap();
+        drop(near); // the survivor is gone mid-replay
+        let (got, err) = reader.join().unwrap();
+        assert_eq!(got, vec![1], "tear_at={tear_at}");
+        if tear_at == 0 {
+            // Torn before any byte: a clean close at a frame boundary.
+            assert_eq!(err, FrameError::Closed, "tear_at={tear_at}");
+        } else {
+            assert_eq!(err, FrameError::UnexpectedEof, "tear_at={tear_at}");
+        }
+    }
+}
+
+/// The `Rejoin` payload itself round-trips exactly at the boundary
+/// values recovery depends on.
+#[test]
+fn rejoin_payload_roundtrips_boundary_values() {
+    for have_sync in [0u64, 1, u64::MAX - 1, u64::MAX] {
+        let rejoin = Rejoin { from: 3, have_sync };
+        assert_eq!(Rejoin::from_wire(&rejoin.to_wire()).unwrap(), rejoin);
+    }
+}

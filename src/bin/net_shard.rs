@@ -2,22 +2,25 @@
 //!
 //! ```text
 //! net_shard <coordinator addr> <algo> <family> <n> <degree> <graph_seed> <run_seed>
+//!           [--chaos <seed>] [--rejoin <shard> <ports-csv>]
 //! ```
 //!
 //! Spawned by [`d2color::netharness::run_distributed`] (directly by
 //! `tests/net_equivalence.rs`; the `harness` binary re-execs itself via
 //! its `net-shard` subcommand instead). Joins the coordinator, runs the
 //! spec's pipeline over the socket mesh, reports its color slice, exits.
-
-use d2color::netharness::NetSpec;
+//! `--chaos` runs the shard under a seeded fault schedule; `--rejoin`
+//! marks the process as a supervisor-spawned replacement for a killed
+//! shard, redialing the surviving mesh at the given ports.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((addr, spec_args)) = args.split_first() else {
-        eprintln!("usage: net_shard <coordinator> <algo> <family> <n> <degree> <gseed> <rseed>");
+    let Some((addr, spec, opts)) = d2color::netharness::parse_shard_argv(&args) else {
+        eprintln!(
+            "usage: net_shard <coordinator> <algo> <family> <n> <degree> <gseed> <rseed> \
+             [--chaos <seed>] [--rejoin <shard> <ports-csv>]"
+        );
         std::process::exit(2);
     };
-    let addr = addr.parse().expect("coordinator address");
-    let spec = NetSpec::parse_args(spec_args).expect("shard spec");
-    d2color::netharness::shard_main(addr, &spec).expect("shard transport failure");
+    d2color::netharness::shard_main(addr, &spec, &opts).expect("shard transport failure");
 }

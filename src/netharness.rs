@@ -12,7 +12,7 @@
 //! The process tree looks like:
 //!
 //! ```text
-//! orchestrator (run_distributed)
+//! orchestrator (run_distributed / run_supervised)
 //! ├── binds the coordinator listener, learns its port
 //! ├── spawns k shard processes:  <program> [prefix..] <addr> <spec..>
 //! │     each: join_mesh(addr) → install → run the pipeline → RESULT
@@ -22,14 +22,33 @@
 //! Every shard rebuilds the identical world from the spec — graphs are
 //! generated, never shipped — so the only bytes on the wire are round
 //! messages, barrier flags, and the final per-shard color slices.
+//!
+//! # Supervision
+//!
+//! Children are held in kill-on-drop `ShardGuard`s: if the
+//! orchestrator panics mid-run (coordinator bug, handshake timeout), the
+//! unwinding drops reap every shard — no orphaned processes. In
+//! *supervised* mode ([`run_supervised`]) the orchestrator is a real
+//! supervisor: shards run under a seeded chaos schedule
+//! ([`congest::netplane::chaos`]) that kills one of them mid-phase; the
+//! supervisor detects the exit, respawns the victim with `--rejoin`, and
+//! the replacement rebuilds the seeded world, replays the survivors'
+//! retained frames to the live frontier, and finishes the run — with the
+//! stitched coloring and merged metrics still bit-identical to the
+//! sequential reference.
 
-use congest::netplane::{self, kind, read_frame, Reader, Wire, WireError};
+use congest::netplane::{
+    self, chaos, kind, read_frame, ChaosConfig, NetConfig, Reader, Wire, WireError,
+};
 use congest::{Metrics, Scheduling, SimConfig};
 use d2core::{ColoringOutcome, Params};
 use graphs::Graph;
 use std::io;
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpStream};
 use std::process::{Child, Command};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// Pipelines the harness can serve over sockets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +198,78 @@ impl NetSpec {
     }
 }
 
+/// Per-process options riding after the spec on a shard's `argv`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardOptions {
+    /// Run under a seeded chaos schedule (`--chaos <seed>`).
+    pub chaos_seed: Option<u64>,
+    /// This process replaces a killed shard (`--rejoin <shard>
+    /// <ports-csv>`): rejoin the surviving mesh at the original ports
+    /// and re-execute from scratch. Chaos is never combined with rejoin
+    /// — the supervisor strips it so the replacement runs clean.
+    pub rejoin: Option<(u32, Vec<u16>)>,
+}
+
+impl ShardOptions {
+    /// Serializes the options as trailing shard-process arguments.
+    #[must_use]
+    pub fn to_args(&self) -> Vec<String> {
+        let mut args = Vec::new();
+        if let Some(seed) = self.chaos_seed {
+            args.push("--chaos".into());
+            args.push(seed.to_string());
+        }
+        if let Some((shard, ports)) = &self.rejoin {
+            args.push("--rejoin".into());
+            args.push(shard.to_string());
+            args.push(
+                ports
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+        }
+        args
+    }
+}
+
+/// Parses a full shard-process argument list:
+/// `<addr> <algo> <family> <n> <degree> <graph_seed> <run_seed>
+/// [--chaos <seed>] [--rejoin <shard> <ports-csv>]`.
+/// Shared by the `net_shard` binary and the harness `net-shard`
+/// subcommand so the two argv dialects cannot drift.
+#[must_use]
+pub fn parse_shard_argv(args: &[String]) -> Option<(SocketAddr, NetSpec, ShardOptions)> {
+    if args.len() < 7 {
+        return None;
+    }
+    let addr: SocketAddr = args[0].parse().ok()?;
+    let spec = NetSpec::parse_args(&args[1..7])?;
+    let mut opts = ShardOptions::default();
+    let mut rest = &args[7..];
+    while let Some(flag) = rest.first() {
+        match flag.as_str() {
+            "--chaos" => {
+                opts.chaos_seed = Some(rest.get(1)?.parse().ok()?);
+                rest = &rest[2..];
+            }
+            "--rejoin" => {
+                let shard = rest.get(1)?.parse().ok()?;
+                let ports = rest
+                    .get(2)?
+                    .split(',')
+                    .map(|p| p.parse().ok())
+                    .collect::<Option<Vec<u16>>>()?;
+                opts.rejoin = Some((shard, ports));
+                rest = &rest[3..];
+            }
+            _ => return None,
+        }
+    }
+    Some((addr, spec, opts))
+}
+
 /// Runs the spec's pipeline in-process (used by both the sequential
 /// reference and, with a netplane installed, the shard body).
 ///
@@ -245,15 +336,33 @@ pub struct NetOutcome {
     pub metrics: Metrics,
 }
 
-/// The body of one shard process: full membership handshake, pipeline
-/// run with the netplane installed, `RESULT` report.
+/// The body of one shard process: membership handshake (or rejoin),
+/// pipeline run with the netplane installed, `RESULT` report.
+///
+/// A process launched with `--chaos` (or `--rejoin`) runs under
+/// [`NetConfig::supervised`]: unbounded frame retention and a rejoin
+/// window, so it can service — or be — a restarted peer.
 ///
 /// # Errors
 ///
 /// Returns transport errors; pipeline failures abort the process (they
 /// indicate an engine bug, not recoverable I/O).
-pub fn shard_main(coordinator: SocketAddr, spec: &NetSpec) -> io::Result<()> {
-    let plane = netplane::join_mesh(coordinator)?;
+pub fn shard_main(coordinator: SocketAddr, spec: &NetSpec, opts: &ShardOptions) -> io::Result<()> {
+    let supervised = opts.chaos_seed.is_some() || opts.rejoin.is_some();
+    let config = if supervised {
+        NetConfig::supervised()
+    } else {
+        NetConfig::default()
+    };
+    let plane = match &opts.rejoin {
+        Some((shard, ports)) => {
+            netplane::rejoin_mesh(coordinator, *shard, ports, config).map_err(io::Error::other)?
+        }
+        None => {
+            let chaos_cfg = opts.chaos_seed.map(ChaosConfig::seeded);
+            netplane::join_mesh(coordinator, config, chaos_cfg).map_err(io::Error::other)?
+        }
+    };
     let shard = plane.shard;
     netplane::install(plane);
     let g = spec.build_graph();
@@ -294,47 +403,83 @@ impl ShardCommand {
     }
 }
 
-/// Orchestrates a full distributed run: coordinator, `k` shard
-/// processes, result stitching.
-///
-/// Panics on any shard failure — the harness and tests both want a loud
-/// abort, never a silently partial coloring.
-#[must_use]
-pub fn run_distributed(spec: &NetSpec, k: u32, cmd: &ShardCommand) -> NetOutcome {
-    assert!(k >= 1, "need at least one shard");
-    let coord = netplane::coordinator().expect("bind coordinator listener");
-    let addr = format!("127.0.0.1:{}", coord.port());
+/// A spawned shard held kill-on-drop: if the orchestrator unwinds (or
+/// simply forgets to reap), dropping the guard kills and reaps the
+/// child, so no code path can leak shard processes.
+#[derive(Debug)]
+struct ShardGuard {
+    child: Child,
+    /// An observed exit was already acted on (respawn or success).
+    handled: bool,
+}
 
-    let mut children: Vec<Child> = (0..k)
-        .map(|i| {
-            Command::new(&cmd.program)
-                .args(&cmd.prefix_args)
-                .arg(&addr)
-                .args(spec.to_args())
-                .spawn()
-                .unwrap_or_else(|e| panic!("spawn shard {i} ({}): {e}", cmd.program))
-        })
-        .collect();
-
-    let controls = coord.assign(k).expect("shard membership handshake");
-    let n = spec.n;
-    let mut results: Vec<Option<ShardResult>> = (0..k).map(|_| None).collect();
-    for mut stream in controls {
-        let frame = read_frame(&mut stream).expect("shard RESULT frame");
-        assert_eq!(frame.kind, kind::RESULT, "unexpected control frame");
-        let r = ShardResult::from_wire(&frame.payload).expect("RESULT payload");
-        let slot = r.shard as usize;
-        assert!(
-            results[slot].is_none(),
-            "duplicate RESULT from shard {slot}"
-        );
-        results[slot] = Some(r);
-    }
-    for (i, child) in children.iter_mut().enumerate() {
-        let status = child.wait().expect("wait on shard");
-        assert!(status.success(), "shard {i} exited with {status}");
+impl ShardGuard {
+    /// Non-blocking death check: `true` exactly once, when the child has
+    /// exited unsuccessfully and nobody has acted on it yet.
+    fn failed_exit(&mut self) -> bool {
+        if self.handled {
+            return false;
+        }
+        match self.child.try_wait() {
+            Ok(Some(status)) if !status.success() => {
+                self.handled = true;
+                true
+            }
+            _ => false,
+        }
     }
 
+    /// Blocks for exit and asserts success (normal end-of-run reap).
+    fn expect_success(&mut self, who: &str) {
+        let status = self.child.wait().expect("wait on shard");
+        self.handled = true;
+        assert!(status.success(), "{who} exited with {status}");
+    }
+}
+
+impl Drop for ShardGuard {
+    fn drop(&mut self) {
+        // Idempotent: killing an exited/reaped child is an ignorable
+        // error, so unconditional kill-then-reap is safe on every path.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_shard(cmd: &ShardCommand, addr: &str, spec: &NetSpec, opts: &ShardOptions) -> ShardGuard {
+    let child = Command::new(&cmd.program)
+        .args(&cmd.prefix_args)
+        .arg(addr)
+        .args(spec.to_args())
+        .args(opts.to_args())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn shard ({}): {e}", cmd.program));
+    ShardGuard {
+        child,
+        handled: false,
+    }
+}
+
+/// One background reader per control stream: reads a single `RESULT`
+/// frame and forwards it. A stream that EOFs without one (the shard
+/// died) just ends — the supervisor's exit polling handles the death.
+fn spawn_result_reader(mut stream: TcpStream, tx: &mpsc::Sender<ShardResult>) {
+    let tx = tx.clone();
+    thread::spawn(move || {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(600)));
+        if let Ok(frame) = read_frame(&mut stream) {
+            if frame.kind == kind::RESULT {
+                if let Ok(r) = ShardResult::from_wire(&frame.payload) {
+                    let _ = tx.send(r);
+                }
+            }
+        }
+    });
+}
+
+/// Stitches per-shard results into the global outcome, checking ranges
+/// tile the node set and every shard agrees on the merged metrics.
+fn stitch(n: usize, k: u32, results: Vec<Option<ShardResult>>) -> NetOutcome {
     let results: Vec<ShardResult> = results
         .into_iter()
         .enumerate()
@@ -366,6 +511,170 @@ pub fn run_distributed(spec: &NetSpec, k: u32, cmd: &ShardCommand) -> NetOutcome
     }
 }
 
+fn store_result(results: &mut [Option<ShardResult>], r: ShardResult) {
+    let slot = r.shard as usize;
+    assert!(
+        slot < results.len(),
+        "RESULT from out-of-range shard {slot}"
+    );
+    assert!(
+        results[slot].is_none(),
+        "duplicate RESULT from shard {slot}"
+    );
+    results[slot] = Some(r);
+}
+
+/// Orchestrates a full distributed run: coordinator, `k` shard
+/// processes, result stitching. Children are kill-on-drop; a shard
+/// death fails the run loudly (for survivable chaos runs use
+/// [`run_supervised`]).
+///
+/// Panics on any shard failure — the harness and tests both want a loud
+/// abort, never a silently partial coloring.
+#[must_use]
+pub fn run_distributed(spec: &NetSpec, k: u32, cmd: &ShardCommand) -> NetOutcome {
+    assert!(k >= 1, "need at least one shard");
+    let config = NetConfig::default();
+    let coord = netplane::coordinator().expect("bind coordinator listener");
+    let addr = format!("127.0.0.1:{}", coord.port());
+
+    let mut guards: Vec<ShardGuard> = (0..k)
+        .map(|_| spawn_shard(cmd, &addr, spec, &ShardOptions::default()))
+        .collect();
+
+    let assignment = coord
+        .assign(k, &config)
+        .expect("shard membership handshake");
+    let mut results: Vec<Option<ShardResult>> = (0..k).map(|_| None).collect();
+    for mut stream in assignment.controls {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(600)))
+            .expect("control read deadline");
+        let frame = read_frame(&mut stream).expect("shard RESULT frame");
+        assert_eq!(frame.kind, kind::RESULT, "unexpected control frame");
+        store_result(
+            &mut results,
+            ShardResult::from_wire(&frame.payload).expect("RESULT payload"),
+        );
+    }
+    for (i, guard) in guards.iter_mut().enumerate() {
+        guard.expect_success(&format!("shard process {i}"));
+    }
+    stitch(spec.n, k, results)
+}
+
+/// What happened in a supervised chaos run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosRunReport {
+    /// The chaos schedule seed.
+    pub chaos_seed: u64,
+    /// The shard the schedule killed.
+    pub killed_shard: u32,
+    /// The plane sync at which the kill was scheduled.
+    pub kill_sync: u64,
+    /// Whether the supervisor actually observed the death and respawned
+    /// (a schedule whose kill never fires completes without one).
+    pub respawned: bool,
+}
+
+/// Orchestrates a *supervised* chaos run: `k` shards under a seeded
+/// chaos schedule that kills one of them mid-phase; the supervisor
+/// detects the exit, respawns the victim with `--rejoin` (chaos
+/// stripped), and the replacement replays the survivors' retained
+/// history to the live frontier. Returns the stitched outcome — which
+/// must be bit-identical to the chaos-free and sequential runs — plus a
+/// report of what the supervisor observed.
+///
+/// Panics on a second concurrent failure (outside the survivable model)
+/// or on supervision timeout.
+#[must_use]
+pub fn run_supervised(
+    spec: &NetSpec,
+    k: u32,
+    cmd: &ShardCommand,
+    chaos_seed: u64,
+) -> (NetOutcome, ChaosRunReport) {
+    assert!(k >= 2, "supervised chaos needs at least two shards");
+    let config = NetConfig::supervised();
+    let coord = netplane::coordinator().expect("bind coordinator listener");
+    let addr = format!("127.0.0.1:{}", coord.port());
+    let chaos_opts = ShardOptions {
+        chaos_seed: Some(chaos_seed),
+        rejoin: None,
+    };
+    let mut guards: Vec<ShardGuard> = (0..k)
+        .map(|_| spawn_shard(cmd, &addr, spec, &chaos_opts))
+        .collect();
+
+    let assignment = coord
+        .assign(k, &config)
+        .expect("shard membership handshake");
+    let ports: Vec<u16> = assignment.peers.iter().map(|&(_, port)| port).collect();
+    let plan = chaos::kill_plan(chaos_seed, k);
+
+    let (tx, rx) = mpsc::channel();
+    for stream in assignment.controls {
+        spawn_result_reader(stream, &tx);
+    }
+
+    let mut results: Vec<Option<ShardResult>> = (0..k).map(|_| None).collect();
+    let mut got = 0u32;
+    let mut respawned = false;
+    let deadline = Instant::now() + Duration::from_secs(240);
+    while got < k {
+        assert!(
+            Instant::now() < deadline,
+            "supervised run timed out awaiting shard results ({got}/{k})"
+        );
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(r) => {
+                store_result(&mut results, r);
+                got += 1;
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                unreachable!("supervisor holds a live sender")
+            }
+        }
+        for guard in &mut guards {
+            if guard.failed_exit() {
+                assert!(
+                    !respawned,
+                    "second shard failure — only one loss at a time is survivable"
+                );
+                respawned = true;
+                // The dead child is the schedule's victim (only chaos
+                // kills shards here); respawn it with rejoin, no chaos.
+                let rejoin_opts = ShardOptions {
+                    chaos_seed: None,
+                    rejoin: Some((plan.victim, ports.clone())),
+                };
+                *guard = spawn_shard(cmd, &addr, spec, &rejoin_opts);
+                // The replacement dials the coordinator first thing for
+                // its fresh control stream.
+                let control = coord
+                    .accept_control(Duration::from_secs(60))
+                    .expect("rejoiner control redial");
+                spawn_result_reader(control, &tx);
+            }
+        }
+    }
+    for guard in &mut guards {
+        guard.expect_success("surviving shard");
+    }
+    let outcome = stitch(spec.n, k, results);
+    (
+        outcome,
+        ChaosRunReport {
+            chaos_seed,
+            killed_shard: plan.victim,
+            kill_sync: plan.sync,
+            respawned,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +695,47 @@ mod tests {
         let mut bad = args.clone();
         bad[0] = "quantum".into();
         assert!(NetSpec::parse_args(&bad).is_none());
+    }
+
+    fn full_argv(extra: &[&str]) -> Vec<String> {
+        let mut args = vec!["127.0.0.1:9000".to_string()];
+        args.extend(
+            NetSpec {
+                algo: NetAlgo::DetSmall,
+                family: NetGraph::RandomRegular,
+                n: 80,
+                degree: 4,
+                graph_seed: 3,
+                run_seed: 1,
+            }
+            .to_args(),
+        );
+        args.extend(extra.iter().map(ToString::to_string));
+        args
+    }
+
+    #[test]
+    fn shard_argv_roundtrips_options() {
+        let (addr, spec, opts) = parse_shard_argv(&full_argv(&[])).unwrap();
+        assert_eq!(addr.port(), 9000);
+        assert_eq!(spec.n, 80);
+        assert_eq!(opts, ShardOptions::default());
+
+        let (_, _, opts) = parse_shard_argv(&full_argv(&["--chaos", "9"])).unwrap();
+        assert_eq!(opts.chaos_seed, Some(9));
+        assert_eq!(opts.to_args(), vec!["--chaos", "9"]);
+
+        let (_, _, opts) =
+            parse_shard_argv(&full_argv(&["--rejoin", "2", "7001,7002,7003,7004"])).unwrap();
+        assert_eq!(opts.rejoin, Some((2, vec![7001, 7002, 7003, 7004])));
+        assert_eq!(opts.to_args(), vec!["--rejoin", "2", "7001,7002,7003,7004"]);
+
+        // Malformed tails are rejected, never silently ignored.
+        assert!(parse_shard_argv(&full_argv(&["--chaos"])).is_none());
+        assert!(parse_shard_argv(&full_argv(&["--rejoin", "2"])).is_none());
+        assert!(parse_shard_argv(&full_argv(&["--rejoin", "2", "70x1"])).is_none());
+        assert!(parse_shard_argv(&full_argv(&["--frobnicate"])).is_none());
+        assert!(parse_shard_argv(&full_argv(&[])[..4]).is_none());
     }
 
     #[test]
@@ -422,5 +772,32 @@ mod tests {
         for v in 0..a.n() as u32 {
             assert_eq!(a.neighbors(v), b.neighbors(v));
         }
+    }
+
+    /// The orphan-leak regression (satellite of PR 9): dropping a
+    /// [`ShardGuard`] — as stack unwinding does when the coordinator
+    /// panics mid-assign — must kill and reap the child.
+    #[test]
+    fn shard_guard_kills_child_on_drop() {
+        let child = Command::new("sleep")
+            .arg("30")
+            .spawn()
+            .expect("spawn sleeper");
+        let pid = child.id();
+        let guard = ShardGuard {
+            child,
+            handled: false,
+        };
+        assert!(
+            std::path::Path::new(&format!("/proc/{pid}")).exists(),
+            "sleeper must be alive before the drop"
+        );
+        drop(guard);
+        // Killed *and reaped*: the pid entry is gone (a zombie would
+        // still show up here).
+        assert!(
+            !std::path::Path::new(&format!("/proc/{pid}")).exists(),
+            "dropping the guard must kill and reap the child"
+        );
     }
 }
