@@ -63,6 +63,16 @@ checked-in baselines on machine-portable invariants only:
   unobservable), control cells must be bit-exact with BENCH_PR8's
   4-process cells, and model metrics plus the seeded kill schedule
   (victim, sync) must be bit-exact with the recording.
+* ``pr10``: validates a freshly emitted ``BENCH_PR10.json`` (netplane
+  active-set frontier economics) against the checked-in recording
+  *and* the checked-in ``BENCH_PR9.json``: every cell must be
+  bit-identical to the sequential reference and valid; each active-set
+  cell needs an always-step twin with identical model metrics and
+  >= PR10_STEP_REDUCTION x fewer stepped nodes; always-step control
+  cells must be bit-exact with BENCH_PR9's controls (the engine
+  unification is unobservable where nothing changed); and model
+  metrics plus stepped-node counts must be bit-exact with the
+  recording.
 
 Usage:
     python3 ci/bench_gate.py pr2 BENCH_PR2.json BENCH_PR1.json
@@ -73,6 +83,7 @@ Usage:
     python3 ci/bench_gate.py pr7 BENCH_PR7.json BENCH_PR7.recorded.json BENCH_PR6.json BENCH_PR5.json
     python3 ci/bench_gate.py pr8 BENCH_PR8.json BENCH_PR8.recorded.json
     python3 ci/bench_gate.py pr9 BENCH_PR9.json BENCH_PR9.recorded.json BENCH_PR8.json
+    python3 ci/bench_gate.py pr10 BENCH_PR10.json BENCH_PR10.recorded.json BENCH_PR9.json
 
 Importable for unit tests (``ci/test_bench_gate.py``): every check is a
 pure function over parsed documents that raises ``GateError`` with a
@@ -227,6 +238,27 @@ PR9_MODEL_KEYS = PR8_MODEL_KEYS
 
 # Kill-schedule facts that are seeded and therefore reproducible.
 PR9_SCHEDULE_KEYS = ("chaos_seed", "killed_shard", "kill_sync")
+
+# PR10 frontier-economics cells: the PR8 columns plus the scheduling
+# mode and the stepped-node total (mirrors benchkit::pr10::Pr10Cell).
+PR10_CELL_KEYS = PR8_CELL_KEYS | {"scheduling", "stepped_nodes"}
+
+# Every PR10 cell runs at this shard count (mirrors
+# benchkit::pr10::PROCESSES).
+PR10_PROCESSES = 4
+
+PR10_SCHEDULES = {"active-set", "always-step"}
+
+# Model metrics that must be identical between the two schedules of the
+# same workload — everything except stepped_nodes, the one column
+# scheduling is allowed to move.
+PR10_MODEL_KEYS = PR8_MODEL_KEYS
+
+# Acceptance factor for the netplane active-set inheritance (ISSUE 10):
+# the straggler workload must step >= 3x fewer nodes under active-set
+# than under always-step, across the same 4-process mesh (mirrors
+# benchkit::pr10::STEP_REDUCTION).
+PR10_STEP_REDUCTION = 3
 
 
 class GateError(AssertionError):
@@ -946,6 +978,132 @@ def validate_pr9(fresh, recorded, pr8, log=print):
         f"recording")
 
 
+def check_pr10_shape(pr10):
+    """Structural + acceptance validity of one BENCH_PR10 document."""
+    require(pr10.get("bench") == "BENCH_PR10",
+            f"not a BENCH_PR10 document: {pr10.get('bench')!r}")
+    cells = pr10["cells"]
+    require(cells, "no cells in BENCH_PR10 report")
+    seen = set()
+    for c in cells:
+        missing = PR10_CELL_KEYS - c.keys()
+        require(not missing, f"cell {c.get('graph')!r} missing {missing}")
+        key = f"{c['graph']} [{c['scheduling']}]"
+        require(c["scheduling"] in PR10_SCHEDULES,
+                f"{key}: unknown scheduling mode")
+        require((c["graph"], c["scheduling"]) not in seen,
+                f"duplicate cell {key}")
+        seen.add((c["graph"], c["scheduling"]))
+        require(c["processes"] == PR10_PROCESSES,
+                f"{key}: unexpected process count {c['processes']}")
+        require(c["identical"] is True,
+                f"{key}: distributed run diverged from the sequential "
+                "reference (colorings or metrics not bit-identical)")
+        require(c["valid"] is True, f"{key}: coloring invalid")
+        require(c["rounds"] > 0 and c["messages"] > 0,
+                f"{key}: ran 0 rounds")
+        require(c["stepped_nodes"] > 0, f"{key}: stepped no nodes")
+    algos = {c["algo"] for c in cells}
+    require({"det-small", "rand-improved"} <= algos,
+            f"matrix must cover both pipelines, got {sorted(algos)}")
+    active = [c for c in cells if c["scheduling"] == "active-set"]
+    require(active, "no active-set cell — the frontier is never exercised")
+    by_key = {(c["graph"], c["scheduling"]): c for c in cells}
+    for c in active:
+        require((c["graph"], "always-step") in by_key,
+                f"{c['graph']}: active-set cell has no always-step twin "
+                "to measure the frontier against")
+
+
+def check_pr10_frontier(pr10):
+    """Scheduling must be unobservable in every model metric, and the
+    active-set frontier must actually park nodes: for every workload run
+    under both schedules, rounds/messages/bits/palette are equal and
+    stepped_nodes falls by >= PR10_STEP_REDUCTION x."""
+    by_key = {(c["graph"], c["scheduling"]): c for c in pr10["cells"]}
+    checked = 0
+    for (graph, sched), c in sorted(by_key.items()):
+        if sched != "active-set":
+            continue
+        twin = by_key[(graph, "always-step")]
+        for k in PR10_MODEL_KEYS:
+            require(c[k] == twin[k],
+                    f"{graph}: {k} differs between schedules "
+                    f"({c[k]} vs {twin[k]}) — scheduling is observable")
+        require(c["stepped_nodes"] * PR10_STEP_REDUCTION
+                <= twin["stepped_nodes"],
+                f"{graph}: active-set stepped {c['stepped_nodes']} nodes, "
+                f"needs <= always-step {twin['stepped_nodes']} / "
+                f"{PR10_STEP_REDUCTION}")
+        checked += 1
+    require(checked > 0, "no schedule pairs to check")
+
+
+def check_pr10_against_pr9(pr10, pr9):
+    """The always-step cells rerun PR9 control workloads on the same
+    4-process mesh, so their model metrics must be bit-exact with the
+    checked-in BENCH_PR9 controls — the engine unification must be
+    unobservable where nothing changed."""
+    rec = {c["graph"]: c for c in pr9["cells"] if not c["chaos"]}
+    matched = 0
+    for c in pr10["cells"]:
+        if c["scheduling"] != "always-step" or c["graph"] not in rec:
+            continue
+        for k in PR9_MODEL_KEYS:
+            require(c[k] == rec[c["graph"]][k],
+                    f"{c['graph']}: {k} drifted from BENCH_PR9 "
+                    f"{rec[c['graph']][k]} -> {c[k]}")
+        matched += 1
+    require(matched >= 2,
+            f"expected >= 2 control cells shared with BENCH_PR9, "
+            f"got {matched}")
+
+
+def check_pr10_bit_exact(recorded, fresh):
+    """Workloads, schedules, and the engine are all seeded and
+    deterministic, so fresh model metrics *and* stepped-node counts must
+    reproduce the recording exactly."""
+    rec = {(c["graph"], c["scheduling"]): c for c in recorded["cells"]}
+    require(len(rec) == len(recorded["cells"]),
+            "recorded report has duplicate (graph, scheduling) cells")
+    for c in fresh["cells"]:
+        key = (c["graph"], c["scheduling"])
+        require(key in rec,
+                f"fresh cell {c['graph']} [{c['scheduling']}] has no "
+                "recorded counterpart")
+        for k in PR10_MODEL_KEYS + ("stepped_nodes",):
+            require(c[k] == rec[key][k],
+                    f"{c['graph']} [{c['scheduling']}]: {k} drifted "
+                    f"{rec[key][k]} -> {c[k]}")
+    require(len(fresh["cells"]) == len(recorded["cells"]),
+            f"cell count drifted {len(recorded['cells'])} -> "
+            f"{len(fresh['cells'])}")
+
+
+def validate_pr10(fresh, recorded, pr9, log=print):
+    """The full PR10 gate: shape + acceptance on both documents, the
+    frontier economics, continuity of the control cells with the
+    checked-in BENCH_PR9, and fresh bit-exact with the recording."""
+    check_pr10_shape(fresh)
+    check_pr10_shape(recorded)
+    check_pr10_frontier(fresh)
+    check_pr10_against_pr9(fresh, pr9)
+    check_pr10_bit_exact(recorded, fresh)
+    by_key = {(c["graph"], c["scheduling"]): c for c in fresh["cells"]}
+    ratios = [
+        twin["stepped_nodes"] / max(c["stepped_nodes"], 1)
+        for (graph, sched), c in by_key.items()
+        if sched == "active-set"
+        for twin in [by_key[(graph, "always-step")]]
+    ]
+    log(f"BENCH_PR10.json OK: {len(fresh['cells'])} cells, every "
+        f"distributed run bit-identical to the sequential reference, "
+        f"controls bit-exact with BENCH_PR9, active-set frontier "
+        f"{min(ratios):.1f}x below always-step (bound "
+        f"{PR10_STEP_REDUCTION}x), everything bit-exact with the "
+        f"recording")
+
+
 def load(path):
     with open(path) as f:
         return json.load(f)
@@ -1009,9 +1167,16 @@ def main(argv):
                       "BENCH_PR8.recorded.json", file=sys.stderr)
                 return 2
             validate_pr8(load(argv[2]), load(argv[3]))
+        elif gate == "pr10":
+            if len(argv) != 5:
+                print("usage: bench_gate.py pr10 BENCH_PR10.json "
+                      "BENCH_PR10.recorded.json BENCH_PR9.json",
+                      file=sys.stderr)
+                return 2
+            validate_pr10(load(argv[2]), load(argv[3]), load(argv[4]))
         else:
             print(f"unknown gate {gate!r}; available: pr2, pr3, pr4, pr5, "
-                  "pr6, pr7, pr8, pr9", file=sys.stderr)
+                  "pr6, pr7, pr8, pr9, pr10", file=sys.stderr)
             return 2
     except GateError as e:
         print(f"BENCH GATE FAILED: {e}", file=sys.stderr)

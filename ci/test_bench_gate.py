@@ -1014,6 +1014,147 @@ class Pr9GateTests(unittest.TestCase):
         self._validate(fresh, rec)
 
 
+def pr10_cell(graph="det-small-gnp-n400-d5-g21-s42", algo="det-small",
+              scheduling="always-step", n=400, delta=5, rounds=465,
+              messages=15_847, total_bits=120_000, palette=26,
+              stepped_nodes=186_000):
+    return {
+        "graph": graph, "algo": algo, "n": n, "delta": delta,
+        "processes": 4, "scheduling": scheduling,
+        "wall_ms_sequential": 12.0, "wall_ms_net": 80.0,
+        "rounds": rounds, "messages": messages,
+        "total_bits": total_bits, "palette": palette,
+        "stepped_nodes": stepped_nodes,
+        "identical": True, "valid": True,
+    }
+
+
+def pr10_doc():
+    """Two always-step controls (the PR9 workloads, model numbers
+    matching pr9_cell) plus the straggler under both schedules, with a
+    comfortable frontier reduction."""
+    controls = [
+        pr10_cell(graph="det-small-gnp-n200-d5-g11-s42", algo="det-small",
+                  n=200, rounds=465, messages=8190, total_bits=70_000,
+                  stepped_nodes=93_000),
+        pr10_cell(graph="rand-improved-regular-n160-d6-g14-s42",
+                  algo="rand-improved", n=200, rounds=465, messages=8190,
+                  total_bits=70_000, stepped_nodes=74_400),
+    ]
+    straggler = [
+        pr10_cell(scheduling="always-step", stepped_nodes=186_000),
+        pr10_cell(scheduling="active-set", stepped_nodes=11_119),
+    ]
+    return {
+        "bench": "BENCH_PR10",
+        "description": "netplane active-set frontier economics",
+        "cells": controls + straggler,
+    }
+
+
+def pr10_pr9_doc():
+    """A BENCH_PR9 recording whose control cells match pr10_doc's
+    always-step controls on the PR9 model keys (pr9_cell and the
+    pr10_doc controls share the same model numbers)."""
+    return pr9_doc()
+
+
+class Pr10GateTests(unittest.TestCase):
+    def _validate(self, fresh, recorded, pr9=None):
+        bench_gate.validate_pr10(fresh, recorded, pr9 or pr10_pr9_doc(),
+                                 log=lambda *_: None)
+
+    def test_valid_doc_passes(self):
+        doc = pr10_doc()
+        self._validate(copy.deepcopy(doc), doc)
+
+    def test_wrong_bench_tag_fails(self):
+        doc = pr10_doc()
+        doc["bench"] = "BENCH_PR9"
+        with self.assertRaisesRegex(GateError, "not a BENCH_PR10"):
+            bench_gate.check_pr10_shape(doc)
+
+    def test_missing_scheduling_key_fails(self):
+        doc = pr10_doc()
+        del doc["cells"][0]["scheduling"]
+        with self.assertRaisesRegex(GateError, "missing"):
+            bench_gate.check_pr10_shape(doc)
+
+    def test_unknown_schedule_fails(self):
+        doc = pr10_doc()
+        doc["cells"][3]["scheduling"] = "sometimes"
+        with self.assertRaisesRegex(GateError, "unknown scheduling"):
+            bench_gate.check_pr10_shape(doc)
+
+    def test_duplicate_cell_fails(self):
+        doc = pr10_doc()
+        doc["cells"].append(copy.deepcopy(doc["cells"][3]))
+        with self.assertRaisesRegex(GateError, "duplicate cell"):
+            bench_gate.check_pr10_shape(doc)
+
+    def test_divergent_cell_fails(self):
+        doc = pr10_doc()
+        doc["cells"][3]["identical"] = False
+        with self.assertRaisesRegex(GateError, "diverged"):
+            bench_gate.check_pr10_shape(doc)
+
+    def test_active_cell_without_twin_fails(self):
+        doc = pr10_doc()
+        doc["cells"] = [c for c in doc["cells"]
+                        if not (c["scheduling"] == "always-step"
+                                and c["graph"].endswith("g21-s42"))]
+        with self.assertRaisesRegex(GateError, "no always-step twin"):
+            bench_gate.check_pr10_shape(doc)
+
+    def test_matrix_without_active_cell_fails(self):
+        doc = pr10_doc()
+        doc["cells"] = [c for c in doc["cells"]
+                        if c["scheduling"] == "always-step"]
+        with self.assertRaisesRegex(GateError, "no active-set cell"):
+            bench_gate.check_pr10_shape(doc)
+
+    def test_observable_scheduling_fails(self):
+        doc = pr10_doc()
+        doc["cells"][3]["messages"] += 1
+        with self.assertRaisesRegex(GateError, "scheduling is observable"):
+            bench_gate.check_pr10_frontier(doc)
+
+    def test_weak_frontier_reduction_fails(self):
+        doc = pr10_doc()
+        doc["cells"][3]["stepped_nodes"] = 80_000  # under 3x of 186k
+        with self.assertRaisesRegex(GateError, "active-set stepped"):
+            bench_gate.check_pr10_frontier(doc)
+
+    def test_control_drift_from_pr9_fails(self):
+        doc = pr10_doc()
+        doc["cells"][0]["rounds"] += 1
+        with self.assertRaisesRegex(GateError, "drifted from BENCH_PR9"):
+            bench_gate.check_pr10_against_pr9(doc, pr10_pr9_doc())
+
+    def test_straggler_is_not_required_in_pr9(self):
+        # The straggler workload is new in PR10 — only shared labels are
+        # diffed, and two controls must remain shared.
+        bench_gate.check_pr10_against_pr9(pr10_doc(), pr10_pr9_doc())
+
+    def test_too_few_shared_controls_fails(self):
+        doc = pr10_doc()
+        doc["cells"][1]["graph"] = "rand-improved-regular-n999-d6-g14-s42"
+        with self.assertRaisesRegex(GateError, ">= 2 control cells"):
+            bench_gate.check_pr10_against_pr9(doc, pr10_pr9_doc())
+
+    def test_stepped_node_drift_fails(self):
+        fresh, rec = pr10_doc(), pr10_doc()
+        fresh["cells"][3]["stepped_nodes"] -= 1
+        with self.assertRaisesRegex(GateError, "stepped_nodes drifted"):
+            bench_gate.check_pr10_bit_exact(rec, fresh)
+
+    def test_wall_clock_drift_is_tolerated(self):
+        fresh, rec = pr10_doc(), pr10_doc()
+        for c in fresh["cells"]:
+            c["wall_ms_net"] *= 4.0
+        self._validate(fresh, rec)
+
+
 class CliTests(unittest.TestCase):
     def test_unknown_gate_is_usage_error(self):
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr9"]), 2)
@@ -1027,6 +1168,7 @@ class CliTests(unittest.TestCase):
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr7", "x", "y"]), 2)
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr6", "x"]), 2)
         self.assertEqual(bench_gate.main(["bench_gate.py", "pr8", "x"]), 2)
+        self.assertEqual(bench_gate.main(["bench_gate.py", "pr10", "x", "y"]), 2)
 
 
 if __name__ == "__main__":

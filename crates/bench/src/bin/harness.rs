@@ -13,7 +13,8 @@
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr7 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr8 [out.json]
 //! cargo run --release -p d2color-bench --bin harness -- bench-pr9 [out.json]
-//! cargo run --release -p d2color-bench --bin harness -- net-run <k> <algo> <family> <n> <degree> <gseed> <rseed> [--chaos <seed>]
+//! cargo run --release -p d2color-bench --bin harness -- bench-pr10 [out.json]
+//! cargo run --release -p d2color-bench --bin harness -- net-run <k> <algo> <family> <n> <degree> <gseed> <rseed> [--sched <active|always>] [--drops <ppm> <seed>] [--chaos <seed>]
 //! cargo run --release -p d2color-bench --bin harness -- net-shard <coordinator> <algo> <family> <n> <degree> <gseed> <rseed> [--chaos <seed>] [--rejoin <shard> <ports-csv>]
 //! cargo run --release -p d2color-bench --bin harness -- chaos-smoke
 //! cargo run --release -p d2color-bench --bin harness -- scale-smoke
@@ -690,16 +691,74 @@ fn bench_pr9() {
     println!("\nwrote {} cells to {out_path}", cells.len());
 }
 
+/// Runs the BENCH_PR10 frontier-economics matrix (PR 9 control
+/// workloads under always-step + the det-small straggler under both
+/// schedules, all across 4 processes) and writes the JSON report
+/// (default path: `BENCH_PR10.json`).
+fn bench_pr10() {
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_PR10.json".into());
+    let cmd = d2color::netharness::ShardCommand::current_exe("net-shard");
+    let cells = benchkit::pr10::run_matrix(&cmd);
+    for c in &cells {
+        println!(
+            "{:<34} x{} procs  {:<11}  net {:>8.1} ms  rounds {:>5}  \
+             messages {:>9}  stepped {:>8}  identical {}  valid {}",
+            c.graph,
+            c.processes,
+            c.scheduling,
+            c.wall_ms_net,
+            c.rounds,
+            c.messages,
+            c.stepped_nodes,
+            c.identical,
+            c.valid
+        );
+        assert!(
+            c.identical,
+            "{} ({}): sharded run diverged from sequential",
+            c.graph, c.scheduling
+        );
+        assert!(c.valid, "{}: sharded coloring failed validation", c.graph);
+    }
+    let straggler = benchkit::pr10::straggler_spec().label();
+    let stepped = |sched: &str| {
+        cells
+            .iter()
+            .find(|c| c.graph == straggler && c.scheduling == sched)
+            .map(|c| c.stepped_nodes)
+            .expect("straggler cell present")
+    };
+    let (always, active) = (stepped("always-step"), stepped("active-set"));
+    println!(
+        "\nstraggler frontier: {active} stepped under active-set vs {always} \
+         always-step ({:.1}x reduction, bound {}x)",
+        always as f64 / active.max(1) as f64,
+        benchkit::pr10::STEP_REDUCTION
+    );
+    assert!(
+        active * benchkit::pr10::STEP_REDUCTION <= always,
+        "active-set stepped {active} nodes, needs <= always-step {always} / {}",
+        benchkit::pr10::STEP_REDUCTION
+    );
+    let doc = benchkit::pr10::to_json(&cells);
+    std::fs::write(&out_path, doc).expect("write BENCH_PR10.json");
+    println!("wrote {} cells to {out_path}", cells.len());
+}
+
 /// One netplane shard process (spawned by `net-run` / `bench-pr8` /
-/// `bench-pr9`): `harness net-shard <coordinator> <algo> <family> <n>
-/// <degree> <gseed> <rseed> [--chaos <seed>] [--rejoin <shard>
+/// `bench-pr9` / `bench-pr10`): `harness net-shard <coordinator> <algo>
+/// <family> <n> <degree> <gseed> <rseed> [--sched <active|always>]
+/// [--drops <ppm> <seed>] [--chaos <seed>] [--rejoin <shard>
 /// <ports-csv>]`.
 fn net_shard() {
     let args: Vec<String> = std::env::args().skip(2).collect();
     let Some((addr, spec, opts)) = d2color::netharness::parse_shard_argv(&args) else {
         eprintln!(
             "usage: harness net-shard <coordinator> <algo> <family> <n> <degree> <gseed> <rseed> \
-             [--chaos <seed>] [--rejoin <shard> <ports-csv>]"
+             [--sched <active|always>] [--drops <ppm> <seed>] [--chaos <seed>] \
+             [--rejoin <shard> <ports-csv>]"
         );
         std::process::exit(2);
     };
@@ -708,11 +767,13 @@ fn net_shard() {
 
 /// One interactive distributed run:
 /// `harness net-run <k> <algo> <family> <n> <degree> <gseed> <rseed>
-/// [--chaos <seed>]`. Runs the spec sequentially and across `k`
-/// processes, prints both, and exits nonzero on any divergence. With
-/// `--chaos` the mesh runs supervised under the seeded kill schedule:
-/// one shard dies mid-phase, is respawned with rejoin, and the stitched
-/// result must still match the sequential reference bit-for-bit.
+/// [--sched <active|always>] [--drops <ppm> <seed>] [--chaos <seed>]`.
+/// Runs the spec sequentially and across `k` processes — both sides
+/// under the same engine profile — prints both, and exits nonzero on
+/// any divergence. With `--chaos` the mesh runs supervised under the
+/// seeded kill schedule: one shard dies mid-phase, is respawned with
+/// rejoin, and the stitched result must still match the sequential
+/// reference bit-for-bit.
 fn net_run() {
     let mut args: Vec<String> = std::env::args().skip(2).collect();
     let chaos_seed = match args.iter().position(|a| a == "--chaos") {
@@ -726,6 +787,26 @@ fn net_run() {
         }
         None => None,
     };
+    let mut profile = d2color::netharness::RunProfile::default();
+    if let Some(i) = args.iter().position(|a| a == "--sched") {
+        profile.scheduling = args
+            .get(i + 1)
+            .and_then(|s| d2color::netharness::RunProfile::parse_sched(s))
+            .expect("--sched <active|always>");
+        args.drain(i..i + 2);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--drops") {
+        let ppm = args
+            .get(i + 1)
+            .and_then(|s| s.parse::<u32>().ok())
+            .expect("--drops <ppm> <seed>");
+        let seed = args
+            .get(i + 2)
+            .and_then(|s| s.parse::<u64>().ok())
+            .expect("--drops <ppm> <seed>");
+        profile.drops = Some((ppm, seed));
+        args.drain(i..i + 3);
+    }
     let (k, spec) = match args.split_first() {
         Some((k, rest)) => (
             k.parse::<u32>().expect("process count"),
@@ -734,17 +815,19 @@ fn net_run() {
         None => {
             eprintln!(
                 "usage: harness net-run <k> <algo> <family> <n> <degree> <gseed> <rseed> \
-                 [--chaos <seed>]\n\
-                 e.g.:  harness net-run 4 rand-improved gnp 200 6 13 42 --chaos 29"
+                 [--sched <active|always>] [--drops <ppm> <seed>] [--chaos <seed>]\n\
+                 e.g.:  harness net-run 4 rand-improved gnp 200 6 13 42 --chaos 29\n\
+                 e.g.:  harness net-run 4 det-small gnp 200 5 11 42 \
+                 --sched active --drops 25000 7 --chaos 29"
             );
             std::process::exit(2);
         }
     };
-    let seq = d2color::netharness::run_sequential(&spec);
+    let seq = d2color::netharness::run_sequential(&spec, &profile);
     let cmd = d2color::netharness::ShardCommand::current_exe("net-shard");
     let net = match chaos_seed {
         Some(seed) => {
-            let (net, report) = d2color::netharness::run_supervised(&spec, k, &cmd, seed);
+            let (net, report) = d2color::netharness::run_supervised(&spec, k, &cmd, seed, &profile);
             println!(
                 "chaos seed {seed}: killed shard {} at sync {} — respawned {}",
                 report.killed_shard, report.kill_sync, report.respawned
@@ -755,7 +838,7 @@ fn net_run() {
             );
             net
         }
-        None => d2color::netharness::run_distributed(&spec, k, &cmd),
+        None => d2color::netharness::run_distributed(&spec, k, &cmd, &profile),
     };
     let g = spec.build_graph();
     let valid = graphs::verify::is_valid_d2_coloring(&g, &net.colors);
@@ -771,7 +854,16 @@ fn net_run() {
         identical,
         "sharded run diverged from the sequential reference"
     );
-    assert!(valid, "sharded coloring failed validation");
+    // An adversarial drop plane may legitimately leave conflicts (the
+    // contract there is differential: every engine must lose the same
+    // messages); clean runs must verify.
+    match profile.drops {
+        Some(_) => assert!(
+            net.metrics.faults_dropped > 0,
+            "drop plane was configured but never fired"
+        ),
+        None => assert!(valid, "sharded coloring failed validation"),
+    }
 }
 
 /// CI chaos-smoke: the fault-seed differential matrix alone — both full
@@ -935,6 +1027,10 @@ fn main() {
         bench_pr9();
         return;
     }
+    if arg == "bench-pr10" {
+        bench_pr10();
+        return;
+    }
     if arg == "net-shard" {
         net_shard();
         return;
@@ -971,7 +1067,7 @@ fn main() {
             Some((_, f)) => f(),
             None => {
                 eprintln!(
-                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, bench-pr4, bench-pr5, bench-pr6, bench-pr7, bench-pr8, bench-pr9, net-run, net-shard, chaos-smoke, scale-smoke, scale-coloring-1e6, scale-rand-1e6"
+                    "unknown experiment {name}; available: all, exp1..exp8, exp10..exp12, bench-pr1, bench-pr2, bench-pr3, bench-pr4, bench-pr5, bench-pr6, bench-pr7, bench-pr8, bench-pr9, bench-pr10, net-run, net-shard, chaos-smoke, scale-smoke, scale-coloring-1e6, scale-rand-1e6"
                 );
                 std::process::exit(2);
             }

@@ -9,6 +9,7 @@ use graphs::{D2View, Graph};
 pub mod alloc;
 pub mod json;
 pub mod pr1;
+pub mod pr10;
 pub mod pr2;
 pub mod pr3;
 pub mod pr4;

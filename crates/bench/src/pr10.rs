@@ -1,0 +1,281 @@
+//! `BENCH_PR10.json`: frontier economics of active-set scheduling over
+//! the netplane.
+//!
+//! PR 10 collapses the three round engines (sequential, parallel,
+//! netplane) into one shared core behind a `Transport` trait — which
+//! means the netplane inherits [`congest::Scheduling::ActiveSet`] and
+//! the simulated fault plane for free. This matrix is the CI-facing
+//! witness of the *economics* of that inheritance:
+//!
+//! * **Control cells** rerun the PR 9 workloads (always-step, 4
+//!   processes, clean mesh). Their model metrics must be bit-exact with
+//!   the checked-in `BENCH_PR9.json` controls — the engine unification
+//!   must be unobservable where nothing changed.
+//! * **Straggler cells** run a det-small workload twice — once
+//!   always-step, once active-set (`--sched active`) — across the same
+//!   4-process mesh. Colorings, rounds, messages, and bit totals must
+//!   be identical between the two schedules; `stepped_nodes` must fall
+//!   by at least [`STEP_REDUCTION`]x, proving the wake frontier
+//!   actually parks nodes *across process boundaries*.
+//!
+//! Everything is seeded, so every column (including stepped-node
+//! counts) is bit-exact across machines and reruns; `ci/bench_gate.py
+//! pr10` diffs fresh numbers against the recording and the control
+//! cells against `BENCH_PR9.json`.
+
+use crate::json::Json;
+use crate::pr9;
+use d2color::netharness::{
+    run_distributed, run_sequential, NetAlgo, NetGraph, NetSpec, RunProfile, ShardCommand,
+};
+use std::time::Instant;
+
+/// Shard process count for every cell (mirrors the PR 9 matrix so
+/// control cells are diffable).
+pub const PROCESSES: u32 = 4;
+
+/// Required stepped-node reduction of the straggler workload's
+/// active-set run against its always-step twin.
+pub const STEP_REDUCTION: u64 = 3;
+
+/// The control workloads, drawn verbatim from the PR 9 matrix so their
+/// cells have checked-in numbers to diff against.
+#[must_use]
+pub fn control_specs() -> Vec<NetSpec> {
+    pr9::specs()
+}
+
+/// The straggler workload: det-small on a sparse capped G(n, p). Low
+/// average degree leaves most nodes finished (and parked) early while a
+/// denser core keeps iterating — the shape active-set scheduling is
+/// for. Distinct from every control label so the matrix has no
+/// duplicate `(graph, scheduling)` cells.
+#[must_use]
+pub fn straggler_spec() -> NetSpec {
+    NetSpec {
+        algo: NetAlgo::DetSmall,
+        family: NetGraph::GnpCapped,
+        n: 400,
+        degree: 5,
+        graph_seed: 21,
+        run_seed: 42,
+    }
+}
+
+/// One `(workload, scheduling)` cell.
+#[derive(Debug, Clone)]
+pub struct Pr10Cell {
+    /// Workload label (spec round-trip key).
+    pub graph: String,
+    /// Algorithm name.
+    pub algo: String,
+    /// Nodes.
+    pub n: usize,
+    /// Maximum degree.
+    pub delta: usize,
+    /// OS processes the run was sharded across.
+    pub processes: u32,
+    /// Scheduling mode: `"active-set"` or `"always-step"`.
+    pub scheduling: String,
+    /// Wall-clock milliseconds of the sequential reference.
+    pub wall_ms_sequential: f64,
+    /// Wall-clock milliseconds of the distributed run (spawn to stitch).
+    pub wall_ms_net: f64,
+    /// Rounds to completion (identical across transports and schedules).
+    pub rounds: u64,
+    /// Total messages delivered (identical across transports/schedules).
+    pub messages: u64,
+    /// Total payload bits (identical across transports/schedules).
+    pub total_bits: u64,
+    /// Palette certificate.
+    pub palette: usize,
+    /// Nodes stepped over the whole run — the one metric scheduling is
+    /// allowed to move.
+    pub stepped_nodes: u64,
+    /// Colorings and full metrics bit-identical to the reference.
+    pub identical: bool,
+    /// Distributed coloring verified against the d2 oracle.
+    pub valid: bool,
+}
+
+fn sched_name(profile: &RunProfile) -> &'static str {
+    match profile.sched_token() {
+        "active" => "active-set",
+        _ => "always-step",
+    }
+}
+
+fn run_cell(spec: &NetSpec, profile: &RunProfile, cmd: &ShardCommand) -> Pr10Cell {
+    let g = spec.build_graph();
+    let view = graphs::D2View::build(&g);
+    let t0 = Instant::now();
+    let seq = run_sequential(spec, profile);
+    let wall_ms_sequential = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let net = run_distributed(spec, PROCESSES, cmd, profile);
+    let wall_ms_net = t1.elapsed().as_secs_f64() * 1e3;
+    let palette = net
+        .colors
+        .iter()
+        .filter(|&&c| c != u32::MAX)
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
+    Pr10Cell {
+        graph: spec.label(),
+        algo: spec.algo.token().into(),
+        n: g.n(),
+        delta: g.max_degree(),
+        processes: PROCESSES,
+        scheduling: sched_name(profile).into(),
+        wall_ms_sequential,
+        wall_ms_net,
+        rounds: net.metrics.rounds,
+        messages: net.metrics.messages,
+        total_bits: net.metrics.total_bits,
+        palette,
+        stepped_nodes: net.metrics.stepped_nodes,
+        identical: net.colors == seq.colors && net.metrics == seq.metrics,
+        valid: graphs::verify::is_valid_d2_coloring_with(&view, &net.colors),
+    }
+}
+
+/// Runs the full matrix: the PR 9 control workloads under the default
+/// profile, then the straggler workload under both schedules.
+#[must_use]
+pub fn run_matrix(cmd: &ShardCommand) -> Vec<Pr10Cell> {
+    let mut cells = Vec::new();
+    for spec in control_specs() {
+        cells.push(run_cell(&spec, &RunProfile::default(), cmd));
+    }
+    let straggler = straggler_spec();
+    cells.push(run_cell(&straggler, &RunProfile::default(), cmd));
+    cells.push(run_cell(&straggler, &RunProfile::active_set(), cmd));
+    cells
+}
+
+fn ms(x: f64) -> Json {
+    Json::Num((x * 1000.0).round() / 1000.0)
+}
+
+/// Serializes the cells into the `BENCH_PR10.json` document.
+#[must_use]
+pub fn to_json(cells: &[Pr10Cell]) -> String {
+    let rows = cells
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("graph", Json::str(&c.graph)),
+                ("algo", Json::str(&c.algo)),
+                ("n", Json::int(c.n as u64)),
+                ("delta", Json::int(c.delta as u64)),
+                ("processes", Json::int(u64::from(c.processes))),
+                ("scheduling", Json::str(&c.scheduling)),
+                ("wall_ms_sequential", ms(c.wall_ms_sequential)),
+                ("wall_ms_net", ms(c.wall_ms_net)),
+                ("rounds", Json::int(c.rounds)),
+                ("messages", Json::int(c.messages)),
+                ("total_bits", Json::int(c.total_bits)),
+                ("palette", Json::int(c.palette as u64)),
+                ("stepped_nodes", Json::int(c.stepped_nodes)),
+                ("identical", Json::Bool(c.identical)),
+                ("valid", Json::Bool(c.valid)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("bench", Json::str("BENCH_PR10")),
+        (
+            "description",
+            Json::str(
+                "Netplane active-set frontier economics: the PR 9 \
+                 workloads as always-step controls (bit-exact vs \
+                 BENCH_PR9) plus a det-small straggler run under both \
+                 schedules across 4 OS processes — colorings and model \
+                 metrics schedule-identical, stepped nodes down >= 3x \
+                 under active-set, everything bit-identical to the \
+                 sequential reference",
+            ),
+        ),
+        ("cells", Json::Arr(rows)),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cells() -> Vec<Pr10Cell> {
+        [("always-step", 76_800u64), ("active-set", 19_200)]
+            .iter()
+            .map(|&(sched, stepped)| Pr10Cell {
+                graph: "det-small-gnp-n400-d5-g21-s42".into(),
+                algo: "det-small".into(),
+                n: 400,
+                delta: 5,
+                processes: PROCESSES,
+                scheduling: sched.into(),
+                wall_ms_sequential: 120.0,
+                wall_ms_net: 350.0,
+                rounds: 96,
+                messages: 54_321,
+                total_bits: 987_654,
+                palette: 24,
+                stepped_nodes: stepped,
+                identical: true,
+                valid: true,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serializes_required_fields() {
+        let s = to_json(&sample_cells());
+        for key in [
+            "\"bench\": \"BENCH_PR10\"",
+            "\"cells\"",
+            "\"graph\": \"det-small-gnp-n400-d5-g21-s42\"",
+            "\"scheduling\": \"always-step\"",
+            "\"scheduling\": \"active-set\"",
+            "\"stepped_nodes\": 76800",
+            "\"stepped_nodes\": 19200",
+            "\"identical\": true",
+            "\"valid\": true",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn controls_are_drawn_from_the_pr9_matrix() {
+        // Control cells are only diffable against BENCH_PR9.json if the
+        // specs (and hence labels) match exactly.
+        let pr9_labels: Vec<String> = pr9::specs().iter().map(NetSpec::label).collect();
+        assert!(control_specs()
+            .iter()
+            .all(|s| pr9_labels.contains(&s.label())));
+        let algos: Vec<&str> = control_specs().iter().map(|s| s.algo.token()).collect();
+        assert!(algos.contains(&"det-small") && algos.contains(&"rand-improved"));
+    }
+
+    #[test]
+    fn straggler_label_is_distinct_from_every_control() {
+        let s = straggler_spec();
+        assert_eq!(
+            s.algo,
+            NetAlgo::DetSmall,
+            "frontier economics cell is det-small"
+        );
+        assert!(
+            control_specs().iter().all(|c| c.label() != s.label()),
+            "straggler label collides with a control — duplicate (graph, scheduling) cells"
+        );
+    }
+
+    #[test]
+    fn scheduling_tokens_match_the_gate_vocabulary() {
+        assert_eq!(sched_name(&RunProfile::default()), "always-step");
+        assert_eq!(sched_name(&RunProfile::active_set()), "active-set");
+    }
+}

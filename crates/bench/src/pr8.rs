@@ -16,7 +16,7 @@
 
 use crate::json::Json;
 use d2color::netharness::{
-    run_distributed, run_sequential, NetAlgo, NetGraph, NetSpec, ShardCommand,
+    run_distributed, run_sequential, NetAlgo, NetGraph, NetSpec, RunProfile, ShardCommand,
 };
 use std::time::Instant;
 
@@ -103,11 +103,11 @@ pub fn run_matrix(cmd: &ShardCommand) -> Vec<Pr8Cell> {
         let g = spec.build_graph();
         let view = graphs::D2View::build(&g);
         let t0 = Instant::now();
-        let seq = run_sequential(&spec);
+        let seq = run_sequential(&spec, &RunProfile::default());
         let wall_ms_sequential = t0.elapsed().as_secs_f64() * 1e3;
         for &k in &SHARD_COUNTS {
             let t1 = Instant::now();
-            let net = run_distributed(&spec, k, cmd);
+            let net = run_distributed(&spec, k, cmd, &RunProfile::default());
             let wall_ms_net = t1.elapsed().as_secs_f64() * 1e3;
             let palette = net
                 .colors

@@ -19,7 +19,7 @@
 use crate::json::Json;
 use crate::pr8;
 use d2color::netharness::{
-    run_distributed, run_sequential, run_supervised, NetOutcome, NetSpec, ShardCommand,
+    run_distributed, run_sequential, run_supervised, NetOutcome, NetSpec, RunProfile, ShardCommand,
 };
 use std::time::Instant;
 
@@ -140,11 +140,11 @@ pub fn run_matrix(cmd: &ShardCommand) -> Vec<Pr9Cell> {
     let mut cells = Vec::new();
     for spec in specs() {
         let t0 = Instant::now();
-        let seq = run_sequential(&spec);
+        let seq = run_sequential(&spec, &RunProfile::default());
         let wall_seq = t0.elapsed().as_secs_f64() * 1e3;
 
         let t1 = Instant::now();
-        let control = run_distributed(&spec, PROCESSES, cmd);
+        let control = run_distributed(&spec, PROCESSES, cmd, &RunProfile::default());
         let control_cell = finish(
             cell(&spec, &seq, wall_seq),
             &spec,
@@ -155,7 +155,8 @@ pub fn run_matrix(cmd: &ShardCommand) -> Vec<Pr9Cell> {
         cells.push(control_cell);
 
         let t2 = Instant::now();
-        let (net, report) = run_supervised(&spec, PROCESSES, cmd, CHAOS_SEED);
+        let (net, report) =
+            run_supervised(&spec, PROCESSES, cmd, CHAOS_SEED, &RunProfile::default());
         let mut chaos_cell = finish(
             cell(&spec, &seq, wall_seq),
             &spec,

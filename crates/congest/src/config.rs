@@ -52,6 +52,25 @@ pub enum Scheduling {
     AlwaysStep,
 }
 
+impl Scheduling {
+    /// Whether the engine actually runs the active-set frontier for a run
+    /// with the given fault/batching shape.
+    ///
+    /// Parking is disabled when crashes meet round batching
+    /// (`sync_period > 1`): a crash landing in a silent window could flip
+    /// the unanimity outcome between rounds the engines never compare
+    /// votes at, and no in-repo workload combines the two. Every engine —
+    /// sequential, parallel, netplane — must apply this rule identically
+    /// or their schedules (and `Metrics::stepped_nodes`) diverge, so it
+    /// lives here, once.
+    ///
+    /// [`Metrics::stepped_nodes`]: crate::Metrics::stepped_nodes
+    #[must_use]
+    pub fn effective(self, has_crashes: bool, sync_period: u64) -> bool {
+        self == Scheduling::ActiveSet && !(has_crashes && sync_period > 1)
+    }
+}
+
 /// Per-round work threshold (in units of `n + 2m`) above which
 /// [`RuntimeMode::Auto`] selects the parallel engine (given more than one
 /// core — see [`RuntimeMode::resolve_for`]).
@@ -329,6 +348,22 @@ impl Default for SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn effective_scheduling_disables_parking_only_for_crashes_with_batching() {
+        // The frontier runs whenever requested…
+        assert!(Scheduling::ActiveSet.effective(false, 1));
+        assert!(Scheduling::ActiveSet.effective(false, 5));
+        assert!(Scheduling::ActiveSet.effective(true, 1));
+        // …except when crashes meet round batching.
+        assert!(!Scheduling::ActiveSet.effective(true, 2));
+        // AlwaysStep never parks, whatever the run shape.
+        for crashes in [false, true] {
+            for period in [1, 2, 5] {
+                assert!(!Scheduling::AlwaysStep.effective(crashes, period));
+            }
+        }
+    }
 
     #[test]
     fn bandwidth_budget_scales_with_n() {

@@ -3,11 +3,13 @@
 //!
 //! # Why faults are *scheduled*, not sampled online
 //!
-//! Both engines must produce bit-identical observables for the same seed
-//! (the repo's foundational differential invariant), so faults cannot be
-//! drawn from any stream whose consumption order depends on the engine:
-//! the parallel runtime steps shards concurrently and stages messages in
-//! shard-interleaved order. Instead, every fault is a **pure function of
+//! Every engine — sequential, parallel, and the multi-process netplane —
+//! must produce bit-identical observables for the same seed (the repo's
+//! foundational differential invariant), so faults cannot be drawn from
+//! any stream whose consumption order depends on the engine: the parallel
+//! runtime steps shards concurrently and stages messages in
+//! shard-interleaved order, and netplane shards evaluate fates in
+//! separate OS processes. Instead, every fault is a **pure function of
 //! its coordinates**:
 //!
 //! * the fate of a message (delivered / dropped / duplicated) depends only
@@ -16,9 +18,11 @@
 //! * the crash window of a node is precomputed at plane construction by
 //!   walking nodes `0..n` in index order with one `ChaCha8` stream.
 //!
-//! Whichever thread evaluates a fault, at whatever time, it computes the
-//! same answer. The differential harness (`tests/fault_equivalence.rs`)
-//! asserts this across sequential vs parallel engines.
+//! Whichever thread — or process — evaluates a fault, at whatever time,
+//! it computes the same answer. The differential harness
+//! (`tests/fault_equivalence.rs`) asserts this across sequential vs
+//! parallel engines, and `tests/net_equivalence.rs` extends the claim to
+//! shards running over sockets.
 //!
 //! The plane is salted with the run's RNG salt, so each phase of a
 //! multi-phase [`Driver`](crate::SimConfig::rng_salt)-style pipeline draws
@@ -221,8 +225,8 @@ impl FaultPlane {
     }
 
     /// The fate of the message sent by node `src` on port `port` in round
-    /// `round` — a pure function of the coordinates, so both engines agree
-    /// regardless of evaluation order.
+    /// `round` — a pure function of the coordinates, so every engine (and
+    /// every netplane shard process) agrees regardless of evaluation order.
     #[must_use]
     pub fn fate(&self, round: u64, src: u32, port: Port) -> Fate {
         if self.drop_per_million == 0 && self.dup_per_million == 0 {

@@ -30,8 +30,9 @@
 //!
 //! Robustness experiments run against a deterministic fault plane
 //! ([`faults`]): seeded per-(round, edge) message drops/duplicates and
-//! per-node crash windows injected identically by both engines, so a fault
-//! trace reproduces bit for bit from its `(graph seed, fault seed)` pair.
+//! per-node crash windows injected identically by every engine (the
+//! multi-process [`netplane`] included), so a fault trace reproduces bit
+//! for bit from its `(graph seed, fault seed)` pair.
 //!
 //! # Example
 //!

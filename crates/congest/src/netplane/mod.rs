@@ -25,16 +25,22 @@
 //!
 //! # Barrier / flush contract
 //!
-//! The engine ([`NetPlane::execute_with`]) steps its owned nodes each
-//! round exactly like the sequential engine's always-step sweep. At
-//! every **communication round** (per
-//! [`Protocol::sync_period`](crate::Protocol::sync_period)) it writes
-//! one `ROUND` frame per peer —
-//! carrying all cross-shard messages plus the shard's local termination,
-//! progress, and strict-bandwidth flags — and flushes once. It then
-//! blocks for exactly one `ROUND` frame from each peer. That exchange
-//! *is* the round barrier: buffered writes are flushed only there, and no
-//! shard enters round `r + 1` before every shard finished round `r`.
+//! [`NetPlane::execute_with`] does not implement a round loop of its
+//! own: it drives the shared engine core (see the
+//! [runtime module docs](crate::runtime)) through the mesh `Transport`.
+//! The core steps this shard's owned nodes; at every **communication
+//! round** (per [`Protocol::sync_period`](crate::Protocol::sync_period))
+//! the transport writes one `ROUND` frame per peer — carrying all
+//! cross-shard messages plus the shard's `RoundFlags` (termination-vote
+//! AND, sticky-running and crash-projection sums, first
+//! strict-bandwidth violation) — and flushes once. It then blocks for
+//! exactly one `ROUND` frame from each peer. That exchange *is* the
+//! round barrier: buffered writes are flushed only there, and no shard
+//! enters round `r + 1` before every shard finished round `r`. The
+//! exchange happens every communication round regardless of scheduling
+//! mode (a fully-parked shard still publishes its flags), so the
+//! plane's sequence trajectory — and any seeded [`chaos`] plan keyed to
+//! it — is identical under `ActiveSet` and `AlwaysStep`.
 //! Declared-silent rounds (periods > 1) touch the wire not at all.
 //!
 //! # Bit-identity guarantee
@@ -59,9 +65,14 @@
 //!   shards, so every process returns the very error the sequential
 //!   engine would.
 //!
-//! Fault injection of the *simulated* network is not supported here
-//! ([`crate::faults`] needs an omniscient scheduler); the engine rejects
-//! faulted configs. Faults of the *real* network are the [`chaos`]
+//! Because the round loop is the shared core, the in-process engines'
+//! capabilities come with it: active-set scheduling
+//! ([`Scheduling::ActiveSet`](crate::Scheduling) — only the wake
+//! frontier is stepped, with [`Metrics::stepped_nodes`](crate::Metrics)
+//! the only field allowed to shrink) and the simulated fault plane
+//! ([`crate::faults`] — the schedule is a pure function of
+//! `(config, salt, n)`, so every shard charges the identical fates and
+//! crash windows). Faults of the *real* network are the [`chaos`]
 //! plane's job.
 //!
 //! # Membership and restarts

@@ -12,11 +12,17 @@
 //! watermark, and strict-bandwidth first-violation exactly; see the
 //! [module docs](super) for the full bit-identity argument.
 //!
-//! The engine always steps every local node each round (the classic
-//! schedule — [`Scheduling::AlwaysStep`] semantics) and rejects fault
-//! injection *of the simulated network* ([`crate::faults`] needs an
-//! omniscient scheduler); faults of the *real* network are the chaos
-//! plane's job ([`super::chaos`]).
+//! The round loop itself is the shared engine core (see the
+//! [runtime module docs](crate::runtime)); this module contributes only
+//! the socket transport — frame I/O, membership, retention/rejoin, and
+//! the chaos plane. Active-set scheduling
+//! ([`Scheduling::ActiveSet`](crate::Scheduling)) and the simulated
+//! fault plane ([`crate::faults`]) therefore work here exactly as in the
+//! in-process engines: the fault schedule is a pure function of
+//! `(config, salt, n)`, so every shard computes the identical trace, and
+//! the frontier/termination machinery runs on flags merged at the round
+//! barrier. Faults of the *real* network are the chaos plane's job
+//! ([`super::chaos`]).
 //!
 //! # The plane sequence number
 //!
@@ -47,8 +53,10 @@ use super::membership::{
     self, Coordinator, Link, Membership, NetConfig, NetError, RecvFailure, Rejoin,
 };
 use super::wire::{Reader, Wire, WireError};
-use crate::runtime::{node_rng, RunResult, SimError};
-use crate::{Inbox, Message, Metrics, NetTables, Outbox, Protocol, SimConfig, Status};
+use crate::faults::FaultPlane;
+use crate::runtime::engine::{self, RoundFlags, ShardWorld, Transport};
+use crate::runtime::{RunResult, SimError};
+use crate::{Metrics, NetTables, Protocol, SimConfig};
 use graphs::Graph;
 use std::io::{self, Write as _};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
@@ -70,15 +78,19 @@ fn shard_of(n: usize, n_shards: usize, v: usize) -> usize {
 }
 
 /// One communication round's traffic to a single peer: the sender's local
-/// control flags plus every message destined for that peer's nodes.
+/// `RoundFlags` plus every message destined for that peer's nodes.
 struct RoundEnvelope<M> {
     /// Plane sequence number — serialized *first*, so the generic mesh
     /// receive path can read it without knowing the payload type.
     sync: u64,
     /// AND of the sender's local termination votes this round.
     all_done: bool,
-    /// OR of the sender's local progress (sends + vote flips) this round.
-    progressed: bool,
+    /// The sender's count of non-crashed local nodes whose sticky vote is
+    /// still `Running` (active-set termination; see the engine core).
+    running: u64,
+    /// The sender's one-round-ahead projection of `running` under the
+    /// fault plane's scheduled crash/recovery events (crash-probe latch).
+    proj_running: u64,
     /// The sender's first strict-bandwidth violation this round, as
     /// `(node index, message bits)` — `None` outside strict mode.
     violation: Option<(u32, u64)>,
@@ -90,7 +102,8 @@ impl<M: Wire> Wire for RoundEnvelope<M> {
     fn put(&self, buf: &mut Vec<u8>) {
         self.sync.put(buf);
         self.all_done.put(buf);
-        self.progressed.put(buf);
+        self.running.put(buf);
+        self.proj_running.put(buf);
         self.violation.put(buf);
         self.msgs.put(buf);
     }
@@ -98,7 +111,8 @@ impl<M: Wire> Wire for RoundEnvelope<M> {
         Ok(RoundEnvelope {
             sync: u64::take(r)?,
             all_done: bool::take(r)?,
-            progressed: bool::take(r)?,
+            running: u64::take(r)?,
+            proj_running: u64::take(r)?,
             violation: <Option<(u32, u64)> as Wire>::take(r)?,
             msgs: Vec::take(r)?,
         })
@@ -473,8 +487,10 @@ impl NetPlane {
     /// Runs one protocol phase across the mesh, stepping only this
     /// shard's nodes, and returns a result bit-identical (on all
     /// observables: states of owned nodes, merged metrics, errors) to
-    /// [`SequentialRuntime`](crate::runtime::SequentialRuntime) under
-    /// [`Scheduling::AlwaysStep`](crate::Scheduling::AlwaysStep).
+    /// [`SequentialRuntime`](crate::runtime::SequentialRuntime) — the
+    /// round loop *is* the sequential engine's, driven through the mesh
+    /// transport, so [`Scheduling`](crate::Scheduling) and
+    /// [`FaultConfig`](crate::FaultConfig) behave identically here.
     ///
     /// States of nodes this shard does **not** own are left at their
     /// deterministic init values; callers must [`NetPlane::sync_rows`]
@@ -485,15 +501,13 @@ impl NetPlane {
     /// Exactly the sequential engine's errors — [`SimError::Bandwidth`]
     /// (the globally first violation, identical in every shard) and
     /// [`SimError::RoundLimitExceeded`] (with globally summed
-    /// `live_nodes`).
+    /// `live_nodes` and the global progress watermark).
     ///
     /// # Panics
     ///
-    /// Panics on fault-injection configs (unsupported on the net plane),
-    /// on unrecoverable transport failures (structured [`NetError`] in
-    /// the message), and on the same protocol bugs the sequential engine
-    /// rejects (silent-round sends).
-    #[allow(clippy::too_many_lines)]
+    /// Panics on unrecoverable transport failures (structured
+    /// [`NetError`] in the message), and on the same protocol bugs the
+    /// sequential engine rejects (silent-round sends).
     pub fn execute_with<P: Protocol>(
         &mut self,
         graph: &Graph,
@@ -505,201 +519,169 @@ impl NetPlane {
         P::Msg: Wire,
     {
         assert!(net.matches(graph), "NetTables built for a different graph");
-        assert!(
-            config.faults.is_none(),
-            "netplane does not support fault injection (run the in-process engines for chaos)"
-        );
         let n = graph.n();
         let k = self.n_shards as usize;
         let (lo, hi) = self.local_range(n);
         let period = protocol.sync_period().max(1);
-        let budget = config.bandwidth_bits(n).saturating_mul(period);
-        let mut metrics = Metrics {
-            bandwidth_bits: budget,
-            ..Metrics::default()
-        };
+        let budget = engine::round_budget(config, n, period);
         let mut ctxs = net.contexts();
         // Full deterministic world: every shard inits all n nodes (so
         // state/RNG indices line up), then steps only [lo, hi).
-        let mut rngs: Vec<_> = (0..n as u32)
-            .map(|v| node_rng(config.rng_seed(), v))
-            .collect();
-        let mut states: Vec<P::State> = ctxs
-            .iter()
-            .zip(rngs.iter_mut())
-            .map(|(c, r)| protocol.init(c, r))
-            .collect();
-        let local = lo..hi;
-        let mut cur: Vec<Inbox<P::Msg>> = (0..n)
-            .map(|v| {
-                let cap = if local.contains(&v) {
-                    Inbox::<P::Msg>::round_capacity(graph.degree(v as u32), false)
-                } else {
-                    0
-                };
-                Inbox::with_capacity(cap)
-            })
-            .collect();
-        let mut next: Vec<Inbox<P::Msg>> = (0..n)
-            .map(|v| {
-                let cap = if local.contains(&v) {
-                    Inbox::<P::Msg>::round_capacity(graph.degree(v as u32), false)
-                } else {
-                    0
-                };
-                Inbox::with_capacity(cap)
-            })
-            .collect();
-        let mut out: Outbox<P::Msg> = Outbox::new(0);
-
+        let (mut rngs, mut states) = engine::init_nodes(protocol, config, &ctxs, 0);
         if n == 0 {
-            return Ok(RunResult { states, metrics });
+            return Ok(RunResult {
+                states,
+                metrics: Metrics {
+                    bandwidth_bits: budget,
+                    ..Metrics::default()
+                },
+            });
         }
-
-        // Sticky votes for owned nodes only: the latest communication-round
-        // vote, feeding the round-limit diagnostic's global live count.
-        let mut sticky: Vec<Status> = vec![Status::Running; hi - lo];
-        let mut last_progress: u64 = 0;
-        // Staged cross-shard messages, one buffer per link (same order).
-        let mut outgoing: Vec<Vec<(u32, u32, P::Msg)>> =
-            (0..self.links.len()).map(|_| Vec::new()).collect();
-
-        let mut terminated = false;
-        for round in 0..config.max_rounds {
-            let comm = round.is_multiple_of(period);
-            let mut all_done = true;
-            let mut progressed = false;
-            let mut violation: Option<(u32, u64)> = None;
-            for v in lo..hi {
-                ctxs[v].round = round;
-                cur[v].finalize();
-                out.reset(graph.degree(v as u32));
-                metrics.stepped_nodes += 1;
-                let status =
-                    protocol.round(&mut states[v], &ctxs[v], &mut rngs[v], &cur[v], &mut out);
-                cur[v].clear();
-                all_done &= status == Status::Done;
-                if comm && status != sticky[v - lo] {
-                    sticky[v - lo] = status;
-                    progressed = true;
-                }
-                assert!(
-                    comm || out.is_empty(),
-                    "protocol declared sync_period {period} but node {v} sent in silent round {round}"
-                );
-                for (port, msg) in out.drain() {
-                    progressed = true;
-                    let bits = msg.bits();
-                    metrics.record_message(bits, budget);
-                    if config.strict_bandwidth && bits > budget && violation.is_none() {
-                        violation = Some((v as u32, bits));
-                    }
-                    let dest = graph.neighbors(v as u32)[port as usize] as usize;
-                    let arrival = net.reverse_ports_of(v as u32)[port as usize];
-                    if local.contains(&dest) {
-                        next[dest].push(arrival, msg);
-                    } else {
-                        let owner = shard_of(n, k, dest);
-                        let slot = self.link_index(owner);
-                        outgoing[slot].push((dest as u32, arrival, msg));
-                    }
-                }
-            }
-            if comm {
-                // The barrier: one ROUND frame per peer, one flush, then
-                // one ROUND frame from each peer. Flags merge into the
-                // global unanimity/progress/violation the sequential
-                // engine computes in one address space.
-                self.seq += 1;
-                let sync = self.seq;
-                if let Some(mid_frame) = self.chaos.as_ref().and_then(|c| c.kill_action(sync)) {
-                    self.chaos_abort(sync, mid_frame);
-                }
-                for (slot, out) in outgoing.iter_mut().enumerate() {
-                    let envelope = RoundEnvelope {
-                        sync,
-                        all_done,
-                        progressed,
-                        violation,
-                        msgs: std::mem::take(out),
-                    };
-                    self.send_mesh(slot, kind::ROUND, &envelope.to_wire());
-                    self.flush_mesh(slot, sync);
-                }
-                for slot in 0..self.links.len() {
-                    let frame = self
-                        .recv_mesh(slot, kind::ROUND, sync)
-                        .unwrap_or_else(|e| panic!("netplane: {e}"));
-                    let peer = self.links[slot].peer;
-                    let envelope = RoundEnvelope::<P::Msg>::from_wire(&frame.payload)
-                        .unwrap_or_else(|e| {
-                            panic!("netplane: malformed round frame from shard {peer}: {e}")
-                        });
-                    debug_assert_eq!(envelope.sync, sync);
-                    all_done &= envelope.all_done;
-                    progressed |= envelope.progressed;
-                    violation = match (violation, envelope.violation) {
-                        (Some(a), Some(b)) => Some(if a.0 <= b.0 { a } else { b }),
-                        (a, b) => a.or(b),
-                    };
-                    for (dest, arrival, msg) in envelope.msgs {
-                        debug_assert!(local.contains(&(dest as usize)));
-                        next[dest as usize].push(arrival, msg);
-                    }
-                }
-                if let Some(dst) = self.chaos.as_mut().and_then(|c| c.take_drop_action(sync)) {
-                    self.drop_and_redial(dst)
-                        .unwrap_or_else(|e| panic!("netplane: {e}"));
-                }
-                if let Some((_, bits)) = violation {
-                    // Globally-first violating message: lowest node index
-                    // across shards this round — the message the
-                    // sequential sweep would have aborted at.
-                    return Err(SimError::Bandwidth {
-                        round,
-                        bits,
-                        limit: budget,
-                    });
-                }
-            }
-            if progressed {
-                last_progress = round;
-            }
-            metrics.rounds = round + 1;
-            std::mem::swap(&mut cur, &mut next);
-            if comm && all_done {
-                terminated = true;
-                break;
-            }
+        // The simulated fault schedule is a pure function of
+        // (config, salt, n), so every shard holds the identical trace and
+        // charges fates/crashes exactly as the in-process engines do.
+        let fault_plane = config
+            .faults
+            .as_ref()
+            .map(|f| FaultPlane::new(f, config.rng_salt, n));
+        let result = {
+            let outgoing = (0..self.links.len()).map(|_| Vec::new()).collect();
+            let mut transport = MeshTransport {
+                plane: self,
+                n,
+                k,
+                outgoing,
+            };
+            engine::drive(
+                graph,
+                protocol,
+                config,
+                net,
+                ShardWorld {
+                    start: lo,
+                    ctxs: &mut ctxs[lo..hi],
+                    states: &mut states[lo..hi],
+                    rngs: &mut rngs[lo..hi],
+                    plane: fault_plane.as_ref(),
+                },
+                &mut transport,
+            )
+        };
+        let mut metrics = result?;
+        // Merge metrics so every shard returns the identical global
+        // record (and driver-level absorption stays engine-agnostic).
+        // `Metrics::absorb` folds every field — including any added later
+        // — so distributed runs can't silently lose one; the round count
+        // is identical everywhere (asserted) and zeroed on peer records
+        // so the sum keeps the global value.
+        let peers = self
+            .collective(kind::STATS, &metrics.to_wire())
+            .unwrap_or_else(|e| panic!("netplane: {e}"));
+        for (peer, body) in peers {
+            let mut theirs = Metrics::from_wire(&body)
+                .unwrap_or_else(|e| panic!("netplane: malformed stats from shard {peer}: {e}"));
+            assert_eq!(
+                theirs.rounds, metrics.rounds,
+                "netplane: shard {peer} disagrees on round count"
+            );
+            theirs.rounds = 0;
+            metrics.absorb(&theirs);
         }
-        if terminated {
-            // Merge metrics so every shard returns the identical global
-            // record (and driver-level absorption stays engine-agnostic).
-            let peers = self
-                .collective(kind::STATS, &metrics.to_wire())
+        Ok(RunResult { states, metrics })
+    }
+}
+
+/// The socket transport: one [`RoundEnvelope`] per peer per
+/// communication round (the flush is the barrier), collectives for the
+/// watchdog. Chaos actions fire at their scheduled syncs inside
+/// `exchange`, exactly where the old in-line loop fired them, so
+/// recorded chaos plans stay valid: the engine core exchanges once per
+/// communication round regardless of scheduling mode, which keeps the
+/// plane's `seq` trajectory identical under `ActiveSet` and
+/// `AlwaysStep`.
+struct MeshTransport<'a, M> {
+    plane: &'a mut NetPlane,
+    n: usize,
+    k: usize,
+    /// Staged cross-shard messages, one buffer per link (same order).
+    outgoing: Vec<Vec<(u32, u32, M)>>,
+}
+
+impl<M: Wire> Transport<M> for MeshTransport<'_, M> {
+    fn stage(&mut self, dest: u32, port: u32, msg: M) {
+        let owner = shard_of(self.n, self.k, dest as usize);
+        let slot = self.plane.link_index(owner);
+        self.outgoing[slot].push((dest, port, msg));
+    }
+
+    fn exchange(&mut self, local: RoundFlags, deliver: &mut dyn FnMut(u32, u32, M)) -> RoundFlags {
+        self.plane.seq += 1;
+        let sync = self.plane.seq;
+        if let Some(mid_frame) = self.plane.chaos.as_ref().and_then(|c| c.kill_action(sync)) {
+            self.plane.chaos_abort(sync, mid_frame);
+        }
+        for slot in 0..self.outgoing.len() {
+            let envelope = RoundEnvelope {
+                sync,
+                all_done: local.all_done,
+                running: local.running,
+                proj_running: local.proj_running,
+                violation: local.violation,
+                msgs: std::mem::take(&mut self.outgoing[slot]),
+            };
+            self.plane.send_mesh(slot, kind::ROUND, &envelope.to_wire());
+            self.plane.flush_mesh(slot, sync);
+        }
+        let mut merged = local;
+        for slot in 0..self.plane.links.len() {
+            let frame = self
+                .plane
+                .recv_mesh(slot, kind::ROUND, sync)
                 .unwrap_or_else(|e| panic!("netplane: {e}"));
-            for (peer, body) in peers {
-                let theirs = Metrics::from_wire(&body)
-                    .unwrap_or_else(|e| panic!("netplane: malformed stats from shard {peer}: {e}"));
-                assert_eq!(
-                    theirs.rounds, metrics.rounds,
-                    "netplane: shard {peer} disagrees on round count"
-                );
-                metrics.messages += theirs.messages;
-                metrics.total_bits += theirs.total_bits;
-                metrics.max_message_bits = metrics.max_message_bits.max(theirs.max_message_bits);
-                metrics.bandwidth_violations += theirs.bandwidth_violations;
-                metrics.stepped_nodes += theirs.stepped_nodes;
+            let peer = self.plane.links[slot].peer;
+            let envelope = RoundEnvelope::<M>::from_wire(&frame.payload).unwrap_or_else(|e| {
+                panic!("netplane: malformed round frame from shard {peer}: {e}")
+            });
+            debug_assert_eq!(envelope.sync, sync);
+            merged.absorb(&RoundFlags {
+                all_done: envelope.all_done,
+                running: envelope.running,
+                proj_running: envelope.proj_running,
+                violation: envelope.violation,
+            });
+            for (dest, arrival, msg) in envelope.msgs {
+                deliver(dest, arrival, msg);
             }
-            return Ok(RunResult { states, metrics });
         }
-        let live = sticky.iter().filter(|&&s| s == Status::Running).count() as u64;
-        Err(SimError::RoundLimitExceeded {
-            limit: config.max_rounds,
-            phase: config.phase_label.clone(),
-            live_nodes: self.allreduce_sum(live),
-            last_progress_round: last_progress,
-        })
+        if let Some(dst) = self
+            .plane
+            .chaos
+            .as_mut()
+            .and_then(|c| c.take_drop_action(sync))
+        {
+            self.plane
+                .drop_and_redial(dst)
+                .unwrap_or_else(|e| panic!("netplane: {e}"));
+        }
+        merged
+    }
+
+    fn watchdog(&mut self, live: u64, last_progress: u64) -> (u64, u64) {
+        // One REDUCE collective globalizes both diagnostics: live count
+        // by sum, progress watermark by max.
+        let peers = self
+            .plane
+            .collective(kind::REDUCE, &(live, last_progress).to_wire())
+            .unwrap_or_else(|e| panic!("netplane: {e}"));
+        let (mut sum, mut max) = (live, last_progress);
+        for (peer, body) in peers {
+            let (l, p) = <(u64, u64)>::from_wire(&body).unwrap_or_else(|e| {
+                panic!("netplane: malformed watchdog contribution from shard {peer}: {e}")
+            });
+            sum += l;
+            max = max.max(p);
+        }
+        (sum, max)
     }
 }
 
@@ -865,7 +847,7 @@ pub fn coordinator() -> io::Result<Coordinator> {
 mod tests {
     use super::*;
     use crate::runtime::SequentialRuntime;
-    use crate::{NodeCtx, NodeRng, Scheduling};
+    use crate::{Inbox, Message, NodeCtx, NodeRng, Outbox, Scheduling, Status, Wake};
     use graphs::gen;
     use std::thread;
     use std::time::Duration;
@@ -980,6 +962,144 @@ mod tests {
                 // Owned states match the reference row-for-row.
                 assert_eq!(res.states[lo..hi], seq.states[lo..hi]);
             }
+        }
+    }
+
+    /// A protocol that parks: each node waits for its ident-th round via
+    /// `Wake::At`, then floods once — under `ActiveSet` most rounds step
+    /// only a few nodes, so the frontier must travel the mesh correctly.
+    struct Staggered;
+
+    impl Protocol for Staggered {
+        type State = (u64, bool);
+        type Msg = u64;
+        fn init(&self, ctx: &NodeCtx, _: &mut NodeRng) -> (u64, bool) {
+            (ctx.ident, false)
+        }
+        fn round(
+            &self,
+            st: &mut (u64, bool),
+            ctx: &NodeCtx,
+            _: &mut NodeRng,
+            inbox: &Inbox<u64>,
+            out: &mut Outbox<u64>,
+        ) -> Status {
+            for &(_, id) in inbox {
+                st.0 = st.0.max(id);
+            }
+            if !st.1 && ctx.round >= ctx.ident % 7 {
+                st.1 = true;
+                out.broadcast(st.0);
+            }
+            if st.1 {
+                Status::Done
+            } else {
+                Status::Running
+            }
+        }
+        fn next_wake(&self, st: &Self::State, ctx: &NodeCtx, _: Status) -> Wake {
+            if st.1 {
+                Wake::Message
+            } else {
+                Wake::At(ctx.ident % 7)
+            }
+        }
+    }
+
+    /// Netplane × `ActiveSet` is bit-identical to netplane × `AlwaysStep`
+    /// and to the sequential engine on every observable, with only
+    /// `stepped_nodes` allowed to shrink — the frontier machinery now
+    /// runs inside the shared core, over the mesh transport.
+    #[test]
+    fn active_set_matches_sequential_and_always_step_across_shards() {
+        let g = gen::gnp_capped(40, 0.15, 6, 7);
+        let active_cfg = SimConfig::seeded(3); // ActiveSet is the default
+        let seq_active = SequentialRuntime
+            .execute(&g, &Staggered, &active_cfg)
+            .unwrap();
+        let seq_always = SequentialRuntime
+            .execute(&g, &Staggered, &reference_cfg(3))
+            .unwrap();
+        assert_eq!(seq_active.states, seq_always.states);
+        assert!(
+            seq_active.metrics.stepped_nodes < seq_always.metrics.stepped_nodes,
+            "parking must shrink the stepped-node count"
+        );
+        for k in [2u32, 4] {
+            let outs = with_mesh(k, move |mut plane| {
+                let g = gen::gnp_capped(40, 0.15, 6, 7);
+                let cfg = SimConfig::seeded(3);
+                let net = NetTables::build(&g, &cfg);
+                let range = plane.local_range(g.n());
+                (
+                    range,
+                    plane.execute_with(&g, &Staggered, &cfg, &net).unwrap(),
+                )
+            });
+            for ((lo, hi), res) in outs {
+                // Full metrics equality — including `stepped_nodes`,
+                // which only matches if every shard's frontier walked
+                // the same schedule as the sequential engine's.
+                assert_eq!(res.metrics, seq_active.metrics);
+                assert_eq!(res.states[lo..hi], seq_active.states[lo..hi]);
+            }
+        }
+    }
+
+    /// The simulated fault plane (drops + duplicates) charges the same
+    /// fates on every shard, and the STATS merge carries the fault
+    /// counters — the old hand-rolled merge silently zeroed them.
+    #[test]
+    fn fault_plane_matches_sequential_across_shards() {
+        let faults = || {
+            crate::FaultConfig::seeded(11)
+                .with_drops(120_000)
+                .with_dups(90_000)
+        };
+        let g = gen::gnp_capped(40, 0.15, 6, 7);
+        let cfg = reference_cfg(3).with_faults(faults());
+        let seq = SequentialRuntime.execute(&g, &Flood, &cfg).unwrap();
+        assert!(
+            seq.metrics.faults_dropped > 0 && seq.metrics.faults_duplicated > 0,
+            "fault config must actually bite: {:?}",
+            seq.metrics
+        );
+        let outs = with_mesh(3, move |mut plane| {
+            let g = gen::gnp_capped(40, 0.15, 6, 7);
+            let cfg = reference_cfg(3).with_faults(faults());
+            let net = NetTables::build(&g, &cfg);
+            let range = plane.local_range(g.n());
+            (range, plane.execute_with(&g, &Flood, &cfg, &net).unwrap())
+        });
+        for ((lo, hi), res) in outs {
+            assert_eq!(res.metrics, seq.metrics);
+            assert_eq!(res.states[lo..hi], seq.states[lo..hi]);
+        }
+    }
+
+    /// Crash faults under `ActiveSet`: the projection-driven probe latch
+    /// must fire on the same round in every shard, and the round-limit
+    /// watchdog must exclude crashed nodes globally.
+    #[test]
+    fn crash_faults_with_active_set_latch_identically_across_shards() {
+        let faults = || crate::FaultConfig::seeded(5).with_crashes(400_000, 6, u64::MAX);
+        let g = gen::path(40);
+        let cfg = SimConfig::seeded(1)
+            .with_max_rounds(10)
+            .with_faults(faults())
+            .with_phase_label("crashy");
+        let seq_err = SequentialRuntime.execute(&g, &Forever, &cfg).unwrap_err();
+        let errs = with_mesh(4, move |mut plane| {
+            let g = gen::path(40);
+            let cfg = SimConfig::seeded(1)
+                .with_max_rounds(10)
+                .with_faults(faults())
+                .with_phase_label("crashy");
+            let net = NetTables::build(&g, &cfg);
+            plane.execute_with(&g, &Forever, &cfg, &net).unwrap_err()
+        });
+        for err in errs {
+            assert_eq!(err, seq_err);
         }
     }
 

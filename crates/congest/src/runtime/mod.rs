@@ -1,20 +1,44 @@
 //! Execution engines for [`Protocol`]s.
 //!
-//! Two interchangeable engines execute protocols:
+//! # One round loop, three transports
 //!
-//! * [`SequentialRuntime`] — the deterministic single-threaded reference:
-//!   nodes are stepped in index order, every observable (states, metrics,
-//!   errors) is canonical.
-//! * [`ParallelRuntime`] — nodes sharded over worker threads with a
-//!   **single synchronization barrier per communication round** (see
-//!   `parallel.rs` for the handshake protocol).
+//! The round loop exists exactly once, in the private `engine` module:
+//! a generic core that owns node stepping, active-set scheduling,
+//! fault-plane delivery, sync-period batching, strict-bandwidth abort
+//! ordering, metrics accounting, and [`SimError`] construction. What a
+//! runtime contributes is a `Transport` — how one shard's staged
+//! messages and per-round control flags reach the other shards:
 //!
-//! Both engines are bit-identical for the same seed: per-node RNG streams
+//! * [`SequentialRuntime`] — the trivial transport: one shard owns every
+//!   node, the barrier is a no-op, local flags are global. This is the
+//!   deterministic reference every other transport is validated against.
+//! * [`ParallelRuntime`] — nodes sharded over worker threads; the
+//!   transport is a parity-double-buffered mailbox matrix plus a
+//!   **single spin barrier per communication round** (see `parallel.rs`
+//!   for the handshake protocol).
+//! * [`crate::netplane`] — shards in separate OS processes; the
+//!   transport is length-prefixed frames over sockets with retention,
+//!   rejoin, and fault injection (see `netplane/runtime.rs`).
+//!
+//! The `Transport` contract (documented in full on the trait) is small:
+//! *stage* a message for a remote node, *exchange* at the communication
+//! round barrier — publish staged batches plus this shard's
+//! `RoundFlags` (termination-vote AND, sticky-running sum, next-round
+//! running projection, first strict-bandwidth violation), deliver
+//! inbound messages, and return the flags merged identically on every
+//! shard — and a *watchdog* that globalizes round-limit diagnostics.
+//! Because termination, the crash-probe latch, and abort decisions are
+//! all functions of the merged flags, every shard takes every
+//! transition in lockstep, and adding a transport can never fork the
+//! semantics.
+//!
+//! All engines are bit-identical for the same seed: per-node RNG streams
 //! depend only on `(seed, index)`, inboxes are sorted by port before
-//! delivery, and error reporting is keyed by `(round, node)` so the first
-//! error in sequential order wins regardless of thread interleaving. The
-//! differential harness (`tests/runtime_equivalence.rs`) and the transport
-//! property tests assert this equivalence over full coloring pipelines.
+//! delivery, and strict-bandwidth errors are resolved to the lowest
+//! violating node index so the first error in sequential order wins
+//! regardless of thread or process interleaving. The differential
+//! harnesses (`tests/runtime_equivalence.rs`, `tests/net_equivalence.rs`)
+//! assert this equivalence over full coloring pipelines.
 //!
 //! # Active-set scheduling
 //!
@@ -34,10 +58,11 @@
 //! while down without rescheduling. Per round the frontier is traversed
 //! by a `Sweep`: index-ordered flag scan when dense (≥ `n/4`), sorted
 //! sparse list otherwise — either way nodes step in index order, so the
-//! sequential observables are unchanged. The parallel engine keeps one
-//! frontier per shard over shard-local indices and carries wakes for
-//! remote nodes inside the same epoch-stamped mailbox handshake it uses
-//! for messages, so no extra barrier is paid.
+//! sequential observables are unchanged. Sharded transports keep one
+//! frontier per shard over shard-local indices; wakes for remote nodes
+//! ride inside the same message batches the transport already exchanges
+//! (a delivery always wakes its destination), so no extra barrier is
+//! paid.
 //!
 //! **Termination** under parking uses *sticky votes*: each node's latest
 //! communication-round vote stands in for it while parked (the parking
@@ -48,9 +73,9 @@
 //!
 //! * when a crash removes the last sticky-`Running` vote, the engine
 //!   **latches** back to stepping every node with the classic unanimity
-//!   check, permanently (the parallel engine pre-publishes a one-round
-//!   projection of the running count so every shard latches on the same
-//!   round);
+//!   check, permanently (each shard publishes a one-round projection of
+//!   its running count in its `RoundFlags`, so every shard latches on
+//!   the same round);
 //! * parking is disabled outright when crash faults meet a
 //!   [`Protocol::sync_period`] `> 1` — a crash inside a silent window
 //!   could flip unanimity between rounds the engines never compare votes
@@ -77,8 +102,8 @@
 //! # Round batching
 //!
 //! Protocols that communicate only every `p`-th round can declare it via
-//! [`Protocol::sync_period`]; both engines then evaluate termination (and
-//! the parallel engine synchronizes) only at those communication rounds,
+//! [`Protocol::sync_period`]; the core then evaluates termination (and
+//! the transport synchronizes) only at those communication rounds,
 //! cutting barrier traffic by `p×` while remaining bit-identical.
 //!
 //! # Per-network tables
@@ -90,6 +115,7 @@
 //! fly.
 
 mod barrier;
+pub(crate) mod engine;
 mod parallel;
 mod sequential;
 
@@ -124,7 +150,7 @@ pub enum SimError {
     /// changed its termination vote or some message was sent that round;
     /// a `last_progress_round` far below the limit is a livelock (e.g.
     /// fault-induced deadlock), one near the limit means the cutoff is
-    /// simply too tight. Both engines report bit-identical diagnostics.
+    /// simply too tight. All engines report bit-identical diagnostics.
     RoundLimitExceeded {
         /// The configured limit that was hit.
         limit: u64,
@@ -243,29 +269,6 @@ pub fn run_with<P: Protocol>(
 #[must_use]
 pub fn assigned_idents(graph: &Graph, config: &SimConfig) -> Vec<u64> {
     crate::net::ident_assignment(graph.n(), config)
-}
-
-/// How one round's step set is traversed under active-set scheduling.
-/// Shared by both engines (the parallel engine applies it per shard over
-/// local indices).
-pub(crate) enum Sweep {
-    /// Step every node `0..n` (always-step reference, or a latched probe).
-    All,
-    /// Step the sorted sparse frontier.
-    Sparse,
-    /// Scan `0..n` against the frontier membership flags — preserves index
-    /// order without sorting when the frontier is a large fraction of `n`.
-    Dense,
-}
-
-/// Marks `v` as scheduled for round `t`, deduplicating via the stamp array
-/// (`stamp[v] == t` ⇔ already queued for `t`).
-#[inline]
-pub(crate) fn wake(stamp: &mut [u64], queue: &mut Vec<u32>, v: usize, t: u64) {
-    if stamp[v] != t {
-        stamp[v] = t;
-        queue.push(v as u32);
-    }
 }
 
 /// Derives the private RNG stream of node `index` for run seed `seed`.

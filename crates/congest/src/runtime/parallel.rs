@@ -1,10 +1,13 @@
 //! Single-barrier batched-transport parallel runtime.
 //!
-//! Nodes are sharded over worker threads. Within a round, each worker steps
-//! its own nodes; messages crossing shard boundaries are accumulated in
-//! per-(source-shard → destination-shard) batch buffers exchanged wholesale
-//! at a round barrier — zero per-message channel sends or allocations on
-//! the cross-shard path.
+//! Nodes are sharded over worker threads; each worker runs the shared
+//! round-loop core (see the [module docs](super)) over its shard through
+//! the in-process mailbox transport (`engine::MailboxTransport`) this
+//! module's docs specify. Within a round, each worker steps its own
+//! nodes; messages crossing shard boundaries are accumulated in
+//! per-(source-shard → destination-shard) batch buffers exchanged
+//! wholesale at a round barrier — zero per-message channel sends or
+//! allocations on the cross-shard path.
 //!
 //! # The single-barrier protocol
 //!
@@ -32,14 +35,15 @@
 //!   reduced to one atomic load per cell on the empty path. The stamp
 //!   lives beside its buffer (not per cell) because phase B of sync `k`
 //!   overlaps phase A of sync `k + 1`.
-//! * **Epoch-rotated vote counters.** Unanimous-`Done` counts and the
-//!   strict-bandwidth abort flag live in three atomic slots indexed by
-//!   `sync % 3`: written in phase A, read in phase B, and reset by shard 0
-//!   two syncs later — the earliest point at which the barrier ordering
-//!   proves no reader or writer can still touch the slot. (A single,
-//!   unrotated flag would let a shard observe a flag raised one sync in
-//!   the future and break early — deserting the flagging shard at the next
-//!   barrier.)
+//! * **Epoch-rotated flag slots.** The core's per-round control word
+//!   (`RoundFlags`: termination-vote AND, sticky-running sum, crash
+//!   projection sum, strict-bandwidth violation) lives in three slot
+//!   arrays indexed by `sync % 3`: written in phase A, read in phase B,
+//!   and reset by shard 0 two syncs later — the earliest point at which
+//!   the barrier ordering proves no reader or writer can still touch the
+//!   slot. (A single, unrotated slot would let a shard observe a value
+//!   published one sync in the future and break early — deserting its
+//!   peers at the next barrier.)
 //!
 //! The barrier itself is a sense-reversing spin barrier
 //! ([`super::barrier::SpinBarrier`]): worker counts are small and rounds
@@ -62,14 +66,11 @@
 //! nodes in other shards ride in the same epoch-stamped mail cells as the
 //! messages that cause them (a drained delivery wakes its destination for
 //! the next round in phase B), so parking adds no synchronization beyond
-//! the existing barrier. The sticky-vote unanimity check uses two extra
-//! epoch-rotated slot arrays with the same `sync % 3` discipline as the
-//! done counters: `running_slots` accumulates per-shard sticky-`Running`
-//! totals (a zero sum is exactly the reference's unanimity), and
-//! `proj_slots` carries a one-round-ahead projection of the running count
-//! under the plane's scheduled crash/recovery events, so that when a
-//! crash removes the last `Running` vote every shard latches back to
-//! always-stepping on the same round.
+//! the existing barrier. The sticky-vote unanimity check and the
+//! crash-probe latch ride in the same epoch-rotated `RoundFlags` slots as
+//! the termination votes (a zero merged `running` sum is exactly the
+//! reference's unanimity; a zero merged projection latches every shard
+//! back to always-stepping on the same round).
 //!
 //! # Determinism
 //!
@@ -82,42 +83,12 @@
 //! harness and the transport property tests).
 
 use super::barrier::SpinBarrier;
-use super::{node_rng, wake, RunResult, SimError, Sweep};
-use crate::faults::{Fate, FaultPlane};
-use crate::{
-    Inbox, Message, Metrics, NetTables, NodeCtx, Outbox, Port, Protocol, Scheduling, SimConfig,
-    Status, Wake,
-};
+use super::engine::{self, MailCell, MailboxTransport, ShardWorld, SharedFlags};
+use super::{RunResult, SimError};
+use crate::faults::FaultPlane;
+use crate::{Metrics, NetTables, NodeCtx, Protocol, SimConfig};
 use graphs::Graph;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-
-/// One staged cross-shard message: destination node index, arrival port,
-/// payload.
-type Staged<M> = (u32, Port, M);
-
-/// One direction of one shard pair: two parity buffers, each with the
-/// epoch stamp of its most recent non-empty publish.
-///
-/// The stamp is per *parity buffer*, not per cell: a consumer's phase B of
-/// sync `k` runs concurrently with the producer's phase A of sync `k + 1`,
-/// so a shared stamp could be overwritten (to `k + 2`) before the consumer
-/// compares it against `k + 1` — silently skipping a full batch.
-struct MailCell<M> {
-    bufs: [Mutex<Vec<Staged<M>>>; 2],
-    epochs: [AtomicU64; 2],
-}
-
-impl<M> MailCell<M> {
-    fn new() -> Self {
-        MailCell {
-            bufs: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
-            epochs: [AtomicU64::new(0), AtomicU64::new(0)],
-        }
-    }
-}
 
 /// Multi-threaded engine with single-barrier batched message transport.
 #[derive(Debug, Clone, Copy)]
@@ -144,8 +115,8 @@ impl ParallelRuntime {
         ParallelRuntime { threads }
     }
 
-    /// Runs `protocol` to unanimous [`Status::Done`], building the network
-    /// tables on the fly.
+    /// Runs `protocol` to unanimous [`Status::Done`](crate::Status),
+    /// building the network tables on the fly.
     ///
     /// # Errors
     ///
@@ -175,7 +146,6 @@ impl ParallelRuntime {
     /// wrong results), or if the protocol stages a message in a round its
     /// declared [`Protocol::sync_period`] marks silent — a protocol bug,
     /// like a duplicate send on a port.
-    #[allow(clippy::too_many_lines)]
     pub fn execute_with<P: Protocol>(
         &self,
         graph: &Graph,
@@ -186,10 +156,7 @@ impl ParallelRuntime {
         assert!(net.matches(graph), "NetTables built for a different graph");
         let n = graph.n();
         let period = protocol.sync_period().max(1);
-        // Same aggregated budget rule as the sequential engine: a protocol
-        // with sync_period `p` may pack `p` rounds of per-edge bandwidth
-        // into each communication-round message.
-        let budget = config.bandwidth_bits(n).saturating_mul(period);
+        let budget = engine::round_budget(config, n, period);
         if n == 0 {
             return Ok(RunResult {
                 states: Vec::new(),
@@ -201,7 +168,6 @@ impl ParallelRuntime {
         }
         let t = self.threads.min(n).max(1);
         let chunk = n.div_ceil(t);
-        let shard_of = |v: usize| (v / chunk).min(t - 1);
 
         let mut ctxs = net.contexts();
 
@@ -212,38 +178,13 @@ impl ParallelRuntime {
         let mailboxes: Vec<Vec<MailCell<P::Msg>>> = (0..t)
             .map(|_| (0..t).map(|_| MailCell::new()).collect())
             .collect();
-
         let barrier = SpinBarrier::new(t);
-        // Unanimous-Done vote counts and the strict-bandwidth abort flag,
-        // both rotated over three sync epochs. A *single* abort flag would
-        // deadlock the single-barrier protocol: phase B of sync `k`
-        // overlaps other shards' phase A of sync `k + 1`, so a violation
-        // flagged at `k + 1` could be (racily) observed by a shard still
-        // evaluating sync `k`, making it break one sync earlier than the
-        // flagging shard — which then waits forever on a barrier the early
-        // breaker never reaches. Slot rotation pins every flag to the sync
-        // it was raised in, so all shards break at the same sync.
-        let done_slots = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
-        // Active-set termination counters, rotated like `done_slots`: each
-        // shard adds its count of non-crashed nodes whose sticky vote is
-        // Running (`running_slots`, zero total ⇔ the always-step reference
-        // would see unanimity this round) and its *projection* of that
-        // count for the next round given the statically-known crash and
-        // recovery events there (`proj_slots` — a zero total latches the
-        // probe; see the module docs).
-        let running_slots = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
-        let proj_slots = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
-        let abort_slots = [
-            AtomicBool::new(false),
-            AtomicBool::new(false),
-            AtomicBool::new(false),
-        ];
-        // Errors are keyed by (round, node index) and the minimum key wins,
-        // so the reported error is the first one in the sequential runtime's
-        // node order — deterministic regardless of which shard records it
-        // first. RoundLimitExceeded uses the maximum key: any bandwidth
-        // violation outranks it.
-        let first_error: Mutex<Option<((u64, usize), SimError)>> = Mutex::new(None);
+        let flags = SharedFlags::new();
+
+        // Errors need no (round, node) ordering key anymore: the core
+        // derives every abort from the barrier-merged flags, so all
+        // shards return the identical error — first writer wins.
+        let first_error: Mutex<Option<SimError>> = Mutex::new(None);
         let global_metrics: Mutex<Metrics> = Mutex::new(Metrics {
             bandwidth_bits: budget,
             ..Metrics::default()
@@ -257,13 +198,6 @@ impl ParallelRuntime {
             .faults
             .as_ref()
             .map(|f| FaultPlane::new(f, config.rng_salt, n));
-        // Watchdog aggregation for the structured round-limit diagnostic.
-        // Both quantities are shard-decomposable: global live count is the
-        // sum of per-shard live counts, global last-progress round is the
-        // max over shards. Written only on the round-limit path, where all
-        // shards exhaust the loop together.
-        let live_total = AtomicU64::new(0);
-        let progress_max = AtomicU64::new(0);
 
         // Disjoint mutable context slices, one per shard.
         let mut ctx_chunks: Vec<&mut [NodeCtx]> = ctxs.chunks_mut(chunk).collect();
@@ -276,518 +210,70 @@ impl ParallelRuntime {
                 let start = shard * chunk;
                 let mailboxes = &mailboxes;
                 let barrier = &barrier;
-                let done_slots = &done_slots;
-                let running_slots = &running_slots;
-                let proj_slots = &proj_slots;
-                let abort_slots = &abort_slots;
+                let flags = &flags;
                 let first_error = &first_error;
                 let global_metrics = &global_metrics;
                 let out_states = &out_states;
                 let net = &net;
                 let plane = plane.as_ref();
-                let live_total = &live_total;
-                let progress_max = &progress_max;
                 scope.spawn(move || {
                     // Poison the barrier if this worker unwinds (protocol
                     // bug) so peers panic instead of spinning forever.
                     let _poison = barrier.poison_guard();
-                    let local_n = ctx_slice.len();
-                    let mut rngs: Vec<_> = (0..local_n)
-                        .map(|i| node_rng(config.rng_seed(), (start + i) as u32))
-                        .collect();
-                    let mut states: Vec<P::State> = ctx_slice
-                        .iter()
-                        .zip(rngs.iter_mut())
-                        .map(|(c, r)| protocol.init(c, r))
-                        .collect();
-                    // A duplicating plane can deliver two copies per port in
-                    // one round; size inboxes for it so the steady state
-                    // stays allocation-free.
-                    let dups = config.faults.as_ref().is_some_and(|f| f.dup_per_million > 0);
-                    let mut cur: Vec<Inbox<P::Msg>> = (0..local_n)
-                        .map(|i| {
-                            Inbox::with_capacity(Inbox::<P::Msg>::round_capacity(
-                                graph.degree((start + i) as u32),
-                                dups,
-                            ))
-                        })
-                        .collect();
-                    let mut next: Vec<Inbox<P::Msg>> = (0..local_n)
-                        .map(|i| {
-                            Inbox::with_capacity(Inbox::<P::Msg>::round_capacity(
-                                graph.degree((start + i) as u32),
-                                dups,
-                            ))
-                        })
-                        .collect();
-                    let mut out: Outbox<P::Msg> = Outbox::new(0);
-                    // Private outgoing batch per destination shard, reused
-                    // (and capacity-recycled via the swap) every sync.
-                    let mut out_bufs: Vec<Vec<Staged<P::Msg>>> =
-                        (0..t).map(|_| Vec::new()).collect();
-                    let mut metrics = Metrics {
-                        bandwidth_bits: budget,
-                        ..Metrics::default()
-                    };
-                    let has_crashes = plane.is_some_and(FaultPlane::has_crashes);
-                    // Active-set scheduling, gated exactly as in the
-                    // sequential engine; every shard computes the same
-                    // value and all later transitions (the probe latch) are
-                    // driven by barrier-shared totals, so the shards always
-                    // agree on the mode.
-                    let mut active = config.scheduling == Scheduling::ActiveSet
-                        && !(has_crashes && period > 1);
-                    // Sticky votes over local nodes (see the sequential
-                    // engine): `local_running` counts non-crashed local
-                    // nodes whose latest communication-round vote was
-                    // Running; the global termination signal is the
-                    // barrier-summed total.
-                    let mut sticky: Vec<Status> = vec![Status::Running; local_n];
-                    let mut local_running: u64 = local_n as u64;
-                    let mut last_progress: u64 = 0;
-
-                    // Per-shard frontier machinery over local indices
-                    // (mirrors the sequential engine; see module docs).
-                    let mut frontier: Vec<u32> = Vec::new();
-                    let mut next_frontier: Vec<u32> = Vec::new();
-                    let mut stamp: Vec<u64> = Vec::new();
-                    let mut in_cur: Vec<bool> = Vec::new();
-                    let mut heap: BinaryHeap<(Reverse<u64>, u32)> = BinaryHeap::new();
-                    let mut heap_round: Vec<u64> = Vec::new();
-                    let mut crash_events: Vec<(u64, u32)> = Vec::new();
-                    let mut recovery_events: Vec<(u64, u32)> = Vec::new();
-                    let (mut ci, mut ri) = (0usize, 0usize);
-                    if active {
-                        frontier = (0..local_n as u32).collect();
-                        next_frontier = Vec::with_capacity(local_n);
-                        stamp = vec![0; local_n];
-                        in_cur = vec![false; local_n];
-                        heap_round = vec![u64::MAX; local_n];
-                        if let Some(p) = plane {
-                            for i in 0..local_n {
-                                if let Some((s, e)) = p.crash_window(start + i) {
-                                    crash_events.push((s, i as u32));
-                                    if e != u64::MAX {
-                                        recovery_events.push((e, i as u32));
-                                    }
-                                }
+                    let (mut rngs, mut states) =
+                        engine::init_nodes(protocol, config, ctx_slice, start);
+                    let mut transport = MailboxTransport::new(
+                        shard,
+                        t,
+                        chunk,
+                        config.strict_bandwidth,
+                        mailboxes,
+                        barrier,
+                        flags,
+                    );
+                    match engine::drive(
+                        graph,
+                        protocol,
+                        config,
+                        net,
+                        ShardWorld {
+                            start,
+                            ctxs: ctx_slice,
+                            states: &mut states,
+                            rngs: &mut rngs,
+                            plane,
+                        },
+                        &mut transport,
+                    ) {
+                        Ok(mut metrics) => {
+                            // Only shard 0 reports the round count
+                            // (identical everywhere).
+                            if shard != 0 {
+                                metrics.rounds = 0;
                             }
-                            crash_events.sort_unstable();
-                            recovery_events.sort_unstable();
+                            global_metrics
+                                .lock()
+                                .expect("no poisoned lock")
+                                .absorb(&metrics);
+                            out_states
+                                .lock()
+                                .expect("no poisoned lock")
+                                .push((start, states));
                         }
-                    }
-
-                    // Number of completed synchronizations; drives the cell
-                    // parity and the vote-slot rotation. Equals the round
-                    // number while period == 1.
-                    let mut sync: u64 = 0;
-                    let mut finished_ok = false;
-                    let mut saw_abort = false;
-                    for round in 0..config.max_rounds {
-                        let comm = round.is_multiple_of(period);
-                        if active {
-                            // Assemble this round's local frontier: matured
-                            // `Wake::At` requests and fault-plane events.
-                            while let Some(&(Reverse(tt), i)) = heap.peek() {
-                                if tt > round {
-                                    break;
-                                }
-                                heap.pop();
-                                if tt == round && heap_round[i as usize] == tt {
-                                    heap_round[i as usize] = u64::MAX;
-                                    wake(&mut stamp, &mut frontier, i as usize, round);
-                                }
-                            }
-                            while ci < crash_events.len() && crash_events[ci].0 == round {
-                                let i = crash_events[ci].1 as usize;
-                                ci += 1;
-                                if sticky[i] == Status::Running {
-                                    local_running -= 1;
-                                }
-                            }
-                            while ri < recovery_events.len() && recovery_events[ri].0 == round {
-                                let i = recovery_events[ri].1 as usize;
-                                ri += 1;
-                                if sticky[i] == Status::Running {
-                                    local_running += 1;
-                                }
-                                wake(&mut stamp, &mut frontier, i, round);
-                            }
-                        }
-                        let stepping_all = !active;
-                        // ---- Phase A: step woken local nodes, stage
-                        // messages.
-                        let mut local_done = 0u64;
-                        let mut progressed = false;
-                        let sweep = if stepping_all {
-                            Sweep::All
-                        } else if frontier.len() * 4 >= local_n {
-                            for &i in &frontier {
-                                in_cur[i as usize] = true;
-                            }
-                            Sweep::Dense
-                        } else {
-                            frontier.sort_unstable();
-                            Sweep::Sparse
-                        };
-                        let count = match sweep {
-                            Sweep::All | Sweep::Dense => local_n,
-                            Sweep::Sparse => frontier.len(),
-                        };
-                        for s in 0..count {
-                            let i = match sweep {
-                                Sweep::All => s,
-                                Sweep::Sparse => frontier[s] as usize,
-                                Sweep::Dense => {
-                                    if !in_cur[s] {
-                                        continue;
-                                    }
-                                    in_cur[s] = false;
-                                    s
-                                }
-                            };
-                            let v = start + i;
-                            if let Some(p) = plane {
-                                if p.is_crashed(v, round) {
-                                    // Crashed node: not stepped, votes Done
-                                    // implicitly (see `faults` module docs);
-                                    // crashed node-rounds are counted
-                                    // analytically at termination.
-                                    local_done += 1;
-                                    continue;
-                                }
-                            }
-                            ctx_slice[i].round = round;
-                            cur[i].finalize();
-                            out.reset(ctx_slice[i].degree());
-                            metrics.stepped_nodes += 1;
-                            let status = protocol.round(
-                                &mut states[i],
-                                &ctx_slice[i],
-                                &mut rngs[i],
-                                &cur[i],
-                                &mut out,
-                            );
-                            cur[i].clear();
-                            if status == Status::Done {
-                                local_done += 1;
-                            }
-                            if comm && status != sticky[i] {
-                                match status {
-                                    Status::Done => local_running -= 1,
-                                    Status::Running => local_running += 1,
-                                }
-                                sticky[i] = status;
-                                progressed = true;
-                            }
-                            if active {
-                                heap_round[i] = u64::MAX;
-                                match protocol.next_wake(&states[i], &ctx_slice[i], status) {
-                                    Wake::At(tt) if tt > round + 1 => {
-                                        heap_round[i] = tt;
-                                        heap.push((Reverse(tt), i as u32));
-                                    }
-                                    Wake::Next | Wake::At(_) => {
-                                        wake(&mut stamp, &mut next_frontier, i, round + 1);
-                                    }
-                                    Wake::Message => {}
-                                }
-                            }
-                            assert!(
-                                comm || out.is_empty(),
-                                "protocol declared sync_period {period} but node {v} sent in silent round {round}"
-                            );
-                            for (port, msg) in out.drain() {
-                                progressed = true;
-                                let bits = msg.bits();
-                                metrics.record_message(bits, budget);
-                                if config.strict_bandwidth && bits > budget {
-                                    let mut e = first_error.lock().expect("no poisoned lock");
-                                    let key = (round, v);
-                                    if e.as_ref().is_none_or(|(k, _)| key < *k) {
-                                        *e = Some((
-                                            key,
-                                            SimError::Bandwidth {
-                                                round,
-                                                bits,
-                                                limit: budget,
-                                            },
-                                        ));
-                                    }
-                                    abort_slots[(sync % 3) as usize]
-                                        .store(true, Ordering::SeqCst);
-                                }
-                                let copies = match plane
-                                    .map_or(Fate::Deliver, |p| p.fate(round, v as u32, port))
-                                {
-                                    Fate::Drop => {
-                                        metrics.faults_dropped += 1;
-                                        0
-                                    }
-                                    Fate::Deliver => 1,
-                                    Fate::Duplicate => {
-                                        metrics.faults_duplicated += 1;
-                                        2
-                                    }
-                                };
-                                if copies == 0 {
-                                    continue;
-                                }
-                                let dest = graph.neighbors(v as u32)[port as usize] as usize;
-                                // Delivery lands at round + 1; a receiver
-                                // crashed then loses the message (and any
-                                // duplicate of it).
-                                if plane.is_some_and(|p| p.is_crashed(dest, round + 1)) {
-                                    metrics.crash_drops += 1;
-                                    continue;
-                                }
-                                let arrival = net.reverse_ports_of(v as u32)[port as usize];
-                                let ds = shard_of(dest);
-                                if ds == shard {
-                                    let li = dest - start;
-                                    if copies == 2 {
-                                        next[li].push(arrival, msg.clone());
-                                    }
-                                    next[li].push(arrival, msg);
-                                    if active {
-                                        // Message arrivals always wake their
-                                        // destination.
-                                        wake(&mut stamp, &mut next_frontier, li, round + 1);
-                                    }
-                                } else {
-                                    if copies == 2 {
-                                        out_bufs[ds].push((dest as u32, arrival, msg.clone()));
-                                    }
-                                    out_bufs[ds].push((dest as u32, arrival, msg));
-                                }
-                            }
-                        }
-                        if progressed {
-                            last_progress = round;
-                        }
-                        metrics.rounds = round + 1;
-
-                        if !comm {
-                            // Silent round: no messages in flight anywhere,
-                            // so just rotate buffers locally and move on —
-                            // no publish, no barrier, no drain. Stepped
-                            // nodes cleared their inboxes at their step and
-                            // parked ones hold empty inboxes, so the swap
-                            // alone readies both buffers.
-                            std::mem::swap(&mut cur, &mut next);
-                            if active {
-                                std::mem::swap(&mut frontier, &mut next_frontier);
-                                next_frontier.clear();
-                            }
-                            continue;
-                        }
-
-                        let parity = (sync % 2) as usize;
-                        // Publish this sync's batches: swap each non-empty
-                        // private buffer into its parity cell (taking back
-                        // the buffer drained two syncs ago) and stamp the
-                        // cell's epoch so consumers can skip empty cells
-                        // with one atomic load.
-                        for (ds, buf) in out_bufs.iter_mut().enumerate() {
-                            if ds != shard && !buf.is_empty() {
-                                let cell = &mailboxes[shard][ds];
-                                {
-                                    let mut slot =
-                                        cell.bufs[parity].lock().expect("no poisoned lock");
-                                    debug_assert!(slot.is_empty(), "cell drained two syncs ago");
-                                    std::mem::swap(&mut *slot, buf);
-                                }
-                                cell.epochs[parity].store(sync + 1, Ordering::SeqCst);
-                            }
-                        }
-                        if stepping_all {
-                            done_slots[(sync % 3) as usize]
-                                .fetch_add(local_done, Ordering::SeqCst);
-                        } else {
-                            running_slots[(sync % 3) as usize]
-                                .fetch_add(local_running, Ordering::SeqCst);
-                            if has_crashes {
-                                // Project this shard's running count at
-                                // round + 1: the sequential engine latches
-                                // its probe when round-start crash events
-                                // zero the global count, and the only way
-                                // every shard can see that before stepping
-                                // round + 1 is to sum the projections at
-                                // *this* round's barrier. Peek the event
-                                // cursors without advancing them — the top
-                                // of round + 1 will consume the same events
-                                // for real. (`active` under crashes forces
-                                // period == 1, so every round passes here.)
-                                let mut proj = local_running;
-                                let mut cj = ci;
-                                while cj < crash_events.len()
-                                    && crash_events[cj].0 == round + 1
-                                {
-                                    let i = crash_events[cj].1 as usize;
-                                    cj += 1;
-                                    if sticky[i] == Status::Running {
-                                        proj -= 1;
-                                    }
-                                }
-                                let mut rj = ri;
-                                while rj < recovery_events.len()
-                                    && recovery_events[rj].0 == round + 1
-                                {
-                                    let i = recovery_events[rj].1 as usize;
-                                    rj += 1;
-                                    if sticky[i] == Status::Running {
-                                        proj += 1;
-                                    }
-                                }
-                                proj_slots[(sync % 3) as usize]
-                                    .fetch_add(proj, Ordering::SeqCst);
-                            }
-                        }
-
-                        barrier.wait();
-
-                        // ---- Phase B: drain the inbound column, rotate
-                        // inboxes, evaluate termination. Cross-shard
-                        // arrivals wake their destinations here — this is
-                        // where the peer shards' wake lists merge into the
-                        // local frontier. No clear/finalize sweeps: stepped
-                        // nodes cleared their inboxes at their step, parked
-                        // ones hold empty inboxes, and finalize is lazy
-                        // (just before a woken node steps).
-                        for row in mailboxes.iter() {
-                            let cell = &row[shard];
-                            if cell.epochs[parity].load(Ordering::SeqCst) == sync + 1 {
-                                let mut slot = cell.bufs[parity].lock().expect("no poisoned lock");
-                                for (dest, port, msg) in slot.drain(..) {
-                                    let li = dest as usize - start;
-                                    next[li].push(port, msg);
-                                    if active {
-                                        wake(&mut stamp, &mut next_frontier, li, round + 1);
-                                    }
-                                }
-                            }
-                        }
-                        std::mem::swap(&mut cur, &mut next);
-                        if active {
-                            std::mem::swap(&mut frontier, &mut next_frontier);
-                            next_frontier.clear();
-                        }
-                        let slot = (sync % 3) as usize;
-                        let terminate = if stepping_all {
-                            done_slots[slot].load(Ordering::SeqCst) == n as u64
-                        } else {
-                            // Zero sticky-Running votes globally ⇔ the
-                            // always-step reference would see unanimity.
-                            running_slots[slot].load(Ordering::SeqCst) == 0
-                        };
-                        let aborted = abort_slots[slot].load(Ordering::SeqCst);
-                        // A zero projected running count for round + 1 can
-                        // only come from crash events there; latch the probe
-                        // (permanently step everyone, classic unanimity) in
-                        // lockstep across shards — see the sequential
-                        // engine's round-start latch.
-                        let latch = !stepping_all
-                            && has_crashes
-                            && proj_slots[slot].load(Ordering::SeqCst) == 0;
-                        if shard == 0 {
-                            // Reset the slots for sync + 2: their last
-                            // readers finished in phase B of sync - 1,
-                            // which happens-before this phase B; their next
-                            // writers start in phase A of sync + 2, which
-                            // happens-after (module docs).
-                            let reset = ((sync + 2) % 3) as usize;
-                            done_slots[reset].store(0, Ordering::SeqCst);
-                            running_slots[reset].store(0, Ordering::SeqCst);
-                            proj_slots[reset].store(0, Ordering::SeqCst);
-                            abort_slots[reset].store(false, Ordering::SeqCst);
-                        }
-                        sync += 1;
-                        if aborted {
-                            saw_abort = true;
-                            break;
-                        }
-                        if terminate {
-                            finished_ok = true;
-                            break;
-                        }
-                        if latch {
-                            active = false;
-                        }
-                    }
-                    if finished_ok {
-                        // Crashed node-rounds, analytically: the engine
-                        // never scans crashed nodes, so count each local
-                        // crash window's overlap with the rounds actually
-                        // executed (every shard broke at the same round, so
-                        // `metrics.rounds` is still the global count here).
-                        if let Some(p) = plane {
-                            let r = metrics.rounds;
-                            for i in 0..local_n {
-                                if let Some((s, e)) = p.crash_window(start + i) {
-                                    metrics.crashed_rounds += e.min(r) - s.min(r);
-                                }
+                        Err(e) => {
+                            // Every shard computes the identical error from
+                            // the merged flags; keep the first.
+                            let mut g = first_error.lock().expect("no poisoned lock");
+                            if g.is_none() {
+                                *g = Some(e);
                             }
                         }
                     }
-                    if !finished_ok && !saw_abort {
-                        // Contribute this shard's watchdog share; the final
-                        // live/progress fields are patched in after the
-                        // scope joins, once every shard has reported. Live
-                        // nodes are those still voting Running per their
-                        // sticky communication-round vote, excluding nodes
-                        // the plane had crashed when the limit hit —
-                        // crashed nodes vote Done implicitly and must not
-                        // be reported as live work.
-                        let last = config.max_rounds.saturating_sub(1);
-                        let live = (0..local_n)
-                            .filter(|&i| {
-                                sticky[i] == Status::Running
-                                    && !plane.is_some_and(|p| p.is_crashed(start + i, last))
-                            })
-                            .count();
-                        live_total.fetch_add(live as u64, Ordering::SeqCst);
-                        progress_max.fetch_max(last_progress, Ordering::SeqCst);
-                        let mut e = first_error.lock().expect("no poisoned lock");
-                        if e.is_none() {
-                            *e = Some((
-                                (u64::MAX, usize::MAX),
-                                SimError::RoundLimitExceeded {
-                                    limit: config.max_rounds,
-                                    phase: config.phase_label.clone(),
-                                    live_nodes: 0,
-                                    last_progress_round: 0,
-                                },
-                            ));
-                        }
-                    }
-                    // Only shard 0 reports the round count (identical everywhere).
-                    if shard != 0 {
-                        metrics.rounds = 0;
-                    }
-                    global_metrics
-                        .lock()
-                        .expect("no poisoned lock")
-                        .absorb(&metrics);
-                    out_states
-                        .lock()
-                        .expect("no poisoned lock")
-                        .push((start, states));
                 });
             }
         });
 
-        if let Some((_, mut err)) = first_error.into_inner().expect("no poisoned lock") {
-            // Patch the aggregated watchdog diagnostics into the
-            // round-limit error now that all shards have reported.
-            if let SimError::RoundLimitExceeded {
-                live_nodes,
-                last_progress_round,
-                ..
-            } = &mut err
-            {
-                *live_nodes = live_total.load(Ordering::SeqCst);
-                *last_progress_round = progress_max.load(Ordering::SeqCst);
-            }
+        if let Some(err) = first_error.into_inner().expect("no poisoned lock") {
             return Err(err);
         }
         let mut shards = out_states.into_inner().expect("no poisoned lock");
@@ -802,7 +288,7 @@ impl ParallelRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::NodeRng;
+    use crate::{Inbox, Message, NodeCtx, NodeRng, Outbox, Port, Status};
     use graphs::gen;
     use rand::Rng;
 

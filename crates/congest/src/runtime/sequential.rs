@@ -1,31 +1,34 @@
 //! Deterministic single-threaded runtime.
+//!
+//! The round loop itself lives in [`super::engine`]; this runtime is the
+//! [`engine::LocalTransport`] instantiation — one shard owning every
+//! node, no barriers, no staging. It exists as a named type because it
+//! is the *reference*: every other transport is differentially tested
+//! against it.
 
-use super::{node_rng, wake, RunResult, SimError, Sweep};
-use crate::faults::{Fate, FaultPlane};
-use crate::{
-    Inbox, Message, Metrics, NetTables, Outbox, Protocol, Scheduling, SimConfig, Status, Wake,
-};
+use super::engine::{self, LocalTransport, ShardWorld};
+use super::{RunResult, SimError};
+use crate::faults::FaultPlane;
+use crate::{Metrics, NetTables, Protocol, SimConfig};
 use graphs::Graph;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Single-threaded engine: woken nodes are stepped in index order each
 /// round (see the [module docs](crate::runtime) for the active-set
-/// scheduling contract; [`Scheduling::AlwaysStep`] forces the classic
-/// every-node schedule).
+/// scheduling contract; [`Scheduling::AlwaysStep`](crate::Scheduling)
+/// forces the classic every-node schedule).
 ///
-/// This is the reference implementation; the parallel runtime is validated
-/// against it. It honors the same [`Protocol::sync_period`] communication
-/// schedule as the parallel engine — sends are rejected and termination
-/// votes ignored in silent rounds — so a protocol declaring a period
-/// behaves bit-identically on both engines.
+/// This is the reference implementation; the parallel and netplane
+/// runtimes are validated against it. All three share the round loop in
+/// [`crate::runtime`]'s private `engine` module, so a protocol behaves
+/// bit-identically on each — what this runtime pins down is the
+/// *transport-free* observable behavior the others must reproduce.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SequentialRuntime;
 
 impl SequentialRuntime {
-    /// Runs `protocol` to unanimous [`Status::Done`], building the network
-    /// tables on the fly.
+    /// Runs `protocol` to unanimous [`Status::Done`](crate::Status),
+    /// building the network tables on the fly.
     ///
     /// # Errors
     ///
@@ -65,333 +68,43 @@ impl SequentialRuntime {
         assert!(net.matches(graph), "NetTables built for a different graph");
         let n = graph.n();
         let period = protocol.sync_period().max(1);
-        // A protocol declaring sync_period `p` communicates once per `p`
-        // rounds, so a communication-round message may aggregate the `p`
-        // rounds' worth of per-edge bandwidth it stands in for (see
-        // `Protocol::sync_period`). For the default `p = 1` this is the
-        // classic per-round budget.
-        let budget = config.bandwidth_bits(n).saturating_mul(period);
-        let mut metrics = Metrics {
-            bandwidth_bits: budget,
-            ..Metrics::default()
-        };
         let mut ctxs = net.contexts();
-        let mut rngs: Vec<_> = (0..n as u32)
-            .map(|v| node_rng(config.rng_seed(), v))
-            .collect();
-        let mut states: Vec<P::State> = ctxs
-            .iter()
-            .zip(rngs.iter_mut())
-            .map(|(c, r)| protocol.init(c, r))
-            .collect();
-
-        // A duplicating plane can deliver two copies per port in one round;
-        // size inboxes for it so the steady state stays allocation-free.
-        let dups = config
-            .faults
-            .as_ref()
-            .is_some_and(|f| f.dup_per_million > 0);
-        let mut cur: Vec<Inbox<P::Msg>> = (0..n)
-            .map(|v| {
-                Inbox::with_capacity(Inbox::<P::Msg>::round_capacity(
-                    graph.degree(v as u32),
-                    dups,
-                ))
-            })
-            .collect();
-        let mut next: Vec<Inbox<P::Msg>> = (0..n)
-            .map(|v| {
-                Inbox::with_capacity(Inbox::<P::Msg>::round_capacity(
-                    graph.degree(v as u32),
-                    dups,
-                ))
-            })
-            .collect();
-        let mut out: Outbox<P::Msg> = Outbox::new(0);
-
+        let (mut rngs, mut states) = engine::init_nodes(protocol, config, &ctxs, 0);
         if n == 0 {
-            return Ok(RunResult { states, metrics });
+            return Ok(RunResult {
+                states,
+                metrics: Metrics {
+                    bandwidth_bits: engine::round_budget(config, n, period),
+                    ..Metrics::default()
+                },
+            });
         }
-
         let plane = config
             .faults
             .as_ref()
             .map(|f| FaultPlane::new(f, config.rng_salt, n));
-        let has_crashes = plane.as_ref().is_some_and(FaultPlane::has_crashes);
-        // Active-set scheduling. Parking is disabled when crashes meet
-        // round batching: a crash landing in a silent window could flip the
-        // unanimity outcome between rounds the engines never compare votes
-        // at, and no in-repo workload combines the two (see module docs).
-        let mut active = config.scheduling == Scheduling::ActiveSet && !(has_crashes && period > 1);
-
-        // Sticky votes: each node's latest communication-round vote. While
-        // a node is parked its sticky vote stands in for it (the parking
-        // contract on `Protocol::next_wake` makes that exact), so
-        // `running` — non-crashed nodes whose sticky vote is Running — is
-        // zero exactly when the always-step reference would see unanimity.
-        let mut sticky: Vec<Status> = vec![Status::Running; n];
-        let mut running: u64 = n as u64;
-        let mut last_progress: u64 = 0;
-
-        // Frontier machinery (untouched when `!active`): `frontier` holds
-        // this round's wakes, `next_frontier` the next round's, `stamp`
-        // deduplicates insertions, `heap` carries `Wake::At` requests with
-        // `heap_round[v]` = the latest requested target (stale entries are
-        // skipped on pop), and the crash/recovery event lists feed the
-        // plane's edges into the running count and the wake queue.
-        let mut frontier: Vec<u32> = Vec::new();
-        let mut next_frontier: Vec<u32> = Vec::new();
-        let mut stamp: Vec<u64> = Vec::new();
-        let mut in_cur: Vec<bool> = Vec::new();
-        let mut heap: BinaryHeap<(Reverse<u64>, u32)> = BinaryHeap::new();
-        let mut heap_round: Vec<u64> = Vec::new();
-        let mut crash_events: Vec<(u64, u32)> = Vec::new();
-        let mut recovery_events: Vec<(u64, u32)> = Vec::new();
-        let (mut ci, mut ri) = (0usize, 0usize);
-        if active {
-            frontier = (0..n as u32).collect(); // round 0 wakes everyone
-            next_frontier = Vec::with_capacity(n);
-            stamp = vec![0; n];
-            in_cur = vec![false; n];
-            heap_round = vec![u64::MAX; n];
-            if let Some(p) = &plane {
-                for v in 0..n {
-                    if let Some((s, e)) = p.crash_window(v) {
-                        crash_events.push((s, v as u32));
-                        if e != u64::MAX {
-                            recovery_events.push((e, v as u32));
-                        }
-                    }
-                }
-                crash_events.sort_unstable();
-                recovery_events.sort_unstable();
-            }
-        }
-
-        let mut terminated = false;
-        for round in 0..config.max_rounds {
-            // Communication rounds carry messages and termination votes;
-            // the `period - 1` rounds in between are declared-silent local
-            // computation (see `Protocol::sync_period`).
-            let comm = round.is_multiple_of(period);
-            if active {
-                // Assemble this round's frontier: last round's wakes are
-                // already in `frontier`; add matured `Wake::At` requests
-                // and fault-plane crash/recovery edges.
-                while let Some(&(Reverse(t), v)) = heap.peek() {
-                    if t > round {
-                        break;
-                    }
-                    heap.pop();
-                    if t == round && heap_round[v as usize] == t {
-                        heap_round[v as usize] = u64::MAX;
-                        wake(&mut stamp, &mut frontier, v as usize, round);
-                    }
-                }
-                while ci < crash_events.len() && crash_events[ci].0 == round {
-                    let v = crash_events[ci].1 as usize;
-                    ci += 1;
-                    if sticky[v] == Status::Running {
-                        running -= 1;
-                    }
-                }
-                while ri < recovery_events.len() && recovery_events[ri].0 == round {
-                    let v = recovery_events[ri].1 as usize;
-                    ri += 1;
-                    if sticky[v] == Status::Running {
-                        running += 1;
-                    }
-                    wake(&mut stamp, &mut frontier, v, round);
-                }
-                // A crash just removed the last sticky Running vote. From
-                // here on a parked node's sticky vote may disagree with
-                // what it would vote in any given round (the contract only
-                // pins votes at rounds where unanimity is otherwise
-                // possible), so latch a probe: step every node every round
-                // and use the classic unanimity check, permanently.
-                if running == 0 {
-                    active = false;
-                }
-            }
-            let stepping_all = !active;
-            let mut all_done = true;
-            let mut progressed = false;
-
-            let sweep = if stepping_all {
-                Sweep::All
-            } else if frontier.len() * 4 >= n {
-                for &v in &frontier {
-                    in_cur[v as usize] = true;
-                }
-                Sweep::Dense
-            } else {
-                frontier.sort_unstable();
-                Sweep::Sparse
-            };
-            let count = match sweep {
-                Sweep::All | Sweep::Dense => n,
-                Sweep::Sparse => frontier.len(),
-            };
-            for i in 0..count {
-                let v = match sweep {
-                    Sweep::All => i,
-                    Sweep::Sparse => frontier[i] as usize,
-                    Sweep::Dense => {
-                        if !in_cur[i] {
-                            continue;
-                        }
-                        in_cur[i] = false;
-                        i
-                    }
-                };
-                if let Some(p) = &plane {
-                    if p.is_crashed(v, round) {
-                        // Crashed node: not stepped, sends nothing, votes
-                        // Done implicitly (see `faults` module docs). Its
-                        // crashed node-rounds are counted analytically at
-                        // termination.
-                        continue;
-                    }
-                }
-                ctxs[v].round = round;
-                cur[v].finalize();
-                out.reset(graph.degree(v as u32));
-                metrics.stepped_nodes += 1;
-                let status =
-                    protocol.round(&mut states[v], &ctxs[v], &mut rngs[v], &cur[v], &mut out);
-                cur[v].clear();
-                all_done &= status == Status::Done;
-                if comm && status != sticky[v] {
-                    match status {
-                        Status::Done => running -= 1,
-                        Status::Running => running += 1,
-                    }
-                    sticky[v] = status;
-                    progressed = true;
-                }
-                if active {
-                    heap_round[v] = u64::MAX; // cancel any stale At request
-                    match protocol.next_wake(&states[v], &ctxs[v], status) {
-                        Wake::At(t) if t > round + 1 => {
-                            heap_round[v] = t;
-                            heap.push((Reverse(t), v as u32));
-                        }
-                        Wake::Next | Wake::At(_) => {
-                            wake(&mut stamp, &mut next_frontier, v, round + 1);
-                        }
-                        Wake::Message => {}
-                    }
-                }
-                assert!(
-                    comm || out.is_empty(),
-                    "protocol declared sync_period {period} but node {v} sent in silent round {round}"
-                );
-                for (port, msg) in out.drain() {
-                    progressed = true;
-                    let bits = msg.bits();
-                    metrics.record_message(bits, budget);
-                    if config.strict_bandwidth && bits > budget {
-                        return Err(SimError::Bandwidth {
-                            round,
-                            bits,
-                            limit: budget,
-                        });
-                    }
-                    let dest = graph.neighbors(v as u32)[port as usize] as usize;
-                    let arrival = net.reverse_ports_of(v as u32)[port as usize];
-                    let copies = match plane
-                        .as_ref()
-                        .map_or(Fate::Deliver, |p| p.fate(round, v as u32, port))
-                    {
-                        Fate::Drop => {
-                            metrics.faults_dropped += 1;
-                            0
-                        }
-                        Fate::Deliver => 1,
-                        Fate::Duplicate => {
-                            metrics.faults_duplicated += 1;
-                            2
-                        }
-                    };
-                    if copies == 0 {
-                        continue;
-                    }
-                    // Delivery lands at round + 1; a receiver crashed then
-                    // loses the message (and any duplicate of it).
-                    if plane
-                        .as_ref()
-                        .is_some_and(|p| p.is_crashed(dest, round + 1))
-                    {
-                        metrics.crash_drops += 1;
-                        continue;
-                    }
-                    if copies == 2 {
-                        next[dest].push(arrival, msg.clone());
-                    }
-                    next[dest].push(arrival, msg);
-                    if active {
-                        // Message arrivals always wake their destination.
-                        wake(&mut stamp, &mut next_frontier, dest, round + 1);
-                    }
-                }
-            }
-            if progressed {
-                last_progress = round;
-            }
-            metrics.rounds = round + 1;
-            // Every stepped node cleared its inbox right after its step and
-            // parked nodes hold empty inboxes (every delivery wakes its
-            // destination; crashed-destination deliveries are dropped at
-            // staging), so the swap alone readies both buffers — no O(n)
-            // clear/finalize sweeps.
-            std::mem::swap(&mut cur, &mut next);
-            if active {
-                std::mem::swap(&mut frontier, &mut next_frontier);
-                next_frontier.clear();
-            }
-            if comm && if stepping_all { all_done } else { running == 0 } {
-                terminated = true;
-                break;
-            }
-        }
-        if terminated {
-            // Crashed node-rounds, analytically: the engine never scans
-            // crashed nodes, so count each crash window's overlap with the
-            // rounds actually executed.
-            if let Some(p) = &plane {
-                let r = metrics.rounds;
-                for v in 0..n {
-                    if let Some((s, e)) = p.crash_window(v) {
-                        metrics.crashed_rounds += e.min(r) - s.min(r);
-                    }
-                }
-            }
-            return Ok(RunResult { states, metrics });
-        }
-        // Live nodes: still voting Running per their latest (sticky)
-        // communication-round vote, excluding nodes the plane had crashed
-        // when the limit hit — crashed nodes vote Done implicitly and must
-        // not be reported as live work.
-        let last = config.max_rounds.saturating_sub(1);
-        let live_nodes = (0..n)
-            .filter(|&v| {
-                sticky[v] == Status::Running
-                    && !plane.as_ref().is_some_and(|p| p.is_crashed(v, last))
-            })
-            .count() as u64;
-        Err(SimError::RoundLimitExceeded {
-            limit: config.max_rounds,
-            phase: config.phase_label.clone(),
-            live_nodes,
-            last_progress_round: last_progress,
-        })
+        let metrics = engine::drive(
+            graph,
+            protocol,
+            config,
+            net,
+            ShardWorld {
+                start: 0,
+                ctxs: &mut ctxs,
+                states: &mut states,
+                rngs: &mut rngs,
+                plane: plane.as_ref(),
+            },
+            &mut LocalTransport,
+        )?;
+        Ok(RunResult { states, metrics })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{NodeCtx, NodeRng};
+    use crate::{Inbox, Message, NodeCtx, NodeRng, Outbox, Scheduling, Status, Wake};
     use graphs::gen;
 
     /// Flood the maximum identifier: classic O(diameter) protocol.

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! net_shard <coordinator addr> <algo> <family> <n> <degree> <graph_seed> <run_seed>
+//!           [--sched <active|always>] [--drops <ppm> <seed>]
 //!           [--chaos <seed>] [--rejoin <shard> <ports-csv>]
 //! ```
 //!
@@ -9,6 +10,9 @@
 //! `tests/net_equivalence.rs`; the `harness` binary re-execs itself via
 //! its `net-shard` subcommand instead). Joins the coordinator, runs the
 //! spec's pipeline over the socket mesh, reports its color slice, exits.
+//! `--sched` / `--drops` select the engine profile (active-set
+//! scheduling, simulated drop-fault plane) — the orchestrator passes
+//! the same profile to every shard and the sequential reference.
 //! `--chaos` runs the shard under a seeded fault schedule; `--rejoin`
 //! marks the process as a supervisor-spawned replacement for a killed
 //! shard, redialing the surviving mesh at the given ports.
@@ -18,6 +22,7 @@ fn main() {
     let Some((addr, spec, opts)) = d2color::netharness::parse_shard_argv(&args) else {
         eprintln!(
             "usage: net_shard <coordinator> <algo> <family> <n> <degree> <gseed> <rseed> \
+             [--sched <active|always>] [--drops <ppm> <seed>] \
              [--chaos <seed>] [--rejoin <shard> <ports-csv>]"
         );
         std::process::exit(2);

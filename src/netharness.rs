@@ -40,7 +40,7 @@
 use congest::netplane::{
     self, chaos, kind, read_frame, ChaosConfig, NetConfig, Reader, Wire, WireError,
 };
-use congest::{Metrics, Scheduling, SimConfig};
+use congest::{FaultConfig, Metrics, Scheduling, SimConfig};
 use d2core::{ColoringOutcome, Params};
 use graphs::Graph;
 use std::io;
@@ -175,12 +175,28 @@ impl NetSpec {
         }
     }
 
-    /// The simulation config both sides run under. The netplane engine
-    /// always steps every owned node, so the sequential reference pins
-    /// [`Scheduling::AlwaysStep`] to keep `stepped_nodes` comparable.
+    /// The simulation config for the default [`RunProfile`]:
+    /// [`Scheduling::AlwaysStep`], no fault plane. Recorded benches
+    /// (`BENCH_PR8` / `BENCH_PR9`) were captured under this profile, so
+    /// it stays the argv default forever.
     #[must_use]
     pub fn config(&self) -> SimConfig {
-        SimConfig::seeded(self.run_seed).with_scheduling(Scheduling::AlwaysStep)
+        self.config_with(&RunProfile::default())
+    }
+
+    /// The simulation config under an explicit [`RunProfile`]. Every
+    /// shard and the sequential reference must derive their config
+    /// through this one function — it is the only place profile knobs
+    /// touch [`SimConfig`], so the two sides cannot drift.
+    #[must_use]
+    pub fn config_with(&self, profile: &RunProfile) -> SimConfig {
+        let cfg = SimConfig::seeded(self.run_seed).with_scheduling(profile.scheduling);
+        match profile.drops {
+            Some((per_million, fault_seed)) => {
+                cfg.with_faults(FaultConfig::seeded(fault_seed).with_drops(per_million))
+            }
+            None => cfg,
+        }
     }
 
     /// Short display label for tables and logs.
@@ -198,9 +214,96 @@ impl NetSpec {
     }
 }
 
+/// Engine knobs layered over a [`NetSpec`]: scheduling mode and an
+/// optional simulated drop-fault plane. The profile rides the shard
+/// `argv` next to the spec, and the *same* profile must be applied to
+/// the sequential reference — both sides build their [`SimConfig`]
+/// through [`NetSpec::config_with`], so a run is keyed by
+/// `(spec, profile)`.
+///
+/// The default (always-step, fault-free) serializes to *zero* argv
+/// tokens, keeping historical shard command lines byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProfile {
+    /// Node-stepping policy. [`Scheduling::AlwaysStep`] by default so
+    /// recorded benches stay comparable; `--sched active` opts into the
+    /// wake-frontier scheduler.
+    pub scheduling: Scheduling,
+    /// Simulated message-drop plane as `(drops per million, fault
+    /// seed)` (`--drops <ppm> <seed>`). The schedule is a pure function
+    /// of `(config, salt, n)`, so every shard charges identical fates.
+    pub drops: Option<(u32, u64)>,
+}
+
+impl Default for RunProfile {
+    fn default() -> Self {
+        RunProfile {
+            scheduling: Scheduling::AlwaysStep,
+            drops: None,
+        }
+    }
+}
+
+impl RunProfile {
+    /// Profile with [`Scheduling::ActiveSet`] and no fault plane.
+    #[must_use]
+    pub fn active_set() -> Self {
+        RunProfile {
+            scheduling: Scheduling::ActiveSet,
+            drops: None,
+        }
+    }
+
+    /// Adds a simulated drop plane.
+    #[must_use]
+    pub fn with_drops(mut self, per_million: u32, fault_seed: u64) -> Self {
+        self.drops = Some((per_million, fault_seed));
+        self
+    }
+
+    /// Stable `--sched` argv token.
+    #[must_use]
+    pub fn sched_token(&self) -> &'static str {
+        match self.scheduling {
+            Scheduling::ActiveSet => "active",
+            Scheduling::AlwaysStep => "always",
+        }
+    }
+
+    /// Parses a `--sched` argv token.
+    #[must_use]
+    pub fn parse_sched(s: &str) -> Option<Scheduling> {
+        match s {
+            "active" => Some(Scheduling::ActiveSet),
+            "always" => Some(Scheduling::AlwaysStep),
+            _ => None,
+        }
+    }
+
+    /// Serializes the profile as trailing shard-process arguments
+    /// (empty for the default profile).
+    #[must_use]
+    pub fn to_args(&self) -> Vec<String> {
+        let mut args = Vec::new();
+        if self.scheduling != Scheduling::AlwaysStep {
+            args.push("--sched".into());
+            args.push(self.sched_token().into());
+        }
+        if let Some((per_million, fault_seed)) = self.drops {
+            args.push("--drops".into());
+            args.push(per_million.to_string());
+            args.push(fault_seed.to_string());
+        }
+        args
+    }
+}
+
 /// Per-process options riding after the spec on a shard's `argv`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ShardOptions {
+    /// Engine profile (`--sched`, `--drops`) — shared by every shard in
+    /// a run and by its sequential reference.
+    pub profile: RunProfile,
     /// Run under a seeded chaos schedule (`--chaos <seed>`).
     pub chaos_seed: Option<u64>,
     /// This process replaces a killed shard (`--rejoin <shard>
@@ -214,7 +317,7 @@ impl ShardOptions {
     /// Serializes the options as trailing shard-process arguments.
     #[must_use]
     pub fn to_args(&self) -> Vec<String> {
-        let mut args = Vec::new();
+        let mut args = self.profile.to_args();
         if let Some(seed) = self.chaos_seed {
             args.push("--chaos".into());
             args.push(seed.to_string());
@@ -236,7 +339,8 @@ impl ShardOptions {
 
 /// Parses a full shard-process argument list:
 /// `<addr> <algo> <family> <n> <degree> <graph_seed> <run_seed>
-/// [--chaos <seed>] [--rejoin <shard> <ports-csv>]`.
+/// [--sched <active|always>] [--drops <ppm> <seed>] [--chaos <seed>]
+/// [--rejoin <shard> <ports-csv>]`.
 /// Shared by the `net_shard` binary and the harness `net-shard`
 /// subcommand so the two argv dialects cannot drift.
 #[must_use]
@@ -250,6 +354,16 @@ pub fn parse_shard_argv(args: &[String]) -> Option<(SocketAddr, NetSpec, ShardOp
     let mut rest = &args[7..];
     while let Some(flag) = rest.first() {
         match flag.as_str() {
+            "--sched" => {
+                opts.profile.scheduling = RunProfile::parse_sched(rest.get(1)?)?;
+                rest = &rest[2..];
+            }
+            "--drops" => {
+                let per_million = rest.get(1)?.parse().ok()?;
+                let fault_seed = rest.get(2)?.parse().ok()?;
+                opts.profile.drops = Some((per_million, fault_seed));
+                rest = &rest[3..];
+            }
             "--chaos" => {
                 opts.chaos_seed = Some(rest.get(1)?.parse().ok()?);
                 rest = &rest[2..];
@@ -270,14 +384,19 @@ pub fn parse_shard_argv(args: &[String]) -> Option<(SocketAddr, NetSpec, ShardOp
     Some((addr, spec, opts))
 }
 
-/// Runs the spec's pipeline in-process (used by both the sequential
-/// reference and, with a netplane installed, the shard body).
+/// Runs the spec's pipeline in-process under a profile (used by both
+/// the sequential reference and, with a netplane installed, the shard
+/// body).
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn run_pipeline(spec: &NetSpec, g: &Graph) -> Result<ColoringOutcome, congest::SimError> {
-    let cfg = spec.config();
+pub fn run_pipeline(
+    spec: &NetSpec,
+    g: &Graph,
+    profile: &RunProfile,
+) -> Result<ColoringOutcome, congest::SimError> {
+    let cfg = spec.config_with(profile);
     let params = Params::practical();
     match spec.algo {
         NetAlgo::DetSmall => d2core::det::small::run(g, &params, &cfg),
@@ -285,11 +404,11 @@ pub fn run_pipeline(spec: &NetSpec, g: &Graph) -> Result<ColoringOutcome, conges
     }
 }
 
-/// Runs the sequential reference for a spec.
+/// Runs the sequential reference for a `(spec, profile)` pair.
 #[must_use]
-pub fn run_sequential(spec: &NetSpec) -> NetOutcome {
+pub fn run_sequential(spec: &NetSpec, profile: &RunProfile) -> NetOutcome {
     let g = spec.build_graph();
-    let out = run_pipeline(spec, &g).expect("sequential reference failed");
+    let out = run_pipeline(spec, &g, profile).expect("sequential reference failed");
     NetOutcome {
         colors: out.colors,
         metrics: out.metrics,
@@ -366,7 +485,7 @@ pub fn shard_main(coordinator: SocketAddr, spec: &NetSpec, opts: &ShardOptions) 
     let shard = plane.shard;
     netplane::install(plane);
     let g = spec.build_graph();
-    let out = run_pipeline(spec, &g).expect("sharded pipeline failed");
+    let out = run_pipeline(spec, &g, &opts.profile).expect("sharded pipeline failed");
     let mut plane = netplane::uninstall().expect("netplane vanished mid-run");
     let (lo, hi) = plane.local_range(g.n());
     let result = ShardResult {
@@ -532,14 +651,23 @@ fn store_result(results: &mut [Option<ShardResult>], r: ShardResult) {
 /// Panics on any shard failure — the harness and tests both want a loud
 /// abort, never a silently partial coloring.
 #[must_use]
-pub fn run_distributed(spec: &NetSpec, k: u32, cmd: &ShardCommand) -> NetOutcome {
+pub fn run_distributed(
+    spec: &NetSpec,
+    k: u32,
+    cmd: &ShardCommand,
+    profile: &RunProfile,
+) -> NetOutcome {
     assert!(k >= 1, "need at least one shard");
     let config = NetConfig::default();
     let coord = netplane::coordinator().expect("bind coordinator listener");
     let addr = format!("127.0.0.1:{}", coord.port());
 
+    let opts = ShardOptions {
+        profile: *profile,
+        ..ShardOptions::default()
+    };
     let mut guards: Vec<ShardGuard> = (0..k)
-        .map(|_| spawn_shard(cmd, &addr, spec, &ShardOptions::default()))
+        .map(|_| spawn_shard(cmd, &addr, spec, &opts))
         .collect();
 
     let assignment = coord
@@ -593,12 +721,14 @@ pub fn run_supervised(
     k: u32,
     cmd: &ShardCommand,
     chaos_seed: u64,
+    profile: &RunProfile,
 ) -> (NetOutcome, ChaosRunReport) {
     assert!(k >= 2, "supervised chaos needs at least two shards");
     let config = NetConfig::supervised();
     let coord = netplane::coordinator().expect("bind coordinator listener");
     let addr = format!("127.0.0.1:{}", coord.port());
     let chaos_opts = ShardOptions {
+        profile: *profile,
         chaos_seed: Some(chaos_seed),
         rejoin: None,
     };
@@ -647,6 +777,7 @@ pub fn run_supervised(
                 // The dead child is the schedule's victim (only chaos
                 // kills shards here); respawn it with rejoin, no chaos.
                 let rejoin_opts = ShardOptions {
+                    profile: *profile,
                     chaos_seed: None,
                     rejoin: Some((plan.victim, ports.clone())),
                 };
@@ -726,16 +857,63 @@ mod tests {
         assert_eq!(opts.to_args(), vec!["--chaos", "9"]);
 
         let (_, _, opts) =
+            parse_shard_argv(&full_argv(&["--sched", "active", "--drops", "25000", "11"])).unwrap();
+        assert_eq!(
+            opts.profile,
+            RunProfile::active_set().with_drops(25_000, 11)
+        );
+        assert_eq!(
+            opts.to_args(),
+            vec!["--sched", "active", "--drops", "25000", "11"]
+        );
+
+        // `--sched always` parses but round-trips to nothing: the
+        // default profile keeps historical argv byte-identical.
+        let (_, _, opts) = parse_shard_argv(&full_argv(&["--sched", "always"])).unwrap();
+        assert_eq!(opts, ShardOptions::default());
+        assert!(opts.to_args().is_empty());
+
+        let (_, _, opts) =
             parse_shard_argv(&full_argv(&["--rejoin", "2", "7001,7002,7003,7004"])).unwrap();
         assert_eq!(opts.rejoin, Some((2, vec![7001, 7002, 7003, 7004])));
         assert_eq!(opts.to_args(), vec!["--rejoin", "2", "7001,7002,7003,7004"]);
 
         // Malformed tails are rejected, never silently ignored.
+        assert!(parse_shard_argv(&full_argv(&["--sched", "sometimes"])).is_none());
+        assert!(parse_shard_argv(&full_argv(&["--sched"])).is_none());
+        assert!(parse_shard_argv(&full_argv(&["--drops", "25000"])).is_none());
+        assert!(parse_shard_argv(&full_argv(&["--drops", "x", "11"])).is_none());
         assert!(parse_shard_argv(&full_argv(&["--chaos"])).is_none());
         assert!(parse_shard_argv(&full_argv(&["--rejoin", "2"])).is_none());
         assert!(parse_shard_argv(&full_argv(&["--rejoin", "2", "70x1"])).is_none());
         assert!(parse_shard_argv(&full_argv(&["--frobnicate"])).is_none());
         assert!(parse_shard_argv(&full_argv(&[])[..4]).is_none());
+    }
+
+    #[test]
+    fn profile_drives_config() {
+        let spec = NetSpec {
+            algo: NetAlgo::DetSmall,
+            family: NetGraph::GnpCapped,
+            n: 50,
+            degree: 4,
+            graph_seed: 1,
+            run_seed: 9,
+        };
+        // The default profile is exactly the historical config.
+        let default = spec.config_with(&RunProfile::default());
+        assert_eq!(default.scheduling, spec.config().scheduling);
+        assert_eq!(default.faults, spec.config().faults);
+        assert_eq!(spec.config().scheduling, Scheduling::AlwaysStep);
+        assert!(spec.config().faults.is_none());
+
+        let cfg = spec.config_with(&RunProfile::active_set().with_drops(25_000, 11));
+        assert_eq!(cfg.scheduling, Scheduling::ActiveSet);
+        let faults = cfg.faults.expect("drop plane installed");
+        assert_eq!(faults.drop_per_million, 25_000);
+        assert_eq!(faults.fault_seed, 11);
+        // Profile knobs must not perturb the run seed.
+        assert_eq!(cfg.seed, spec.config().seed);
     }
 
     #[test]

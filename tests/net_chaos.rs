@@ -13,7 +13,7 @@
 
 use congest::netplane::chaos::kill_plan;
 use d2color::netharness::{
-    run_sequential, run_supervised, NetAlgo, NetGraph, NetSpec, ShardCommand,
+    run_sequential, run_supervised, NetAlgo, NetGraph, NetSpec, RunProfile, ShardCommand,
 };
 
 const K: u32 = 4;
@@ -26,14 +26,22 @@ fn shard_cmd() -> ShardCommand {
 }
 
 fn check_chaos(spec: NetSpec, chaos_seed: u64) {
-    let seq = run_sequential(&spec);
-    let g = spec.build_graph();
-    assert!(
-        graphs::verify::is_valid_d2_coloring(&g, &seq.colors),
-        "sequential reference invalid for {}",
-        spec.label()
-    );
-    let (net, report) = run_supervised(&spec, K, &shard_cmd(), chaos_seed);
+    check_chaos_profile(spec, chaos_seed, &RunProfile::default());
+}
+
+fn check_chaos_profile(spec: NetSpec, chaos_seed: u64, profile: &RunProfile) {
+    let seq = run_sequential(&spec, profile);
+    // An adversarial drop plane may legitimately leave conflicts; the
+    // contract there is purely differential. Clean profiles must verify.
+    if profile.drops.is_none() {
+        let g = spec.build_graph();
+        assert!(
+            graphs::verify::is_valid_d2_coloring(&g, &seq.colors),
+            "sequential reference invalid for {}",
+            spec.label()
+        );
+    }
+    let (net, report) = run_supervised(&spec, K, &shard_cmd(), chaos_seed, profile);
     let plan = kill_plan(chaos_seed, K);
     assert!(
         report.respawned,
@@ -86,6 +94,36 @@ fn rand_improved_survives_a_mid_phase_shard_kill() {
         },
         29,
     );
+}
+
+/// Every survivability layer at once: a chaos kill/respawn while the
+/// engine runs active-set scheduling *and* a simulated drop-fault
+/// plane. The rejoined replacement rebuilds the same frontier and
+/// charges the same seeded fates, so the stitched outcome — coloring,
+/// fault counters, stepped-node total — still matches the sequential
+/// reference bit-for-bit.
+#[test]
+fn chaos_kill_survives_active_set_with_drop_faults() {
+    let spec = NetSpec {
+        algo: NetAlgo::DetSmall,
+        family: NetGraph::GnpCapped,
+        n: 120,
+        degree: 5,
+        graph_seed: 1,
+        run_seed: 38,
+    };
+    let profile = RunProfile::active_set().with_drops(25_000, 13);
+    let seq = run_sequential(&spec, &profile);
+    assert!(
+        seq.metrics.faults_dropped > 0,
+        "drop plane never fired — the cell proves nothing"
+    );
+    let always = run_sequential(&spec, &RunProfile::default().with_drops(25_000, 13));
+    assert!(
+        seq.metrics.stepped_nodes < always.metrics.stepped_nodes,
+        "frontier never parked a node under faults"
+    );
+    check_chaos_profile(spec, 29, &profile);
 }
 
 #[test]

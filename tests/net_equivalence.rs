@@ -8,7 +8,7 @@
 //! unobservable in every model-level number.
 
 use d2color::netharness::{
-    run_distributed, run_sequential, NetAlgo, NetGraph, NetSpec, ShardCommand,
+    run_distributed, run_sequential, NetAlgo, NetGraph, NetSpec, RunProfile, ShardCommand,
 };
 
 fn shard_cmd() -> ShardCommand {
@@ -19,15 +19,24 @@ fn shard_cmd() -> ShardCommand {
 }
 
 fn check_spec(spec: NetSpec) {
-    let seq = run_sequential(&spec);
-    let g = spec.build_graph();
-    assert!(
-        graphs::verify::is_valid_d2_coloring(&g, &seq.colors),
-        "sequential reference invalid for {}",
-        spec.label()
-    );
+    check_profile(spec, &RunProfile::default());
+}
+
+fn check_profile(spec: NetSpec, profile: &RunProfile) {
+    let seq = run_sequential(&spec, profile);
+    // Under an adversarial drop plane the algorithm may legitimately
+    // terminate with conflicts (lost announcements); the contract there
+    // is purely differential. Clean profiles must verify.
+    if profile.drops.is_none() {
+        let g = spec.build_graph();
+        assert!(
+            graphs::verify::is_valid_d2_coloring(&g, &seq.colors),
+            "sequential reference invalid for {}",
+            spec.label()
+        );
+    }
     for k in [2u32, 4] {
-        let net = run_distributed(&spec, k, &shard_cmd());
+        let net = run_distributed(&spec, k, &shard_cmd(), profile);
         assert_eq!(
             net.colors,
             seq.colors,
@@ -116,4 +125,56 @@ fn rand_improved_regular_matches_over_sockets() {
             seed,
         ));
     }
+}
+
+/// Active-set scheduling over sockets: the sharded run under
+/// `--sched active` must be bit-identical to the *active-set*
+/// sequential reference — and that reference must produce the same
+/// coloring as the always-step one while stepping strictly fewer
+/// nodes. `stepped_nodes` is the only metric allowed to move.
+#[test]
+fn active_set_profile_matches_over_sockets() {
+    let spec = spec(NetAlgo::DetSmall, NetGraph::GnpCapped, 120, 5, 1);
+    let active = RunProfile::active_set();
+    let always = run_sequential(&spec, &RunProfile::default());
+    let seq = run_sequential(&spec, &active);
+    assert_eq!(seq.colors, always.colors, "scheduling changed the coloring");
+    assert_eq!(seq.metrics.rounds, always.metrics.rounds);
+    assert_eq!(seq.metrics.messages, always.metrics.messages);
+    assert_eq!(seq.metrics.total_bits, always.metrics.total_bits);
+    assert!(
+        seq.metrics.stepped_nodes < always.metrics.stepped_nodes,
+        "frontier never parked a node ({} vs {})",
+        seq.metrics.stepped_nodes,
+        always.metrics.stepped_nodes
+    );
+    check_profile(spec, &active);
+}
+
+/// Simulated drop faults over sockets: the seeded fault plane is a pure
+/// function of `(config, salt, n)`, so every shard charges the same
+/// fates and the stitched outcome — including the fault counters —
+/// matches the sequential reference bit-for-bit.
+#[test]
+fn drop_fault_profile_matches_over_sockets() {
+    let spec = spec(NetAlgo::DetSmall, NetGraph::RandomRegular, 96, 4, 3);
+    let profile = RunProfile::default().with_drops(25_000, 11);
+    let seq = run_sequential(&spec, &profile);
+    assert!(
+        seq.metrics.faults_dropped > 0,
+        "drop plane never fired — the cell proves nothing"
+    );
+    check_profile(spec, &profile);
+}
+
+/// The combined cell the PR's acceptance criterion names: active-set
+/// scheduling *and* a drop-fault plane, across processes, bit-identical
+/// to the sequential engine.
+#[test]
+fn active_set_with_drop_faults_matches_over_sockets() {
+    let spec = spec(NetAlgo::DetSmall, NetGraph::GnpCapped, 120, 5, 2);
+    let profile = RunProfile::active_set().with_drops(25_000, 7);
+    let seq = run_sequential(&spec, &profile);
+    assert!(seq.metrics.faults_dropped > 0, "drop plane never fired");
+    check_profile(spec, &profile);
 }
